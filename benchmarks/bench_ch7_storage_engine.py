@@ -1,0 +1,203 @@
+"""Section 7.5 — storage-recreation trade-off experiments.
+
+The paper evaluates LMG, MP, and LAST against the MST and SPT extremes
+on real corpora (Wikipedia dumps) and synthetic LC (linear-chain) and BC
+(branched-chain) version histories. We substitute synthetic text
+histories with the same shape controls (see repro.storage.synthetic) and
+sweep the constraint thresholds, printing the trade-off series each
+subfigure plots.
+
+Paper shape to match:
+* as θ (recreation budget) loosens, LMG/MP storage falls toward MST;
+* as β (storage budget) loosens, recreation falls toward the SPT line;
+* LAST's α sweeps a smooth curve between the extremes on undirected
+  instances; retrieval always reproduces artifacts exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import fmt, print_table, timed
+from repro.storage.deltas import XorDeltaCodec
+from repro.storage.engine import VersionedStore
+from repro.storage.solvers.last import last_tree
+from repro.storage.solvers.lmg import lmg_min_storage, lmg_min_sum_recreation
+from repro.storage.solvers.mp import mp_min_max_recreation, mp_min_storage
+from repro.storage.solvers.mst import minimum_spanning_storage
+from repro.storage.solvers.spt import shortest_path_tree
+from repro.storage.synthetic import (
+    SyntheticConfig,
+    build_store,
+    generate_text_history,
+)
+
+WORKLOADS = {
+    "LC": SyntheticConfig(
+        num_versions=60, branching_factor=0.0, edits_per_version=25, seed=41
+    ),
+    "BC": SyntheticConfig(
+        num_versions=60, branching_factor=0.35, edits_per_version=25, seed=42
+    ),
+}
+
+
+@pytest.mark.parametrize("workload", list(WORKLOADS))
+def test_ch7_theta_sweep(benchmark, workload):
+    """Problem 5/6: min storage under recreation budgets θ."""
+    store = build_store(WORKLOADS[workload], extra_pairs=15)
+    graph = store.graph()
+    spt = shortest_path_tree(graph)
+    mst = minimum_spanning_storage(graph)
+    base_sum = spt.sum_recreation(graph)
+    base_max = spt.max_recreation(graph)
+
+    rows = []
+    for slack in (1.0, 1.5, 2.0, 4.0, 8.0):
+        plan5 = lmg_min_storage(graph, base_sum * slack)
+        plan6 = mp_min_storage(graph, base_max * slack)
+        rows.append(
+            (
+                f"{slack}x",
+                fmt(plan5.total_storage_cost(graph), 6),
+                fmt(plan5.sum_recreation(graph), 6),
+                fmt(plan6.total_storage_cost(graph), 6),
+                fmt(plan6.max_recreation(graph), 6),
+            )
+        )
+    rows.append(
+        (
+            "MST (P1)",
+            fmt(mst.total_storage_cost(graph), 6),
+            fmt(mst.sum_recreation(graph), 6),
+            fmt(mst.total_storage_cost(graph), 6),
+            fmt(mst.max_recreation(graph), 6),
+        )
+    )
+    print_table(
+        f"Section 7.5 [{workload}]: θ sweep (LMG for P5, MP for P6)",
+        ["θ slack", "LMG C", "LMG ΣR", "MP C", "MP maxR"],
+        rows,
+    )
+    benchmark.pedantic(
+        mp_min_storage, args=(graph, base_max * 2), rounds=3, iterations=1
+    )
+    # Shape: looser θ → storage approaches the MST optimum.
+    tight = lmg_min_storage(graph, base_sum * 1.0)
+    loose = lmg_min_storage(graph, base_sum * 8.0)
+    assert loose.total_storage_cost(graph) <= tight.total_storage_cost(
+        graph
+    ) + 1e-6
+
+
+@pytest.mark.parametrize("workload", list(WORKLOADS))
+def test_ch7_beta_sweep(benchmark, workload):
+    """Problem 3/4: min recreation under storage budgets β."""
+    store = build_store(WORKLOADS[workload], extra_pairs=15)
+    graph = store.graph()
+    mst = minimum_spanning_storage(graph)
+    mst_cost = mst.total_storage_cost(graph)
+
+    rows = []
+    previous_sum = float("inf")
+    for slack in (1.1, 1.5, 2.0, 4.0):
+        plan3 = lmg_min_sum_recreation(graph, mst_cost * slack)
+        plan4 = mp_min_max_recreation(graph, mst_cost * slack)
+        rows.append(
+            (
+                f"{slack}x MST",
+                fmt(plan3.total_storage_cost(graph), 6),
+                fmt(plan3.sum_recreation(graph), 6),
+                fmt(plan4.total_storage_cost(graph), 6),
+                fmt(plan4.max_recreation(graph), 6),
+            )
+        )
+        assert plan3.total_storage_cost(graph) <= mst_cost * slack + 1e-6
+        assert plan3.sum_recreation(graph) <= previous_sum + 1e-6
+        previous_sum = plan3.sum_recreation(graph)
+    print_table(
+        f"Section 7.5 [{workload}]: β sweep (LMG for P3, MP for P4)",
+        ["β", "LMG C", "LMG ΣR", "MP C", "MP maxR"],
+        rows,
+    )
+    benchmark.pedantic(
+        lmg_min_sum_recreation, args=(graph, mst_cost * 2),
+        rounds=3, iterations=1,
+    )
+
+
+def test_ch7_last_alpha_sweep(benchmark):
+    """LAST over the undirected Φ=Δ scenario (XOR deltas)."""
+    artifacts, parents = generate_text_history(WORKLOADS["BC"])
+    store = VersionedStore(XorDeltaCodec())
+    for vid in sorted(artifacts):
+        store.add_version(
+            vid, bytes("\n".join(artifacts[vid]), "utf8"), parents[vid]
+        )
+    graph = store.graph()
+    mst_cost = minimum_spanning_storage(graph).total_storage_cost(graph)
+    rows = []
+    for alpha in (1.2, 1.5, 2.0, 3.0, 6.0):
+        plan, seconds = timed(last_tree, graph, alpha)
+        rows.append(
+            (
+                alpha,
+                fmt(plan.total_storage_cost(graph) / mst_cost, 4) + "x MST",
+                fmt(plan.max_recreation(graph), 6),
+                fmt(seconds * 1000, 3) + " ms",
+            )
+        )
+    print_table(
+        "Section 7.5: LAST α sweep (undirected, Φ=Δ)",
+        ["alpha", "storage", "max recreation", "time"],
+        rows,
+    )
+    benchmark.pedantic(last_tree, args=(graph, 2.0), rounds=3, iterations=1)
+
+    # Retrieval correctness after adopting a LAST plan.
+    plan = last_tree(graph, 2.0)
+    store.adopt_plan(plan)
+    for vid in list(graph.vertices())[::7]:
+        assert store.retrieve(vid) == store._artifacts[vid]
+
+
+def test_ch7_ilp_gap(benchmark):
+    """Heuristic-vs-optimal gap on a small instance (the paper uses the
+    ILP as the optimality reference)."""
+    from repro.storage.solvers.ilp import ilp_min_storage_max_recreation
+
+    store = build_store(
+        SyntheticConfig(num_versions=12, branching_factor=0.3, seed=44),
+        extra_pairs=6,
+    )
+    graph = store.graph()
+    theta = shortest_path_tree(graph).max_recreation(graph) * 1.5
+    heuristic, heuristic_seconds = timed(mp_min_storage, graph, theta)
+    exact, exact_seconds = timed(
+        ilp_min_storage_max_recreation, graph, theta
+    )
+    gap = heuristic.total_storage_cost(graph) / exact.total_storage_cost(
+        graph
+    )
+    print_table(
+        "Section 7.5: MP vs ILP optimality gap (Problem 6, n=12)",
+        ["solver", "storage", "maxR", "time"],
+        [
+            (
+                "MP",
+                fmt(heuristic.total_storage_cost(graph), 6),
+                fmt(heuristic.max_recreation(graph), 6),
+                fmt(heuristic_seconds * 1000, 3) + " ms",
+            ),
+            (
+                "ILP",
+                fmt(exact.total_storage_cost(graph), 6),
+                fmt(exact.max_recreation(graph), 6),
+                fmt(exact_seconds * 1000, 3) + " ms",
+            ),
+        ],
+    )
+    print(f"MP/ILP storage ratio: {fmt(gap, 4)}")
+    benchmark.pedantic(mp_min_storage, args=(graph, theta), rounds=3, iterations=1)
+    assert gap >= 1.0 - 1e-9
+    assert gap < 1.5  # MP stays close to optimal on small instances

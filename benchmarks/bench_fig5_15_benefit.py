@@ -1,0 +1,25 @@
+"""Figure 5.15 — checkout time and storage with/without partitioning (CUR).
+
+The DAG analogue of Figure 5.14. Paper shape: same qualitative benefit
+as SCI, but smaller reductions because CUR versions are larger on
+average (|E|/|V| — the checkout lower bound — is higher).
+"""
+
+from __future__ import annotations
+
+from benchmarks.bench_fig5_14_benefit import measure, run_benefit
+from benchmarks.common import dataset
+
+
+def test_fig5_15_partitioning_benefit_cur(benchmark):
+    measurements = run_benefit(
+        ["CUR_S", "CUR_M", "CUR_L"],
+        "Figure 5.15: with/without partitioning (CUR)",
+    )
+    history = dataset("CUR_S")
+    benchmark.pedantic(measure, args=(history, 2.0), rounds=1, iterations=1)
+    for name, entry in measurements.items():
+        base_seconds, base_mb = entry["none"]
+        part_seconds, part_mb = entry[2.0]
+        assert part_seconds < base_seconds
+        assert part_mb <= 2.6 * base_mb

@@ -1,0 +1,26 @@
+"""Figure 5.19 — online maintenance and migration, γ = 2|R|.
+
+Same protocol as Figure 5.17 with the looser storage budget. Paper
+shape: fewer migrations than at γ=1.5|R| for the same µ (the online rule
+gets more slack), intelligent migration still well below naive.
+"""
+
+from __future__ import annotations
+
+from benchmarks.bench_fig5_17_online import run_online, stream_history
+from benchmarks.common import dataset
+
+GAMMA = 2.0
+
+
+def test_fig5_19_online_gamma_2(benchmark):
+    migration_counts, intelligent_moved, naive_moved = run_online(
+        GAMMA, "Figure 5.19: online maintenance + migration (γ=2|R|)"
+    )
+    history = dataset("SCI_S")
+    benchmark.pedantic(
+        stream_history, args=(history, GAMMA, 1.5, "intelligent"),
+        rounds=1, iterations=1,
+    )
+    assert migration_counts[2.0] <= migration_counts[1.05]
+    assert intelligent_moved <= naive_moved

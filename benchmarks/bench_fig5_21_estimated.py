@@ -1,0 +1,20 @@
+"""Figure 5.21 — estimated storage vs estimated checkout cost (CUR).
+
+The DAG companion to Figure 5.20.
+"""
+
+from __future__ import annotations
+
+from benchmarks.bench_fig5_20_estimated import run_estimated
+from benchmarks.common import dataset
+from repro.partition.lyresplit import lyresplit
+from repro.partition.version_graph import graph_from_history
+
+
+def test_fig5_21_estimated_cur(benchmark):
+    run_estimated(
+        ["CUR_S", "CUR_M", "CUR_L"],
+        "Figure 5.21: estimated storage vs estimated checkout (CUR)",
+    )
+    graph = graph_from_history(dataset("CUR_M"))
+    benchmark.pedantic(lyresplit, args=(graph, 0.5), rounds=3, iterations=1)

@@ -1,0 +1,79 @@
+"""Recovering lineage from an unmanaged dataset directory (Chapter 8).
+
+A shared folder has accumulated `dataset_v0xx.csv` files with no record
+of who derived what from what. This example synthesizes such a directory
+(with hidden ground truth), runs the provenance manager's lineage
+inference, prints the recovered version tree with per-edge structural
+explanations, and scores the result.
+
+Run:  python examples/lineage_recovery.py
+"""
+
+from repro.provenance import evaluate_edges, infer_lineage
+from repro.provenance.synthetic import RepositoryConfig, generate_repository
+
+
+def main() -> None:
+    artifacts, truth = generate_repository(
+        RepositoryConfig(
+            num_artifacts=18,
+            base_rows=300,
+            ops_per_step=30,
+            schema_change_probability=0.3,
+            timestamp_noise=5.0,
+            seed=7,
+        )
+    )
+    print(f"found {len(artifacts)} unregistered dataset versions:")
+    for artifact in sorted(artifacts, key=lambda a: a.name)[:6]:
+        print(
+            f"  {artifact.name}: {artifact.num_rows} rows x "
+            f"{artifact.num_columns} cols"
+        )
+    print("  ...")
+
+    edges = infer_lineage(artifacts)
+
+    print("\ninferred lineage (parent -> child, with explanation):")
+    children_of: dict[str, list] = {}
+    for edge in edges:
+        children_of.setdefault(edge.parent, []).append(edge)
+    roots = sorted(
+        {a.name for a in artifacts} - {e.child for e in edges}
+    )
+
+    def walk(name: str, depth: int) -> None:
+        indent = "  " * depth
+        print(f"{indent}{name}")
+        for edge in sorted(
+            children_of.get(name, []), key=lambda e: e.child
+        ):
+            ops = "; ".join(edge.explanation.operations)
+            print(
+                f"{indent}  └─ {edge.child}  "
+                f"[score {edge.score:.2f}] {ops}"
+            )
+            walk(edge.child, depth + 2)
+
+    for root in roots:
+        walk(root, 0)
+
+    metrics = evaluate_edges([e.as_pair() for e in edges], truth)
+    print(
+        f"\naccuracy vs hidden ground truth: "
+        f"precision={metrics.precision:.2f} recall={metrics.recall:.2f} "
+        f"F1={metrics.f1:.2f} (undirected F1={metrics.undirected_f1:.2f})"
+    )
+
+    row_preserving = [
+        edge for edge in edges if edge.explanation.row_preserving
+    ]
+    print(
+        f"{len(row_preserving)} of {len(edges)} inferred derivations are "
+        "row-preserving operations (column add/drop/rename or in-place "
+        "updates)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Quickstart: version a dataset with git-style commands.
+
+Covers the core OrpheusDB loop — init a CVD, check out a version into a
+working table, edit it, commit it back, branch, merge, diff, and query
+across versions — all over the protein-protein-interaction example of
+the paper's Figure 3.2.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import Orpheus
+from repro.core.queries import aggregate_by_version, select_from_versions
+from repro.relational import INT, TEXT, Aggregate, ColumnDef, Schema, col, lit
+
+
+def main() -> None:
+    orpheus = Orpheus()
+    orpheus.create_user("alice", "alice@lab.edu")
+    orpheus.config("alice")
+
+    # ------------------------------------------------------------------
+    # init: register a relation as a collaborative versioned dataset.
+    # ------------------------------------------------------------------
+    schema = Schema(
+        [
+            ColumnDef("protein1", TEXT),
+            ColumnDef("protein2", TEXT),
+            ColumnDef("neighborhood", INT),
+            ColumnDef("cooccurrence", INT),
+            ColumnDef("coexpression", INT),
+        ],
+        primary_key=("protein1", "protein2"),
+    )
+    v1 = orpheus.init(
+        "interaction",
+        schema,
+        rows=[
+            ("ENSP273047", "ENSP261890", 0, 53, 0),
+            ("ENSP273047", "ENSP235932", 0, 87, 0),
+            ("ENSP300413", "ENSP274242", 426, 0, 164),
+        ],
+    )
+    print(f"initialized CVD 'interaction' at version {v1}")
+
+    # ------------------------------------------------------------------
+    # checkout -> edit -> commit: Alice adds a discovered interaction.
+    # ------------------------------------------------------------------
+    table = orpheus.checkout("interaction", v1, "alice_workspace")
+    table.insert(("ENSP309334", "ENSP346022", 0, 227, 975))
+    v2 = orpheus.commit("alice_workspace", message="add ENSP309334 pair")
+    print(f"alice committed version {v2}")
+
+    # Bob branches from v1 concurrently and cleans a noisy value.
+    orpheus.create_user("bob")
+    orpheus.config("bob")
+    table = orpheus.checkout("interaction", v1, "bob_workspace")
+    table.update_where(
+        col("protein2") == lit("ENSP261890"),
+        {"coexpression": lit(83)},
+    )
+    v3 = orpheus.commit("bob_workspace", message="fix coexpression for r1")
+    print(f"bob committed version {v3} (branched from v{v1})")
+
+    # ------------------------------------------------------------------
+    # merge: check out both branches; precedence resolves PK conflicts.
+    # ------------------------------------------------------------------
+    merged = orpheus.checkout("interaction", [v3, v2], "merge_workspace")
+    v4 = orpheus.commit("merge_workspace", message="merge alice + bob")
+    cvd = orpheus.cvd("interaction")
+    print(
+        f"merged into version {v4} with parents "
+        f"{cvd.versions.parents(v4)} and "
+        f"{cvd.versions.get(v4).record_count} records"
+    )
+
+    # ------------------------------------------------------------------
+    # diff and version-aware queries.
+    # ------------------------------------------------------------------
+    only_v4, only_v1 = orpheus.diff("interaction", v4, v1)
+    print(f"\nrecords in v{v4} but not v{v1}:")
+    for row in only_v4:
+        print("  +", row)
+
+    print("\nhigh-coexpression pairs across v1 and v4 "
+          "(SELECT ... FROM VERSION 1, 4 OF CVD interaction):")
+    for row in select_from_versions(
+        cvd, [v1, v4], where=col("coexpression") > lit(80)
+    ):
+        print("  ", row)
+
+    print("\nrecord counts per version (GROUP BY vid):")
+    for vid, count in aggregate_by_version(
+        cvd, [Aggregate("count", alias="n")]
+    ):
+        print(f"  v{vid}: {count} records")
+
+    print("\nversion graph:")
+    for vid in cvd.versions.vids():
+        metadata = cvd.versions.get(vid)
+        parents = ", ".join(f"v{p}" for p in metadata.parents) or "root"
+        print(f"  v{vid} <- {parents}: {metadata.message}")
+
+
+if __name__ == "__main__":
+    main()

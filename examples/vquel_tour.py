@@ -1,0 +1,155 @@
+"""A tour of the VQuel query language (Chapter 6).
+
+Builds the genome-pipeline-flavoured corpus of the chapter's motivating
+example — versions produced by different tools and people, with relation
+data and tuple-level provenance — then runs the chapter's query families:
+metadata lookup, nested iteration, aggregates with implicit grouping,
+retrieve-into pipelines, and graph traversal with P/D/N.
+
+Run:  python examples/vquel_tour.py
+"""
+
+from repro.vquel import Repository, run_query
+from repro.vquel.model import Author, VRecord, VRelation, VVersion
+
+
+def build_corpus() -> Repository:
+    repo = Repository()
+
+    def assembly(contig_id, length, n50):
+        return VRecord(
+            contig_id, {"contig_id": contig_id, "length": length, "n50": n50}
+        )
+
+    # v01: raw assembly from SOAPdenovo.
+    v1 = VVersion("v01", Author("Dana", "dana@lab"), "SOAPdenovo raw", 100.0)
+    v1.add_relation(
+        VRelation(
+            "Assembly",
+            ["contig_id", "length", "n50"],
+            [assembly("c1", 1200, 800), assembly("c2", 2200, 800),
+             assembly("c3", 450, 800)],
+        )
+    )
+    repo.add_version(v1)
+
+    # v02: error-corrected (row-preserving update, higher N50).
+    v2 = VVersion("v02", Author("Dana", "dana@lab"), "Quake corrected", 200.0)
+    v2.add_relation(
+        VRelation(
+            "Assembly",
+            ["contig_id", "length", "n50"],
+            [assembly("c1", 1210, 950), assembly("c2", 2195, 950),
+             assembly("c3", 470, 950)],
+            changed=True,
+        )
+    )
+    repo.add_version(v2)
+    repo.link("v01", "v02")
+
+    # v03: ABySS re-assembly from the same reads (branch from v01).
+    v3 = VVersion("v03", Author("Eli", "eli@lab"), "ABySS assembly", 210.0)
+    v3.add_relation(
+        VRelation(
+            "Assembly",
+            ["contig_id", "length", "n50"],
+            [assembly("a1", 3000, 1200), assembly("a2", 900, 1200)],
+            changed=True,
+        )
+    )
+    repo.add_version(v3)
+    repo.link("v01", "v03")
+
+    # v04: QUAST-selected merge of the two pipelines.
+    v4 = VVersion("v04", Author("Dana", "dana@lab"), "QUAST selection", 300.0)
+    v4.add_relation(
+        VRelation(
+            "Assembly",
+            ["contig_id", "length", "n50"],
+            [assembly("c1", 1210, 1100), assembly("c2", 2195, 1100),
+             assembly("a1", 3000, 1100)],
+            changed=True,
+        )
+    )
+    repo.add_version(v4)
+    repo.link("v02", "v04")
+    repo.link("v03", "v04")
+
+    # Tuple-level provenance: v04's contigs trace to their sources.
+    for child in v4.Relations[0].Tuples:
+        for source_version in (v2, v3):
+            relation = source_version.Relations[0]
+            for parent in relation.Tuples:
+                if parent.contig_id == child.contig_id:
+                    child.parents.append(parent)
+                    parent.children.append(child)
+    repo.validate()
+    return repo
+
+
+QUERIES = [
+    (
+        "Who authored each version, newest first?",
+        """
+        range of V is Version
+        retrieve V.id, V.author.name, V.commit_msg
+        sort by V.creation_ts desc
+        """,
+    ),
+    (
+        "Versions with more than 2 contigs",
+        """
+        range of V is Version
+        range of T is V.Relations(name = "Assembly").Tuples
+        retrieve V.id where count(T) > 2
+        """,
+    ),
+    (
+        "Which version has the highest total assembled length?",
+        """
+        range of V is Version
+        range of T is V.Relations(name = "Assembly").Tuples
+        retrieve into S (V.id as id, sum(T.length) as total)
+        retrieve S.id, S.total where S.total = max(S.total)
+        """,
+    ),
+    (
+        "Dana's versions within 1 hop of the merge v04",
+        """
+        range of V is Version(id = "v04")
+        range of N is V.N(1)
+        retrieve N.id where N.author.name = "Dana"
+        """,
+    ),
+    (
+        "Ancestors of v04 whose N50 improved over their own parents",
+        """
+        range of V is Version(id = "v04")
+        range of P is V.P()
+        range of T is P.Relations(name = "Assembly").Tuples
+        retrieve unique P.id where max(T.n50) >= 900
+        """,
+    ),
+    (
+        "Provenance: where does each contig of v04 come from?",
+        """
+        range of T is Version(id = "v04").Relations(name = "Assembly").Tuples
+        range of S is T.parents
+        retrieve T.contig_id, Version(S).id
+        """,
+    ),
+]
+
+
+def main() -> None:
+    repo = build_corpus()
+    for question, text in QUERIES:
+        result = run_query(repo, text)
+        print(f"\n# {question}")
+        print(f"  columns: {result.columns}")
+        for row in result.rows:
+            print(f"  {row}")
+
+
+if __name__ == "__main__":
+    main()

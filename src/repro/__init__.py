@@ -1,0 +1,16 @@
+"""repro — a reproduction of *Effective Data Versioning for Collaborative
+Data Analytics* (Huang, 2019: the OrpheusDB line of work).
+
+Subpackages:
+
+* :mod:`repro.relational` — embedded relational engine (the PostgreSQL
+  stand-in).
+* :mod:`repro.core` — OrpheusDB: CVDs, data models, commands, queries.
+* :mod:`repro.partition` — the LyreSplit partition optimizer (Chapter 5).
+* :mod:`repro.vquel` — the VQuel query language (Chapter 6).
+* :mod:`repro.storage` — the compact storage engine (Chapter 7).
+* :mod:`repro.provenance` — lineage inference (Chapter 8).
+* :mod:`repro.datasets` — SCI/CUR benchmark workload generators.
+"""
+
+__version__ = "1.0.0"

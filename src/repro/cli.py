@@ -1,0 +1,223 @@
+"""The ``orpheus`` command-line interface.
+
+Git-style dataset version control over CSV files, mirroring the command
+set of Section 3.3::
+
+    orpheus init -d interaction -f data.csv -s schema.csv
+    orpheus checkout -d interaction -v 1 -f working.csv
+    orpheus commit -d interaction -f working.csv -m "cleaned nulls"
+    orpheus log -d interaction
+    orpheus diff -d interaction -a 1 -b 2
+    orpheus ls
+    orpheus drop -d interaction
+    orpheus optimize -d interaction --gamma 2.0
+
+State persists in ``.orpheus/state.pkl`` under the working directory, so
+the in-memory engine behaves like a local repository between
+invocations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+from pathlib import Path
+
+from repro.core.commands import Orpheus
+from repro.core.csvio import read_csv, read_schema_file, write_csv, write_schema_file
+
+STATE_DIR = ".orpheus"
+STATE_FILE = "state.pkl"
+
+
+def _state_path(root: str | None = None) -> Path:
+    return Path(root or ".") / STATE_DIR / STATE_FILE
+
+
+def load_state(root: str | None = None) -> Orpheus:
+    path = _state_path(root)
+    if path.exists():
+        with open(path, "rb") as handle:
+            return pickle.load(handle)
+    return Orpheus()
+
+
+def save_state(orpheus: Orpheus, root: str | None = None) -> None:
+    path = _state_path(root)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as handle:
+        pickle.dump(orpheus, handle)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="orpheus",
+        description="Dataset version control (OrpheusDB reproduction)",
+    )
+    parser.add_argument(
+        "--root", default=None, help="repository root (default: cwd)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    init = sub.add_parser("init", help="register a CSV as a new CVD")
+    init.add_argument("-d", "--dataset", required=True)
+    init.add_argument("-f", "--file", required=True)
+    init.add_argument("-s", "--schema", required=True)
+    init.add_argument("--model", default="split_by_rlist")
+
+    checkout = sub.add_parser("checkout", help="materialize version(s) to CSV")
+    checkout.add_argument("-d", "--dataset", required=True)
+    checkout.add_argument(
+        "-v", "--versions", required=True, nargs="+", type=int
+    )
+    checkout.add_argument("-f", "--file", required=True)
+    checkout.add_argument("-s", "--schema", default=None)
+
+    commit = sub.add_parser("commit", help="commit a checked-out CSV")
+    commit.add_argument("-d", "--dataset", required=True)
+    commit.add_argument("-f", "--file", required=True)
+    commit.add_argument("-s", "--schema", default=None)
+    commit.add_argument("-m", "--message", default="")
+
+    log = sub.add_parser("log", help="show the version graph")
+    log.add_argument("-d", "--dataset", required=True)
+
+    diff = sub.add_parser("diff", help="records in one version but not another")
+    diff.add_argument("-d", "--dataset", required=True)
+    diff.add_argument("-a", type=int, required=True)
+    diff.add_argument("-b", type=int, required=True)
+
+    sub.add_parser("ls", help="list CVDs")
+
+    drop = sub.add_parser("drop", help="drop a CVD")
+    drop.add_argument("-d", "--dataset", required=True)
+
+    optimize = sub.add_parser("optimize", help="run the partition optimizer")
+    optimize.add_argument("-d", "--dataset", required=True)
+    optimize.add_argument("--gamma", type=float, default=2.0)
+    optimize.add_argument("--mu", type=float, default=1.5)
+
+    user = sub.add_parser("create_user", help="register a user")
+    user.add_argument("name")
+    user.add_argument("--email", default="")
+
+    config = sub.add_parser("config", help="log in as a user")
+    config.add_argument("name")
+
+    sub.add_parser("whoami", help="print the current user")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    orpheus = load_state(args.root)
+    out = sys.stdout
+
+    try:
+        if args.command == "init":
+            vid = orpheus.init_from_csv(
+                args.dataset, args.file, args.schema, model=args.model
+            )
+            out.write(f"initialized CVD {args.dataset!r} at version {vid}\n")
+        elif args.command == "checkout":
+            cvd = orpheus.cvd(args.dataset)
+            result = cvd.checkout(args.versions)
+            write_csv(args.file, result.columns, result.rows)
+            if args.schema:
+                write_schema_file(args.schema, cvd.schema)
+            orpheus.staging._staged[args.file] = _staged_csv(
+                args.file, args.dataset, result.parents, orpheus
+            )
+            out.write(
+                f"checked out version(s) {args.versions} of "
+                f"{args.dataset!r} into {args.file} "
+                f"({len(result.rows)} records)\n"
+            )
+        elif args.command == "commit":
+            cvd = orpheus.cvd(args.dataset)
+            schema = (
+                read_schema_file(args.schema) if args.schema else cvd.schema
+            )
+            rows = read_csv(args.file, schema)
+            info = orpheus.staging._staged.get(args.file)
+            parents = info.parents if info is not None else ()
+            vid = cvd.commit(
+                rows,
+                parents=parents,
+                message=args.message,
+                author=orpheus.access.current_user or "",
+                columns=schema.column_names,
+                column_types={c.name: c.dtype for c in schema.columns},
+            )
+            orpheus.staging._staged.pop(args.file, None)
+            out.write(f"committed version {vid} to {args.dataset!r}\n")
+        elif args.command == "log":
+            cvd = orpheus.cvd(args.dataset)
+            for vid in cvd.versions.vids():
+                metadata = cvd.versions.get(vid)
+                parents = ",".join(map(str, metadata.parents)) or "-"
+                out.write(
+                    f"v{vid}  parents=[{parents}]  "
+                    f"records={metadata.record_count}  "
+                    f"author={metadata.author or '-'}  "
+                    f"{metadata.message}\n"
+                )
+        elif args.command == "diff":
+            only_a, only_b = orpheus.diff(args.dataset, args.a, args.b)
+            out.write(f"records only in v{args.a}: {len(only_a)}\n")
+            for row in only_a[:20]:
+                out.write(f"  + {row}\n")
+            out.write(f"records only in v{args.b}: {len(only_b)}\n")
+            for row in only_b[:20]:
+                out.write(f"  - {row}\n")
+        elif args.command == "ls":
+            for name in orpheus.ls():
+                cvd = orpheus.cvd(name)
+                out.write(
+                    f"{name}  versions={cvd.num_versions}  "
+                    f"records={cvd.num_records}\n"
+                )
+        elif args.command == "drop":
+            orpheus.drop(args.dataset)
+            out.write(f"dropped {args.dataset!r}\n")
+        elif args.command == "optimize":
+            partitioning = orpheus.optimize(
+                args.dataset,
+                storage_threshold_factor=args.gamma,
+                tolerance=args.mu,
+            )
+            out.write(
+                f"repartitioned {args.dataset!r} into "
+                f"{partitioning.num_partitions} partitions\n"
+            )
+        elif args.command == "create_user":
+            orpheus.create_user(args.name, args.email)
+            out.write(f"created user {args.name!r}\n")
+        elif args.command == "config":
+            orpheus.config(args.name)
+            out.write(f"logged in as {args.name!r}\n")
+        elif args.command == "whoami":
+            out.write(orpheus.whoami() + "\n")
+    except Exception as error:  # CLI boundary: print, don't traceback
+        sys.stderr.write(f"error: {error}\n")
+        return 1
+
+    save_state(orpheus, args.root)
+    return 0
+
+
+def _staged_csv(path: str, dataset: str, parents, orpheus: Orpheus):
+    from repro.core.staging import StagedTable
+
+    return StagedTable(
+        table_name=path,
+        cvd_name=dataset,
+        parents=parents,
+        owner=orpheus.access.current_user or "",
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

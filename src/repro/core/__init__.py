@@ -1,0 +1,55 @@
+"""OrpheusDB core: collaborative versioned datasets over a relational DB.
+
+This package implements Chapters 3 and 4 of the dissertation: the CVD
+(collaborative versioned dataset) abstraction, the five physical data
+models compared in Figure 4.1, git-style version-control commands with a
+staging area, version-derivation metadata with schema evolution, and the
+version-aware query layer (``SELECT ... FROM VERSION v OF CVD c``,
+aggregates grouped by version, graph predicates, ``v_diff`` and
+``v_intersect``).
+"""
+
+from repro.core.cvd import CVD, CheckoutResult
+from repro.core.errors import (
+    CVDError,
+    NoSuchVersionError,
+    PrimaryKeyViolationError,
+    StagingError,
+)
+from repro.core.metadata import AttributeRegistry, VersionManager, VersionMetadata
+from repro.core.models import (
+    DATA_MODELS,
+    CombinedTableModel,
+    DataModel,
+    DeltaBasedModel,
+    SplitByRlistModel,
+    SplitByVlistModel,
+    TablePerVersionModel,
+    make_model,
+)
+from repro.core.commands import Orpheus
+from repro.core.queries import VersionQuery, aggregate_by_version, select_from_versions
+
+__all__ = [
+    "AttributeRegistry",
+    "CVD",
+    "CVDError",
+    "CheckoutResult",
+    "CombinedTableModel",
+    "DATA_MODELS",
+    "DataModel",
+    "DeltaBasedModel",
+    "NoSuchVersionError",
+    "Orpheus",
+    "PrimaryKeyViolationError",
+    "SplitByRlistModel",
+    "SplitByVlistModel",
+    "StagingError",
+    "TablePerVersionModel",
+    "VersionManager",
+    "VersionMetadata",
+    "VersionQuery",
+    "aggregate_by_version",
+    "make_model",
+    "select_from_versions",
+]

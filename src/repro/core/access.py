@@ -1,0 +1,75 @@
+"""Users and the access controller (Figure 3.1's access-control module)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import PermissionError_
+
+
+@dataclass
+class User:
+    """A registered OrpheusDB user."""
+
+    name: str
+    email: str = ""
+    #: CVDs the user may read/commit to; empty means all public CVDs.
+    grants: set[str] = field(default_factory=set)
+
+
+class AccessController:
+    """Tracks registered users and per-CVD permissions.
+
+    Mirrors the ``create user`` / ``config`` / ``whoami`` commands: users
+    register, log in, and are checked before touching CVDs or staged
+    tables.
+    """
+
+    def __init__(self) -> None:
+        self._users: dict[str, User] = {}
+        self._current: str | None = None
+        self._private_cvds: dict[str, str] = {}
+
+    def create_user(self, name: str, email: str = "") -> User:
+        if name in self._users:
+            raise PermissionError_(f"user {name!r} already exists")
+        user = User(name=name, email=email)
+        self._users[name] = user
+        return user
+
+    def login(self, name: str) -> None:
+        if name not in self._users:
+            raise PermissionError_(f"unknown user {name!r}")
+        self._current = name
+
+    def whoami(self) -> str:
+        if self._current is None:
+            raise PermissionError_("no user is logged in")
+        return self._current
+
+    @property
+    def current_user(self) -> str | None:
+        return self._current
+
+    def mark_private(self, cvd_name: str, owner: str) -> None:
+        self._private_cvds[cvd_name] = owner
+
+    def grant(self, cvd_name: str, user: str) -> None:
+        if user not in self._users:
+            raise PermissionError_(f"unknown user {user!r}")
+        self._users[user].grants.add(cvd_name)
+
+    def check_cvd_access(self, cvd_name: str, user: str | None = None) -> None:
+        """Raise unless ``user`` (default: current) may access the CVD."""
+        user = user or self._current
+        owner = self._private_cvds.get(cvd_name)
+        if owner is None:
+            return  # public CVD
+        if user is None:
+            raise PermissionError_(
+                f"CVD {cvd_name!r} is private; log in first"
+            )
+        if user != owner and cvd_name not in self._users[user].grants:
+            raise PermissionError_(
+                f"user {user!r} has no access to CVD {cvd_name!r}"
+            )

@@ -1,0 +1,303 @@
+"""The OrpheusDB command facade: git-style version control over CVDs.
+
+Implements the command set of Section 3.3.1 — ``init``, ``checkout``
+(to a staged table or a CSV file), ``commit``, ``diff``, ``ls``, ``drop``,
+``optimize``, plus user management (``create_user``, ``config``/login,
+``whoami``). The flow per command matches Figure 3.1: the record manager
+materializes rows into the staging area, the provenance manager logs the
+derivation metadata, the access controller gates who may touch what, and
+the version manager updates the metadata on commit.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+from repro.core.access import AccessController
+from repro.core.cvd import CVD, CheckoutResult
+from repro.core.errors import CVDError, StagingError
+from repro.core.csvio import read_csv, read_schema_file, write_csv, write_schema_file
+from repro.core.staging import StagingArea
+from repro.relational.database import Database
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+class Orpheus:
+    """One OrpheusDB instance: a database plus CVDs, staging, and users."""
+
+    def __init__(self, database: Database | None = None) -> None:
+        self.database = database or Database()
+        self.staging = StagingArea(self.database)
+        self.access = AccessController()
+        self._cvds: dict[str, CVD] = {}
+
+    # ------------------------------------------------------------------
+    # User management
+    # ------------------------------------------------------------------
+    def create_user(self, name: str, email: str = "") -> None:
+        self.access.create_user(name, email)
+
+    def config(self, user: str) -> None:
+        """Log in as ``user`` (the ``config`` command)."""
+        self.access.login(user)
+
+    def whoami(self) -> str:
+        return self.access.whoami()
+
+    # ------------------------------------------------------------------
+    # CVD lifecycle
+    # ------------------------------------------------------------------
+    def init(
+        self,
+        name: str,
+        schema: Schema,
+        rows: Sequence[tuple] = (),
+        model: str = "split_by_rlist",
+        message: str = "initial version",
+    ) -> int:
+        """Initialize a new CVD from rows (or an empty relation).
+
+        Returns the vid of the initial version (created only when rows
+        are provided).
+        """
+        if name in self._cvds:
+            raise CVDError(f"CVD {name!r} already exists")
+        cvd = CVD(self.database, name, schema, model=model)
+        self._cvds[name] = cvd
+        if rows:
+            return cvd.commit(
+                rows,
+                parents=(),
+                message=message,
+                author=self.access.current_user or "",
+            )
+        return 0
+
+    def init_from_csv(
+        self,
+        name: str,
+        csv_path: str,
+        schema_path: str,
+        model: str = "split_by_rlist",
+    ) -> int:
+        """``init -f file.csv -s schema``: register a CSV as a new CVD."""
+        schema = read_schema_file(schema_path)
+        rows = read_csv(csv_path, schema)
+        return self.init(name, schema, rows, model=model)
+
+    def init_from_table(
+        self,
+        name: str,
+        table_name: str,
+        model: str = "split_by_rlist",
+        drop_source: bool = False,
+    ) -> int:
+        """``init -t table``: register an existing database table as a
+        new CVD (the paper's other init path). The source table's schema
+        and rows become version 1; optionally drop the source after."""
+        table = self.database.table(table_name)
+        vid = self.init(
+            name,
+            table.schema,
+            table.rows_snapshot(),
+            model=model,
+            message=f"initialized from table {table_name!r}",
+        )
+        if drop_source:
+            self.database.drop_table(table_name)
+        return vid
+
+    def cvd(self, name: str) -> CVD:
+        try:
+            return self._cvds[name]
+        except KeyError:
+            raise CVDError(f"no CVD named {name!r}") from None
+
+    def ls(self) -> list[str]:
+        """List all CVDs."""
+        return sorted(self._cvds)
+
+    def drop(self, name: str) -> None:
+        cvd = self.cvd(name)
+        cvd.model.drop()
+        del self._cvds[name]
+
+    # ------------------------------------------------------------------
+    # checkout / commit
+    # ------------------------------------------------------------------
+    def checkout(
+        self,
+        cvd_name: str,
+        vids: int | Sequence[int],
+        table_name: str,
+        merge_strategy: str = "precedence",
+    ) -> Table:
+        """``checkout [cvd] -v vids -t table``: materialize into a table.
+
+        Args:
+            merge_strategy: How multi-version conflicts resolve —
+                ``precedence`` (the paper's default: first listed wins),
+                ``latest`` (newest commit wins), or ``strict`` (raise on
+                any conflict). For manual resolution use
+                :func:`repro.core.merge.merge_manual` directly.
+        """
+        self.access.check_cvd_access(cvd_name)
+        cvd = self.cvd(cvd_name)
+        if merge_strategy == "precedence":
+            result = cvd.checkout(vids)
+        else:
+            from repro.core.cvd import CheckoutResult
+            from repro.core.merge import merge_latest, merge_strict
+
+            if isinstance(vids, int):
+                vids = (vids,)
+            strategies = {"latest": merge_latest, "strict": merge_strict}
+            try:
+                merge = strategies[merge_strategy]
+            except KeyError:
+                raise CVDError(
+                    f"unknown merge strategy {merge_strategy!r}; have "
+                    f"precedence, latest, strict"
+                ) from None
+            merged = merge(cvd, vids)
+            result = CheckoutResult(
+                rows=merged.rows,
+                rid_map={},
+                parents=tuple(vids),
+                columns=cvd.schema.column_names,
+            )
+        table = self.staging.materialize(
+            table_name,
+            cvd.schema,
+            result.rows,
+            cvd_name,
+            result.parents,
+            owner=self.access.current_user or "",
+        )
+        for parent in result.parents:
+            cvd.versions.get(parent).checkout_time = time.time()
+        return table
+
+    def checkout_csv(
+        self,
+        cvd_name: str,
+        vids: int | Sequence[int],
+        csv_path: str,
+        schema_path: str | None = None,
+    ) -> CheckoutResult:
+        """``checkout [cvd] -v vids -f file.csv``."""
+        self.access.check_cvd_access(cvd_name)
+        cvd = self.cvd(cvd_name)
+        result = cvd.checkout(vids)
+        write_csv(csv_path, result.columns, result.rows)
+        if schema_path is not None:
+            write_schema_file(schema_path, cvd.schema)
+        # Track the file as derived from these versions (provenance).
+        self.staging._staged[csv_path] = _csv_staged(
+            csv_path, cvd_name, result.parents, self.access.current_user or ""
+        )
+        return result
+
+    def commit(
+        self,
+        table_name: str,
+        message: str = "",
+    ) -> int:
+        """``commit -t table -m message``: add the staged table as a new
+        version of the CVD it was checked out from."""
+        info = self.staging.metadata(table_name)
+        user = self.access.current_user or ""
+        table = self.staging.table(table_name, user=user or None)
+        cvd = self.cvd(info.cvd_name)
+        columns = table.schema.column_names
+        column_types = {c.name: c.dtype for c in table.schema.columns}
+        vid = cvd.commit(
+            table.rows_snapshot(),
+            parents=info.parents,
+            message=message,
+            author=user,
+            columns=columns,
+            column_types=column_types,
+            checkout_time=info.checkout_time,
+        )
+        self.staging.release(table_name)
+        return vid
+
+    def commit_csv(
+        self,
+        csv_path: str,
+        schema_path: str,
+        message: str = "",
+    ) -> int:
+        """``commit -f file.csv -s schema -m message``."""
+        try:
+            info = self.staging.metadata(csv_path)
+        except StagingError:
+            raise StagingError(
+                f"{csv_path!r} was not produced by checkout_csv; "
+                "use init_from_csv for new datasets"
+            ) from None
+        schema = read_schema_file(schema_path)
+        rows = read_csv(csv_path, schema)
+        cvd = self.cvd(info.cvd_name)
+        vid = cvd.commit(
+            rows,
+            parents=info.parents,
+            message=message,
+            author=self.access.current_user or "",
+            columns=schema.column_names,
+            column_types={c.name: c.dtype for c in schema.columns},
+            checkout_time=info.checkout_time,
+        )
+        del self.staging._staged[csv_path]
+        return vid
+
+    # ------------------------------------------------------------------
+    # run: version-aware SQL (Section 3.3.2)
+    # ------------------------------------------------------------------
+    def run(self, sql: str):
+        """Execute a version-aware SELECT (``run`` command)."""
+        from repro.core.sql import run_sql
+
+        return run_sql(self._cvds, sql)
+
+    # ------------------------------------------------------------------
+    # diff and optimize
+    # ------------------------------------------------------------------
+    def diff(self, cvd_name: str, vid_a: int, vid_b: int):
+        """Records in one version but not the other, both directions."""
+        return self.cvd(cvd_name).diff(vid_a, vid_b)
+
+    def optimize(
+        self,
+        cvd_name: str,
+        storage_threshold_factor: float = 2.0,
+        tolerance: float = 1.5,
+    ):
+        """Run the partition optimizer over a CVD (Chapter 5).
+
+        Requires the CVD to use the partitioned split-by-rlist store; see
+        :mod:`repro.partition.partitioned_store`. Returns the new
+        partitioning.
+        """
+        from repro.partition.partitioned_store import PartitionedRlistStore
+
+        cvd = self.cvd(cvd_name)
+        if not isinstance(cvd.model, PartitionedRlistStore):
+            raise CVDError(
+                "optimize requires a CVD backed by PartitionedRlistStore"
+            )
+        return cvd.model.optimize(
+            storage_threshold_factor=storage_threshold_factor,
+            tolerance=tolerance,
+        )
+
+
+def _csv_staged(path: str, cvd_name: str, parents, owner: str):
+    from repro.core.staging import StagedTable
+
+    return StagedTable(
+        table_name=path, cvd_name=cvd_name, parents=parents, owner=owner
+    )

@@ -1,0 +1,434 @@
+"""The collaborative versioned dataset (CVD).
+
+A CVD corresponds to one relation and implicitly contains many versions
+of it (Section 3.1). Records are immutable: any modification produces a
+new record with a fresh rid. The CVD layer owns:
+
+* rid assignment under the **no cross-version diff** rule — a committed
+  table is compared only against its parent versions, never against all
+  ancestors, trading a little storage for much faster commits;
+* the version graph and metadata (via :class:`VersionManager`);
+* primary-key precedence semantics for multi-version checkout;
+* schema evolution through the single-pool attribute registry.
+
+Physical storage is delegated to a pluggable :class:`DataModel`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.errors import NoSuchVersionError, PrimaryKeyViolationError
+from repro.core.metadata import AttributeRegistry, VersionManager, VersionMetadata
+from repro.core.models import DataModel, make_model
+from repro.relational.database import Database
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.types import DataType, generalize_types
+
+
+@dataclass
+class CheckoutResult:
+    """The outcome of a checkout: rows plus bookkeeping.
+
+    Attributes:
+        rows: The materialized records (payload tuples, data attributes
+            only) after primary-key precedence resolution.
+        rid_map: primary-key tuple -> rid for every surviving row; used on
+            commit to recognize unchanged records.
+        parents: The versions this checkout was derived from, in
+            precedence order.
+        columns: Column names of the rows.
+    """
+
+    rows: list[tuple]
+    rid_map: dict[tuple, int]
+    parents: tuple[int, ...]
+    columns: list[str]
+
+
+class CVD:
+    """A collaborative versioned dataset over a backend database."""
+
+    def __init__(
+        self,
+        database: Database,
+        name: str,
+        schema: Schema,
+        model: str | DataModel = "split_by_rlist",
+    ) -> None:
+        """Args:
+        database: Backend database for physical tables.
+        name: CVD name (prefixes all physical table names).
+        schema: Logical relation schema, including the relation primary
+            key if any. Must not contain reserved columns (rid, vlist).
+        model: A data-model registry name or a pre-built instance.
+        """
+        for reserved in ("rid", "vlist", "rlist", "vid"):
+            if schema.has_column(reserved):
+                raise ValueError(f"column name {reserved!r} is reserved")
+        self.database = database
+        self.name = name
+        self.schema = schema
+        self.versions = VersionManager()
+        self.attributes = AttributeRegistry()
+        if isinstance(model, str):
+            self.model: DataModel = make_model(model, database, name, schema)
+        else:
+            self.model = model
+        self._next_rid = 1
+        #: rid membership per version (the bipartite graph, CVD-side).
+        self._membership: dict[int, frozenset[int]] = {}
+        #: payload -> rid cache per version for the parent-diff at commit.
+        self._payloads: dict[int, tuple] = {}
+        #: attribute ids (single pool) per version, for schema evolution.
+        self._version_columns: dict[int, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_versions(self) -> int:
+        return len(self.versions)
+
+    @property
+    def num_records(self) -> int:
+        return len(self._payloads)
+
+    def membership(self, vid: int) -> frozenset[int]:
+        try:
+            return self._membership[vid]
+        except KeyError:
+            raise NoSuchVersionError(f"no version {vid} in CVD {self.name!r}") from None
+
+    def payload_of(self, rid: int) -> tuple:
+        return self._payloads[rid]
+
+    def storage_bytes(self) -> int:
+        return self.model.storage_bytes()
+
+    def columns_of(self, vid: int) -> list[str]:
+        """Column names present in a version (schema may evolve)."""
+        self.versions.get(vid)
+        return list(self._version_columns[vid])
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def commit(
+        self,
+        rows: Iterable[tuple],
+        parents: Sequence[int] = (),
+        message: str = "",
+        author: str = "",
+        columns: Sequence[str] | None = None,
+        column_types: dict[str, DataType] | None = None,
+        checkout_time: float | None = None,
+        diff_against: Sequence[int] | None = None,
+    ) -> int:
+        """Add a new version containing ``rows``; returns its vid.
+
+        Args:
+            rows: Full contents of the new version, as tuples matching the
+                CVD schema (or ``columns`` when the schema evolves).
+            parents: Parent version ids the table was derived from.
+            message: Commit message.
+            author: Committing user.
+            columns: Column names of ``rows`` if they differ from the
+                current CVD schema (triggers schema evolution).
+            column_types: Types for columns not yet known to the CVD.
+            checkout_time: When the source table was checked out.
+            diff_against: Versions whose records may be reused by rid.
+                Defaults to ``parents`` — the no-cross-version-diff rule;
+                pass all ancestors to trade commit time for deduplication
+                of deleted-then-re-added records.
+        """
+        for parent in parents:
+            self.versions.get(parent)  # validate early
+
+        if columns is not None and self._schema_changed(
+            list(columns), column_types or {}
+        ):
+            rows = self._evolve_schema(rows, list(columns), column_types or {})
+        rows = [tuple(row) for row in rows]
+        self._check_primary_key(rows)
+
+        diff_versions = parents if diff_against is None else diff_against
+        parent_payload_rids: dict[tuple, int] = {}
+        for parent in diff_versions:
+            for rid in self._membership[parent]:
+                # Pad stored payloads so records committed before a schema
+                # change still match their (NULL-extended) reappearance.
+                parent_payload_rids.setdefault(
+                    self._pad_row(self._payloads[rid]), rid
+                )
+
+        membership: set[int] = set()
+        new_records: dict[int, tuple] = {}
+        for row in rows:
+            padded = self._pad_row(row)
+            rid = parent_payload_rids.get(padded)
+            if rid is None or rid in membership:
+                # New or modified record (or a duplicate full row, which
+                # must stay distinct since rids identify row instances).
+                rid = self._next_rid
+                self._next_rid += 1
+                self._payloads[rid] = padded
+                new_records[rid] = padded
+            membership.add(rid)
+
+        vid = self.versions.allocate_vid()
+        frozen = frozenset(membership)
+        parent_membership = {p: self._membership[p] for p in parents}
+        self.model.commit_version(
+            vid, tuple(parents), frozen, new_records, parent_membership
+        )
+        self._membership[vid] = frozen
+        attribute_ids = tuple(
+            self.attributes.intern(column.name, column.dtype)
+            for column in self.schema.columns
+        )
+        self.versions.register(
+            VersionMetadata(
+                vid=vid,
+                parents=tuple(parents),
+                checkout_time=checkout_time,
+                commit_time=time.time(),
+                message=message,
+                author=author,
+                attribute_ids=attribute_ids,
+                record_count=len(frozen),
+            )
+        )
+        self._version_columns[vid] = self.schema.column_names
+        return vid
+
+    def _schema_changed(
+        self, columns: list[str], column_types: dict[str, DataType]
+    ) -> bool:
+        if columns != self.schema.column_names:
+            return True
+        for name, dtype in column_types.items():
+            if (
+                self.schema.has_column(name)
+                and self.schema.dtype_of(name) is not dtype
+            ):
+                return True
+        return False
+
+    def _pad_row(self, row: tuple) -> tuple:
+        """Extend old-arity rows with NULLs after schema evolution."""
+        width = len(self.schema.columns)
+        if len(row) == width:
+            return row
+        if len(row) < width:
+            return row + (None,) * (width - len(row))
+        raise ValueError(
+            f"row arity {len(row)} exceeds schema arity {width}"
+        )
+
+    def _check_primary_key(self, rows: list[tuple]) -> None:
+        if not self.schema.primary_key:
+            return
+        positions = self.schema.key_positions()
+        seen: set[tuple] = set()
+        for row in rows:
+            key = tuple(row[i] for i in positions if i < len(row))
+            if key in seen:
+                raise PrimaryKeyViolationError(
+                    f"duplicate primary key {key!r} in committed table"
+                )
+            seen.add(key)
+
+    def _evolve_schema(
+        self,
+        rows: Iterable[tuple],
+        columns: list[str],
+        column_types: dict[str, DataType],
+    ) -> list[tuple]:
+        """Apply the single-pool schema-change mechanism of Section 4.3.
+
+        New attributes are appended to the CVD schema (old versions read
+        NULL for them); type conflicts widen via
+        :func:`~repro.relational.types.generalize_types`; attribute
+        deletions only affect version metadata — the column remains in
+        the pool. Returns rows re-ordered to the evolved schema.
+        """
+        current = {c.name: c for c in self.schema.columns}
+        for name in columns:
+            incoming_type = column_types.get(name)
+            if name in current:
+                if (
+                    incoming_type is not None
+                    and incoming_type is not current[name].dtype
+                ):
+                    widened = generalize_types(current[name].dtype, incoming_type)
+                    self.schema = self.schema.with_widened_column(name, widened)
+                    self.attributes.intern(name, widened)
+                    current[name] = ColumnDef(name, widened)
+            else:
+                if incoming_type is None:
+                    raise ValueError(
+                        f"type required for new column {name!r}"
+                    )
+                self.schema = self.schema.with_column(
+                    ColumnDef(name, incoming_type)
+                )
+                self.attributes.intern(name, incoming_type)
+                current[name] = ColumnDef(name, incoming_type)
+        # ALTER the physical tables to match (Section 4.3); with
+        # partitioning this touches each small partition, not one giant
+        # CVD table.
+        self.model.alter_schema(self.schema)
+        # Re-order incoming rows into full-schema order.
+        order = {name: i for i, name in enumerate(columns)}
+        remapped: list[tuple] = []
+        for row in rows:
+            out = []
+            for column in self.schema.columns:
+                source = order.get(column.name)
+                value = row[source] if source is not None else None
+                if value is not None:
+                    value = column.dtype.coerce(value)
+                out.append(value)
+            remapped.append(tuple(out))
+        return remapped
+
+    # ------------------------------------------------------------------
+    # Checkout
+    # ------------------------------------------------------------------
+    def checkout(self, vids: int | Sequence[int]) -> CheckoutResult:
+        """Materialize one or more versions.
+
+        With several vids, records are merged in precedence order: a
+        record whose primary key was already produced by an earlier
+        version in the list is omitted (Section 3.3.1). Without a primary
+        key, the rid itself deduplicates.
+        """
+        if isinstance(vids, int):
+            vids = (vids,)
+        if not vids:
+            raise ValueError("checkout requires at least one version id")
+        rows: list[tuple] = []
+        rid_map: dict[tuple, int] = {}
+        seen_keys: set[tuple] = set()
+        key_positions = self.schema.key_positions()
+        for vid in vids:
+            self.versions.get(vid)
+            for rid, payload in self.model.checkout_rids(vid):
+                key = (
+                    tuple(payload[i] for i in key_positions)
+                    if key_positions
+                    else (rid,)
+                )
+                if key in seen_keys:
+                    continue
+                seen_keys.add(key)
+                rows.append(payload)
+                rid_map[key] = rid
+        return CheckoutResult(
+            rows=rows,
+            rid_map=rid_map,
+            parents=tuple(vids),
+            columns=self.schema.column_names,
+        )
+
+    # ------------------------------------------------------------------
+    # Versioned set operations (Section 3.3.2 functional primitives)
+    # ------------------------------------------------------------------
+    def diff(self, vid_a: int, vid_b: int) -> tuple[list[tuple], list[tuple]]:
+        """Records in a but not b, and in b but not a (by rid)."""
+        a = self.membership(vid_a)
+        b = self.membership(vid_b)
+        only_a = [self._payloads[r] for r in sorted(a - b)]
+        only_b = [self._payloads[r] for r in sorted(b - a)]
+        return only_a, only_b
+
+    def v_diff(
+        self, first: int | Sequence[int], second: int | Sequence[int]
+    ) -> list[tuple]:
+        """Records present in any of ``first`` but none of ``second``."""
+        first_set = self._union_membership(first)
+        second_set = self._union_membership(second)
+        return [self._payloads[r] for r in sorted(first_set - second_set)]
+
+    def v_intersect(self, vids: Sequence[int]) -> list[tuple]:
+        """Records present in *all* of ``vids``."""
+        if not vids:
+            return []
+        common: frozenset[int] = self.membership(vids[0])
+        for vid in vids[1:]:
+            common &= self.membership(vid)
+        return [self._payloads[r] for r in sorted(common)]
+
+    def _union_membership(self, vids: int | Sequence[int]) -> frozenset[int]:
+        if isinstance(vids, int):
+            vids = (vids,)
+        union: set[int] = set()
+        for vid in vids:
+            union |= self.membership(vid)
+        return frozenset(union)
+
+    # ------------------------------------------------------------------
+    # Bulk load from a generated history
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_history(
+        cls,
+        database: Database,
+        history,
+        name: str | None = None,
+        model: str | DataModel = "split_by_rlist",
+        schema: Schema | None = None,
+    ) -> "CVD":
+        """Replay a :class:`~repro.datasets.history.VersionedHistory`.
+
+        The history's rids and vids are preserved so tests can compare
+        CVD state against generator ground truth directly.
+        """
+        from repro.relational.types import INT
+
+        if schema is None:
+            columns = [
+                ColumnDef(f"a{i}", INT)
+                for i in range(history.num_attributes)
+            ]
+            schema = Schema(columns)
+        cvd = cls(database, name or history.name, schema, model=model)
+        for commit in history.commits:
+            new_rids = set(commit.rids)
+            for parent in commit.parents:
+                new_rids -= history.records_of(parent)
+            new_records = {
+                rid: history.payloads[rid] for rid in new_rids
+                if rid not in cvd._payloads
+            }
+            cvd._payloads.update(new_records)
+            parent_membership = {
+                p: cvd._membership[p] for p in commit.parents
+            }
+            cvd.model.commit_version(
+                commit.vid,
+                commit.parents,
+                commit.rids,
+                new_records,
+                parent_membership,
+            )
+            cvd._membership[commit.vid] = commit.rids
+            cvd.versions.register(
+                VersionMetadata(
+                    vid=commit.vid,
+                    parents=commit.parents,
+                    commit_time=time.time(),
+                    message=f"generated on branch {commit.branch}",
+                    record_count=len(commit.rids),
+                    attribute_ids=tuple(
+                        cvd.attributes.intern(c.name, c.dtype)
+                        for c in schema.columns
+                    ),
+                )
+            )
+            cvd._version_columns[commit.vid] = schema.column_names
+            cvd._next_rid = max(cvd._next_rid, max(commit.rids, default=0) + 1)
+        return cvd

@@ -1,0 +1,21 @@
+"""Exceptions raised by the OrpheusDB core."""
+
+
+class CVDError(Exception):
+    """Base class for CVD-level errors."""
+
+
+class NoSuchVersionError(CVDError):
+    """A command referenced a version id not present in the CVD."""
+
+
+class PrimaryKeyViolationError(CVDError):
+    """A committed table contains duplicate relation primary keys."""
+
+
+class StagingError(CVDError):
+    """A staging-area operation failed (unknown table, wrong owner, ...)."""
+
+
+class PermissionError_(CVDError):
+    """The current user lacks access to the target table or CVD."""

@@ -1,0 +1,54 @@
+"""The five physical data models of Chapter 4.
+
+Every model implements the same :class:`DataModel` interface — commit a
+version's membership, check out a version's records, report storage — so
+the CVD layer and the Figure 4.1 benchmark can swap them freely.
+"""
+
+from repro.core.models.base import DataModel
+from repro.core.models.combined_table import CombinedTableModel
+from repro.core.models.delta_based import DeltaBasedModel
+from repro.core.models.split_by_rlist import SplitByRlistModel
+from repro.core.models.split_by_vlist import SplitByVlistModel
+from repro.core.models.table_per_version import TablePerVersionModel
+
+DATA_MODELS: dict[str, type[DataModel]] = {
+    CombinedTableModel.model_name: CombinedTableModel,
+    SplitByVlistModel.model_name: SplitByVlistModel,
+    SplitByRlistModel.model_name: SplitByRlistModel,
+    TablePerVersionModel.model_name: TablePerVersionModel,
+    DeltaBasedModel.model_name: DeltaBasedModel,
+}
+
+
+def make_model(name, database, cvd_name, data_schema):
+    """Instantiate a data model by its registry name.
+
+    ``partitioned_rlist`` resolves lazily to the Chapter 5 partitioned
+    store (it lives in :mod:`repro.partition`, which depends on this
+    package — a direct registry entry would be a circular import).
+    """
+    if name == "partitioned_rlist":
+        from repro.partition.partitioned_store import PartitionedRlistStore
+
+        return PartitionedRlistStore(database, cvd_name, data_schema)
+    try:
+        model_cls = DATA_MODELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown data model {name!r}; have "
+            f"{sorted(DATA_MODELS) + ['partitioned_rlist']}"
+        ) from None
+    return model_cls(database, cvd_name, data_schema)
+
+
+__all__ = [
+    "DATA_MODELS",
+    "CombinedTableModel",
+    "DataModel",
+    "DeltaBasedModel",
+    "SplitByRlistModel",
+    "SplitByVlistModel",
+    "TablePerVersionModel",
+    "make_model",
+]

@@ -1,0 +1,139 @@
+"""The common interface all physical data models implement.
+
+Responsibility split: the CVD layer owns rid assignment (applying the
+no-cross-version-diff rule of Section 3.3.1), the version graph, and
+primary-key precedence during multi-version checkout. A data model only
+answers *where bytes live*: given a version's full rid membership and the
+payloads of records that are new to the CVD, persist them; given a vid,
+produce the (rid, payload) pairs of that version.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping, Sequence
+
+from repro.relational.database import Database
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.types import INT, INT_ARRAY
+
+RecordRow = tuple[int, tuple]
+"""(rid, payload) — payload is the tuple of data-attribute values."""
+
+
+class DataModel(abc.ABC):
+    """Abstract physical design for storing a CVD's versions."""
+
+    #: Registry name, e.g. ``split_by_rlist``.
+    model_name: str = ""
+
+    def __init__(
+        self, database: Database, cvd_name: str, data_schema: Schema
+    ) -> None:
+        """Args:
+        database: Backend database the model creates its tables in.
+        cvd_name: Name prefix for the model's physical tables.
+        data_schema: Logical schema of the relation (data attributes
+            only, with the relation primary key; no rid/vlist).
+        """
+        self.database = database
+        self.cvd_name = cvd_name
+        self.data_schema = data_schema
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def commit_version(
+        self,
+        vid: int,
+        parents: Sequence[int],
+        membership: frozenset[int],
+        new_records: Mapping[int, tuple],
+        parent_membership: Mapping[int, frozenset[int]],
+    ) -> None:
+        """Persist version ``vid``.
+
+        Args:
+            vid: The new version id.
+            parents: Parent version ids (empty for the root).
+            membership: All rids contained in the version.
+            new_records: rid -> payload for rids never stored before.
+            parent_membership: rid membership of each parent version —
+                supplied so delta-style models can compute differences
+                without asking the CVD back.
+        """
+
+    @abc.abstractmethod
+    def checkout_rids(self, vid: int) -> list[RecordRow]:
+        """Return all (rid, payload) pairs of version ``vid``."""
+
+    @abc.abstractmethod
+    def storage_bytes(self) -> int:
+        """Approximate bytes used, including indexes."""
+
+    def drop(self) -> None:
+        """Drop all physical tables owned by this model."""
+        for name in self.table_names():
+            self.database.drop_table(name, missing_ok=True)
+
+    @abc.abstractmethod
+    def table_names(self) -> list[str]:
+        """Physical table names owned by this model."""
+
+    def alter_schema(self, new_schema: Schema) -> None:
+        """Propagate a CVD schema change to the physical tables.
+
+        The default implementation ALTERs every table that embeds the
+        data attributes: new columns are appended (NULL for old rows) and
+        widened columns are coerced. Partitioned models inherit this and
+        only pay the ALTER on each (smaller) partition, which is the
+        mitigation Section 4.3 mentions.
+        """
+        old_names = {c.name for c in self.data_schema.columns}
+        for table_name in self.table_names():
+            table = self.database.table(table_name)
+            if not all(
+                table.schema.has_column(c.name)
+                for c in self.data_schema.columns
+            ):
+                continue  # versioning/metadata table without data columns
+            for column in new_schema.columns:
+                if column.name not in old_names:
+                    table.add_column(column)
+                elif (
+                    table.schema.has_column(column.name)
+                    and table.schema.dtype_of(column.name) is not column.dtype
+                ):
+                    table.widen_column(column.name, column.dtype)
+        self.data_schema = new_schema
+
+    # ------------------------------------------------------------------
+    # Shared schema builders
+    # ------------------------------------------------------------------
+    def _rid_data_schema(self) -> Schema:
+        """rid + data attributes, keyed on rid (records are immutable, so
+        the relation PK cannot be the physical key across versions)."""
+        return Schema(
+            [ColumnDef("rid", INT)] + list(self.data_schema.columns),
+            primary_key=("rid",),
+        )
+
+    def _rid_vlist_schema(self) -> Schema:
+        return Schema(
+            [ColumnDef("rid", INT), ColumnDef("vlist", INT_ARRAY)],
+            primary_key=("rid",),
+        )
+
+    def _vid_rlist_schema(self) -> Schema:
+        return Schema(
+            [ColumnDef("vid", INT), ColumnDef("rlist", INT_ARRAY)],
+            primary_key=("vid",),
+        )
+
+    def _combined_schema(self) -> Schema:
+        # vlist precedes the data attributes so ALTER TABLE ADD COLUMN
+        # (which appends) keeps the data attributes contiguous at the end.
+        return Schema(
+            [ColumnDef("rid", INT), ColumnDef("vlist", INT_ARRAY)]
+            + list(self.data_schema.columns),
+            primary_key=("rid",),
+        )

@@ -1,0 +1,68 @@
+"""Approach 4.1: the combined table.
+
+One table holding rid, the data attributes, and a ``vlist`` array of the
+versions each record belongs to. Commit must append the new vid to the
+vlist of *every* record in the version — the expensive full-table
+array-append UPDATE that dominates Figure 4.1(b). Checkout is a full scan
+with the ``ARRAY[vid] <@ vlist`` containment filter.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.models.base import DataModel, RecordRow
+from repro.relational.expressions import (
+    ArrayAppend,
+    ArrayContainedBy,
+    InSet,
+    col,
+    lit,
+)
+from repro.relational.table import ClusterOrder, Table
+
+
+class CombinedTableModel(DataModel):
+    model_name = "combined_table"
+
+    def __init__(self, database, cvd_name, data_schema) -> None:
+        super().__init__(database, cvd_name, data_schema)
+        self._table: Table = database.create_table(
+            f"{cvd_name}__combined",
+            self._combined_schema(),
+            cluster_order=ClusterOrder.RID,
+        )
+
+    @property
+    def _arity(self) -> int:
+        return len(self.data_schema.columns)
+
+    def table_names(self) -> list[str]:
+        return [self._table.name]
+
+    def commit_version(
+        self,
+        vid: int,
+        parents: Sequence[int],
+        membership: frozenset[int],
+        new_records: Mapping[int, tuple],
+        parent_membership: Mapping[int, frozenset[int]],
+    ) -> None:
+        existing = membership - new_records.keys()
+        if existing:
+            # UPDATE combined SET vlist = vlist + vid WHERE rid IN (...):
+            # a full scan that rewrites one array per matching record.
+            self._table.update_where(
+                InSet(col("rid"), frozenset(existing)),
+                {"vlist": ArrayAppend(col("vlist"), lit(vid))},
+            )
+        for rid, payload in new_records.items():
+            self._table.insert((rid, [vid], *payload))
+
+    def checkout_rids(self, vid: int) -> list[RecordRow]:
+        predicate = ArrayContainedBy(lit([vid]), col("vlist"))
+        rows = list(self._table.scan_where(predicate))
+        return [(row[0], tuple(row[2 : 2 + self._arity])) for row in rows]
+
+    def storage_bytes(self) -> int:
+        return self._table.storage_bytes()

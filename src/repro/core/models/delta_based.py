@@ -1,0 +1,142 @@
+"""Approach 4.4: the delta-based model.
+
+Each version is its own table storing only the *modifications* from a
+single base parent: inserted records plus tombstone rows for deletions. A
+precedent metadata table records each version's base. When a version has
+multiple parents, the base is the parent sharing the most records
+(storing deltas against several parents would complicate recreation, as
+the paper notes). Checkout walks the base chain back to the root,
+discarding records already seen.
+
+Advanced cross-version analytics are not supported "for free" by this
+model — recreating versions is the only access path — which is the
+paper's qualitative argument against it despite competitive storage.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.models.base import DataModel, RecordRow
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.table import Table
+from repro.relational.types import BOOL, INT
+
+
+class DeltaBasedModel(DataModel):
+    model_name = "delta_based"
+
+    def __init__(self, database, cvd_name, data_schema) -> None:
+        super().__init__(database, cvd_name, data_schema)
+        self._delta_tables: dict[int, Table] = {}
+        #: Precedent metadata: vid -> base vid (None for the root).
+        self._precedent: Table = database.create_table(
+            f"{cvd_name}__precedent",
+            Schema(
+                [ColumnDef("vid", INT), ColumnDef("base", INT)],
+                primary_key=("vid",),
+            ),
+        )
+        self._payloads: dict[int, tuple] = {}
+
+    @property
+    def _arity(self) -> int:
+        return len(self.data_schema.columns)
+
+    def table_names(self) -> list[str]:
+        return [self._precedent.name] + [
+            t.name for t in self._delta_tables.values()
+        ]
+
+    def _delta_schema(self) -> Schema:
+        # tombstone precedes the data attributes so ALTER TABLE ADD
+        # COLUMN (which appends) keeps data attributes contiguous.
+        return Schema(
+            [ColumnDef("rid", INT), ColumnDef("tombstone", BOOL)]
+            + list(self.data_schema.columns),
+            primary_key=("rid",),
+        )
+
+    def commit_version(
+        self,
+        vid: int,
+        parents: Sequence[int],
+        membership: frozenset[int],
+        new_records: Mapping[int, tuple],
+        parent_membership: Mapping[int, frozenset[int]],
+    ) -> None:
+        self._payloads.update(new_records)
+        base: int | None = None
+        if parents:
+            base = max(
+                parents,
+                key=lambda p: len(parent_membership[p] & membership),
+            )
+        table = self.database.create_table(
+            f"{self.cvd_name}__delta_v{vid}", self._delta_schema()
+        )
+        base_rids = parent_membership[base] if base is not None else frozenset()
+        inserted = membership - base_rids
+        deleted = base_rids - membership
+        for rid in sorted(inserted):
+            table.insert((rid, False, *self._pad(self._payloads[rid])))
+        blank = (None,) * self._arity
+        for rid in sorted(deleted):
+            table.insert((rid, True, *blank))
+        self._delta_tables[vid] = table
+        self._precedent.insert((vid, base))
+
+    def base_of(self, vid: int) -> int | None:
+        rows = self._precedent.lookup("vid", vid)
+        if not rows:
+            return None
+        return rows[0][1]
+
+    def chain_of(self, vid: int) -> list[int]:
+        """The base chain from ``vid`` back to the root (inclusive)."""
+        chain = [vid]
+        seen = {vid}
+        current = self.base_of(vid)
+        while current is not None:
+            if current in seen:
+                raise RuntimeError(f"cycle in precedent chain at {current}")
+            chain.append(current)
+            seen.add(current)
+            current = self.base_of(current)
+        return chain
+
+    def checkout_rids(self, vid: int) -> list[RecordRow]:
+        if vid not in self._delta_tables:
+            return []
+        seen: set[int] = set()
+        result: list[RecordRow] = []
+        for step in self.chain_of(vid):
+            table = self._delta_tables[step]
+            width = self._arity
+            for row in table.scan():
+                rid = row[0]
+                if rid in seen:
+                    continue
+                seen.add(rid)
+                tombstone = row[1]
+                if not tombstone:
+                    payload = tuple(row[2 : 2 + width])
+                    if len(payload) < width:
+                        payload = payload + (None,) * (width - len(payload))
+                    result.append((rid, payload))
+        return result
+
+    def _pad(self, payload: tuple) -> tuple:
+        width = self._arity
+        if len(payload) < width:
+            return payload + (None,) * (width - len(payload))
+        return payload
+
+    def storage_bytes(self) -> int:
+        total = self._precedent.storage_bytes()
+        return total + sum(t.storage_bytes() for t in self._delta_tables.values())
+
+    def drop(self) -> None:
+        super().drop()
+        self._delta_tables.clear()
+        self._payloads.clear()

@@ -1,0 +1,530 @@
+"""The OrpheusDB query translator: version-aware SQL as strings.
+
+Parses the SQL dialect of Section 3.3.2 and translates it onto the
+version-aware query layer::
+
+    SELECT * FROM VERSION 1, 2 OF CVD interaction
+    WHERE coexpression > 80 LIMIT 50;
+
+    SELECT vid, count(*), max(coexpression) FROM CVD interaction
+    GROUP BY vid;
+
+Supported grammar (case-insensitive keywords):
+
+* ``SELECT`` list: ``*``, column names, aggregates ``count(*)``,
+  ``count(col)``, ``sum/avg/min/max(col)``, each with optional
+  ``AS alias``; ``vid`` is a valid column when grouping by version.
+* ``FROM VERSION v1[, v2 ...] OF CVD name`` or ``FROM CVD name``.
+* ``WHERE`` with comparisons, ``AND``/``OR``/``NOT``, parentheses, and
+  the versioning predicates ``vid IN ancestor(v)``,
+  ``vid IN descendant(v)``, ``vid IN parent(v)`` (version-graph
+  functional primitives).
+* ``GROUP BY vid``, ``ORDER BY col [ASC|DESC]``, ``LIMIT n``.
+
+The translator compiles into :func:`select_from_versions` /
+:func:`aggregate_by_version` calls — the same code paths the Python API
+uses — so the dialect adds no second semantics.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.core.cvd import CVD
+from repro.core.errors import CVDError
+from repro.core.queries import aggregate_by_version, select_from_versions
+from repro.relational.expressions import (
+    BinaryOp,
+    Expression,
+    UnaryOp,
+    col,
+    lit,
+)
+from repro.relational.query import Aggregate
+
+
+class SQLParseError(CVDError):
+    """The query string does not match the supported dialect."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<string>'[^']*')"
+    r"|(?P<number>\d+\.\d+|\d+)"
+    r"|(?P<op><=|>=|!=|<>|=|<|>|\(|\)|,|\*|;)"
+    r"|(?P<word>[A-Za-z_][A-Za-z_0-9]*)"
+    r")"
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "group", "order", "by", "limit", "version",
+    "of", "cvd", "and", "or", "not", "as", "asc", "desc", "in",
+}
+
+_AGGREGATES = {"count", "sum", "avg", "min", "max"}
+
+_GRAPH_FUNCTIONS = {"ancestor", "descendant", "parent"}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # keyword / word / number / string / op
+    value: str
+
+
+def _tokenize(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            if text[position:].strip() == "":
+                break
+            raise SQLParseError(
+                f"cannot tokenize near {text[position:position + 20]!r}"
+            )
+        position = match.end()
+        if match.group("string") is not None:
+            tokens.append(_Token("string", match.group("string")[1:-1]))
+        elif match.group("number") is not None:
+            tokens.append(_Token("number", match.group("number")))
+        elif match.group("op") is not None:
+            value = match.group("op")
+            if value == ";":
+                continue
+            tokens.append(_Token("op", value))
+        else:
+            word = match.group("word")
+            lowered = word.lower()
+            kind = "keyword" if lowered in _KEYWORDS else "word"
+            tokens.append(
+                _Token(kind, lowered if kind == "keyword" else word)
+            )
+    tokens.append(_Token("eof", ""))
+    return tokens
+
+
+@dataclass
+class _SelectItem:
+    column: str | None = None  # None for aggregates and '*'
+    aggregate: str | None = None
+    aggregate_arg: str | None = None  # None = '*'
+    alias: str | None = None
+    star: bool = False
+
+
+@dataclass
+class ParsedQuery:
+    """The parsed form of one SELECT statement."""
+
+    items: list[_SelectItem]
+    cvd_name: str = ""
+    version_ids: list[int] | None = None  # None: whole CVD
+    where: object | None = None  # expression tree (pre-binding)
+    group_by_vid: bool = False
+    order_by: list[tuple[str, bool]] = field(default_factory=list)
+    limit: int | None = None
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = _tokenize(text)
+        self._index = 0
+
+    def _peek(self, offset: int = 0) -> _Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> _Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._advance()
+        if token.kind != "keyword" or token.value != word:
+            raise SQLParseError(f"expected {word.upper()}, got {token.value!r}")
+
+    def _accept_keyword(self, word: str) -> bool:
+        token = self._peek()
+        if token.kind == "keyword" and token.value == word:
+            self._advance()
+            return True
+        return False
+
+    def _accept_op(self, value: str) -> bool:
+        token = self._peek()
+        if token.kind == "op" and token.value == value:
+            self._advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def parse(self) -> ParsedQuery:
+        self._expect_keyword("select")
+        items = [self._parse_item()]
+        while self._accept_op(","):
+            items.append(self._parse_item())
+        query = ParsedQuery(items=items)
+
+        self._expect_keyword("from")
+        if self._accept_keyword("version"):
+            version_ids = [self._parse_int()]
+            while self._accept_op(","):
+                version_ids.append(self._parse_int())
+            self._expect_keyword("of")
+            self._expect_keyword("cvd")
+            query.version_ids = version_ids
+        else:
+            self._expect_keyword("cvd")
+        name_token = self._advance()
+        if name_token.kind != "word":
+            raise SQLParseError(f"expected CVD name, got {name_token.value!r}")
+        query.cvd_name = name_token.value
+
+        if self._accept_keyword("where"):
+            query.where = self._parse_or()
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_token = self._advance()
+            if group_token.kind != "word" or group_token.value.lower() != "vid":
+                raise SQLParseError("only GROUP BY vid is supported")
+            query.group_by_vid = True
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            query.order_by.append(self._parse_order_key())
+            while self._accept_op(","):
+                query.order_by.append(self._parse_order_key())
+        if self._accept_keyword("limit"):
+            query.limit = self._parse_int()
+        trailing = self._peek()
+        if trailing.kind != "eof":
+            raise SQLParseError(f"unexpected trailing {trailing.value!r}")
+        return query
+
+    def _parse_item(self) -> _SelectItem:
+        token = self._peek()
+        if token.kind == "op" and token.value == "*":
+            self._advance()
+            return _SelectItem(star=True)
+        if (
+            token.kind == "word"
+            and token.value.lower() in _AGGREGATES
+            and self._peek(1).kind == "op"
+            and self._peek(1).value == "("
+        ):
+            function = self._advance().value.lower()
+            self._advance()  # (
+            argument: str | None
+            if self._accept_op("*"):
+                argument = None
+            else:
+                arg_token = self._advance()
+                if arg_token.kind != "word":
+                    raise SQLParseError("aggregate argument must be a column")
+                argument = arg_token.value
+            if not self._accept_op(")"):
+                raise SQLParseError("expected ')' after aggregate")
+            item = _SelectItem(aggregate=function, aggregate_arg=argument)
+            if self._accept_keyword("as"):
+                item.alias = self._advance().value
+            return item
+        if token.kind == "word":
+            self._advance()
+            item = _SelectItem(column=token.value)
+            if self._accept_keyword("as"):
+                item.alias = self._advance().value
+            return item
+        raise SQLParseError(f"unexpected select item {token.value!r}")
+
+    def _parse_order_key(self) -> tuple[str, bool]:
+        token = self._advance()
+        if token.kind != "word":
+            raise SQLParseError("ORDER BY expects a column name")
+        descending = False
+        if self._accept_keyword("desc"):
+            descending = True
+        else:
+            self._accept_keyword("asc")
+        return token.value, descending
+
+    def _parse_int(self) -> int:
+        token = self._advance()
+        if token.kind != "number" or "." in token.value:
+            raise SQLParseError(f"expected an integer, got {token.value!r}")
+        return int(token.value)
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+    def _parse_or(self):
+        left = self._parse_and()
+        while self._accept_keyword("or"):
+            left = ("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self):
+        left = self._parse_not()
+        while self._accept_keyword("and"):
+            left = ("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self):
+        if self._accept_keyword("not"):
+            return ("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self):
+        if self._accept_op("("):
+            inner = self._parse_or()
+            if not self._accept_op(")"):
+                raise SQLParseError("expected ')'")
+            return inner
+        left = self._parse_operand()
+        # vid IN ancestor(k) / descendant(k) / parent(k)
+        if self._accept_keyword("in"):
+            function_token = self._advance()
+            if (
+                function_token.kind != "word"
+                or function_token.value.lower() not in _GRAPH_FUNCTIONS
+            ):
+                raise SQLParseError(
+                    "IN expects ancestor(v), descendant(v) or parent(v)"
+                )
+            if not self._accept_op("("):
+                raise SQLParseError("expected '('")
+            argument = self._parse_int()
+            if not self._accept_op(")"):
+                raise SQLParseError("expected ')'")
+            return ("graph", left, function_token.value.lower(), argument)
+        operator_token = self._advance()
+        if operator_token.kind != "op" or operator_token.value not in (
+            "=", "!=", "<>", "<", "<=", ">", ">=",
+        ):
+            raise SQLParseError(
+                f"expected a comparison operator, got {operator_token.value!r}"
+            )
+        right = self._parse_operand()
+        operator = "!=" if operator_token.value == "<>" else operator_token.value
+        return (operator, left, right)
+
+    def _parse_operand(self):
+        token = self._advance()
+        if token.kind == "number":
+            return ("lit", float(token.value) if "." in token.value else int(token.value))
+        if token.kind == "string":
+            return ("lit", token.value)
+        if token.kind == "word":
+            return ("col", token.value)
+        raise SQLParseError(f"unexpected operand {token.value!r}")
+
+
+def _compile_predicate(tree, cvd: CVD) -> tuple[Expression | None, set[int] | None]:
+    """Split the parse tree into a row predicate and a vid filter.
+
+    Graph predicates (``vid IN ancestor(v)``) constrain which versions
+    are read; everything else becomes a bound row expression. Graph
+    predicates may only be AND-combined with row predicates at the top
+    level — mirroring how the real system pushes them into the version
+    manager.
+    """
+    vid_filter: set[int] | None = None
+    row_parts = []
+
+    def split(node):
+        nonlocal vid_filter
+        if isinstance(node, tuple) and node[0] == "and":
+            split(node[1])
+            split(node[2])
+            return
+        if isinstance(node, tuple) and node[0] == "graph":
+            _op, left, function, argument = node
+            if left != ("col", "vid"):
+                raise SQLParseError("graph predicates apply to vid")
+            if function == "ancestor":
+                vids = cvd.versions.ancestors(argument)
+            elif function == "descendant":
+                vids = cvd.versions.descendants(argument)
+            else:
+                vids = set(cvd.versions.parents(argument))
+            vid_filter = vids if vid_filter is None else (vid_filter & vids)
+            return
+        row_parts.append(node)
+
+    if tree is not None:
+        split(tree)
+
+    expression: Expression | None = None
+    for part in row_parts:
+        compiled = _compile_expression(part)
+        expression = (
+            compiled if expression is None else BinaryOp("and", expression, compiled)
+        )
+    return expression, vid_filter
+
+
+def _compile_expression(node) -> Expression:
+    kind = node[0]
+    if kind == "lit":
+        return lit(node[1])
+    if kind == "col":
+        return col(node[1])
+    if kind == "not":
+        return UnaryOp("not", _compile_expression(node[1]))
+    if kind in ("and", "or"):
+        return BinaryOp(kind, _compile_expression(node[1]), _compile_expression(node[2]))
+    if kind in ("=", "!=", "<", "<=", ">", ">="):
+        return BinaryOp(kind, _compile_expression(node[1]), _compile_expression(node[2]))
+    if kind == "graph":
+        raise SQLParseError(
+            "graph predicates must be AND-combined at the top level"
+        )
+    raise SQLParseError(f"cannot compile predicate node {node!r}")
+
+
+@dataclass
+class SQLResult:
+    """Rows plus column names from a translated query."""
+
+    columns: list[str]
+    rows: list[tuple]
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def run_sql(cvds: dict[str, CVD] | CVD, text: str) -> SQLResult:
+    """Parse and execute one version-aware SELECT statement.
+
+    Args:
+        cvds: A name->CVD mapping (e.g. from :class:`Orpheus`) or a
+            single CVD (then the FROM clause's name must match it).
+        text: The SQL string.
+    """
+    query = _Parser(text).parse()
+    if isinstance(cvds, CVD):
+        if query.cvd_name != cvds.name:
+            raise SQLParseError(
+                f"query references CVD {query.cvd_name!r}, got {cvds.name!r}"
+            )
+        cvd = cvds
+    else:
+        try:
+            cvd = cvds[query.cvd_name]
+        except KeyError:
+            raise SQLParseError(f"unknown CVD {query.cvd_name!r}") from None
+
+    where, vid_filter = _compile_predicate(query.where, cvd)
+
+    if query.group_by_vid:
+        return _run_grouped(cvd, query, where, vid_filter)
+    return _run_select(cvd, query, where, vid_filter)
+
+
+def _run_select(cvd, query: ParsedQuery, where, vid_filter) -> SQLResult:
+    if query.version_ids is not None:
+        vids = list(query.version_ids)
+    else:
+        vids = cvd.versions.vids()
+    if vid_filter is not None:
+        vids = [v for v in vids if v in vid_filter]
+
+    star = any(item.star for item in query.items)
+    if star and len(query.items) > 1:
+        raise SQLParseError("'*' cannot be combined with other select items")
+    if any(item.aggregate for item in query.items):
+        raise SQLParseError("aggregates require GROUP BY vid")
+    columns = (
+        cvd.schema.column_names
+        if star
+        else [item.column for item in query.items]
+    )
+    rows = select_from_versions(
+        cvd,
+        vids,
+        columns=() if star else tuple(columns),
+        where=where,
+        limit=None if query.order_by else query.limit,
+    )
+    if query.order_by:
+        positions = {name: i for i, name in enumerate(columns)}
+        for name, descending in reversed(query.order_by):
+            if name not in positions:
+                raise SQLParseError(
+                    f"ORDER BY column {name!r} not in select list"
+                )
+            rows = sorted(
+                rows,
+                key=lambda row: (
+                    row[positions[name]] is not None,
+                    row[positions[name]],
+                ),
+                reverse=descending,
+            )
+        if query.limit is not None:
+            rows = rows[: query.limit]
+    output = [
+        item.alias or item.column
+        for item in query.items
+        if not item.star
+    ] or list(cvd.schema.column_names)
+    return SQLResult(columns=output, rows=rows)
+
+
+def _run_grouped(cvd, query: ParsedQuery, where, vid_filter) -> SQLResult:
+    vids = (
+        list(query.version_ids)
+        if query.version_ids is not None
+        else cvd.versions.vids()
+    )
+    if vid_filter is not None:
+        vids = [v for v in vids if v in vid_filter]
+
+    aggregates = []
+    output_columns = []
+    saw_vid = False
+    for item in query.items:
+        if item.star:
+            raise SQLParseError("'*' is not valid with GROUP BY vid")
+        if item.column is not None:
+            if item.column.lower() != "vid":
+                raise SQLParseError(
+                    "only vid and aggregates may appear with GROUP BY vid"
+                )
+            saw_vid = True
+            output_columns.append(item.alias or "vid")
+            continue
+        argument = (
+            col(item.aggregate_arg) if item.aggregate_arg is not None else None
+        )
+        alias = item.alias or (
+            f"{item.aggregate}({item.aggregate_arg or '*'})"
+        )
+        aggregates.append(Aggregate(item.aggregate, argument, alias=alias))
+        output_columns.append(alias)
+    if not saw_vid:
+        output_columns.insert(0, "vid")
+
+    rows = aggregate_by_version(cvd, aggregates, where=where, vids=vids)
+    if query.order_by:
+        positions = {name: i for i, name in enumerate(output_columns)}
+        for name, descending in reversed(query.order_by):
+            if name not in positions:
+                raise SQLParseError(
+                    f"ORDER BY column {name!r} not in select list"
+                )
+            rows = sorted(
+                rows,
+                key=lambda row: (
+                    row[positions[name]] is not None,
+                    row[positions[name]],
+                ),
+                reverse=descending,
+            )
+    if query.limit is not None:
+        rows = rows[: query.limit]
+    return SQLResult(columns=output_columns, rows=rows)

@@ -1,0 +1,91 @@
+"""The temporary staging area of materialized tables.
+
+A checkout materializes a version into a regular table the user can edit
+with ordinary SQL (or export to CSV); OrpheusDB remembers which versions
+the table was derived from so a later commit knows its parents. Only the
+user who performed the checkout may touch the staged table — that is the
+access-controller rule from Section 3.3.1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.errors import StagingError
+from repro.relational.database import Database
+from repro.relational.schema import Schema
+from repro.relational.table import Table
+
+
+@dataclass
+class StagedTable:
+    """Provenance-manager metadata for one uncommitted table.
+
+    This is the "provenance manager" module of the OrpheusDB architecture
+    (Figure 3.1): it tracks the parent version(s) and creation time of
+    every staged (not yet committed) table or file.
+    """
+
+    table_name: str
+    cvd_name: str
+    parents: tuple[int, ...]
+    owner: str
+    checkout_time: float = field(default_factory=time.time)
+
+
+class StagingArea:
+    """Materialized working tables plus their derivation metadata."""
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._staged: dict[str, StagedTable] = {}
+
+    def materialize(
+        self,
+        table_name: str,
+        schema: Schema,
+        rows: list[tuple],
+        cvd_name: str,
+        parents: tuple[int, ...],
+        owner: str,
+    ) -> Table:
+        """Create a staged table holding a checkout's rows."""
+        if table_name in self._staged or self.database.has_table(table_name):
+            raise StagingError(f"table {table_name!r} already exists")
+        table = self.database.create_table(table_name, schema)
+        for row in rows:
+            table.insert(row)
+        self._staged[table_name] = StagedTable(
+            table_name=table_name,
+            cvd_name=cvd_name,
+            parents=parents,
+            owner=owner,
+        )
+        return table
+
+    def metadata(self, table_name: str) -> StagedTable:
+        try:
+            return self._staged[table_name]
+        except KeyError:
+            raise StagingError(
+                f"table {table_name!r} is not a staged checkout"
+            ) from None
+
+    def table(self, table_name: str, user: str | None = None) -> Table:
+        info = self.metadata(table_name)
+        if user is not None and info.owner != user:
+            raise StagingError(
+                f"table {table_name!r} belongs to {info.owner!r}, "
+                f"not {user!r}"
+            )
+        return self.database.table(table_name)
+
+    def release(self, table_name: str) -> None:
+        """Drop the staged table after a successful commit."""
+        self.metadata(table_name)
+        self.database.drop_table(table_name, missing_ok=True)
+        del self._staged[table_name]
+
+    def staged_names(self) -> list[str]:
+        return sorted(self._staged)

@@ -1,0 +1,63 @@
+"""Version-graph rendering (the SIGMOD'17 demo's interactive view).
+
+The OrpheusDB demo ships a UI that draws the version graph so users can
+explore and operate on dataset versions; this module provides the same
+information as text — an ASCII forest for terminals and Graphviz DOT for
+anything that renders images.
+"""
+
+from __future__ import annotations
+
+from repro.core.cvd import CVD
+
+
+def ascii_version_graph(cvd: CVD, show_messages: bool = True) -> str:
+    """An indented forest of versions, branch- and merge-aware.
+
+    Merge versions appear under their first parent and mention the
+    others, mirroring how git's ``log --graph`` flattens DAGs.
+    """
+    lines: list[str] = []
+    children: dict[int, list[int]] = {}
+    for vid in cvd.versions.vids():
+        parents = cvd.versions.parents(vid)
+        anchor = parents[0] if parents else None
+        children.setdefault(anchor, []).append(vid)
+
+    def render(vid: int, depth: int) -> None:
+        metadata = cvd.versions.get(vid)
+        marker = "●" if len(metadata.parents) <= 1 else "◆"
+        extra = ""
+        if len(metadata.parents) > 1:
+            others = ", ".join(f"v{p}" for p in metadata.parents[1:])
+            extra = f" (also merges {others})"
+        message = f"  {metadata.message}" if show_messages and metadata.message else ""
+        lines.append(
+            f"{'  ' * depth}{marker} v{vid} "
+            f"[{metadata.record_count} records]{extra}{message}"
+        )
+        for child in children.get(vid, ()):
+            render(child, depth + 1)
+
+    for root in children.get(None, ()):
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def dot_version_graph(cvd: CVD) -> str:
+    """Graphviz DOT for the version graph, one node per version."""
+    lines = ["digraph versions {", "  rankdir=TB;", "  node [shape=box];"]
+    for vid in cvd.versions.vids():
+        metadata = cvd.versions.get(vid)
+        label_parts = [f"v{vid}", f"{metadata.record_count} records"]
+        if metadata.author:
+            label_parts.append(metadata.author)
+        if metadata.message:
+            label_parts.append(metadata.message.replace('"', "'"))
+        label = "\\n".join(label_parts)
+        shape = ' style=filled fillcolor="#e8f0fe"' if cvd.versions.is_merge(vid) else ""
+        lines.append(f'  v{vid} [label="{label}"{shape}];')
+    for parent, child in cvd.versions.edges():
+        lines.append(f"  v{parent} -> v{child};")
+    lines.append("}")
+    return "\n".join(lines)

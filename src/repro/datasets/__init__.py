@@ -1,0 +1,29 @@
+"""Versioning benchmark workloads.
+
+Reimplements the Decibel versioning benchmark of Maddox et al. (the
+datasets of Table 5.2): the **SCI** (science) workload — a mainline with
+branches, yielding a version *tree* — and the **CUR** (curation) workload —
+branches that periodically merge back, yielding a version *DAG*. Also
+ships the protein-protein-interaction toy dataset of Figure 3.2 used in
+examples and unit tests.
+"""
+
+from repro.datasets.benchmark import (
+    BenchmarkConfig,
+    generate_cur,
+    generate_sci,
+    standard_datasets,
+)
+from repro.datasets.history import CommitSpec, VersionedHistory
+from repro.datasets.protein import protein_history, protein_records
+
+__all__ = [
+    "BenchmarkConfig",
+    "CommitSpec",
+    "VersionedHistory",
+    "generate_cur",
+    "generate_sci",
+    "protein_history",
+    "protein_records",
+    "standard_datasets",
+]

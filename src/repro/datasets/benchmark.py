@@ -1,0 +1,251 @@
+"""SCI and CUR workload generators (the Table 5.2 benchmark datasets).
+
+The SCI (science) workload simulates data scientists taking working copies
+of an evolving mainline: branches fork from random points on the mainline
+or on other branches and never merge back, so the version graph is a tree.
+The CUR (curation) workload simulates contributors to a canonical dataset
+who branch and periodically merge back, so the version graph is a DAG.
+
+The paper's instances run to 10M records; defaults here are scaled down so
+the full experiment suite completes on a laptop, but every paper parameter
+(|B| branches, |R| target records, I inserts-or-updates per commit) is
+exposed and the generators accept the original magnitudes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datasets.history import CommitSpec, VersionedHistory
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Parameters mirroring the knobs of the Decibel benchmark generator.
+
+    Attributes:
+        num_branches: |B|, number of branches to create.
+        target_records: |R|, approximate number of distinct records the
+            run should end with (the generator stops committing when it
+            crosses this).
+        ops_per_commit: I, number of insert-or-update operations applied
+            to the parent version at each commit.
+        num_attributes: Width of each record (the paper uses 100 4-byte
+            integers; tests use narrower rows).
+        insert_fraction: Share of operations that insert a fresh record
+            (the rest update — i.e. replace — an existing one; a small
+            delete share keeps deletes "present but rare" as in the
+            paper's storage discussion).
+        delete_fraction: Share of operations that delete a record.
+        merge_probability: CUR only — chance that a branch commit merges
+            back into its parent branch instead of extending the branch.
+        seed: RNG seed; the same config always generates the same history.
+    """
+
+    num_branches: int = 10
+    target_records: int = 10_000
+    ops_per_commit: int = 100
+    num_attributes: int = 10
+    insert_fraction: float = 0.85
+    delete_fraction: float = 0.02
+    merge_probability: float = 0.25
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.insert_fraction <= 1.0:
+            raise ValueError("insert_fraction must be in [0, 1]")
+        if self.insert_fraction + self.delete_fraction > 1.0:
+            raise ValueError("insert + delete fractions exceed 1")
+        if self.num_branches < 1:
+            raise ValueError("need at least one branch")
+        if self.ops_per_commit < 1:
+            raise ValueError("ops_per_commit must be positive")
+
+
+class _HistoryBuilder:
+    """Shared mechanics for the two workloads."""
+
+    def __init__(self, config: BenchmarkConfig, name: str) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.history = VersionedHistory(
+            num_attributes=config.num_attributes, name=name
+        )
+        self.next_rid = 1
+        self.next_vid = 1
+        #: branch name -> vid of the branch head
+        self.heads: dict[str, int] = {}
+
+    def fresh_record(self) -> int:
+        rid = self.next_rid
+        self.next_rid += 1
+        width = self.config.num_attributes
+        self.history.payloads[rid] = tuple(
+            self.rng.randrange(0, 1_000_000) for _ in range(width)
+        )
+        return rid
+
+    def mutated_record(self, base_rid: int) -> int:
+        """A new rid whose payload is the base record with one attribute
+        changed — an "update" in the immutable-records model."""
+        rid = self.next_rid
+        self.next_rid += 1
+        payload = list(self.history.payloads[base_rid])
+        slot = self.rng.randrange(len(payload))
+        payload[slot] = self.rng.randrange(0, 1_000_000)
+        self.history.payloads[rid] = tuple(payload)
+        return rid
+
+    def apply_ops(self, base_rids: frozenset[int]) -> frozenset[int]:
+        """Apply I operations to a parent's record set."""
+        config = self.config
+        rids = set(base_rids)
+        candidates = list(base_rids)
+        for _ in range(config.ops_per_commit):
+            roll = self.rng.random()
+            if roll < config.insert_fraction or not candidates:
+                rids.add(self.fresh_record())
+            elif roll < config.insert_fraction + config.delete_fraction:
+                victim = self.rng.choice(candidates)
+                rids.discard(victim)
+            else:
+                victim = self.rng.choice(candidates)
+                rids.discard(victim)
+                rids.add(self.mutated_record(victim))
+        return frozenset(rids)
+
+    def commit(
+        self, parents: tuple[int, ...], rids: frozenset[int], branch: str
+    ) -> int:
+        vid = self.next_vid
+        self.next_vid += 1
+        self.history.commits.append(
+            CommitSpec(vid=vid, parents=parents, rids=rids, branch=branch)
+        )
+        self.heads[branch] = vid
+        return vid
+
+    def seed_root(self) -> int:
+        """Create the initial version with ops_per_commit fresh records."""
+        rids = frozenset(
+            self.fresh_record() for _ in range(self.config.ops_per_commit)
+        )
+        return self.commit((), rids, "main")
+
+
+def generate_sci(config: BenchmarkConfig, name: str = "SCI") -> VersionedHistory:
+    """Generate a SCI-workload history (version tree, no merges)."""
+    builder = _HistoryBuilder(config, name)
+    builder.seed_root()
+    branches = ["main"]
+    branch_counter = 0
+    while builder.history.num_records < config.target_records:
+        # Mostly extend the mainline; occasionally fork a new branch from
+        # a random existing branch, or extend an existing branch.
+        roll = builder.rng.random()
+        if roll < 0.5:
+            branch = "main"
+        elif roll < 0.8 and len(branches) < config.num_branches:
+            branch_counter += 1
+            source = builder.rng.choice(branches)
+            branch = f"branch{branch_counter}"
+            branches.append(branch)
+            # Fork point: current head of the source branch.
+            builder.heads[branch] = builder.heads[source]
+        elif len(branches) > 1:
+            branch = builder.rng.choice(branches[1:])
+        else:
+            branch = "main"
+        parent_vid = builder.heads[branch]
+        parent_rids = builder.history.commit_by_vid(parent_vid).rids
+        rids = builder.apply_ops(parent_rids)
+        builder.commit((parent_vid,), rids, branch)
+    builder.history.validate()
+    assert not builder.history.has_merges
+    return builder.history
+
+
+def generate_cur(config: BenchmarkConfig, name: str = "CUR") -> VersionedHistory:
+    """Generate a CUR-workload history (version DAG with merges)."""
+    builder = _HistoryBuilder(config, name)
+    builder.seed_root()
+    branches = ["main"]
+    #: branch -> branch it forked from (merge target)
+    fork_parent: dict[str, str] = {}
+    branch_counter = 0
+    while builder.history.num_records < config.target_records:
+        roll = builder.rng.random()
+        if roll < 0.35:
+            branch = "main"
+        elif roll < 0.65 and len(branches) < config.num_branches:
+            branch_counter += 1
+            source = builder.rng.choice(branches)
+            branch = f"branch{branch_counter}"
+            branches.append(branch)
+            fork_parent[branch] = source
+            builder.heads[branch] = builder.heads[source]
+        elif len(branches) > 1:
+            branch = builder.rng.choice(branches[1:])
+        else:
+            branch = "main"
+
+        parent_vid = builder.heads[branch]
+        parent_rids = builder.history.commit_by_vid(parent_vid).rids
+
+        is_merge = (
+            branch != "main"
+            and builder.rng.random() < config.merge_probability
+        )
+        if is_merge:
+            target = fork_parent.get(branch, "main")
+            target_vid = builder.heads[target]
+            if target_vid == parent_vid:
+                is_merge = False
+            else:
+                target_rids = builder.history.commit_by_vid(target_vid).rids
+                merged = parent_rids | target_rids
+                rids = builder.apply_ops(merged)
+                builder.commit((parent_vid, target_vid), rids, target)
+                continue
+        if not is_merge:
+            rids = builder.apply_ops(parent_rids)
+            builder.commit((parent_vid,), rids, branch)
+    builder.history.validate()
+    return builder.history
+
+
+#: Scaled-down stand-ins for the paper's named datasets. The suffixes map
+#: to the paper's sizes as S ~ *_1M, M ~ *_5M, L ~ *_10M in shape (branch
+#: count scales with size the same way the paper's does).
+STANDARD_CONFIGS: dict[str, BenchmarkConfig] = {
+    "SCI_S": BenchmarkConfig(
+        num_branches=10, target_records=4_000, ops_per_commit=40, seed=11
+    ),
+    "SCI_M": BenchmarkConfig(
+        num_branches=10, target_records=12_000, ops_per_commit=120, seed=12
+    ),
+    "SCI_L": BenchmarkConfig(
+        num_branches=40, target_records=24_000, ops_per_commit=40, seed=13
+    ),
+    "CUR_S": BenchmarkConfig(
+        num_branches=10, target_records=4_000, ops_per_commit=40, seed=21
+    ),
+    "CUR_M": BenchmarkConfig(
+        num_branches=10, target_records=12_000, ops_per_commit=120, seed=22
+    ),
+    "CUR_L": BenchmarkConfig(
+        num_branches=40, target_records=24_000, ops_per_commit=40, seed=23
+    ),
+}
+
+
+def standard_datasets(names: list[str] | None = None) -> dict[str, VersionedHistory]:
+    """Generate the standard scaled benchmark datasets by name."""
+    wanted = names or list(STANDARD_CONFIGS)
+    datasets: dict[str, VersionedHistory] = {}
+    for name in wanted:
+        config = STANDARD_CONFIGS[name]
+        generator = generate_sci if name.startswith("SCI") else generate_cur
+        datasets[name] = generator(config, name=name)
+    return datasets

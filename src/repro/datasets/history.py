@@ -1,0 +1,212 @@
+"""Data structures describing a versioned dataset's commit history.
+
+A :class:`VersionedHistory` is the generator-level ground truth that both
+the OrpheusDB core (which replays it through commits) and the partition
+optimizer (which reads its bipartite structure directly) consume. Record
+payloads are stored once and shared across the versions containing them,
+so multi-version histories stay compact in memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class CommitSpec:
+    """One version in a history.
+
+    Attributes:
+        vid: Version id, unique and increasing in commit order.
+        parents: Parent version ids (empty for the root; two or more for a
+            merge commit).
+        rids: The record ids this version contains.
+        branch: The branch name the commit landed on (workload metadata).
+    """
+
+    vid: int
+    parents: tuple[int, ...]
+    rids: frozenset[int]
+    branch: str = "main"
+
+    def __post_init__(self) -> None:
+        if self.vid in self.parents:
+            raise ValueError(f"version {self.vid} cannot be its own parent")
+
+
+@dataclass
+class VersionedHistory:
+    """A full history: shared record payloads plus per-version membership.
+
+    Attributes:
+        commits: Versions in topological (commit) order.
+        payloads: Map rid -> record payload (a tuple of attribute values).
+        num_attributes: Arity of each payload.
+        name: Workload label, e.g. ``SCI_S``.
+    """
+
+    commits: list[CommitSpec] = field(default_factory=list)
+    payloads: dict[int, tuple] = field(default_factory=dict)
+    num_attributes: int = 0
+    name: str = "history"
+
+    def __len__(self) -> int:
+        return len(self.commits)
+
+    def __iter__(self) -> Iterator[CommitSpec]:
+        return iter(self.commits)
+
+    def commit_by_vid(self, vid: int) -> CommitSpec:
+        commit = self._vid_map().get(vid)
+        if commit is None:
+            raise KeyError(f"no version {vid} in history {self.name!r}")
+        return commit
+
+    def _vid_map(self) -> dict[int, CommitSpec]:
+        cached = getattr(self, "_vid_cache", None)
+        if cached is None or len(cached) != len(self.commits):
+            cached = {c.vid: c for c in self.commits}
+            object.__setattr__(self, "_vid_cache", cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    # Statistics matching Table 5.2's columns
+    # ------------------------------------------------------------------
+    @property
+    def num_versions(self) -> int:
+        """|V|: number of versions."""
+        return len(self.commits)
+
+    @property
+    def num_records(self) -> int:
+        """|R|: number of distinct records across all versions."""
+        return len(self.payloads)
+
+    @property
+    def num_bipartite_edges(self) -> int:
+        """|E|: total version-record memberships."""
+        return sum(len(c.rids) for c in self.commits)
+
+    @property
+    def has_merges(self) -> bool:
+        return any(len(c.parents) > 1 for c in self.commits)
+
+    def records_of(self, vid: int) -> frozenset[int]:
+        return self.commit_by_vid(vid).rids
+
+    def payload_rows(self, vid: int) -> list[tuple]:
+        """Materialize a version's full records (payload tuples)."""
+        return [self.payloads[rid] for rid in sorted(self.records_of(vid))]
+
+    def edge_weight(self, vid_a: int, vid_b: int) -> int:
+        """w(a, b): number of records shared by two versions."""
+        return len(self.records_of(vid_a) & self.records_of(vid_b))
+
+    def duplicated_records_as_tree(self) -> int:
+        """|R̂|: records duplicated by the DAG-to-tree reduction.
+
+        For each merge version, the reduction keeps only the max-weight
+        parent edge and conceptually re-creates the records inherited from
+        every other parent (Section 5.3.1).
+        """
+        duplicated = 0
+        for commit in self.commits:
+            if len(commit.parents) <= 1:
+                continue
+            weights = [
+                (self.edge_weight(parent, commit.vid), parent)
+                for parent in commit.parents
+            ]
+            weights.sort(reverse=True)
+            kept_parent = weights[0][1]
+            kept = self.records_of(kept_parent) & commit.rids
+            inherited_elsewhere: set[int] = set()
+            for _weight, parent in weights[1:]:
+                inherited_elsewhere |= self.records_of(parent) & commit.rids
+            duplicated += len(inherited_elsewhere - kept)
+        return duplicated
+
+    def summary(self) -> dict[str, int | str | bool]:
+        """Table 5.2-style summary row."""
+        return {
+            "name": self.name,
+            "num_versions": self.num_versions,
+            "num_records": self.num_records,
+            "num_edges": self.num_bipartite_edges,
+            "has_merges": self.has_merges,
+            "duplicated_records": (
+                self.duplicated_records_as_tree() if self.has_merges else 0
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise ValueError on dangling parents, rids, or ordering bugs."""
+        seen: set[int] = set()
+        for commit in self.commits:
+            for parent in commit.parents:
+                if parent not in seen:
+                    raise ValueError(
+                        f"version {commit.vid} references parent {parent} "
+                        "not committed before it"
+                    )
+            missing = [rid for rid in commit.rids if rid not in self.payloads]
+            if missing:
+                raise ValueError(
+                    f"version {commit.vid} references unknown rids "
+                    f"{missing[:5]}{'...' if len(missing) > 5 else ''}"
+                )
+            seen.add(commit.vid)
+
+    def subset(self, vids: Iterable[int]) -> "VersionedHistory":
+        """A new history containing only ``vids`` (must be closed under
+        parenthood)."""
+        wanted = set(vids)
+        commits = [c for c in self.commits if c.vid in wanted]
+        for commit in commits:
+            if not set(commit.parents) <= wanted:
+                raise ValueError(
+                    f"subset is not parent-closed at version {commit.vid}"
+                )
+        used: set[int] = set()
+        for commit in commits:
+            used |= commit.rids
+        payloads = {rid: self.payloads[rid] for rid in used}
+        return VersionedHistory(
+            commits=commits,
+            payloads=payloads,
+            num_attributes=self.num_attributes,
+            name=f"{self.name}_subset",
+        )
+
+
+def linear_history(
+    version_sizes: Sequence[int],
+    num_attributes: int = 4,
+    name: str = "linear",
+) -> VersionedHistory:
+    """A simple linear chain where version i keeps a prefix-shared set of
+    records; handy for unit tests that need a tiny deterministic history."""
+    history = VersionedHistory(num_attributes=num_attributes, name=name)
+    next_rid = 1
+    previous_rids: frozenset[int] = frozenset()
+    for vid, size in enumerate(version_sizes, start=1):
+        rids = set(previous_rids)
+        while len(rids) < size:
+            history.payloads[next_rid] = tuple(
+                next_rid * 10 + a for a in range(num_attributes)
+            )
+            rids.add(next_rid)
+            next_rid += 1
+        while len(rids) > size:
+            rids.remove(max(rids))
+        parents = (vid - 1,) if vid > 1 else ()
+        history.commits.append(
+            CommitSpec(vid=vid, parents=parents, rids=frozenset(rids))
+        )
+        previous_rids = frozenset(rids)
+    history.validate()
+    return history

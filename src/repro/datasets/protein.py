@@ -1,0 +1,70 @@
+"""The protein-protein-interaction example of Figure 3.2.
+
+Four versions over seven immutable records, with a composite primary key
+<protein1, protein2>. Used throughout the unit tests because every data
+model's expected contents can be checked by hand against the figure.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.history import CommitSpec, VersionedHistory
+
+#: Columns of the protein interaction relation.
+PROTEIN_COLUMNS = (
+    "protein1",
+    "protein2",
+    "neighborhood",
+    "cooccurrence",
+    "coexpression",
+)
+
+#: The seven records r1..r7 of Figure 3.2 (index = rid).
+_RECORDS: dict[int, tuple] = {
+    1: ("ENSP273047", "ENSP261890", 0, 53, 0),
+    2: ("ENSP273047", "ENSP235932", 0, 87, 0),
+    3: ("ENSP300413", "ENSP274242", 426, 0, 164),
+    4: ("ENSP309334", "ENSP346022", 0, 227, 975),
+    5: ("ENSP273047", "ENSP261890", 0, 53, 83),
+    6: ("ENSP332973", "ENSP300134", 0, 0, 83),
+    7: ("ENSP472847", "ENSP365773", 225, 0, 73),
+}
+
+#: Version membership from Figure 3.2(c.ii): vid -> rlist.
+_VERSION_RLISTS: dict[int, tuple[int, ...]] = {
+    1: (1, 2, 3),
+    2: (2, 3, 4),
+    3: (3, 5, 6, 7),
+    4: (2, 3, 4, 5, 6, 7),
+}
+
+#: Version graph edges of Figure 4.2: v1 -> v2, v1 -> v3, {v2, v3} -> v4.
+_VERSION_PARENTS: dict[int, tuple[int, ...]] = {
+    1: (),
+    2: (1,),
+    3: (1,),
+    4: (2, 3),
+}
+
+
+def protein_records() -> dict[int, tuple]:
+    """rid -> payload for the seven figure records."""
+    return dict(_RECORDS)
+
+
+def protein_history() -> VersionedHistory:
+    """The Figure 3.2 history as a :class:`VersionedHistory`."""
+    history = VersionedHistory(
+        payloads=protein_records(),
+        num_attributes=len(PROTEIN_COLUMNS),
+        name="protein",
+    )
+    for vid in sorted(_VERSION_RLISTS):
+        history.commits.append(
+            CommitSpec(
+                vid=vid,
+                parents=_VERSION_PARENTS[vid],
+                rids=frozenset(_VERSION_RLISTS[vid]),
+            )
+        )
+    history.validate()
+    return history

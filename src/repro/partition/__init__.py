@@ -1,0 +1,52 @@
+"""The partition optimizer (Chapter 5).
+
+Partitions a CVD's version-record bipartite graph so a checkout touches a
+single small partition instead of the whole data table. Contains:
+
+* :mod:`repro.partition.version_graph` — the version graph/tree built
+  from version memberships, and the :class:`Partitioning` cost model
+  (storage cost S, checkout cost C_avg, both estimated and exact);
+* :mod:`repro.partition.lyresplit` — the LyreSplit algorithm with its
+  ((1+δ)^ℓ, 1/δ) guarantee, plus the binary search on δ that solves the
+  storage-constrained Problem 5.1;
+* :mod:`repro.partition.baselines` — the NScale-derived Agglo and Kmeans
+  baselines the paper compares against;
+* :mod:`repro.partition.weighted` — the weighted-checkout-frequency
+  generalization (Section 5.3.2);
+* :mod:`repro.partition.schema_aware` — the schema-change-aware splitting
+  rule (Section 5.3.3);
+* :mod:`repro.partition.partitioned_store` — a partitioned
+  split-by-rlist data model with online maintenance and the migration
+  engine (Section 5.4).
+"""
+
+from repro.partition.baselines import agglo_partition, kmeans_partition
+from repro.partition.lyresplit import (
+    LyreSplitResult,
+    lyresplit,
+    lyresplit_for_budget,
+)
+from repro.partition.partitioned_store import PartitionedRlistStore
+from repro.partition.schema_aware import lyresplit_schema_aware
+from repro.partition.version_graph import (
+    Partitioning,
+    VersionGraph,
+    VersionTree,
+    build_version_graph,
+)
+from repro.partition.weighted import lyresplit_weighted
+
+__all__ = [
+    "LyreSplitResult",
+    "Partitioning",
+    "PartitionedRlistStore",
+    "VersionGraph",
+    "VersionTree",
+    "agglo_partition",
+    "build_version_graph",
+    "kmeans_partition",
+    "lyresplit",
+    "lyresplit_for_budget",
+    "lyresplit_schema_aware",
+    "lyresplit_weighted",
+]

@@ -1,0 +1,313 @@
+"""The NScale-derived baselines: Agglo and Kmeans (Section 5.5.1).
+
+Both operate on the *bipartite* graph — each version's actual record set —
+which is why they are orders of magnitude slower than LyreSplit on large
+histories; that asymmetry is itself one of the paper's results
+(Figure 5.10/5.12), so these implementations intentionally work at the
+record-set level rather than borrowing LyreSplit's count-only shortcuts.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from repro.partition.version_graph import MembershipMap, Partitioning
+
+
+_SIGNATURE_SAMPLE_CAP = 4_000
+
+
+def _minhash_signature(
+    records: frozenset[int], hash_seeds: list[int], modulus: int = (1 << 61) - 1
+) -> tuple[int, ...]:
+    """k-minhash signature of a record set (the NScale 'shingles').
+
+    Very large sets are sampled deterministically before hashing —
+    NScale's shingles are likewise sampling-based — keeping signature
+    cost bounded while preserving similarity estimates.
+    """
+    if len(records) > _SIGNATURE_SAMPLE_CAP:
+        stride = len(records) // _SIGNATURE_SAMPLE_CAP + 1
+        sampled = sorted(records)[::stride]
+    else:
+        sampled = records  # type: ignore[assignment]
+    signature = []
+    for seed in hash_seeds:
+        best = modulus
+        for rid in sampled:
+            value = (rid * seed + 0x9E3779B9) % modulus
+            if value < best:
+                best = value
+        signature.append(best)
+    return tuple(signature)
+
+
+def agglo_partition(
+    membership: MembershipMap,
+    capacity: float,
+    num_hashes: int = 16,
+    lookahead: int = 100,
+    seed: int = 1,
+    time_budget: float | None = None,
+) -> Partitioning:
+    """Agglomerative clustering (NScale Algorithm 4 mapped to versions).
+
+    Every version starts as its own partition; partitions are ordered by
+    their shingle signatures, and each partition greedily merges with the
+    following candidate (within ``lookahead``) sharing the most common
+    shingles, provided (1) the overlap exceeds a sampled threshold τ and
+    (2) the merged record count stays within ``capacity`` (the BC knob
+    binary-searched to hit a storage budget).
+
+    Args:
+        time_budget: Optional wall-clock cutoff in seconds, mirroring the
+            paper's 10-hour cap on the baselines.
+    """
+    started = time.monotonic()
+    rng = random.Random(seed)
+    hash_seeds = [rng.randrange(1, (1 << 61) - 2) for _ in range(num_hashes)]
+
+    vids = list(membership)
+    signatures = {
+        vid: _minhash_signature(membership[vid], hash_seeds) for vid in vids
+    }
+
+    # Sampled threshold τ: median common-shingle count over random pairs.
+    sample_overlaps = []
+    for _ in range(min(64, len(vids) * 2)):
+        a, b = rng.choice(vids), rng.choice(vids)
+        if a == b:
+            continue
+        common = sum(
+            1 for x, y in zip(signatures[a], signatures[b]) if x == y
+        )
+        sample_overlaps.append(common)
+    sample_overlaps.sort()
+    tau = sample_overlaps[len(sample_overlaps) // 2] if sample_overlaps else 0
+
+    # Partition state: list of (version set, record set, signature).
+    partitions: list[tuple[set[int], set[int], tuple[int, ...]]] = [
+        ({vid}, set(membership[vid]), signatures[vid]) for vid in vids
+    ]
+    partitions.sort(key=lambda item: item[2])
+
+    merged = True
+    while merged:
+        merged = False
+        if time_budget is not None and time.monotonic() - started > time_budget:
+            break
+        next_round: list[tuple[set[int], set[int], tuple[int, ...]]] = []
+        consumed = [False] * len(partitions)
+        out_of_time = False
+        for i, (versions, records, signature) in enumerate(partitions):
+            if consumed[i]:
+                continue
+            if (
+                not out_of_time
+                and i % 32 == 0
+                and time_budget is not None
+                and time.monotonic() - started > time_budget
+            ):
+                out_of_time = True
+            if out_of_time:
+                # Budget exhausted mid-round: pass survivors through.
+                next_round.append((versions, records, signature))
+                consumed[i] = True
+                continue
+            best_j = -1
+            best_common = tau
+            for j in range(i + 1, min(i + 1 + lookahead, len(partitions))):
+                if consumed[j]:
+                    continue
+                other_versions, other_records, other_signature = partitions[j]
+                common = sum(
+                    1
+                    for x, y in zip(signature, other_signature)
+                    if x == y
+                )
+                if common <= best_common:
+                    continue
+                if len(records | other_records) > capacity:
+                    continue
+                best_common = common
+                best_j = j
+            if best_j >= 0:
+                other_versions, other_records, _ = partitions[best_j]
+                consumed[best_j] = True
+                union_records = records | other_records
+                union_versions = versions | other_versions
+                next_round.append(
+                    (
+                        union_versions,
+                        union_records,
+                        _minhash_signature(
+                            frozenset(union_records), hash_seeds
+                        ),
+                    )
+                )
+                merged = True
+            else:
+                next_round.append((versions, records, signature))
+            consumed[i] = True
+        partitions = sorted(next_round, key=lambda item: item[2])
+
+    return Partitioning([frozenset(p[0]) for p in partitions])
+
+
+def kmeans_partition(
+    membership: MembershipMap,
+    k: int,
+    capacity: float = float("inf"),
+    iterations: int = 10,
+    seed: int = 1,
+    time_budget: float | None = None,
+) -> Partitioning:
+    """K-means-style clustering (NScale Algorithm 5 mapped to versions).
+
+    K random versions seed the partitions; every other version joins the
+    centroid sharing the most records; centroids become record-set
+    unions; subsequent iterations move versions to whichever partition
+    minimizes the total record count, respecting ``capacity``.
+    """
+    started = time.monotonic()
+    rng = random.Random(seed)
+    vids = list(membership)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    k = min(k, len(vids))
+    seeds = rng.sample(vids, k)
+
+    assignment: dict[int, int] = {}
+    centroids: list[set[int]] = [set(membership[vid]) for vid in seeds]
+    for index, vid in enumerate(seeds):
+        assignment[vid] = index
+
+    # Initial assignment by max record overlap with a centroid.
+    for vid in vids:
+        if vid in assignment:
+            continue
+        records = membership[vid]
+        best = max(
+            range(k), key=lambda c: len(records & centroids[c])
+        )
+        assignment[vid] = best
+        centroids[best] |= records
+
+    for _ in range(iterations):
+        if time_budget is not None and time.monotonic() - started > time_budget:
+            break
+        moved = False
+        for step, vid in enumerate(vids):
+            if (
+                step % 16 == 0
+                and time_budget is not None
+                and time.monotonic() - started > time_budget
+            ):
+                break
+            records = membership[vid]
+            current = assignment[vid]
+            # Cost delta of moving vid into partition c: growth of R_c.
+            best_partition = current
+            best_growth = 0  # moving nowhere costs nothing
+            others_in_current = [
+                v for v, c in assignment.items() if c == current and v != vid
+            ]
+            current_without: set[int] = set()
+            for other in others_in_current:
+                current_without |= membership[other]
+            shrink = len(centroids[current]) - len(current_without)
+            for c in range(k):
+                if c == current:
+                    continue
+                growth = len(records - centroids[c]) - shrink
+                if growth < best_growth:
+                    if len(centroids[c] | records) > capacity:
+                        continue
+                    best_growth = growth
+                    best_partition = c
+            if best_partition != current:
+                assignment[vid] = best_partition
+                centroids[best_partition] |= records
+                centroids[current] = current_without
+                moved = True
+        if not moved:
+            break
+
+    groups: dict[int, set[int]] = {}
+    for vid, c in assignment.items():
+        groups.setdefault(c, set()).add(vid)
+    return Partitioning([frozenset(g) for g in groups.values() if g])
+
+
+def binary_search_capacity(
+    membership: MembershipMap,
+    storage_budget: float,
+    algorithm: str = "agglo",
+    max_iterations: int = 12,
+    time_budget: float | None = None,
+    seed: int = 1,
+) -> Partitioning:
+    """Binary search the baseline's knob (BC for Agglo, K for Kmeans) to
+    find the best partitioning with S ≤ storage_budget (Problem 5.1).
+
+    ``time_budget`` caps *each* clustering call and also the overall
+    search (the paper's 10-hour experiment cutoff, scaled): once the
+    total elapsed time crosses it, the search stops with the best
+    feasible partitioning found so far.
+    """
+    started = time.monotonic()
+
+    def out_of_time() -> bool:
+        return (
+            time_budget is not None
+            and time.monotonic() - started > time_budget
+        )
+
+    total_records = len(
+        frozenset().union(*membership.values()) if membership else frozenset()
+    )
+    best: Partitioning | None = None
+    best_checkout = float("inf")
+    if algorithm == "agglo":
+        low, high = float(max(len(r) for r in membership.values())), float(
+            total_records
+        )
+        for _ in range(max_iterations):
+            if out_of_time():
+                break
+            mid = (low + high) / 2
+            candidate = agglo_partition(
+                membership, capacity=mid, time_budget=time_budget, seed=seed
+            )
+            storage = candidate.storage_cost(membership)
+            if storage <= storage_budget:
+                checkout = candidate.checkout_cost(membership)
+                if checkout < best_checkout:
+                    best, best_checkout = candidate, checkout
+                # Smaller capacity → more partitions → more storage;
+                # a feasible capacity can shrink to cut checkout further.
+                high = mid
+            else:
+                low = mid
+    elif algorithm == "kmeans":
+        low, high = 1, max(1, len(membership))
+        while low <= high:
+            if out_of_time():
+                break
+            mid = (low + high) // 2
+            candidate = kmeans_partition(
+                membership, k=mid, time_budget=time_budget, seed=seed
+            )
+            storage = candidate.storage_cost(membership)
+            if storage <= storage_budget:
+                checkout = candidate.checkout_cost(membership)
+                if checkout < best_checkout:
+                    best, best_checkout = candidate, checkout
+                low = mid + 1  # more partitions still fit the budget
+            else:
+                high = mid - 1
+    else:
+        raise ValueError(f"unknown baseline {algorithm!r}")
+    if best is None:
+        best = Partitioning([frozenset(membership)])
+    return best

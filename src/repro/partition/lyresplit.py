@@ -1,0 +1,278 @@
+"""LyreSplit (Algorithm 5.1) and the δ binary search for Problem 5.1.
+
+LyreSplit operates only on the version tree: starting from all versions
+in one partition, it recursively splits any component violating
+``|R|·|V| < |E|/δ`` by cutting a light edge (weight ≤ δ|R|), whose
+existence Lemma 5.1 guarantees. The result is a
+((1+δ)^ℓ, 1/δ)-approximation (Theorem 5.2), where ℓ is the recursion
+depth. For a storage budget γ, :func:`lyresplit_for_budget` binary
+searches δ using the superset property of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.partition.version_graph import (
+    Partitioning,
+    VersionGraph,
+    VersionTree,
+)
+
+EdgeRule = Literal["balanced", "min_weight"]
+
+
+@dataclass
+class LyreSplitResult:
+    """Outcome of one LyreSplit run.
+
+    Attributes:
+        partitioning: The version partitioning.
+        delta: The δ used.
+        recursion_depth: ℓ, the deepest recursion level reached (0 when
+            no split happened) — the exponent in the storage guarantee.
+        estimated_storage: S from the tree formula (counts R̂ as new).
+        estimated_checkout: C_avg from the tree formula.
+    """
+
+    partitioning: Partitioning
+    delta: float
+    recursion_depth: int
+    estimated_storage: int
+    estimated_checkout: float
+
+
+def lyresplit(
+    graph: VersionGraph | VersionTree,
+    delta: float,
+    edge_rule: EdgeRule = "balanced",
+) -> LyreSplitResult:
+    """Run LyreSplit with a fixed δ.
+
+    Args:
+        graph: A version graph (reduced to a tree first if it has merges)
+            or an already-built version tree.
+        delta: δ ∈ (0, 1]; larger δ → more partitions, less checkout
+            cost, more storage.
+        edge_rule: How to choose among candidate light edges —
+            ``balanced`` (the paper's experimental choice: minimize the
+            version-count difference between the two sides, tie-breaking
+            on record balance) or ``min_weight``.
+    """
+    if not 0.0 < delta <= 1.0:
+        raise ValueError("delta must be in (0, 1]")
+    tree = graph.to_tree() if isinstance(graph, VersionGraph) else graph
+    # Per-call precomputation (rebuilding these per split would make the
+    # algorithm quadratic in |V| instead of the paper's O(n*levels)).
+    children = tree.children_map()
+    order_index = {vid: i for i, vid in enumerate(tree.order)}
+    roots = [vid for vid, parent in tree.parent.items() if parent is None]
+
+    groups: list[frozenset[int]] = []
+    max_depth = 0
+
+    # Explicit work stack of (component_members, cut_edges_forbidden,
+    # depth); recursion in Python would overflow on long chains.
+    stack: list[tuple[list[int], set[int], int]] = []
+    for root in roots:
+        component = _subtree_members(root, children)
+        stack.append((component, set(), 0))
+
+    while stack:
+        component, severed, depth = stack.pop()
+        max_depth = max(max_depth, depth)
+        members = set(component)
+        num_versions, num_records, num_edges = tree.estimated_component_stats(
+            component
+        )
+        if num_records * num_versions < num_edges / delta or num_versions <= 1:
+            groups.append(frozenset(component))
+            continue
+        edge_child = _pick_edge(
+            tree,
+            component,
+            members,
+            severed,
+            delta,
+            num_records,
+            edge_rule,
+            children,
+            order_index,
+        )
+        if edge_child is None:
+            # No light edge (can occur off the tree-history assumptions);
+            # accept the component rather than loop forever.
+            groups.append(frozenset(component))
+            continue
+        severed = severed | {edge_child}
+        below = [
+            vid
+            for vid in _subtree_members(
+                edge_child, children, blocked=severed - {edge_child}
+            )
+            if vid in members
+        ]
+        below_set = set(below)
+        above = [vid for vid in component if vid not in below_set]
+        stack.append((above, severed, depth + 1))
+        stack.append((below, severed, depth + 1))
+
+    partitioning = Partitioning(groups)
+    storage, checkout = partitioning.estimated_costs(tree)
+    return LyreSplitResult(
+        partitioning=partitioning,
+        delta=delta,
+        recursion_depth=max_depth,
+        estimated_storage=storage,
+        estimated_checkout=checkout,
+    )
+
+
+def _subtree_members(
+    root: int,
+    children: dict[int, list[int]],
+    blocked: set[int] | None = None,
+) -> list[int]:
+    """All nodes reachable downward from ``root`` without crossing into a
+    ``blocked`` child (a previously severed edge)."""
+    members = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        members.append(node)
+        for child in children[node]:
+            if blocked is None or child not in blocked:
+                stack.append(child)
+    return members
+
+
+def _pick_edge(
+    tree: VersionTree,
+    component: list[int],
+    members: set[int],
+    severed: set[int],
+    delta: float,
+    num_records: int,
+    edge_rule: EdgeRule,
+    children: dict[int, list[int]],
+    order_index: dict[int, int],
+) -> int | None:
+    """Pick the edge to cut; returns the child endpoint, or None.
+
+    Candidate edges Ω are in-component tree edges with weight ≤ δ|R|.
+    """
+    threshold = delta * num_records
+    candidates = [
+        vid
+        for vid in component
+        if vid not in severed
+        and tree.parent[vid] is not None
+        and tree.parent[vid] in members
+        and tree.weight_to_parent[vid] <= threshold
+    ]
+    if not candidates:
+        return None
+    if edge_rule == "min_weight":
+        return min(
+            candidates, key=lambda vid: (tree.weight_to_parent[vid], vid)
+        )
+
+    # "balanced": minimize |versions(below) - versions(above)|, breaking
+    # ties on the record balance between the two sides. One O(|component|)
+    # bottom-up pass over the component.
+    subtree_versions: dict[int, int] = {}
+    subtree_records: dict[int, int] = {}
+    for vid in sorted(component, key=order_index.__getitem__, reverse=True):
+        versions_below = 1
+        records_below = tree.nodes[vid]
+        for child in children[vid]:
+            if child in members and child not in severed:
+                versions_below += subtree_versions[child]
+                records_below += (
+                    subtree_records[child] - tree.weight_to_parent[child]
+                )
+        subtree_versions[vid] = versions_below
+        subtree_records[vid] = records_below
+
+    total_versions = len(component)
+    total_records = num_records
+
+    def balance_key(vid: int) -> tuple[int, int, int]:
+        below_v = subtree_versions[vid]
+        below_r = subtree_records[vid]
+        return (
+            abs((total_versions - below_v) - below_v),
+            abs((total_records - below_r) - below_r),
+            vid,
+        )
+
+    return min(candidates, key=balance_key)
+
+
+def lyresplit_for_budget(
+    graph: VersionGraph | VersionTree,
+    storage_budget: float,
+    membership=None,
+    edge_rule: EdgeRule = "balanced",
+    max_iterations: int = 40,
+    tolerance: float = 0.01,
+) -> LyreSplitResult:
+    """Solve Problem 5.1: minimize C_avg subject to S ≤ γ.
+
+    Binary search on δ over [|E|/(|R||V|), 1]. As δ grows the cut-edge
+    set only grows (superset property), so storage is monotonically
+    non-decreasing in δ and binary search applies. Storage during the
+    search is the estimated cost unless ``membership`` is given, in which
+    case the exact record-union storage is used (the form the benchmarks
+    report).
+
+    Returns the best feasible result found; if even the single-partition
+    solution exceeds γ, that minimal-storage solution is returned.
+    """
+    tree = graph.to_tree() if isinstance(graph, VersionGraph) else graph
+    num_records_total = tree.estimated_component_stats(list(tree.nodes))[1]
+    num_edges = sum(tree.nodes.values())
+    num_versions = len(tree.nodes)
+
+    def storage_of(result: LyreSplitResult) -> float:
+        if membership is not None:
+            return result.partitioning.storage_cost(membership)
+        return result.estimated_storage
+
+    low = num_edges / max(num_records_total * num_versions, 1)
+    low = min(max(low, 1e-9), 1.0)
+    high = 1.0
+
+    # The minimal-storage solution: everything in one partition per root.
+    roots_partitioning = Partitioning(
+        [frozenset(tree.nodes)]
+    )
+    storage_all, checkout_all = roots_partitioning.estimated_costs(tree)
+    single = LyreSplitResult(
+        partitioning=roots_partitioning,
+        delta=low,
+        recursion_depth=0,
+        estimated_storage=storage_all,
+        estimated_checkout=checkout_all,
+    )
+    if storage_of(single) > storage_budget:
+        return single  # budget below even the unpartitioned storage
+    best: LyreSplitResult | None = single
+
+    for _ in range(max_iterations):
+        mid = (low + high) / 2
+        result = lyresplit(tree, mid, edge_rule)
+        storage = storage_of(result)
+        if storage <= storage_budget:
+            if (
+                best is None
+                or result.estimated_checkout < best.estimated_checkout
+            ):
+                best = result
+            low = mid
+            if storage >= (1.0 - tolerance) * storage_budget:
+                break
+        else:
+            high = mid
+    return best

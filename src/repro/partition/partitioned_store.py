@@ -1,0 +1,391 @@
+"""A partitioned split-by-rlist store with online maintenance & migration.
+
+This is the hybrid representation Chapter 5 builds: split-by-rlist within
+each partition, a-table-per-version in the limit of one version per
+partition. Each partition owns a data table (union of its versions'
+records — records duplicate across partitions) and a versioning table; a
+checkout touches exactly one partition.
+
+Online maintenance (Section 5.4): a committed version joins its closest
+parent's partition when it shares enough records (w > δ*·|R|) and the
+storage budget allows, otherwise it opens a new partition. When the live
+checkout cost C_avg drifts beyond µ·C*_avg (C*_avg re-computed by
+LyreSplit), the migration engine rebuilds partitions — intelligently
+reusing the closest existing partitions instead of rebuilding from
+scratch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.models.base import DataModel, RecordRow
+from repro.core.models.split_by_rlist import SplitByRlistModel
+from repro.partition.lyresplit import lyresplit_for_budget
+from repro.partition.version_graph import (
+    Partitioning,
+    build_version_graph,
+)
+
+
+@dataclass
+class MigrationStats:
+    """Bookkeeping for one migration-engine invocation."""
+
+    commits_at: int
+    records_inserted: int
+    records_deleted: int
+    partitions_rebuilt: int
+    partitions_reused: int
+    wall_seconds: float
+    strategy: str
+
+
+class PartitionedRlistStore(DataModel):
+    """Drop-in :class:`DataModel` storing split-by-rlist per partition."""
+
+    model_name = "partitioned_rlist"
+
+    def __init__(
+        self,
+        database,
+        cvd_name,
+        data_schema,
+        storage_threshold_factor: float = 2.0,
+        tolerance: float = 1.5,
+        auto_migrate: bool = False,
+        migration_strategy: str = "intelligent",
+        join_algorithm: str = "hash",
+    ) -> None:
+        """Args:
+        storage_threshold_factor: γ/|R| — the storage budget as a
+            multiple of the distinct record count.
+        tolerance: µ — migration triggers when C_avg > µ·C*_avg.
+        auto_migrate: When True, every commit checks the tolerance and
+            migrates on violation (the streaming experiment mode).
+        migration_strategy: ``intelligent`` (reuse closest partitions) or
+            ``naive`` (rebuild everything from scratch).
+        """
+        super().__init__(database, cvd_name, data_schema)
+        self.storage_threshold_factor = storage_threshold_factor
+        self.tolerance = tolerance
+        self.auto_migrate = auto_migrate
+        self.migration_strategy = migration_strategy
+        self.join_algorithm = join_algorithm
+        self._partitions: list[SplitByRlistModel] = []
+        self._partition_records: list[set[int]] = []
+        self._partition_versions: list[set[int]] = []
+        self._partition_of: dict[int, int] = {}
+        self._suffix_counter = 0
+        #: CVD-wide state mirrored from commits.
+        self._payloads: dict[int, tuple] = {}
+        self._membership: dict[int, frozenset[int]] = {}
+        self._parents: dict[int, tuple[int, ...]] = {}
+        self._order: list[int] = []
+        #: δ* from the last LyreSplit run (splitting parameter reused by
+        #: the online rule); starts permissive so early commits cluster.
+        self._delta_star = 0.1
+        self.migrations: list[MigrationStats] = []
+
+    # ------------------------------------------------------------------
+    # DataModel interface
+    # ------------------------------------------------------------------
+    def table_names(self) -> list[str]:
+        names: list[str] = []
+        for partition in self._partitions:
+            names.extend(partition.table_names())
+        return names
+
+    def commit_version(
+        self,
+        vid: int,
+        parents: Sequence[int],
+        membership: frozenset[int],
+        new_records: Mapping[int, tuple],
+        parent_membership: Mapping[int, frozenset[int]],
+    ) -> None:
+        self._payloads.update(new_records)
+        self._membership[vid] = membership
+        self._parents[vid] = tuple(parents)
+        self._order.append(vid)
+
+        target = self._route_commit(vid, parents, membership)
+        self._add_version_to_partition(vid, membership, target)
+
+        if self.auto_migrate and len(self._order) > 1:
+            self.maybe_migrate()
+
+    def checkout_rids(self, vid: int) -> list[RecordRow]:
+        index = self._partition_of[vid]
+        return self._partitions[index].checkout_rids(vid)
+
+    def storage_bytes(self) -> int:
+        return sum(p.storage_bytes() for p in self._partitions)
+
+    def drop(self) -> None:
+        for partition in self._partitions:
+            partition.drop()
+        self._partitions.clear()
+        self._partition_records.clear()
+        self._partition_versions.clear()
+        self._partition_of.clear()
+
+    # ------------------------------------------------------------------
+    # Online maintenance (Section 5.4)
+    # ------------------------------------------------------------------
+    def _route_commit(
+        self,
+        vid: int,
+        parents: Sequence[int],
+        membership: frozenset[int],
+    ) -> int | None:
+        """Choose an existing partition for the new version, or None to
+        open a fresh one."""
+        if not self._partitions:
+            return None
+        best_index: int | None = None
+        best_weight = -1
+        for parent in parents:
+            index = self._partition_of.get(parent)
+            if index is None:
+                continue
+            weight = len(self._membership[parent] & membership)
+            if weight > best_weight:
+                best_weight = weight
+                best_index = index
+        if best_index is None:
+            return None
+        total_records = len(self._payloads)
+        budget = self.storage_threshold_factor * total_records
+        current_storage = sum(len(r) for r in self._partition_records)
+        # Open a new partition when the parent overlap is light *and*
+        # storage allows; otherwise join the parent's partition.
+        if (
+            best_weight <= self._delta_star * total_records
+            and current_storage + len(membership) <= budget
+        ):
+            return None
+        return best_index
+
+    def _add_version_to_partition(
+        self, vid: int, membership: frozenset[int], index: int | None
+    ) -> None:
+        if index is None:
+            partition = self._new_partition()
+            index = len(self._partitions) - 1
+        else:
+            partition = self._partitions[index]
+        missing = membership - self._partition_records[index]
+        for rid in sorted(missing):
+            partition.data_table.insert((rid, *self._payloads[rid]))
+        partition.versioning_table.insert((vid, sorted(membership)))
+        self._partition_records[index] |= membership
+        self._partition_versions[index].add(vid)
+        self._partition_of[vid] = index
+
+    def _new_partition(self) -> SplitByRlistModel:
+        self._suffix_counter += 1
+        partition = SplitByRlistModel(
+            self.database,
+            self.cvd_name,
+            self.data_schema,
+            join_algorithm=self.join_algorithm,
+            table_suffix=f"_p{self._suffix_counter}",
+        )
+        self._partitions.append(partition)
+        self._partition_records.append(set())
+        self._partition_versions.append(set())
+        return partition
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+    def current_partitioning(self) -> Partitioning:
+        return Partitioning(
+            [frozenset(v) for v in self._partition_versions if v]
+        )
+
+    def current_checkout_cost(self) -> float:
+        """C_avg over the live partitions, in records."""
+        total = 0
+        for versions, records in zip(
+            self._partition_versions, self._partition_records
+        ):
+            total += len(versions) * len(records)
+        n = len(self._order)
+        return total / n if n else 0.0
+
+    def current_storage_cost(self) -> int:
+        return sum(len(r) for r in self._partition_records)
+
+    def best_partitioning(self) -> tuple[Partitioning, float]:
+        """Run LyreSplit under the current budget; returns (P*, C*_avg)."""
+        graph = build_version_graph(
+            self._membership, self._order, self._parents
+        )
+        budget = self.storage_threshold_factor * len(self._payloads)
+        result = lyresplit_for_budget(
+            graph, budget, membership=self._membership
+        )
+        self._delta_star = result.delta
+        checkout = result.partitioning.checkout_cost(self._membership)
+        return result.partitioning, checkout
+
+    def maybe_migrate(self) -> MigrationStats | None:
+        """Trigger the migration engine if C_avg > µ·C*_avg."""
+        target, best_cost = self.best_partitioning()
+        if best_cost <= 0:
+            return None
+        if self.current_checkout_cost() <= self.tolerance * best_cost:
+            return None
+        return self.migrate_to(target)
+
+    def optimize(
+        self,
+        storage_threshold_factor: float | None = None,
+        tolerance: float | None = None,
+    ) -> Partitioning:
+        """The ``optimize`` command: recompute and migrate unconditionally."""
+        if storage_threshold_factor is not None:
+            self.storage_threshold_factor = storage_threshold_factor
+        if tolerance is not None:
+            self.tolerance = tolerance
+        target, _cost = self.best_partitioning()
+        self.migrate_to(target)
+        return target
+
+    # ------------------------------------------------------------------
+    # Migration engine (Section 5.4)
+    # ------------------------------------------------------------------
+    def migrate_to(self, target: Partitioning) -> MigrationStats:
+        started = time.monotonic()
+        inserted = 0
+        deleted = 0
+        rebuilt = 0
+        reused = 0
+
+        new_groups = [set(group) for group in target.groups]
+        new_records = [
+            set().union(*(self._membership[v] for v in group))
+            if group
+            else set()
+            for group in new_groups
+        ]
+
+        if self.migration_strategy == "naive":
+            plan: list[tuple[int, int | None]] = [
+                (i, None) for i in range(len(new_groups))
+            ]
+        else:
+            plan = self._match_partitions(new_groups, new_records)
+
+        old_partitions = self._partitions
+        old_records = self._partition_records
+
+        self._partitions = []
+        self._partition_records = []
+        self._partition_versions = []
+        self._partition_of = {}
+
+        used_old: set[int] = set()
+        for new_index, old_index in plan:
+            group = new_groups[new_index]
+            records = new_records[new_index]
+            if old_index is None:
+                partition = self._new_partition()
+                for rid in sorted(records):
+                    partition.data_table.insert((rid, *self._payloads[rid]))
+                inserted += len(records)
+                rebuilt += 1
+                index = len(self._partitions) - 1
+            else:
+                # Reuse: adjust the old partition's data table in place.
+                used_old.add(old_index)
+                partition = old_partitions[old_index]
+                self._partitions.append(partition)
+                self._partition_records.append(set())
+                self._partition_versions.append(set())
+                index = len(self._partitions) - 1
+                existing = old_records[old_index]
+                to_insert = records - existing
+                to_delete = existing - records
+                for rid in sorted(to_insert):
+                    partition.data_table.insert((rid, *self._payloads[rid]))
+                if to_delete:
+                    from repro.relational.expressions import InSet, col
+
+                    partition.data_table.delete_where(
+                        InSet(col("rid"), frozenset(to_delete))
+                    )
+                inserted += len(to_insert)
+                deleted += len(to_delete)
+                reused += 1
+                # Reset the versioning table for the new version set.
+                self._reset_versioning(partition)
+            self._partition_records[index] = set(records)
+            self._partition_versions[index] = set(group)
+            for vid in group:
+                self._partition_of[vid] = index
+                partition.versioning_table.insert(
+                    (vid, sorted(self._membership[vid]))
+                )
+
+        # Drop old partitions that were not reused.
+        for old_index, partition in enumerate(old_partitions):
+            if old_index not in used_old:
+                partition.drop()
+
+        stats = MigrationStats(
+            commits_at=len(self._order),
+            records_inserted=inserted,
+            records_deleted=deleted,
+            partitions_rebuilt=rebuilt,
+            partitions_reused=reused,
+            wall_seconds=time.monotonic() - started,
+            strategy=self.migration_strategy,
+        )
+        self.migrations.append(stats)
+        return stats
+
+    def _reset_versioning(self, partition: SplitByRlistModel) -> None:
+        from repro.relational.expressions import lit
+
+        partition.versioning_table.delete_where(lit(True))
+        partition.versioning_table.vacuum()
+
+    def _match_partitions(
+        self,
+        new_groups: list[set[int]],
+        new_records: list[set[int]],
+    ) -> list[tuple[int, int | None]]:
+        """Greedy closest-partition matching by modification cost.
+
+        Modification cost of turning old partition j into new partition i
+        is |R'_i \\ R_j| + |R_j \\ R'_i|, computed through version overlap
+        (cheap: via the version graph / membership map) rather than raw
+        record diffs. Build-from-scratch (cost |R'_i|) wins when cheaper.
+        """
+        candidates: list[tuple[int, int, int]] = []
+        for i, records in enumerate(new_records):
+            for j, old in enumerate(self._partition_records):
+                if not (new_groups[i] & self._partition_versions[j]):
+                    continue  # no common versions: unlikely to be close
+                cost = len(records - old) + len(old - records)
+                if cost < len(records):
+                    candidates.append((cost, i, j))
+        candidates.sort()
+        assigned_new: set[int] = set()
+        assigned_old: set[int] = set()
+        plan: list[tuple[int, int | None]] = []
+        for cost, i, j in candidates:
+            if i in assigned_new or j in assigned_old:
+                continue
+            plan.append((i, j))
+            assigned_new.add(i)
+            assigned_old.add(j)
+        for i in range(len(new_groups)):
+            if i not in assigned_new:
+                plan.append((i, None))
+        return plan

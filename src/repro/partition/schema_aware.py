@@ -1,0 +1,122 @@
+"""Schema-change-aware partitioning (Section 5.3.3).
+
+Under the single-pool schema-evolution scheme, versions can differ in
+their *attributes* as well as their records. The splitting rule becomes:
+edge (v_i, v_j) is a candidate when
+
+    a(v_i, v_j) · w(v_i, v_j)  ≤  δ · |A| · |R|
+
+where a(·,·) counts common attributes and |A| is the total number of
+attributes across versions. With a fixed schema a(v_i, v_j) = |A| and the
+rule reduces to plain LyreSplit's w ≤ δ|R|.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.partition.lyresplit import LyreSplitResult
+from repro.partition.version_graph import Partitioning, VersionTree
+
+
+def lyresplit_schema_aware(
+    tree: VersionTree,
+    delta: float,
+    version_attributes: Mapping[int, frozenset[int]],
+) -> LyreSplitResult:
+    """LyreSplit with the attribute-weighted splitting rule.
+
+    Args:
+        tree: The version tree (reduce a DAG first).
+        delta: δ ∈ (0, 1].
+        version_attributes: vid -> set of attribute ids present in that
+            version (from the CVD's metadata table).
+    """
+    if not 0.0 < delta <= 1.0:
+        raise ValueError("delta must be in (0, 1]")
+    children = tree.children_map()
+    roots = [vid for vid, parent in tree.parent.items() if parent is None]
+
+    groups: list[frozenset[int]] = []
+    max_depth = 0
+    stack: list[tuple[list[int], int]] = [
+        (_subtree(root, children), 0) for root in roots
+    ]
+    severed: set[int] = set()
+
+    while stack:
+        component, depth = stack.pop()
+        max_depth = max(max_depth, depth)
+        members = set(component)
+        num_versions = len(component)
+        # Cell-weighted stats: a version's weight is records × attributes
+        # and an edge's weight is common records × common attributes, so
+        # both storage and the split rule account for schema divergence.
+        edge_cells = 0
+        common_cells = 0
+        for vid in component:
+            edge_cells += tree.nodes[vid] * len(version_attributes[vid])
+            parent = tree.parent[vid]
+            if parent is not None and parent in members:
+                common_cells += tree.weight_to_parent[vid] * len(
+                    version_attributes[vid] & version_attributes[parent]
+                )
+        record_cells = edge_cells - common_cells
+        if (
+            record_cells * num_versions < edge_cells / delta
+            or num_versions <= 1
+        ):
+            groups.append(frozenset(component))
+            continue
+        threshold = delta * record_cells
+        candidates = []
+        for vid in component:
+            parent = tree.parent[vid]
+            if parent is None or parent not in members or vid in severed:
+                continue
+            common_attributes = len(
+                version_attributes[vid] & version_attributes[parent]
+            )
+            score = common_attributes * tree.weight_to_parent[vid]
+            if score <= threshold:
+                candidates.append((score, vid))
+        if not candidates:
+            groups.append(frozenset(component))
+            continue
+        _score, cut_child = min(candidates)
+        severed.add(cut_child)
+        below = [
+            v
+            for v in _subtree(cut_child, children, blocked=severed - {cut_child})
+            if v in members
+        ]
+        below_set = set(below)
+        above = [v for v in component if v not in below_set]
+        stack.append((above, depth + 1))
+        stack.append((below, depth + 1))
+
+    partitioning = Partitioning(groups)
+    storage, checkout = partitioning.estimated_costs(tree)
+    return LyreSplitResult(
+        partitioning=partitioning,
+        delta=delta,
+        recursion_depth=max_depth,
+        estimated_storage=storage,
+        estimated_checkout=checkout,
+    )
+
+
+def _subtree(
+    root: int,
+    children: dict[int, list[int]],
+    blocked: set[int] | None = None,
+) -> list[int]:
+    members = []
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        members.append(node)
+        for child in children[node]:
+            if blocked is None or child not in blocked:
+                stack.append(child)
+    return members

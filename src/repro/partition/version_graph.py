@@ -1,0 +1,257 @@
+"""Version graphs, version trees, and the partitioning cost model.
+
+Definitions follow Section 5.1: given versions V and records R, the
+version-record bipartite graph G=(V,R,E) has an edge (v,r) when version v
+contains record r. A *partitioning* assigns every version to exactly one
+partition; each partition stores the union of its versions' records, so
+records may be duplicated across partitions. The two costs are
+
+* storage  S      = Σ_k |R_k|
+* checkout C_avg  = Σ_k |V_k|·|R_k| / n
+
+The version graph G=(V,E) is the far smaller structure LyreSplit works
+on: nodes annotated with |R(v)|, edges (parent, child) annotated with
+w(parent, child) = |common records|.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+MembershipMap = Mapping[int, frozenset[int]]
+"""vid -> rids of that version."""
+
+
+@dataclass
+class VersionGraph:
+    """The derivation DAG with record counts and common-record weights.
+
+    Attributes:
+        nodes: vid -> |R(v)|.
+        parents: vid -> parent vids in derivation order.
+        weights: (parent, child) -> w(parent, child).
+        order: vids in topological (commit) order.
+    """
+
+    nodes: dict[int, int] = field(default_factory=dict)
+    parents: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    weights: dict[tuple[int, int], int] = field(default_factory=dict)
+    order: list[int] = field(default_factory=list)
+
+    @property
+    def num_versions(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_bipartite_edges(self) -> int:
+        """|E| of the bipartite graph: Σ|R(v)|."""
+        return sum(self.nodes.values())
+
+    def is_tree(self) -> bool:
+        return all(len(p) <= 1 for p in self.parents.values())
+
+    def to_tree(self) -> "VersionTree":
+        """The DAG→tree reduction of Section 5.3.1.
+
+        Each merge version keeps only its max-weight incoming edge; the
+        records it inherited from other parents count as conceptual
+        duplicates R̂ charged to the estimated storage.
+        """
+        tree_parent: dict[int, int | None] = {}
+        tree_weight: dict[int, int] = {}
+        for vid in self.order:
+            incoming = self.parents[vid]
+            if not incoming:
+                tree_parent[vid] = None
+                tree_weight[vid] = 0
+                continue
+            best = max(incoming, key=lambda p: (self.weights[(p, vid)], -p))
+            tree_parent[vid] = best
+            tree_weight[vid] = self.weights[(best, vid)]
+        return VersionTree(
+            nodes=dict(self.nodes),
+            parent=tree_parent,
+            weight_to_parent=tree_weight,
+            order=list(self.order),
+        )
+
+
+@dataclass
+class VersionTree:
+    """A rooted forest of versions (the input LyreSplit actually splits).
+
+    Attributes:
+        nodes: vid -> |R(v)|.
+        parent: vid -> parent vid (None for roots).
+        weight_to_parent: vid -> w(parent(v), v); 0 for roots.
+        order: topological order (parents precede children).
+    """
+
+    nodes: dict[int, int]
+    parent: dict[int, int | None]
+    weight_to_parent: dict[int, int]
+    order: list[int]
+
+    def children_map(self) -> dict[int, list[int]]:
+        children: dict[int, list[int]] = {vid: [] for vid in self.nodes}
+        for vid, parent in self.parent.items():
+            if parent is not None:
+                children[parent].append(vid)
+        return children
+
+    def estimated_component_stats(
+        self, component: Sequence[int]
+    ) -> tuple[int, int, int]:
+        """(|V|, |R|, |E|) of a connected subtree, from counts alone.
+
+        |R| uses the tree identity of Lemma 5.1's proof:
+        |R| = Σ R(v) − Σ w(v, parent(v)) over in-component edges. Exact
+        for tree-shaped histories where each record's occurrence set is a
+        connected subtree.
+        """
+        members = set(component)
+        total_records = 0
+        total_edges = 0
+        shared = 0
+        for vid in component:
+            size = self.nodes[vid]
+            total_edges += size
+            total_records += size
+            parent = self.parent[vid]
+            if parent is not None and parent in members:
+                shared += self.weight_to_parent[vid]
+        return len(members), total_records - shared, total_edges
+
+
+def build_version_graph(membership: MembershipMap, order: Sequence[int],
+                        parents: Mapping[int, Sequence[int]]) -> VersionGraph:
+    """Build a :class:`VersionGraph` from version memberships."""
+    graph = VersionGraph()
+    for vid in order:
+        graph.nodes[vid] = len(membership[vid])
+        parent_tuple = tuple(parents[vid])
+        graph.parents[vid] = parent_tuple
+        for parent in parent_tuple:
+            graph.weights[(parent, vid)] = len(
+                membership[parent] & membership[vid]
+            )
+        graph.order.append(vid)
+    return graph
+
+
+def graph_from_history(history) -> VersionGraph:
+    """Convenience builder from a :class:`~repro.datasets.VersionedHistory`."""
+    membership = {c.vid: c.rids for c in history.commits}
+    order = [c.vid for c in history.commits]
+    parents = {c.vid: c.parents for c in history.commits}
+    return build_version_graph(membership, order, parents)
+
+
+@dataclass
+class Partitioning:
+    """An assignment of versions to partitions, plus its cost model."""
+
+    groups: list[frozenset[int]]
+
+    def __post_init__(self) -> None:
+        seen: set[int] = set()
+        for group in self.groups:
+            overlap = seen & group
+            if overlap:
+                raise ValueError(
+                    f"versions {sorted(overlap)[:5]} appear in more than "
+                    "one partition"
+                )
+            seen |= group
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.groups)
+
+    def partition_of(self, vid: int) -> int:
+        for index, group in enumerate(self.groups):
+            if vid in group:
+                return index
+        raise KeyError(f"version {vid} is in no partition")
+
+    def assignment(self) -> dict[int, int]:
+        """vid -> partition index."""
+        result: dict[int, int] = {}
+        for index, group in enumerate(self.groups):
+            for vid in group:
+                result[vid] = index
+        return result
+
+    # ------------------------------------------------------------------
+    # Exact costs (from real record sets)
+    # ------------------------------------------------------------------
+    def partition_records(
+        self, membership: MembershipMap
+    ) -> list[frozenset[int]]:
+        """R_k: the union of member versions' records, per partition."""
+        result: list[frozenset[int]] = []
+        for group in self.groups:
+            union: set[int] = set()
+            for vid in group:
+                union |= membership[vid]
+            result.append(frozenset(union))
+        return result
+
+    def storage_cost(self, membership: MembershipMap) -> int:
+        """S = Σ|R_k| (in records)."""
+        return sum(len(r) for r in self.partition_records(membership))
+
+    def checkout_cost(self, membership: MembershipMap) -> float:
+        """C_avg = Σ|V_k||R_k| / n (in records)."""
+        total_versions = sum(len(g) for g in self.groups)
+        if total_versions == 0:
+            return 0.0
+        total = 0
+        for group, records in zip(
+            self.groups, self.partition_records(membership)
+        ):
+            total += len(group) * len(records)
+        return total / total_versions
+
+    def weighted_checkout_cost(
+        self, membership: MembershipMap, frequencies: Mapping[int, float]
+    ) -> float:
+        """C_w = Σ_i f_i·C_i / Σ_i f_i (Section 5.3.2)."""
+        total_weight = 0.0
+        total = 0.0
+        for group, records in zip(
+            self.groups, self.partition_records(membership)
+        ):
+            for vid in group:
+                weight = frequencies.get(vid, 1.0)
+                total += weight * len(records)
+                total_weight += weight
+        return total / total_weight if total_weight else 0.0
+
+    # ------------------------------------------------------------------
+    # Estimated costs (tree formula; what LyreSplit optimizes)
+    # ------------------------------------------------------------------
+    def estimated_costs(self, tree: VersionTree) -> tuple[int, float]:
+        """(S, C_avg) from subtree counts, treating R̂ as distinct."""
+        total_storage = 0
+        weighted = 0
+        total_versions = 0
+        for group in self.groups:
+            num_versions, num_records, _edges = (
+                tree.estimated_component_stats(sorted(group))
+            )
+            total_storage += num_records
+            weighted += num_versions * num_records
+            total_versions += num_versions
+        checkout = weighted / total_versions if total_versions else 0.0
+        return total_storage, checkout
+
+    def validate_cover(self, vids: Sequence[int]) -> None:
+        """Every vid in exactly one partition."""
+        covered: set[int] = set()
+        for group in self.groups:
+            covered |= group
+        missing = set(vids) - covered
+        if missing:
+            raise ValueError(f"versions not covered: {sorted(missing)[:5]}")

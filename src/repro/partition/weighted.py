@@ -1,0 +1,122 @@
+"""Weighted checkout frequencies (Section 5.3.2).
+
+When versions are checked out with different frequencies f_i, LyreSplit
+still applies after a reduction: duplicate each version f_i times into a
+chain in a constructed tree T', run LyreSplit on T', then post-process by
+pulling all replicas of a version into the replica partition with the
+fewest records. The approximation bound carries over unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.partition.lyresplit import EdgeRule, LyreSplitResult, lyresplit
+from repro.partition.version_graph import (
+    MembershipMap,
+    Partitioning,
+    VersionGraph,
+    VersionTree,
+)
+
+
+def expand_weighted_tree(
+    tree: VersionTree, frequencies: Mapping[int, int]
+) -> tuple[VersionTree, dict[int, int]]:
+    """Build T' by replicating each version f_i times into a chain.
+
+    Returns the expanded tree plus a map from replica id to original vid.
+    Replica ids are synthetic and dense, so they never collide with
+    original vids.
+    """
+    nodes: dict[int, int] = {}
+    parent: dict[int, int | None] = {}
+    weight: dict[int, int] = {}
+    order: list[int] = []
+    replica_of: dict[int, int] = {}
+    first_replica: dict[int, int] = {}
+    last_replica: dict[int, int] = {}
+    next_id = 0
+    for vid in tree.order:
+        f = int(frequencies.get(vid, 1))
+        if f < 1:
+            raise ValueError(f"frequency for version {vid} must be >= 1")
+        for j in range(f):
+            replica = next_id
+            next_id += 1
+            replica_of[replica] = vid
+            nodes[replica] = tree.nodes[vid]
+            order.append(replica)
+            if j == 0:
+                first_replica[vid] = replica
+                original_parent = tree.parent[vid]
+                if original_parent is None:
+                    parent[replica] = None
+                    weight[replica] = 0
+                else:
+                    parent[replica] = last_replica[original_parent]
+                    weight[replica] = tree.weight_to_parent[vid]
+            else:
+                parent[replica] = replica - 1
+                # A version shares all its records with its own replica.
+                weight[replica] = tree.nodes[vid]
+            last_replica[vid] = replica
+    expanded = VersionTree(
+        nodes=nodes, parent=parent, weight_to_parent=weight, order=order
+    )
+    return expanded, replica_of
+
+
+def lyresplit_weighted(
+    graph: VersionGraph | VersionTree,
+    delta: float,
+    frequencies: Mapping[int, int],
+    membership: MembershipMap | None = None,
+    edge_rule: EdgeRule = "balanced",
+) -> LyreSplitResult:
+    """Run weighted LyreSplit; returns a result over the *original* vids.
+
+    The post-processing step assigns each original version to, among the
+    partitions its replicas landed in, the one with the fewest records
+    (measured exactly when ``membership`` is given, otherwise by the
+    estimated component record count).
+    """
+    tree = graph.to_tree() if isinstance(graph, VersionGraph) else graph
+    expanded, replica_of = expand_weighted_tree(tree, frequencies)
+    result = lyresplit(expanded, delta, edge_rule)
+
+    # Collapse replica partitions back to original versions.
+    replica_groups = result.partitioning.groups
+    group_sizes: list[float] = []
+    for group in replica_groups:
+        if membership is not None:
+            union: set[int] = set()
+            for replica in group:
+                union |= membership[replica_of[replica]]
+            group_sizes.append(float(len(union)))
+        else:
+            originals = sorted({replica_of[r] for r in group})
+            group_sizes.append(
+                float(tree.estimated_component_stats(originals)[1])
+            )
+
+    chosen_group: dict[int, int] = {}
+    for index, group in enumerate(replica_groups):
+        for replica in group:
+            vid = replica_of[replica]
+            current = chosen_group.get(vid)
+            if current is None or group_sizes[index] < group_sizes[current]:
+                chosen_group[vid] = index
+
+    collapsed: dict[int, set[int]] = {}
+    for vid, index in chosen_group.items():
+        collapsed.setdefault(index, set()).add(vid)
+    partitioning = Partitioning([frozenset(g) for g in collapsed.values()])
+    storage, checkout = partitioning.estimated_costs(tree)
+    return LyreSplitResult(
+        partitioning=partitioning,
+        delta=delta,
+        recursion_depth=result.recursion_depth,
+        estimated_storage=storage,
+        estimated_checkout=checkout,
+    )

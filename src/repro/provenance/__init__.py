@@ -1,0 +1,38 @@
+"""The generalized provenance manager (Chapter 8).
+
+Removes OrpheusDB's "from-scratch" assumption: given a directory of
+dataset versions that were *never* registered with a versioning system —
+no parent pointers, no commit metadata — infer the lineage relationships
+among them. The workflow (Section 8.3):
+
+1. sketch every artifact (row and column minhashes — Section 8.6's
+   acceleration);
+2. generate candidate edges by similarity, scoring row-preserving
+   operations specially (Section 8.4);
+3. orient edges using containment and timestamps;
+4. extract a lineage forest as a maximum-weight arborescence;
+5. attach a structural explanation to each inferred edge (Section 8.5).
+"""
+
+from repro.provenance.evaluate import EdgeMetrics, evaluate_edges
+from repro.provenance.explain import Explanation, explain_edge
+from repro.provenance.inference import (
+    InferenceConfig,
+    InferredEdge,
+    infer_lineage,
+)
+from repro.provenance.model import Artifact
+from repro.provenance.sketches import MinHashSketch, artifact_sketch
+
+__all__ = [
+    "Artifact",
+    "EdgeMetrics",
+    "Explanation",
+    "InferenceConfig",
+    "InferredEdge",
+    "MinHashSketch",
+    "artifact_sketch",
+    "evaluate_edges",
+    "explain_edge",
+    "infer_lineage",
+]

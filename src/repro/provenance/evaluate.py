@@ -1,0 +1,60 @@
+"""Precision/recall evaluation of inferred lineage (Section 8.8)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class EdgeMetrics:
+    """Precision/recall/F1 over edges, directed and undirected."""
+
+    precision: float
+    recall: float
+    f1: float
+    undirected_precision: float
+    undirected_recall: float
+    undirected_f1: float
+    num_inferred: int
+    num_truth: int
+
+
+def _prf(
+    inferred: set, truth: set
+) -> tuple[float, float, float]:
+    true_positive = len(inferred & truth)
+    precision = true_positive / len(inferred) if inferred else 1.0
+    recall = true_positive / len(truth) if truth else 1.0
+    if precision + recall == 0:
+        return precision, recall, 0.0
+    f1 = 2 * precision * recall / (precision + recall)
+    return precision, recall, f1
+
+
+def evaluate_edges(
+    inferred: Iterable[tuple[str, str]],
+    truth: Sequence[tuple[str, str]],
+) -> EdgeMetrics:
+    """Compare inferred (parent, child) edges against ground truth.
+
+    Directed metrics require the orientation to match; undirected
+    metrics credit an edge found with the wrong direction (the paper
+    reports both since orientation is the harder sub-problem).
+    """
+    inferred_set = set(inferred)
+    truth_set = set(truth)
+    precision, recall, f1 = _prf(inferred_set, truth_set)
+    undirected_inferred = {frozenset(edge) for edge in inferred_set}
+    undirected_truth = {frozenset(edge) for edge in truth_set}
+    u_precision, u_recall, u_f1 = _prf(undirected_inferred, undirected_truth)
+    return EdgeMetrics(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        undirected_precision=u_precision,
+        undirected_recall=u_recall,
+        undirected_f1=u_f1,
+        num_inferred=len(inferred_set),
+        num_truth=len(truth_set),
+    )

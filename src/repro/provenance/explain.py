@@ -1,0 +1,187 @@
+"""Structural explanations for inferred edges (Section 8.5).
+
+Given a (parent, child) artifact pair, describe the transformation that
+plausibly produced the child: row insertions/deletions, column additions
+and drops, column renames (detected by value-set identity), and
+row-preserving value updates under a discovered candidate key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.provenance.model import Artifact
+
+
+@dataclass
+class Explanation:
+    """The structural account of one derivation edge.
+
+    Attributes:
+        operations: Human-readable operation descriptions, in a canonical
+            order.
+        rows_inserted / rows_deleted / rows_common: Row-level tallies.
+        columns_added / columns_dropped: Schema-level changes.
+        columns_renamed: (old_name, new_name) pairs detected by value
+            identity.
+        row_preserving: True when the child's rows correspond 1-1 to the
+            parent's under the discovered key (only cell values and/or
+            columns changed).
+        key_columns: The candidate key used to align rows, when found.
+    """
+
+    operations: list[str] = field(default_factory=list)
+    rows_inserted: int = 0
+    rows_deleted: int = 0
+    rows_common: int = 0
+    columns_added: list[str] = field(default_factory=list)
+    columns_dropped: list[str] = field(default_factory=list)
+    columns_renamed: list[tuple[str, str]] = field(default_factory=list)
+    row_preserving: bool = False
+    key_columns: tuple[str, ...] = ()
+
+
+def discover_candidate_key(
+    parent: Artifact, child: Artifact
+) -> tuple[str, ...]:
+    """Find shared columns that are unique in both artifacts.
+
+    Greedy: prefer single-column keys, else grow a composite left to
+    right. Returns () when no key can be discovered.
+    """
+    shared = [c for c in parent.columns if c in child.columns]
+    for column in shared:
+        if _is_unique(parent, column) and _is_unique(child, column):
+            return (column,)
+    composite: list[str] = []
+    for column in shared:
+        composite.append(column)
+        if _is_unique_composite(parent, composite) and _is_unique_composite(
+            child, composite
+        ):
+            return tuple(composite)
+    return ()
+
+
+def _is_unique(artifact: Artifact, column: str) -> bool:
+    values = artifact.column_values(column)
+    return len(set(values)) == len(values)
+
+
+def _is_unique_composite(artifact: Artifact, columns: list[str]) -> bool:
+    positions = [artifact.columns.index(c) for c in columns]
+    seen = set()
+    for row in artifact.rows:
+        key = tuple(row[p] for p in positions)
+        if key in seen:
+            return False
+        seen.add(key)
+    return True
+
+
+def explain_edge(parent: Artifact, child: Artifact) -> Explanation:
+    """Explain how ``child`` could derive from ``parent``."""
+    explanation = Explanation()
+
+    parent_columns = set(parent.columns)
+    child_columns = set(child.columns)
+    added = sorted(child_columns - parent_columns)
+    dropped = sorted(parent_columns - child_columns)
+
+    # Rename detection: a dropped and an added column with identical
+    # value fingerprints are one renamed column.
+    parent_prints = parent.column_fingerprints()
+    child_prints = child.column_fingerprints()
+    renamed: list[tuple[str, str]] = []
+    remaining_added = list(added)
+    for old in list(dropped):
+        for new in list(remaining_added):
+            if parent_prints[old] == child_prints[new]:
+                renamed.append((old, new))
+                dropped.remove(old)
+                remaining_added.remove(new)
+                break
+    added = remaining_added
+
+    explanation.columns_added = added
+    explanation.columns_dropped = dropped
+    explanation.columns_renamed = renamed
+
+    key = discover_candidate_key(parent, child)
+    explanation.key_columns = key
+    if key:
+        parent_keys = parent.key_projection(key)
+        child_keys = child.key_projection(key)
+        explanation.rows_common = len(parent_keys & child_keys)
+        explanation.rows_inserted = len(child_keys - parent_keys)
+        explanation.rows_deleted = len(parent_keys - child_keys)
+        explanation.row_preserving = (
+            parent_keys == child_keys
+        )
+    else:
+        parent_rows = parent.row_hashes()
+        child_rows = child.row_hashes()
+        explanation.rows_common = len(parent_rows & child_rows)
+        explanation.rows_inserted = len(child_rows - parent_rows)
+        explanation.rows_deleted = len(parent_rows - child_rows)
+        explanation.row_preserving = False
+
+    # Compose the human-readable operation list.
+    if renamed:
+        for old, new in renamed:
+            explanation.operations.append(f"rename column {old} -> {new}")
+    if added:
+        explanation.operations.append(
+            f"add column(s) {', '.join(added)}"
+        )
+    if dropped:
+        explanation.operations.append(
+            f"drop column(s) {', '.join(dropped)}"
+        )
+    if explanation.rows_inserted:
+        explanation.operations.append(
+            f"insert {explanation.rows_inserted} row(s)"
+        )
+    if explanation.rows_deleted:
+        explanation.operations.append(
+            f"delete {explanation.rows_deleted} row(s)"
+        )
+    if explanation.row_preserving and key:
+        updated = _count_updated_rows(parent, child, key)
+        if updated:
+            explanation.operations.append(
+                f"update {updated} row(s) in place"
+            )
+        if not explanation.operations:
+            explanation.operations.append("identical contents")
+    if not explanation.operations:
+        explanation.operations.append("row modifications")
+    return explanation
+
+
+def _count_updated_rows(
+    parent: Artifact, child: Artifact, key: tuple[str, ...]
+) -> int:
+    shared = [
+        c
+        for c in parent.columns
+        if c in child.columns and c not in key
+    ]
+    parent_positions = [parent.columns.index(c) for c in key]
+    child_positions = [child.columns.index(c) for c in key]
+    parent_shared = [parent.columns.index(c) for c in shared]
+    child_shared = [child.columns.index(c) for c in shared]
+    child_by_key = {
+        tuple(row[p] for p in child_positions): row for row in child.rows
+    }
+    updated = 0
+    for row in parent.rows:
+        key_value = tuple(row[p] for p in parent_positions)
+        other = child_by_key.get(key_value)
+        if other is None:
+            continue
+        before = tuple(row[p] for p in parent_shared)
+        after = tuple(other[p] for p in child_shared)
+        if before != after:
+            updated += 1
+    return updated

@@ -1,0 +1,233 @@
+"""Lineage inference over unregistered artifacts (Sections 8.3-8.4).
+
+Pipeline:
+
+1. **Sketch** every artifact's row set (minhash).
+2. **Candidate generation**: pairs whose estimated similarity clears a
+   coarse floor get their exact row/key overlap computed. Row-preserving
+   derivations (column add/drop/rename, cell updates) would score zero on
+   raw row overlap, so candidates are also scored on *key overlap* under
+   a discovered candidate key and on column-fingerprint overlap.
+3. **Orientation**: timestamps order the pair when present; otherwise
+   containment heuristics do (the superset follows the subset for
+   insert-heavy histories; a version with extra columns follows one
+   without, since analysts mostly add derived columns).
+4. **Forest extraction**: a maximum-weight arborescence over the scored
+   directed candidates (each artifact gets at most one parent), which is
+   exactly the minimum-storage intuition of Chapter 7 applied to
+   similarity weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.provenance.explain import discover_candidate_key, explain_edge
+from repro.provenance.model import Artifact
+from repro.provenance.sketches import artifact_sketch, exact_jaccard
+
+
+@dataclass(frozen=True)
+class InferenceConfig:
+    """Tuning knobs for lineage inference.
+
+    Attributes:
+        sketch_size: MinHash width used for pruning.
+        candidate_floor: Estimated-similarity floor below which a pair is
+            never examined exactly.
+        edge_floor: Exact-score floor below which no edge is proposed.
+        row_weight / key_weight / column_weight: Mix of the three exact
+            similarity signals.
+        use_timestamps: Whether file timestamps may orient edges.
+    """
+
+    sketch_size: int = 32
+    candidate_floor: float = 0.05
+    edge_floor: float = 0.25
+    row_weight: float = 0.6
+    key_weight: float = 0.3
+    column_weight: float = 0.1
+    use_timestamps: bool = True
+
+
+@dataclass
+class InferredEdge:
+    """A proposed derivation: parent -> child with score and explanation."""
+
+    parent: str
+    child: str
+    score: float
+    explanation: object = None
+
+    def as_pair(self) -> tuple[str, str]:
+        return (self.parent, self.child)
+
+
+@dataclass
+class _Pair:
+    a: int
+    b: int
+    score: float
+    oriented_a_to_b: bool
+
+
+def infer_lineage(
+    artifacts: list[Artifact],
+    config: InferenceConfig | None = None,
+    explain: bool = True,
+) -> list[InferredEdge]:
+    """Infer a lineage forest over ``artifacts``.
+
+    Returns directed edges (parent name, child name), each artifact
+    receiving at most one parent; roots receive none.
+    """
+    config = config or InferenceConfig()
+    n = len(artifacts)
+    if n <= 1:
+        return []
+
+    sketches = [
+        artifact_sketch(artifact, config.sketch_size)
+        for artifact in artifacts
+    ]
+    row_sets = [artifact.row_hashes() for artifact in artifacts]
+    column_prints = [
+        frozenset(artifact.column_fingerprints().values())
+        for artifact in artifacts
+    ]
+
+    scored: list[_Pair] = []
+    for i in range(n):
+        for j in range(i + 1, n):
+            estimated = sketches[i].estimated_jaccard(sketches[j])
+            if estimated < config.candidate_floor:
+                # Sketch pruning; row-preserving pairs can still pass via
+                # column fingerprints below.
+                column_similarity = exact_jaccard(
+                    column_prints[i], column_prints[j]
+                )
+                if column_similarity < config.candidate_floor:
+                    continue
+            score, oriented = _exact_score(
+                artifacts[i],
+                artifacts[j],
+                row_sets[i],
+                row_sets[j],
+                column_prints[i],
+                column_prints[j],
+                config,
+            )
+            if score >= config.edge_floor:
+                scored.append(_Pair(i, j, score, oriented))
+
+    # Forest extraction: maximum-weight parent per child, greedily by
+    # score, with cycle avoidance (an arborescence over the candidates).
+    scored.sort(key=lambda pair: -pair.score)
+    parent_of: dict[int, int] = {}
+
+    def creates_cycle(child: int, parent: int) -> bool:
+        current = parent
+        while current in parent_of:
+            current = parent_of[current]
+            if current == child:
+                return True
+        return False
+
+    for pair in scored:
+        if pair.oriented_a_to_b:
+            parent, child = pair.a, pair.b
+        else:
+            parent, child = pair.b, pair.a
+        if child in parent_of:
+            continue
+        if creates_cycle(child, parent):
+            continue
+        parent_of[child] = parent
+
+    score_of = {
+        (p.a, p.b): p.score for p in scored
+    } | {(p.b, p.a): p.score for p in scored}
+
+    edges: list[InferredEdge] = []
+    for child, parent in sorted(parent_of.items()):
+        edge = InferredEdge(
+            parent=artifacts[parent].name,
+            child=artifacts[child].name,
+            score=score_of[(parent, child)],
+        )
+        if explain:
+            edge.explanation = explain_edge(
+                artifacts[parent], artifacts[child]
+            )
+        edges.append(edge)
+    return edges
+
+
+def _exact_score(
+    a: Artifact,
+    b: Artifact,
+    rows_a: frozenset[int],
+    rows_b: frozenset[int],
+    columns_a: frozenset,
+    columns_b: frozenset,
+    config: InferenceConfig,
+) -> tuple[float, bool]:
+    """(similarity score, oriented a->b?)."""
+    row_similarity = exact_jaccard(rows_a, rows_b)
+
+    key = discover_candidate_key(a, b)
+    if key:
+        keys_a = a.key_projection(key)
+        keys_b = b.key_projection(key)
+        key_similarity = exact_jaccard(keys_a, keys_b)
+    else:
+        keys_a = keys_b = frozenset()
+        key_similarity = row_similarity
+
+    column_similarity = exact_jaccard(columns_a, columns_b)
+
+    score = (
+        config.row_weight * row_similarity
+        + config.key_weight * key_similarity
+        + config.column_weight * column_similarity
+    )
+
+    oriented = _orient(a, b, rows_a, rows_b, keys_a, keys_b, config)
+    return score, oriented
+
+
+def _orient(
+    a: Artifact,
+    b: Artifact,
+    rows_a: frozenset[int],
+    rows_b: frozenset[int],
+    keys_a: frozenset,
+    keys_b: frozenset,
+    config: InferenceConfig,
+) -> bool:
+    """True when the edge should run a -> b (a is the parent)."""
+    if (
+        config.use_timestamps
+        and a.timestamp is not None
+        and b.timestamp is not None
+        and a.timestamp != b.timestamp
+    ):
+        return a.timestamp < b.timestamp
+    # Containment: histories are insert-heavy, so the smaller row/key set
+    # is usually the ancestor.
+    if keys_a and keys_b and keys_a != keys_b:
+        if keys_a < keys_b:
+            return True
+        if keys_b < keys_a:
+            return False
+    if rows_a != rows_b:
+        if rows_a < rows_b:
+            return True
+        if rows_b < rows_a:
+            return False
+    # Column growth: derived columns get added over time.
+    if a.num_columns != b.num_columns:
+        return a.num_columns < b.num_columns
+    if a.num_rows != b.num_rows:
+        return a.num_rows < b.num_rows
+    return a.name <= b.name

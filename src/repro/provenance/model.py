@@ -1,0 +1,66 @@
+"""Artifacts: unregistered dataset versions found in a repository."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+
+@dataclass
+class Artifact:
+    """One dataset version as found on disk — no versioning metadata.
+
+    Attributes:
+        name: File or table name (e.g. ``dataset_v1.csv``).
+        columns: Column names in file order.
+        rows: The data rows.
+        timestamp: File modification time when available; inference uses
+            it only to orient edges, never to create them.
+    """
+
+    name: str
+    columns: list[str]
+    rows: list[tuple]
+    timestamp: float | None = None
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise ValueError(
+                    f"artifact {self.name!r}: row arity {len(row)} does "
+                    f"not match {len(self.columns)} columns"
+                )
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self.columns)
+
+    def row_hashes(self) -> frozenset[int]:
+        """Order-independent row fingerprints."""
+        return frozenset(hash(row) for row in self.rows)
+
+    def column_values(self, name: str) -> list[object]:
+        position = self.columns.index(name)
+        return [row[position] for row in self.rows]
+
+    def column_fingerprints(self) -> dict[str, frozenset[int]]:
+        """Per-column value-set fingerprints, for detecting renames and
+        row-preserving updates."""
+        result: dict[str, frozenset[int]] = {}
+        for position, name in enumerate(self.columns):
+            result[name] = frozenset(
+                hash(row[position]) for row in self.rows
+            )
+        return result
+
+    def key_projection(self, key_columns: Sequence[str]) -> frozenset:
+        """Row identities under a candidate key (for row-preserving
+        operation detection)."""
+        positions = [self.columns.index(c) for c in key_columns]
+        return frozenset(
+            tuple(row[p] for p in positions) for row in self.rows
+        )

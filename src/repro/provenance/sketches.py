@@ -1,0 +1,67 @@
+"""MinHash sketches for accelerating pairwise similarity (Section 8.6).
+
+Computing exact row-set intersections for all artifact pairs is
+quadratic in both artifacts and rows; sketches reduce each artifact to k
+hash minima so a pair comparison is O(k). The workflow uses sketches to
+*prune* candidate pairs, then computes exact similarity only on the
+survivors — estimates never decide edges on their own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_MERSENNE = (1 << 61) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+
+
+@dataclass(frozen=True)
+class MinHashSketch:
+    """k minima of hashed set elements."""
+
+    minima: tuple[int, ...]
+
+    def estimated_jaccard(self, other: "MinHashSketch") -> float:
+        if len(self.minima) != len(other.minima):
+            raise ValueError("sketch sizes differ")
+        if not self.minima:
+            return 0.0
+        matches = sum(
+            1 for a, b in zip(self.minima, other.minima) if a == b
+        )
+        return matches / len(self.minima)
+
+
+def _seed_stream(k: int) -> list[int]:
+    seeds = []
+    value = _GOLDEN
+    for _ in range(k):
+        value = (value * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+        seeds.append(value | 1)
+    return seeds
+
+
+def sketch_of(elements: frozenset[int], k: int = 32) -> MinHashSketch:
+    """MinHash sketch of a set of integer fingerprints."""
+    seeds = _seed_stream(k)
+    minima = []
+    for seed in seeds:
+        best = _MERSENNE
+        for element in elements:
+            value = (element * seed + _GOLDEN) % _MERSENNE
+            if value < best:
+                best = value
+        minima.append(best)
+    return MinHashSketch(tuple(minima))
+
+
+def artifact_sketch(artifact, k: int = 32) -> MinHashSketch:
+    """Row-set sketch of an artifact."""
+    return sketch_of(artifact.row_hashes(), k)
+
+
+def exact_jaccard(a: frozenset, b: frozenset) -> float:
+    union = len(a | b)
+    if union == 0:
+        return 1.0
+    return len(a & b) / union

@@ -1,0 +1,135 @@
+"""Synthetic unregistered repositories with known ground-truth lineage.
+
+The paper's preliminary evaluation (Section 8.8) uses internal notebook
+corpora; we synthesize repositories instead: start from a root table and
+apply a random mix of row-level operations (insert/delete/update) and
+row-preserving schema operations (add/drop/rename column), branching
+occasionally, then strip all metadata except optionally-noisy file
+timestamps. Ground-truth edges come out alongside the artifacts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.provenance.model import Artifact
+
+
+@dataclass(frozen=True)
+class RepositoryConfig:
+    """Shape of a synthetic artifact repository.
+
+    Attributes:
+        num_artifacts: Versions to generate (including the root).
+        base_rows: Rows in the root artifact.
+        base_columns: Data columns in the root (plus an ``id`` key).
+        ops_per_step: Row operations applied per derivation.
+        schema_change_probability: Chance a derivation is a schema
+            operation (add/drop/rename column) instead of row edits.
+        branch_probability: Chance of deriving from a random earlier
+            artifact instead of the latest.
+        timestamp_noise: Standard deviation of gaussian noise added to
+            timestamps (0 = perfectly ordered).
+        drop_timestamps: Strip timestamps entirely (forces containment
+            orientation).
+        seed: RNG seed.
+    """
+
+    num_artifacts: int = 20
+    base_rows: int = 200
+    base_columns: int = 5
+    ops_per_step: int = 20
+    schema_change_probability: float = 0.2
+    branch_probability: float = 0.25
+    timestamp_noise: float = 0.0
+    drop_timestamps: bool = False
+    seed: int = 42
+
+
+def generate_repository(
+    config: RepositoryConfig,
+) -> tuple[list[Artifact], list[tuple[str, str]]]:
+    """Returns (artifacts, ground-truth (parent, child) edges)."""
+    rng = random.Random(config.seed)
+    next_row_id = [0]
+
+    def fresh_row(columns: list[str]) -> tuple:
+        next_row_id[0] += 1
+        return tuple(
+            [f"row{next_row_id[0]:06d}"]
+            + [rng.randrange(1_000_000) for _ in columns[1:]]
+        )
+
+    columns = ["id"] + [f"c{i}" for i in range(config.base_columns)]
+    rows = [fresh_row(columns) for _ in range(config.base_rows)]
+    artifacts = [
+        Artifact(
+            name="dataset_v001.csv",
+            columns=list(columns),
+            rows=list(rows),
+            timestamp=None if config.drop_timestamps else 1000.0,
+        )
+    ]
+    truth: list[tuple[str, str]] = []
+    extra_column_counter = [config.base_columns]
+
+    for index in range(2, config.num_artifacts + 1):
+        if config.branch_probability > 0 and rng.random() < config.branch_probability:
+            parent = rng.choice(artifacts)
+        else:
+            parent = artifacts[-1]
+        child_columns = list(parent.columns)
+        child_rows = [tuple(row) for row in parent.rows]
+
+        if rng.random() < config.schema_change_probability and len(child_columns) > 2:
+            operation = rng.choice(("add", "drop", "rename"))
+            if operation == "add":
+                extra_column_counter[0] += 1
+                child_columns.append(f"c{extra_column_counter[0]}")
+                child_rows = [
+                    row + (rng.randrange(1_000_000),) for row in child_rows
+                ]
+            elif operation == "drop":
+                victim = rng.randrange(1, len(child_columns))
+                del child_columns[victim]
+                child_rows = [
+                    row[:victim] + row[victim + 1 :] for row in child_rows
+                ]
+            else:
+                victim = rng.randrange(1, len(child_columns))
+                child_columns[victim] = child_columns[victim] + "_renamed"
+        else:
+            for _ in range(config.ops_per_step):
+                roll = rng.random()
+                if roll < 0.5 or not child_rows:
+                    child_rows.append(fresh_row(child_columns))
+                elif roll < 0.8:
+                    victim = rng.randrange(len(child_rows))
+                    row = list(child_rows[victim])
+                    if len(row) > 1:
+                        slot = rng.randrange(1, len(row))
+                        row[slot] = rng.randrange(1_000_000)
+                    child_rows[victim] = tuple(row)
+                else:
+                    del child_rows[rng.randrange(len(child_rows))]
+
+        timestamp: float | None
+        if config.drop_timestamps:
+            timestamp = None
+        else:
+            timestamp = 1000.0 + index * 10.0
+            if config.timestamp_noise:
+                timestamp += rng.gauss(0.0, config.timestamp_noise)
+        child = Artifact(
+            name=f"dataset_v{index:03d}.csv",
+            columns=child_columns,
+            rows=child_rows,
+            timestamp=timestamp,
+        )
+        artifacts.append(child)
+        truth.append((parent.name, child.name))
+
+    # Shuffle presentation order: a real directory listing is unordered.
+    rng.shuffle(artifacts)
+    return artifacts, truth

@@ -1,0 +1,90 @@
+"""An embedded, pure-Python relational engine.
+
+This package is the substrate that plays the role PostgreSQL plays for the
+original OrpheusDB: it provides typed tables with primary keys, secondary
+indexes, array-valued columns with containment and unnest operators, three
+join algorithms (hash, merge, index-nested-loop), and an explicit I/O cost
+accountant so experiments can report both wall-clock time and a
+device-independent cost in rows/pages touched.
+
+The engine is deliberately small but real: every operator actually executes
+against stored rows, so the relative performance of the physical designs in
+Chapter 4 (combined-table vs. split-by-vlist vs. split-by-rlist ...) emerges
+from genuine work, not from a lookup table of constants.
+"""
+
+from repro.relational.costs import CostAccountant, CostSnapshot
+from repro.relational.database import Database
+from repro.relational.errors import (
+    DuplicateKeyError,
+    RelationalError,
+    SchemaError,
+    TableExistsError,
+    UnknownColumnError,
+    UnknownTableError,
+)
+from repro.relational.expressions import (
+    ArrayAppend,
+    ArrayContainedBy,
+    ArrayContains,
+    BinaryOp,
+    Column,
+    Expression,
+    FunctionCall,
+    InSet,
+    Literal,
+    col,
+    lit,
+)
+from repro.relational.joins import hash_join, index_nested_loop_join, merge_join
+from repro.relational.query import Aggregate, Query
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.table import ClusterOrder, Table
+from repro.relational.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    INT_ARRAY,
+    TEXT,
+    DataType,
+    generalize_types,
+)
+
+__all__ = [
+    "BOOL",
+    "FLOAT",
+    "INT",
+    "INT_ARRAY",
+    "TEXT",
+    "Aggregate",
+    "ArrayAppend",
+    "ArrayContainedBy",
+    "ArrayContains",
+    "BinaryOp",
+    "ClusterOrder",
+    "Column",
+    "ColumnDef",
+    "CostAccountant",
+    "CostSnapshot",
+    "DataType",
+    "Database",
+    "DuplicateKeyError",
+    "Expression",
+    "FunctionCall",
+    "InSet",
+    "Literal",
+    "Query",
+    "RelationalError",
+    "Schema",
+    "SchemaError",
+    "Table",
+    "TableExistsError",
+    "UnknownColumnError",
+    "UnknownTableError",
+    "col",
+    "generalize_types",
+    "hash_join",
+    "index_nested_loop_join",
+    "lit",
+    "merge_join",
+]

@@ -1,0 +1,89 @@
+"""Device-independent cost accounting.
+
+Wall-clock time on a laptop is noisy and incomparable with the paper's
+workstation numbers, so every physical operator in the engine also reports
+its work to a :class:`CostAccountant`: rows scanned sequentially, rows
+fetched by random access, rows written, index probes, and bytes touched.
+Benchmarks report both wall-clock and these counters; the counters are what
+make the Figure 5.7 cost-model validation deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CostSnapshot:
+    """An immutable point-in-time copy of the accountant's counters."""
+
+    seq_rows: int
+    random_rows: int
+    rows_written: int
+    index_probes: int
+    bytes_read: int
+    bytes_written: int
+
+    def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
+        return CostSnapshot(
+            self.seq_rows - other.seq_rows,
+            self.random_rows - other.random_rows,
+            self.rows_written - other.rows_written,
+            self.index_probes - other.index_probes,
+            self.bytes_read - other.bytes_read,
+            self.bytes_written - other.bytes_written,
+        )
+
+    def total_rows_read(self) -> int:
+        return self.seq_rows + self.random_rows
+
+    def weighted_io(self, random_penalty: float = 10.0) -> float:
+        """A single scalar cost: random accesses cost ``random_penalty``
+        times a sequential row touch, mirroring rotating-disk economics
+        that drive the paper's checkout-cost analysis (Section 5.5.5)."""
+        return self.seq_rows + random_penalty * self.random_rows
+
+
+class CostAccountant:
+    """Mutable counters that physical operators charge work against."""
+
+    def __init__(self) -> None:
+        self.seq_rows = 0
+        self.random_rows = 0
+        self.rows_written = 0
+        self.index_probes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def charge_seq_scan(self, rows: int, row_bytes: int = 0) -> None:
+        self.seq_rows += rows
+        self.bytes_read += row_bytes
+
+    def charge_random_read(self, rows: int = 1, row_bytes: int = 0) -> None:
+        self.random_rows += rows
+        self.bytes_read += row_bytes
+
+    def charge_write(self, rows: int, row_bytes: int = 0) -> None:
+        self.rows_written += rows
+        self.bytes_written += row_bytes
+
+    def charge_index_probe(self, probes: int = 1) -> None:
+        self.index_probes += probes
+
+    def snapshot(self) -> CostSnapshot:
+        return CostSnapshot(
+            self.seq_rows,
+            self.random_rows,
+            self.rows_written,
+            self.index_probes,
+            self.bytes_read,
+            self.bytes_written,
+        )
+
+    def reset(self) -> None:
+        self.seq_rows = 0
+        self.random_rows = 0
+        self.rows_written = 0
+        self.index_probes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0

@@ -1,0 +1,74 @@
+"""The database: a namespace of tables sharing one cost accountant."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.relational.costs import CostAccountant
+from repro.relational.errors import TableExistsError, UnknownTableError
+from repro.relational.schema import Schema
+from repro.relational.table import ClusterOrder, Table
+
+
+class Database:
+    """A named collection of tables, the backend OrpheusDB wraps.
+
+    The database is deliberately unaware of versioning — just like the
+    PostgreSQL instance under the original system — so every versioning
+    behaviour must be expressed through ordinary tables and queries.
+    """
+
+    def __init__(self, name: str = "orpheus") -> None:
+        self.name = name
+        self.accountant = CostAccountant()
+        self._tables: dict[str, Table] = {}
+
+    def create_table(
+        self,
+        name: str,
+        schema: Schema,
+        enforce_primary_key: bool = True,
+        cluster_order: ClusterOrder = ClusterOrder.INSERTION,
+    ) -> Table:
+        if name in self._tables:
+            raise TableExistsError(f"table {name!r} already exists")
+        table = Table(
+            name,
+            schema,
+            accountant=self.accountant,
+            enforce_primary_key=enforce_primary_key,
+            cluster_order=cluster_order,
+        )
+        self._tables[name] = table
+        return table
+
+    def drop_table(self, name: str, missing_ok: bool = False) -> None:
+        if name not in self._tables:
+            if missing_ok:
+                return
+            raise UnknownTableError(f"no table named {name!r}")
+        del self._tables[name]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def total_storage_bytes(self, include_indexes: bool = True) -> int:
+        return sum(
+            t.storage_bytes(include_indexes=include_indexes)
+            for t in self._tables.values()
+        )
+
+    def reset_costs(self) -> None:
+        self.accountant.reset()

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the embedded relational engine."""
+
+
+class RelationalError(Exception):
+    """Base class for all errors raised by the relational engine."""
+
+
+class SchemaError(RelationalError):
+    """A schema is malformed or a value does not fit its column type."""
+
+
+class UnknownTableError(RelationalError):
+    """A statement referenced a table that does not exist."""
+
+
+class TableExistsError(RelationalError):
+    """A CREATE TABLE named a table that already exists."""
+
+
+class UnknownColumnError(RelationalError):
+    """An expression referenced a column not present in the schema."""
+
+
+class DuplicateKeyError(RelationalError):
+    """An insert violated a primary-key constraint."""

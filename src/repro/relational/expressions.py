@@ -1,0 +1,272 @@
+"""A small expression AST evaluated against rows.
+
+Supports everything the translated OrpheusDB SQL of Table 4.1 needs:
+column references, literals, comparisons, boolean connectives, arithmetic,
+and the PostgreSQL array operators the data models rely on —
+``ARRAY[v] <@ vlist`` (containment), ``vlist + v`` (append), and
+``unnest`` (handled at the query layer since it changes cardinality).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.relational.errors import RelationalError
+from repro.relational.schema import Schema
+
+
+class Expression:
+    """Base class. Subclasses implement :meth:`bind` returning a fast
+    evaluator closure of type ``row -> value``."""
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], object]:
+        raise NotImplementedError
+
+    # Operator sugar so callers can write col("a") > lit(3).
+    def __eq__(self, other: object) -> "BinaryOp":  # type: ignore[override]
+        return BinaryOp("=", self, _wrap(other))
+
+    def __ne__(self, other: object) -> "BinaryOp":  # type: ignore[override]
+        return BinaryOp("!=", self, _wrap(other))
+
+    def __lt__(self, other: object) -> "BinaryOp":
+        return BinaryOp("<", self, _wrap(other))
+
+    def __le__(self, other: object) -> "BinaryOp":
+        return BinaryOp("<=", self, _wrap(other))
+
+    def __gt__(self, other: object) -> "BinaryOp":
+        return BinaryOp(">", self, _wrap(other))
+
+    def __ge__(self, other: object) -> "BinaryOp":
+        return BinaryOp(">=", self, _wrap(other))
+
+    def __and__(self, other: object) -> "BinaryOp":
+        return BinaryOp("and", self, _wrap(other))
+
+    def __or__(self, other: object) -> "BinaryOp":
+        return BinaryOp("or", self, _wrap(other))
+
+    def __invert__(self) -> "UnaryOp":
+        return UnaryOp("not", self)
+
+    def __add__(self, other: object) -> "BinaryOp":
+        return BinaryOp("+", self, _wrap(other))
+
+    def __sub__(self, other: object) -> "BinaryOp":
+        return BinaryOp("-", self, _wrap(other))
+
+    def __mul__(self, other: object) -> "BinaryOp":
+        return BinaryOp("*", self, _wrap(other))
+
+    def __hash__(self) -> int:  # Expressions are identity-hashed.
+        return id(self)
+
+
+def _wrap(value: object) -> "Expression":
+    return value if isinstance(value, Expression) else Literal(value)
+
+
+@dataclass(eq=False)
+class Column(Expression):
+    """A reference to a named column."""
+
+    name: str
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], object]:
+        position = schema.position(self.name)
+        return lambda row: row[position]
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+@dataclass(eq=False)
+class Literal(Expression):
+    """A constant value."""
+
+    value: object
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], object]:
+        value = self.value
+        return lambda row: value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+def _null_safe(func: Callable[[object, object], bool]):
+    """SQL-style ordering comparison: NULL on either side is never true."""
+
+    def compare(left: object, right: object) -> bool:
+        if left is None or right is None:
+            return False
+        return func(left, right)
+
+    return compare
+
+
+_BINARY_OPS: dict[str, Callable[[object, object], object]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": _null_safe(operator.lt),
+    "<=": _null_safe(operator.le),
+    ">": _null_safe(operator.gt),
+    ">=": _null_safe(operator.ge),
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+}
+
+
+@dataclass(eq=False)
+class BinaryOp(Expression):
+    """A binary operator over two sub-expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], object]:
+        try:
+            func = _BINARY_OPS[self.op]
+        except KeyError:
+            raise RelationalError(f"unknown binary operator {self.op!r}") from None
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+        return lambda row: func(left(row), right(row))
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(eq=False)
+class UnaryOp(Expression):
+    """A unary operator (currently only ``not``)."""
+
+    op: str
+    operand: Expression
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], object]:
+        if self.op != "not":
+            raise RelationalError(f"unknown unary operator {self.op!r}")
+        operand = self.operand.bind(schema)
+        return lambda row: not operand(row)
+
+
+@dataclass(eq=False)
+class ArrayContains(Expression):
+    """PostgreSQL ``array @> element-array``: left contains all of right.
+
+    ``right`` usually evaluates to a short literal array, so membership is
+    checked against a set built from the (per-row) left side.
+    """
+
+    left: Expression
+    right: Expression
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], object]:
+        left = self.left.bind(schema)
+        right = self.right.bind(schema)
+
+        def evaluate(row: Sequence[object]) -> bool:
+            haystack = left(row)
+            needles = right(row)
+            if haystack is None or needles is None:
+                return False
+            haystack_set = set(haystack)  # type: ignore[arg-type]
+            return all(n in haystack_set for n in needles)  # type: ignore[union-attr]
+
+        return evaluate
+
+
+@dataclass(eq=False)
+class ArrayContainedBy(Expression):
+    """PostgreSQL ``ARRAY[v] <@ vlist``: left's elements all appear in right."""
+
+    left: Expression
+    right: Expression
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], object]:
+        return ArrayContains(self.right, self.left).bind(schema)
+
+
+@dataclass(eq=False)
+class ArrayAppend(Expression):
+    """``vlist + v``: a new array with ``element`` appended.
+
+    Deliberately copies the array — this copy is exactly the expensive
+    per-record append that makes combined-table/split-by-vlist commits slow
+    in Figure 4.1(b), so it must not be optimized into an in-place mutation.
+    """
+
+    array: Expression
+    element: Expression
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], object]:
+        array = self.array.bind(schema)
+        element = self.element.bind(schema)
+
+        def evaluate(row: Sequence[object]) -> list[object]:
+            current = array(row)
+            appended = list(current) if current is not None else []
+            appended.append(element(row))
+            return appended
+
+        return evaluate
+
+
+@dataclass(eq=False)
+class InSet(Expression):
+    """``expr IN (v1, v2, ...)`` against a precomputed value set.
+
+    The set plays the role of the uncorrelated subquery results in the
+    Table 4.1 translations (``rid IN (SELECT rid FROM T')``).
+    """
+
+    expr: Expression
+    values: frozenset
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], object]:
+        evaluate = self.expr.bind(schema)
+        values = self.values
+        return lambda row: evaluate(row) in values
+
+
+@dataclass(eq=False)
+class FunctionCall(Expression):
+    """A scalar function call, e.g. ``abs`` or ``array_length``."""
+
+    name: str
+    args: tuple[Expression, ...]
+
+    _FUNCTIONS: dict[str, Callable[..., object]] = None  # type: ignore[assignment]
+
+    def bind(self, schema: Schema) -> Callable[[Sequence[object]], object]:
+        functions: dict[str, Callable[..., object]] = {
+            "abs": abs,
+            "array_length": lambda a: len(a) if a is not None else 0,
+            "lower": lambda s: s.lower() if s is not None else None,
+            "upper": lambda s: s.upper() if s is not None else None,
+        }
+        try:
+            func = functions[self.name]
+        except KeyError:
+            raise RelationalError(f"unknown function {self.name!r}") from None
+        bound_args = [a.bind(schema) for a in self.args]
+        return lambda row: func(*(arg(row) for arg in bound_args))
+
+
+def col(name: str) -> Column:
+    """Shorthand constructor for a column reference."""
+    return Column(name)
+
+
+def lit(value: object) -> Literal:
+    """Shorthand constructor for a literal."""
+    return Literal(value)

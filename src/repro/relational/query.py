@@ -1,0 +1,159 @@
+"""A compact logical query layer: select / where / group by / order by.
+
+This is the target the OrpheusDB query translator compiles into — the
+equivalent of the SQL strings in Table 4.1 — expressed as composable
+Python objects rather than a string dialect, which keeps the engine honest
+(everything must execute) without dragging in a SQL parser for a system
+whose contribution is not parsing.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.relational.errors import RelationalError
+from repro.relational.expressions import Expression
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.table import Row, Table
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """An aggregate over an expression: count/sum/avg/min/max.
+
+    ``expr`` of None means ``count(*)``.
+    """
+
+    func: str
+    expr: Expression | None = None
+    alias: str | None = None
+
+    _SUPPORTED = ("count", "sum", "avg", "min", "max", "any")
+
+    def __post_init__(self) -> None:
+        if self.func not in self._SUPPORTED:
+            raise RelationalError(f"unknown aggregate {self.func!r}")
+
+    def output_name(self) -> str:
+        return self.alias or self.func
+
+    def compute(self, values: list[object]) -> object:
+        if self.func == "count":
+            return len(values)
+        present = [v for v in values if v is not None]
+        if not present:
+            return None
+        if self.func == "sum":
+            return sum(present)  # type: ignore[arg-type]
+        if self.func == "avg":
+            return statistics.fmean(present)  # type: ignore[arg-type]
+        if self.func == "min":
+            return min(present)  # type: ignore[type-var]
+        if self.func == "max":
+            return max(present)  # type: ignore[type-var]
+        if self.func == "any":
+            return any(present)
+        raise AssertionError(self.func)
+
+
+@dataclass
+class Query:
+    """A single-table query with optional grouping.
+
+    Attributes:
+        table: The table to read.
+        columns: Output column names (projection). Empty = all columns.
+        where: Optional filter expression.
+        group_by: Column names to group on; aggregates then apply per group.
+        aggregates: Aggregate specs (require group_by or produce one row).
+        order_by: List of (column-name, descending) pairs applied last.
+        limit: Optional row cap.
+    """
+
+    table: Table
+    columns: Sequence[str] = field(default_factory=tuple)
+    where: Expression | None = None
+    group_by: Sequence[str] = field(default_factory=tuple)
+    aggregates: Sequence[Aggregate] = field(default_factory=tuple)
+    order_by: Sequence[tuple[str, bool]] = field(default_factory=tuple)
+    limit: int | None = None
+
+    def output_schema(self) -> Schema:
+        """Schema of the result rows."""
+        source = self.table.schema
+        columns: list[ColumnDef] = []
+        if self.group_by or self.aggregates:
+            for name in self.group_by:
+                columns.append(ColumnDef(name, source.dtype_of(name)))
+            for aggregate in self.aggregates:
+                from repro.relational.types import FLOAT
+
+                columns.append(ColumnDef(aggregate.output_name(), FLOAT))
+        else:
+            names = self.columns or source.column_names
+            for name in names:
+                columns.append(ColumnDef(name, source.dtype_of(name)))
+        return Schema(columns)
+
+    def execute(self) -> list[Row]:
+        rows = self._filtered_rows()
+        if self.group_by or self.aggregates:
+            result = self._grouped(rows)
+        else:
+            result = self._projected(rows)
+        result = self._ordered(result)
+        if self.limit is not None:
+            result = result[: self.limit]
+        return result
+
+    # ------------------------------------------------------------------
+    def _filtered_rows(self) -> Iterable[Row]:
+        if self.where is None:
+            return self.table.scan()
+        return self.table.scan_where(self.where)
+
+    def _projected(self, rows: Iterable[Row]) -> list[Row]:
+        if not self.columns:
+            return list(rows)
+        project = self.table.apply_projection(self.columns)
+        return [project(row) for row in rows]
+
+    def _grouped(self, rows: Iterable[Row]) -> list[Row]:
+        schema = self.table.schema
+        group_positions = schema.project_positions(self.group_by)
+        bound: list[Callable[[Row], object] | None] = []
+        for aggregate in self.aggregates:
+            bound.append(
+                aggregate.expr.bind(schema) if aggregate.expr is not None else None
+            )
+        groups: dict[tuple[object, ...], list[list[object]]] = {}
+        for row in rows:
+            key = tuple(row[i] for i in group_positions)
+            values = groups.setdefault(key, [[] for _ in self.aggregates])
+            for slot, evaluate in enumerate(bound):
+                values[slot].append(evaluate(row) if evaluate is not None else 1)
+        result: list[Row] = []
+        for key, value_lists in groups.items():
+            out = list(key)
+            for aggregate, values in zip(self.aggregates, value_lists):
+                out.append(aggregate.compute(values))
+            result.append(tuple(out))
+        return result
+
+    def _ordered(self, rows: list[Row]) -> list[Row]:
+        if not self.order_by:
+            return rows
+        schema = self.output_schema()
+        ordered = rows
+        # Stable multi-key sort: apply keys right-to-left.
+        for name, descending in reversed(list(self.order_by)):
+            position = schema.position(name)
+            ordered = sorted(
+                ordered,
+                # NULLs sort first ascending / last descending.
+                key=lambda row: (row[position] is not None, row[position]),
+                reverse=descending,
+            )
+        return ordered

@@ -1,0 +1,386 @@
+"""The heap table: rows, constraints, indexes, and cost-charged access."""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Hashable, Iterable, Iterator, Sequence
+
+from repro.relational.costs import CostAccountant
+from repro.relational.errors import DuplicateKeyError
+from repro.relational.expressions import Expression
+from repro.relational.index import HashIndex, OrderedIndex
+from repro.relational.schema import Schema
+
+Row = tuple[object, ...]
+
+
+class ClusterOrder(enum.Enum):
+    """Physical ordering of the heap.
+
+    Section 5.5.5 distinguishes a data table *clustered on rid* from one
+    clustered on the relation primary key; the clustering determines
+    whether an index scan on ``rid`` degrades into random I/O.
+    """
+
+    INSERTION = "insertion"
+    RID = "rid"
+    PRIMARY_KEY = "primary_key"
+
+
+class Table:
+    """An append-mostly heap of tuples with optional indexes.
+
+    Deleted rows leave tombstoned slots (``None``) so that index entries
+    stay position-stable; :meth:`vacuum` compacts when needed.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        accountant: CostAccountant | None = None,
+        enforce_primary_key: bool = True,
+        cluster_order: ClusterOrder = ClusterOrder.INSERTION,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.accountant = accountant or CostAccountant()
+        self.enforce_primary_key = enforce_primary_key and bool(schema.primary_key)
+        self.cluster_order = cluster_order
+        self._rows: list[Row | None] = []
+        self._live_count = 0
+        self._bytes = 0
+        self._pk_index: HashIndex | None = (
+            HashIndex() if self.enforce_primary_key else None
+        )
+        self._secondary: dict[str, HashIndex] = {}
+        self._ordered: dict[str, OrderedIndex] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._live_count
+
+    @property
+    def row_count(self) -> int:
+        return self._live_count
+
+    def storage_bytes(self, include_indexes: bool = True) -> int:
+        """Approximate total storage including index structures."""
+        total = self._bytes
+        if include_indexes:
+            if self._pk_index is not None:
+                total += self._pk_index.approximate_bytes()
+            for index in self._secondary.values():
+                total += index.approximate_bytes()
+            for index in self._ordered.values():
+                total += index.approximate_bytes()
+        return total
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def create_index(self, column: str, ordered: bool = False) -> None:
+        """Create a secondary index on ``column`` over existing rows."""
+        position = self.schema.position(column)
+        if ordered:
+            index = OrderedIndex()
+            for slot, row in enumerate(self._rows):
+                if row is not None:
+                    index.add(row[position], slot)  # type: ignore[arg-type]
+            self._ordered[column] = index
+        else:
+            hash_index = HashIndex()
+            for slot, row in enumerate(self._rows):
+                if row is not None:
+                    hash_index.add(row[position], slot)
+            self._secondary[column] = hash_index
+
+    def has_index(self, column: str) -> bool:
+        return column in self._secondary or column in self._ordered
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Sequence[object]) -> int:
+        """Insert one row; returns its slot position."""
+        self.schema.validate_row(row)
+        stored: Row = tuple(row)
+        if self._pk_index is not None:
+            key = self.schema.key_of(stored)
+            if self._pk_index.contains(key):
+                raise DuplicateKeyError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+        slot = len(self._rows)
+        self._rows.append(stored)
+        self._live_count += 1
+        row_bytes = self.schema.row_bytes(stored)
+        self._bytes += row_bytes
+        self.accountant.charge_write(1, row_bytes)
+        if self._pk_index is not None:
+            self._pk_index.add(self.schema.key_of(stored), slot)
+        for column, index in self._secondary.items():
+            index.add(stored[self.schema.position(column)], slot)
+        for column, ordered_index in self._ordered.items():
+            ordered_index.add(
+                stored[self.schema.position(column)],  # type: ignore[arg-type]
+                slot,
+            )
+        return slot
+
+    def insert_many(self, rows: Iterable[Sequence[object]]) -> int:
+        """Bulk insert; returns the number of rows inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def delete_at(self, slot: int) -> None:
+        """Tombstone the row in ``slot``."""
+        row = self._rows[slot]
+        if row is None:
+            return
+        self._rows[slot] = None
+        self._live_count -= 1
+        row_bytes = self.schema.row_bytes(row)
+        self._bytes -= row_bytes
+        self.accountant.charge_write(1, row_bytes)
+        if self._pk_index is not None:
+            self._pk_index.remove(self.schema.key_of(row), slot)
+        for column, index in self._secondary.items():
+            index.remove(row[self.schema.position(column)], slot)
+        for column, ordered_index in self._ordered.items():
+            ordered_index.remove(
+                row[self.schema.position(column)],  # type: ignore[arg-type]
+                slot,
+            )
+
+    def delete_where(self, predicate: Expression) -> int:
+        """Delete all rows matching ``predicate``; returns count deleted."""
+        test = predicate.bind(self.schema)
+        doomed = []
+        for slot, row in self._iter_slots():
+            if test(row):
+                doomed.append(slot)
+        for slot in doomed:
+            self.delete_at(slot)
+        return len(doomed)
+
+    def update_where(
+        self,
+        predicate: Expression | None,
+        assignments: dict[str, Expression],
+    ) -> int:
+        """UPDATE ... SET col = expr [WHERE pred]; returns rows updated.
+
+        Each update rewrites the full row (delete + insert in place), which
+        is what makes array-append commits expensive for combined-table.
+        """
+        test = predicate.bind(self.schema) if predicate is not None else None
+        bound = {
+            self.schema.position(column): expr.bind(self.schema)
+            for column, expr in assignments.items()
+        }
+        updated = 0
+        for slot, row in self._iter_slots():
+            self.accountant.charge_seq_scan(1, self.schema.row_bytes(row))
+            if test is not None and not test(row):
+                continue
+            new_row = list(row)
+            for position, evaluate in bound.items():
+                new_row[position] = evaluate(row)
+            self._replace_at(slot, tuple(new_row))
+            updated += 1
+        return updated
+
+    def _replace_at(self, slot: int, new_row: Row) -> None:
+        old_row = self._rows[slot]
+        assert old_row is not None
+        self.schema.validate_row(new_row)
+        old_bytes = self.schema.row_bytes(old_row)
+        new_bytes = self.schema.row_bytes(new_row)
+        if self._pk_index is not None:
+            old_key = self.schema.key_of(old_row)
+            new_key = self.schema.key_of(new_row)
+            if old_key != new_key:
+                if self._pk_index.contains(new_key):
+                    raise DuplicateKeyError(
+                        f"duplicate primary key {new_key!r} in {self.name!r}"
+                    )
+                self._pk_index.remove(old_key, slot)
+                self._pk_index.add(new_key, slot)
+        for column, index in self._secondary.items():
+            position = self.schema.position(column)
+            if old_row[position] != new_row[position]:
+                index.remove(old_row[position], slot)
+                index.add(new_row[position], slot)
+        for column, ordered_index in self._ordered.items():
+            position = self.schema.position(column)
+            if old_row[position] != new_row[position]:
+                ordered_index.remove(old_row[position], slot)  # type: ignore[arg-type]
+                ordered_index.add(new_row[position], slot)  # type: ignore[arg-type]
+        self._rows[slot] = new_row
+        self._bytes += new_bytes - old_bytes
+        self.accountant.charge_write(1, new_bytes)
+
+    # ------------------------------------------------------------------
+    # ALTER TABLE (Section 4.3: schema evolution over physical tables)
+    # ------------------------------------------------------------------
+    def add_column(self, column) -> None:
+        """ALTER TABLE ADD COLUMN: existing rows read NULL for it."""
+        from repro.relational.schema import Schema
+
+        self.schema = Schema(
+            self.schema.columns + [column], self.schema.primary_key
+        )
+        for slot, row in enumerate(self._rows):
+            if row is not None:
+                self._rows[slot] = row + (None,)
+                self._bytes += column.dtype.sizeof(None)
+        self.accountant.charge_write(self._live_count)
+
+    def widen_column(self, name: str, dtype) -> None:
+        """ALTER TABLE ALTER COLUMN TYPE to a more general type; existing
+        values are coerced in place."""
+        from repro.relational.schema import ColumnDef, Schema
+        from repro.relational.types import generalize_types
+
+        position = self.schema.position(name)
+        widened = generalize_types(self.schema.columns[position].dtype, dtype)
+        columns = list(self.schema.columns)
+        columns[position] = ColumnDef(name, widened)
+        self.schema = Schema(columns, self.schema.primary_key)
+        for slot, row in enumerate(self._rows):
+            if row is None or row[position] is None:
+                continue
+            coerced = widened.coerce(row[position])
+            if coerced != row[position] or type(coerced) is not type(
+                row[position]
+            ):
+                mutable = list(row)
+                mutable[position] = coerced
+                self._rows[slot] = tuple(mutable)
+        self.accountant.charge_write(self._live_count)
+
+    def vacuum(self) -> None:
+        """Compact tombstones and rebuild indexes."""
+        live = [row for row in self._rows if row is not None]
+        self._rows = list(live)
+        if self._pk_index is not None:
+            self._pk_index = HashIndex()
+            for slot, row in enumerate(self._rows):
+                self._pk_index.add(self.schema.key_of(row), slot)  # type: ignore[arg-type]
+        for column in list(self._secondary):
+            self._secondary.pop(column)
+            self.create_index(column, ordered=False)
+        for column in list(self._ordered):
+            self._ordered.pop(column)
+            self.create_index(column, ordered=True)
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+    def _iter_slots(self) -> Iterator[tuple[int, Row]]:
+        for slot, row in enumerate(self._rows):
+            if row is not None:
+                yield slot, row
+
+    def scan(self) -> Iterator[Row]:
+        """Full sequential scan; charges one sequential row per live row."""
+        for _slot, row in self._iter_slots():
+            self.accountant.charge_seq_scan(1, self.schema.row_bytes(row))
+            yield row
+
+    def scan_where(self, predicate: Expression) -> Iterator[Row]:
+        """Sequential scan with a pushed-down filter."""
+        test = predicate.bind(self.schema)
+        for row in self.scan():
+            if test(row):
+                yield row
+
+    def fetch_slot(self, slot: int) -> Row | None:
+        """Random access by heap position (charged as random I/O)."""
+        row = self._rows[slot]
+        if row is not None:
+            self.accountant.charge_random_read(1, self.schema.row_bytes(row))
+        return row
+
+    def lookup(self, column: str, key: Hashable) -> list[Row]:
+        """Index lookup; falls back to a sequential scan without an index.
+
+        Whether the fetches after the probe are charged as random or
+        sequential depends on the clustering: probing ``rid`` on a table
+        clustered by ``rid`` touches adjacent pages.
+        """
+        index = self._index_for(column)
+        if index is None:
+            position = self.schema.position(column)
+            return [row for row in self.scan() if row[position] == key]
+        self.accountant.charge_index_probe(1)
+        rows: list[Row] = []
+        clustered = self._is_clustered_on(column)
+        for slot in index.lookup(key):
+            row = self._rows[slot]
+            if row is None:
+                continue
+            row_bytes = self.schema.row_bytes(row)
+            if clustered:
+                self.accountant.charge_seq_scan(1, row_bytes)
+            else:
+                self.accountant.charge_random_read(1, row_bytes)
+            rows.append(row)
+        return rows
+
+    def lookup_many(self, column: str, keys: Iterable[Hashable]) -> list[Row]:
+        """Batched index lookups, preserving key order."""
+        rows: list[Row] = []
+        for key in keys:
+            rows.extend(self.lookup(column, key))
+        return rows
+
+    def _index_for(self, column: str) -> HashIndex | OrderedIndex | None:
+        if (
+            self._pk_index is not None
+            and self.schema.primary_key == (column,)
+        ):
+            return _PkAdapter(self._pk_index)
+        if column in self._secondary:
+            return self._secondary[column]
+        if column in self._ordered:
+            return self._ordered[column]
+        return None
+
+    def _is_clustered_on(self, column: str) -> bool:
+        if self.cluster_order is ClusterOrder.RID:
+            return column == "rid"
+        if self.cluster_order is ClusterOrder.PRIMARY_KEY:
+            return self.schema.primary_key == (column,)
+        return False
+
+    def rows_snapshot(self) -> list[Row]:
+        """All live rows without charging I/O (for assertions in tests)."""
+        return [row for _slot, row in self._iter_slots()]
+
+    def first_where(self, predicate: Expression) -> Row | None:
+        for row in self.scan_where(predicate):
+            return row
+        return None
+
+    def apply_projection(
+        self, names: Sequence[str]
+    ) -> Callable[[Row], Row]:
+        positions = self.schema.project_positions(names)
+        return lambda row: tuple(row[i] for i in positions)
+
+
+class _PkAdapter:
+    """Adapts the primary-key hash index to the single-key lookup shape."""
+
+    def __init__(self, pk_index: HashIndex) -> None:
+        self._pk_index = pk_index
+
+    def lookup(self, key: Hashable) -> list[int]:
+        return self._pk_index.lookup((key,))

@@ -1,0 +1,62 @@
+"""The compact storage engine for data versioning (Chapter 7).
+
+Given a collection of dataset versions of *any* structure, decide which
+versions to materialize and which to store as deltas, trading total
+storage cost C against per-version recreation costs R_i. The six problem
+variants of Table 7.1 are solved by:
+
+* Problem 1 (min C):             minimum spanning tree / arborescence
+* Problem 2 (min all R_i):       shortest-path tree
+* Problem 3 (min ΣR_i, C ≤ β):   LMG under a storage budget
+* Problem 4 (min max R_i, C ≤ β): binary-searched MP
+* Problem 5 (min C, ΣR_i ≤ θ):   LMG
+* Problem 6 (min C, max R_i ≤ θ): MP (modified Prim's), or exact ILP
+
+plus LAST for the undirected Φ=Δ scenario and a scipy-based ILP for
+exact small instances. Delta codecs (line, cell, XOR) make the engine
+work end-to-end on real artifacts, not just cost matrices.
+"""
+
+from repro.storage.deltas import (
+    CellDeltaCodec,
+    Delta,
+    LineDeltaCodec,
+    XorDeltaCodec,
+)
+from repro.storage.engine import StoredVersion, VersionedStore
+from repro.storage.graph import StorageGraph, StoragePlan
+from repro.storage.matrices import CostMatrices
+from repro.storage.solvers import (
+    ilp_min_storage_max_recreation,
+    last_tree,
+    lmg_min_storage,
+    lmg_min_sum_recreation,
+    minimum_arborescence,
+    minimum_spanning_storage,
+    mp_min_max_recreation,
+    mp_min_storage,
+    shortest_path_tree,
+    solve,
+)
+
+__all__ = [
+    "CellDeltaCodec",
+    "CostMatrices",
+    "Delta",
+    "LineDeltaCodec",
+    "StorageGraph",
+    "StoragePlan",
+    "StoredVersion",
+    "VersionedStore",
+    "XorDeltaCodec",
+    "ilp_min_storage_max_recreation",
+    "last_tree",
+    "lmg_min_storage",
+    "lmg_min_sum_recreation",
+    "minimum_arborescence",
+    "minimum_spanning_storage",
+    "mp_min_max_recreation",
+    "mp_min_storage",
+    "shortest_path_tree",
+    "solve",
+]

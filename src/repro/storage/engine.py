@@ -1,0 +1,200 @@
+"""The end-to-end versioned store: artifacts in, plans out, bytes back.
+
+:class:`VersionedStore` ties the chapter together: register artifact
+versions (text, tables, or bytes) with their derivation edges, compute
+the Δ/Φ matrices with a delta codec, solve one of the six problems for a
+storage plan, *materialize* the plan (actually keeping full copies for
+materialized versions and codec deltas for the rest), and retrieve any
+version by walking its delta chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.storage.deltas import Delta, DeltaCodec
+from repro.storage.graph import ROOT, StorageGraph, StoragePlan
+from repro.storage.matrices import CostMatrices
+from repro.storage.solvers import solve
+
+
+@dataclass
+class StoredVersion:
+    """How one version is physically kept."""
+
+    vid: int
+    parent: int  # 0 = materialized
+    content: object | None  # full artifact when materialized
+    delta: Delta | None  # codec delta otherwise
+
+
+class VersionedStore:
+    """Compact storage for a set of related artifact versions."""
+
+    def __init__(self, codec: DeltaCodec) -> None:
+        self.codec = codec
+        self._artifacts: dict[int, object] = {}
+        self._edges: set[tuple[int, int]] = set()
+        self._matrices: CostMatrices | None = None
+        self._deltas: dict[tuple[int, int], Delta] = {}
+        self._plan: StoragePlan | None = None
+        self._stored: dict[int, StoredVersion] = {}
+        self._graph: StorageGraph | None = None
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def add_version(
+        self, vid: int, artifact: object, parents: Iterable[int] = ()
+    ) -> None:
+        """Register a version and its derivation edges.
+
+        Each (parent, vid) pair becomes a revealed delta; callers may
+        reveal additional pairs with :meth:`reveal_pair` (e.g. found by a
+        similarity heuristic).
+        """
+        if vid in self._artifacts:
+            raise ValueError(f"version {vid} already added")
+        self._artifacts[vid] = artifact
+        for parent in parents:
+            if parent not in self._artifacts:
+                raise ValueError(f"unknown parent version {parent}")
+            self._edges.add((parent, vid))
+        self._invalidate()
+
+    def reveal_pair(self, source: int, target: int) -> None:
+        """Reveal an extra Δ/Φ entry beyond the version-graph edges."""
+        if source not in self._artifacts or target not in self._artifacts:
+            raise ValueError("both versions must be registered first")
+        self._edges.add((source, target))
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._matrices = None
+        self._graph = None
+        self._plan = None
+        self._stored.clear()
+
+    # ------------------------------------------------------------------
+    # Costing and planning
+    # ------------------------------------------------------------------
+    def matrices(self) -> CostMatrices:
+        if self._matrices is None:
+            # Contiguity: the store requires vids 1..n.
+            expected = set(range(1, len(self._artifacts) + 1))
+            if set(self._artifacts) != expected:
+                raise ValueError("version ids must be 1..n")
+            self._matrices, deltas = CostMatrices.from_artifacts(
+                self._artifacts, self.codec, sorted(self._edges)
+            )
+            self._deltas = dict(deltas)  # type: ignore[arg-type]
+        return self._matrices
+
+    def graph(self) -> StorageGraph:
+        if self._graph is None:
+            self._graph = StorageGraph.from_matrices(self.matrices())
+        return self._graph
+
+    def plan(
+        self, problem: int, threshold: float | None = None, alpha: float = 2.0
+    ) -> StoragePlan:
+        """Compute and adopt a storage plan for a Table 7.1 problem."""
+        plan = solve(self.graph(), problem, threshold=threshold, alpha=alpha)
+        self.adopt_plan(plan)
+        return plan
+
+    def adopt_plan(self, plan: StoragePlan) -> None:
+        """Materialize a plan: store full copies and deltas per the tree."""
+        plan.validate(self.graph())
+        self.matrices()  # ensure deltas are computed
+        self._plan = plan
+        self._stored.clear()
+        for vid, parent in plan.parent.items():
+            if parent == ROOT:
+                self._stored[vid] = StoredVersion(
+                    vid=vid,
+                    parent=ROOT,
+                    content=self._artifacts[vid],
+                    delta=None,
+                )
+            else:
+                delta = self._deltas.get((parent, vid))
+                if delta is None:
+                    delta = self.codec.diff(
+                        self._artifacts[parent], self._artifacts[vid]
+                    )
+                self._stored[vid] = StoredVersion(
+                    vid=vid, parent=parent, content=None, delta=delta
+                )
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def retrieve(self, vid: int):
+        """Recreate a version by walking its delta chain from a
+        materialized ancestor."""
+        if self._plan is None:
+            raise RuntimeError("no plan adopted; call plan() first")
+        chain: list[StoredVersion] = []
+        current = self._stored[vid]
+        while current.parent != ROOT:
+            chain.append(current)
+            current = self._stored[current.parent]
+        artifact = current.content
+        for stored in reversed(chain):
+            assert stored.delta is not None
+            artifact = self.codec.apply(artifact, stored.delta)
+        return artifact
+
+    def retrieval_chain_length(self, vid: int) -> int:
+        if self._plan is None:
+            raise RuntimeError("no plan adopted")
+        length = 0
+        current = self._stored[vid]
+        while current.parent != ROOT:
+            length += 1
+            current = self._stored[current.parent]
+        return length
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(self) -> dict[str, float]:
+        """Cost summary of the adopted plan."""
+        if self._plan is None:
+            raise RuntimeError("no plan adopted")
+        graph = self.graph()
+        costs = self._plan.recreation_costs(graph)
+        return {
+            "total_storage": self._plan.total_storage_cost(graph),
+            "sum_recreation": sum(costs.values()),
+            "max_recreation": max(costs.values()),
+            "materialized": float(len(self._plan.materialized())),
+            "num_versions": float(graph.num_versions),
+        }
+
+
+def reveal_similar_pairs(
+    artifacts: dict[int, Sequence[str]],
+    existing: set[tuple[int, int]],
+    budget: int,
+    window: int = 5,
+) -> list[tuple[int, int]]:
+    """A cheap similarity heuristic (Douglis-style) to reveal extra pairs:
+    compare line-set overlap within a sliding vid window and return the
+    ``budget`` most-similar unrevealed pairs."""
+    scored: list[tuple[float, int, int]] = []
+    vids = sorted(artifacts)
+    signatures = {vid: set(artifacts[vid]) for vid in vids}
+    for i, source in enumerate(vids):
+        for target in vids[i + 1 : i + 1 + window]:
+            if (source, target) in existing or (target, source) in existing:
+                continue
+            a, b = signatures[source], signatures[target]
+            union = len(a | b)
+            if union == 0:
+                continue
+            scored.append((len(a & b) / union, source, target))
+    scored.sort(reverse=True)
+    return [(s, t) for _score, s, t in scored[:budget]]

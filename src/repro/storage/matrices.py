@@ -1,0 +1,137 @@
+"""The Δ (storage) and Φ (recreation) cost matrices of Section 7.2.1.
+
+Sparse: computing all-pairs deltas is infeasible, so only *revealed*
+entries exist — typically the version-graph edges plus extra pairs chosen
+by a similarity heuristic. Diagonal entries are materialization costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+@dataclass
+class CostMatrices:
+    """Sparse Δ/Φ matrices over versions 1..n (0 is the dummy root).
+
+    Attributes:
+        num_versions: n.
+        storage: (i, j) -> Δ_ij for revealed off-diagonal entries;
+            (i, i) -> Δ_ii materialization cost. Keys use 1-based ids.
+        recreation: Same keys -> Φ values.
+        symmetric: True when Δ_ij = Δ_ji by construction (undirected).
+    """
+
+    num_versions: int
+    storage: dict[tuple[int, int], float] = field(default_factory=dict)
+    recreation: dict[tuple[int, int], float] = field(default_factory=dict)
+    symmetric: bool = False
+
+    def set_materialization(self, vid: int, delta: float, phi: float) -> None:
+        self.storage[(vid, vid)] = delta
+        self.recreation[(vid, vid)] = phi
+
+    def set_delta(
+        self, source: int, target: int, delta: float, phi: float
+    ) -> None:
+        self.storage[(source, target)] = delta
+        self.recreation[(source, target)] = phi
+        if self.symmetric:
+            self.storage[(target, source)] = delta
+            self.recreation[(target, source)] = phi
+
+    def has_entry(self, source: int, target: int) -> bool:
+        return (source, target) in self.storage
+
+    def delta(self, source: int, target: int) -> float:
+        return self.storage[(source, target)]
+
+    def phi(self, source: int, target: int) -> float:
+        return self.recreation[(source, target)]
+
+    def edges(self) -> Iterator[tuple[int, int, float, float]]:
+        """All revealed entries as (source, target, Δ, Φ); the diagonal
+        appears as (0, v, Δ_vv, Φ_vv) — edges from the dummy root."""
+        for (source, target), delta in self.storage.items():
+            phi = self.recreation[(source, target)]
+            if source == target:
+                yield 0, target, delta, phi
+            else:
+                yield source, target, delta, phi
+
+    def validate(self) -> None:
+        """Every version must be materializable, and Φ keys must mirror Δ."""
+        for vid in range(1, self.num_versions + 1):
+            if (vid, vid) not in self.storage:
+                raise ValueError(
+                    f"version {vid} has no materialization cost"
+                )
+        missing = set(self.storage) ^ set(self.recreation)
+        if missing:
+            raise ValueError(
+                f"storage/recreation keys disagree on {sorted(missing)[:5]}"
+            )
+
+    def check_triangle_inequality(self, tolerance: float = 1e-9) -> list[str]:
+        """Return violations of Equations 7.3/7.4 among revealed entries.
+
+        Only meaningful for the symmetric Δ = Φ scenario where deltas
+        record literal modifications.
+        """
+        violations: list[str] = []
+        revealed = {
+            (s, t): d for (s, t), d in self.storage.items() if s != t
+        }
+        full = {v: self.storage[(v, v)] for v in range(1, self.num_versions + 1)}
+        for (p, q), d_pq in revealed.items():
+            # |Δpp − Δpq| ≤ Δqq ≤ Δpp + Δpq
+            if p in full and q in full:
+                if full[q] > full[p] + d_pq + tolerance or full[q] < abs(
+                    full[p] - d_pq
+                ) - tolerance:
+                    violations.append(
+                        f"materialization triangle violated at ({p},{q})"
+                    )
+            for (q2, w), d_qw in revealed.items():
+                if q2 != q or (p, w) not in revealed:
+                    continue
+                d_pw = revealed[(p, w)]
+                if d_pw > d_pq + d_qw + tolerance:
+                    violations.append(
+                        f"path triangle violated at ({p},{q},{w})"
+                    )
+        return violations
+
+    @classmethod
+    def from_artifacts(
+        cls,
+        artifacts: dict[int, object],
+        codec,
+        pairs: Iterable[tuple[int, int]],
+    ) -> tuple["CostMatrices", dict[tuple[int, int], object]]:
+        """Compute matrices by running a codec over selected pairs.
+
+        Args:
+            artifacts: vid -> artifact (1-based vids).
+            codec: A :class:`~repro.storage.deltas.DeltaCodec`.
+            pairs: Ordered (source, target) pairs to reveal.
+
+        Returns:
+            (matrices, deltas) where ``deltas`` maps revealed pairs to
+            the actual :class:`Delta` payloads for later application.
+        """
+        matrices = cls(num_versions=len(artifacts), symmetric=codec.symmetric)
+        deltas: dict[tuple[int, int], object] = {}
+        for vid, artifact in artifacts.items():
+            delta_cost, phi_cost = codec.materialize_cost(artifact)
+            matrices.set_materialization(vid, delta_cost, phi_cost)
+        for source, target in pairs:
+            delta = codec.diff(artifacts[source], artifacts[target])
+            matrices.set_delta(
+                source, target, delta.storage_cost, delta.recreation_cost
+            )
+            deltas[(source, target)] = delta
+            if codec.symmetric:
+                deltas[(target, source)] = delta
+        return matrices, deltas

@@ -1,0 +1,86 @@
+"""Solvers for the six storage-recreation problems of Table 7.1."""
+
+from repro.storage.solvers.ilp import (
+    ilp_min_storage_max_recreation,
+    ilp_min_storage_sum_recreation,
+)
+from repro.storage.solvers.last import last_tree
+from repro.storage.solvers.lmg import lmg_min_storage, lmg_min_sum_recreation
+from repro.storage.solvers.mp import mp_min_max_recreation, mp_min_storage
+from repro.storage.solvers.mst import minimum_arborescence, minimum_spanning_storage
+from repro.storage.solvers.spt import shortest_path_tree
+
+from repro.storage.graph import StorageGraph, StoragePlan
+
+
+def solve(
+    graph: StorageGraph,
+    problem: int,
+    threshold: float | None = None,
+    alpha: float = 2.0,
+) -> StoragePlan:
+    """Dispatch a Table 7.1 problem to its solver.
+
+    Args:
+        graph: The expanded storage graph.
+        problem: 1-6 per the paper's numbering.
+        threshold: β (storage budget) for problems 3/4, θ (recreation
+            budget) for problems 5/6. Unused for 1/2.
+        alpha: LAST balance parameter, used only when the graph is
+            symmetric and problem is 4 or 6.
+    """
+    if problem == 1:
+        return minimum_spanning_storage(graph)
+    if problem == 2:
+        return shortest_path_tree(graph)
+    if threshold is None:
+        raise ValueError(f"problem {problem} needs a threshold")
+    if problem == 3:
+        return lmg_min_sum_recreation(graph, storage_budget=threshold)
+    if problem == 4:
+        if graph.symmetric:
+            return _last_for_budget(graph, threshold, alpha)
+        return mp_min_max_recreation(graph, storage_budget=threshold)
+    if problem == 5:
+        return lmg_min_storage(graph, sum_recreation_budget=threshold)
+    if problem == 6:
+        if graph.symmetric:
+            plan = last_tree(graph, alpha)
+            if plan.max_recreation(graph) <= threshold:
+                return plan
+        return mp_min_storage(graph, max_recreation_budget=threshold)
+    raise ValueError(f"unknown problem {problem}")
+
+
+def _last_for_budget(
+    graph: StorageGraph, storage_budget: float, alpha: float
+) -> StoragePlan:
+    """Problem 4 via LAST: sweep α down until storage fits the budget,
+    keeping the smallest max-recreation plan that fits."""
+    best: StoragePlan | None = None
+    best_max = float("inf")
+    for candidate_alpha in (1.05, 1.25, 1.5, 2.0, 3.0, 5.0, 8.0):
+        plan = last_tree(graph, candidate_alpha)
+        if plan.total_storage_cost(graph) > storage_budget:
+            continue
+        max_recreation = plan.max_recreation(graph)
+        if max_recreation < best_max:
+            best, best_max = plan, max_recreation
+    if best is None:
+        best = minimum_spanning_storage(graph)
+    return best
+
+
+__all__ = [
+    "ilp_min_storage_max_recreation",
+    "ilp_min_storage_sum_recreation",
+    "last_tree",
+    "lmg_min_storage",
+    "lmg_min_sum_recreation",
+    "minimum_arborescence",
+    "minimum_spanning_storage",
+    "mp_min_max_recreation",
+    "mp_min_storage",
+    "shortest_path_tree",
+    "solve",
+]

@@ -1,0 +1,217 @@
+"""LMG — the Local Move Greedy heuristic (Problems 3 and 5).
+
+Start from the minimum-storage tree. Each *move* re-parents one version
+onto the dummy root (materializes it), which lowers the recreation cost
+of the whole subtree hanging below it at the price of extra storage. LMG
+repeatedly applies the move with the best ratio
+
+    ρ = (reduction in Σ R_i) / (increase in storage)
+
+until the constraint is met (Problem 5: stop once Σ R_i ≤ θ) or the
+budget is exhausted (Problem 3: apply moves while C stays ≤ β).
+"""
+
+from __future__ import annotations
+
+from repro.storage.graph import ROOT, StorageGraph, StoragePlan
+from repro.storage.solvers.mst import minimum_spanning_storage
+
+
+def _children_map(plan: StoragePlan) -> dict[int, list[int]]:
+    children: dict[int, list[int]] = {ROOT: []}
+    for vertex in plan.parent:
+        children.setdefault(vertex, [])
+    for vertex, parent in plan.parent.items():
+        children.setdefault(parent, []).append(vertex)
+    return children
+
+
+def _subtree_size(plan: StoragePlan, vertex: int) -> int:
+    children = _children_map(plan)
+    count = 0
+    stack = [vertex]
+    while stack:
+        node = stack.pop()
+        count += 1
+        stack.extend(children.get(node, ()))
+    return count
+
+
+def _best_materialization_move(
+    graph: StorageGraph, plan: StoragePlan
+) -> tuple[float, float, int] | None:
+    """The move maximizing ρ; returns (ρ, storage_increase, vertex)."""
+    recreation = plan.recreation_costs(graph)
+    children = _children_map(plan)
+
+    # Subtree sizes in one pass (children lists are a forest under ROOT).
+    sizes: dict[int, int] = {}
+
+    def size_of(node: int) -> int:
+        if node in sizes:
+            return sizes[node]
+        total = 1
+        for child in children.get(node, ()):
+            total += size_of(child)
+        sizes[node] = total
+        return total
+
+    best: tuple[float, float, int] | None = None
+    for vertex, parent in plan.parent.items():
+        if parent == ROOT:
+            continue
+        if (ROOT, vertex) not in graph.edges:
+            continue
+        new_recreation = graph.recreation_weight(ROOT, vertex)
+        recreation_drop = recreation[vertex] - new_recreation
+        if recreation_drop <= 0:
+            continue
+        storage_increase = graph.storage_weight(
+            ROOT, vertex
+        ) - graph.storage_weight(parent, vertex)
+        total_drop = recreation_drop * size_of(vertex)
+        if storage_increase <= 0:
+            # Free improvement: take it immediately with infinite ratio.
+            return (float("inf"), storage_increase, vertex)
+        ratio = total_drop / storage_increase
+        if best is None or ratio > best[0]:
+            best = (ratio, storage_increase, vertex)
+    return best
+
+
+def lmg_min_storage(
+    graph: StorageGraph, sum_recreation_budget: float
+) -> StoragePlan:
+    """Problem 5: minimize C subject to Σ R_i ≤ θ.
+
+    Phase one applies the paper's materialization moves by best ratio;
+    if those alone cannot reach the budget (possible when the residual
+    slack lives in delta-edge choices, not materializations), a second
+    phase re-parents vertices onto cheaper-recreation in-edges, which
+    converges to the shortest-path tree — feasible whenever θ is.
+    """
+    plan = minimum_spanning_storage(graph)
+    while plan.sum_recreation(graph) > sum_recreation_budget:
+        move = _best_materialization_move(graph, plan)
+        if move is None:
+            break  # no materialization can reduce recreation further
+        _ratio, _cost, vertex = move
+        plan.parent[vertex] = ROOT
+    while plan.sum_recreation(graph) > sum_recreation_budget:
+        move = _best_reparent_move(graph, plan)
+        if move is None:
+            break  # θ below the SPT sum: infeasible instance
+        vertex, new_parent = move
+        plan.parent[vertex] = new_parent
+    return plan
+
+
+def _best_reparent_move(
+    graph: StorageGraph, plan: StoragePlan
+) -> tuple[int, int] | None:
+    """The re-parenting move with the best recreation-drop/storage ratio.
+
+    Cycle safety: vertex v may only adopt a parent outside its own
+    subtree.
+    """
+    recreation = plan.recreation_costs(graph)
+    children = _children_map(plan)
+
+    def subtree(vertex: int) -> set[int]:
+        members = set()
+        stack = [vertex]
+        while stack:
+            node = stack.pop()
+            members.add(node)
+            stack.extend(children.get(node, ()))
+        return members
+
+    best: tuple[float, int, int] | None = None
+    for vertex, parent in plan.parent.items():
+        below = None
+        for source, delta, phi in graph.in_edges(vertex):
+            if source == parent:
+                continue
+            if source != ROOT:
+                if below is None:
+                    below = subtree(vertex)
+                if source in below:
+                    continue
+                new_recreation = recreation[source] + phi
+            else:
+                new_recreation = phi
+            drop = recreation[vertex] - new_recreation
+            if drop <= 0:
+                continue
+            storage_increase = delta - graph.storage_weight(parent, vertex)
+            size = len(below) if below is not None else len(subtree(vertex))
+            total_drop = drop * size
+            ratio = (
+                total_drop / storage_increase
+                if storage_increase > 0
+                else float("inf")
+            )
+            if best is None or ratio > best[0]:
+                best = (ratio, vertex, source)
+    if best is None:
+        return None
+    return best[1], best[2]
+
+
+def lmg_min_sum_recreation(
+    graph: StorageGraph, storage_budget: float
+) -> StoragePlan:
+    """Problem 3: minimize Σ R_i subject to C ≤ β."""
+    plan = minimum_spanning_storage(graph)
+    if plan.total_storage_cost(graph) > storage_budget:
+        # Even the min-storage tree violates β: return it anyway (the
+        # instance is infeasible; callers can check).
+        return plan
+    while True:
+        move = _best_materialization_move(graph, plan)
+        if move is None:
+            break
+        _ratio, storage_increase, vertex = move
+        if (
+            plan.total_storage_cost(graph) + storage_increase
+            > storage_budget
+        ):
+            # Try the next-best affordable move before giving up.
+            affordable = _best_affordable_move(
+                graph, plan, storage_budget
+            )
+            if affordable is None:
+                break
+            vertex = affordable
+        plan.parent[vertex] = ROOT
+    return plan
+
+
+def _best_affordable_move(
+    graph: StorageGraph, plan: StoragePlan, storage_budget: float
+) -> int | None:
+    recreation = plan.recreation_costs(graph)
+    current_storage = plan.total_storage_cost(graph)
+    best_vertex: int | None = None
+    best_ratio = 0.0
+    for vertex, parent in plan.parent.items():
+        if parent == ROOT or (ROOT, vertex) not in graph.edges:
+            continue
+        storage_increase = graph.storage_weight(
+            ROOT, vertex
+        ) - graph.storage_weight(parent, vertex)
+        if current_storage + storage_increase > storage_budget:
+            continue
+        drop = recreation[vertex] - graph.recreation_weight(ROOT, vertex)
+        if drop <= 0:
+            continue
+        size = _subtree_size(plan, vertex)
+        ratio = (
+            drop * size / storage_increase
+            if storage_increase > 0
+            else float("inf")
+        )
+        if ratio > best_ratio:
+            best_ratio = ratio
+            best_vertex = vertex
+    return best_vertex

@@ -1,0 +1,166 @@
+"""Problem 1 — minimize total storage.
+
+Undirected case: Prim's algorithm over Δ weights. Directed case: the
+Chu-Liu/Edmonds minimum arborescence rooted at the dummy vertex,
+implemented from scratch (tests cross-check it against networkx).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.storage.graph import ROOT, StorageGraph, StoragePlan
+
+
+def minimum_spanning_storage(graph: StorageGraph) -> StoragePlan:
+    """Minimum-storage spanning structure: Prim for symmetric graphs,
+    Edmonds for directed ones."""
+    if graph.symmetric:
+        return _prim(graph)
+    return minimum_arborescence(graph)
+
+
+def _prim(graph: StorageGraph) -> StoragePlan:
+    adjacency: dict[int, list[tuple[float, int]]] = {
+        v: [] for v in range(0, graph.num_versions + 1)
+    }
+    for (source, target), (delta, _phi) in graph.edges.items():
+        adjacency[source].append((delta, target))
+        # Symmetric graphs also admit storing the delta the other way,
+        # except materialization edges which only leave the root.
+        if source != ROOT:
+            adjacency[target].append((delta, source))
+
+    parent: dict[int, int] = {}
+    in_tree = {ROOT}
+    heap: list[tuple[float, int, int]] = []
+    for delta, target in adjacency[ROOT]:
+        heapq.heappush(heap, (delta, target, ROOT))
+    while heap and len(in_tree) <= graph.num_versions:
+        delta, vertex, source = heapq.heappop(heap)
+        if vertex in in_tree:
+            continue
+        in_tree.add(vertex)
+        parent[vertex] = source
+        for next_delta, neighbor in adjacency[vertex]:
+            if neighbor not in in_tree and neighbor != ROOT:
+                heapq.heappush(heap, (next_delta, neighbor, vertex))
+    _require_spanning(graph, parent)
+    return StoragePlan(parent)
+
+
+def minimum_arborescence(graph: StorageGraph) -> StoragePlan:
+    """Chu-Liu/Edmonds minimum-weight arborescence rooted at 0."""
+    edges = [
+        (source, target, delta)
+        for (source, target), (delta, _phi) in graph.edges.items()
+    ]
+    nodes = set(range(1, graph.num_versions + 1)) | {ROOT}
+    chosen = _edmonds(nodes, edges, ROOT)
+    parent = {target: source for source, target in chosen}
+    _require_spanning(graph, parent)
+    return StoragePlan(parent)
+
+
+def _edmonds(
+    nodes: set[int], edges: list[tuple[int, int, float]], root: int
+) -> set[tuple[int, int]]:
+    """Recursive Chu-Liu/Edmonds. Returns the set of (source, target)
+    arborescence edges in terms of the *original* edge endpoints."""
+    # Step 1: cheapest incoming edge per non-root node.
+    best_in: dict[int, tuple[int, float]] = {}
+    for source, target, weight in edges:
+        if target == root or source == target:
+            continue
+        current = best_in.get(target)
+        if current is None or weight < current[1]:
+            best_in[target] = (source, weight)
+    for node in nodes:
+        if node != root and node not in best_in:
+            raise ValueError(f"vertex {node} unreachable from the root")
+
+    # Step 2: find a cycle among the chosen edges.
+    cycle = _find_cycle(best_in, root)
+    if cycle is None:
+        return {(source, target) for target, (source, _w) in best_in.items()}
+
+    # Step 3: contract the cycle into a supernode and recurse.
+    cycle_set = set(cycle)
+    supernode = max(nodes) + 1
+    contracted_nodes = (nodes - cycle_set) | {supernode}
+    contracted_edges: list[tuple[int, int, float]] = []
+    #: map from contracted edge identity to original edge
+    origin: dict[tuple[int, int, float], tuple[int, int, float]] = {}
+    for source, target, weight in edges:
+        in_cycle_source = source in cycle_set
+        in_cycle_target = target in cycle_set
+        if in_cycle_source and in_cycle_target:
+            continue
+        if in_cycle_target:
+            adjusted = weight - best_in[target][1]
+            key = (source, supernode, adjusted)
+            contracted_edges.append(key)
+            origin[key] = (source, target, weight)
+        elif in_cycle_source:
+            key = (supernode, target, weight)
+            contracted_edges.append(key)
+            origin[key] = (source, target, weight)
+        else:
+            key = (source, target, weight)
+            contracted_edges.append(key)
+            origin[key] = (source, target, weight)
+
+    sub_solution = _edmonds(contracted_nodes, contracted_edges, root)
+
+    # Step 4: expand the supernode. Exactly one chosen edge enters it;
+    # the original target of that edge breaks the cycle there.
+    result: set[tuple[int, int]] = set()
+    broken_target: int | None = None
+    for source, target in sub_solution:
+        candidates = [
+            key
+            for key in origin
+            if key[0] == source and key[1] == target
+        ]
+        key = min(candidates, key=lambda k: k[2])
+        original = origin[key]
+        result.add((original[0], original[1]))
+        if target == supernode:
+            broken_target = original[1]
+    assert broken_target is not None
+    for node in cycle:
+        if node != broken_target:
+            result.add((best_in[node][0], node))
+    return result
+
+
+def _find_cycle(
+    best_in: dict[int, tuple[int, float]], root: int
+) -> list[int] | None:
+    color: dict[int, int] = {}
+    for start in best_in:
+        if color.get(start):
+            continue
+        path = []
+        node = start
+        while node != root and color.get(node) is None:
+            color[node] = 1  # in progress
+            path.append(node)
+            node = best_in[node][0]
+        if node != root and color.get(node) == 1:
+            # Found a cycle; slice it from the path.
+            cycle_start = path.index(node)
+            for visited in path:
+                color[visited] = 2
+            return path[cycle_start:]
+        for visited in path:
+            color[visited] = 2
+    return None
+
+
+def _require_spanning(graph: StorageGraph, parent: dict[int, int]) -> None:
+    missing = set(graph.vertices()) - set(parent)
+    if missing:
+        raise ValueError(
+            f"graph is not spanning-connected; no path to {sorted(missing)[:5]}"
+        )

@@ -1,0 +1,54 @@
+"""Problem 2 — minimize every recreation cost: Dijkstra from the root.
+
+The shortest-path tree over Φ weights simultaneously minimizes R_i for
+every version (each version is recreated along its cheapest path), at the
+price of the largest reasonable storage.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.storage.graph import ROOT, StorageGraph, StoragePlan
+
+
+def shortest_path_tree(graph: StorageGraph) -> StoragePlan:
+    adjacency: dict[int, list[tuple[int, float]]] = {
+        v: [] for v in range(0, graph.num_versions + 1)
+    }
+    for (source, target), (_delta, phi) in graph.edges.items():
+        adjacency[source].append((target, phi))
+        if graph.symmetric and source != ROOT:
+            adjacency[target].append((source, phi))
+
+    distance: dict[int, float] = {ROOT: 0.0}
+    parent: dict[int, int] = {}
+    heap: list[tuple[float, int, int]] = [(0.0, ROOT, ROOT)]
+    settled: set[int] = set()
+    while heap:
+        dist, vertex, via = heapq.heappop(heap)
+        if vertex in settled:
+            continue
+        settled.add(vertex)
+        if vertex != ROOT:
+            parent[vertex] = via
+        for neighbor, phi in adjacency[vertex]:
+            if neighbor in settled or neighbor == ROOT:
+                continue
+            candidate = dist + phi
+            if candidate < distance.get(neighbor, float("inf")):
+                distance[neighbor] = candidate
+                heapq.heappush(heap, (candidate, neighbor, vertex))
+
+    missing = set(graph.vertices()) - set(parent)
+    if missing:
+        raise ValueError(
+            f"no path from root to versions {sorted(missing)[:5]}"
+        )
+    return StoragePlan(parent)
+
+
+def shortest_path_distances(graph: StorageGraph) -> dict[int, float]:
+    """d_SP(v) for every version (used by LAST and as lower bounds)."""
+    plan = shortest_path_tree(graph)
+    return plan.recreation_costs(graph)

@@ -1,0 +1,102 @@
+"""Synthetic workloads for the Chapter 7 experiments.
+
+The paper's Section 7.5 evaluates on large real corpora (Wikipedia dumps
+and synthetic version histories named LC — "linear chain" — and BC —
+"branched chain"). Those corpora are not redistributable, so we generate
+text-artifact histories with the same controllable shape parameters:
+chain vs. branched derivation, edit locality, and edit volume per step.
+The substitution preserves what the experiments measure — how the
+solvers trade storage against recreation as the version graph's shape
+and the delta sizes vary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.storage.engine import VersionedStore, reveal_similar_pairs
+from repro.storage.deltas import DeltaCodec, LineDeltaCodec
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Shape parameters for a synthetic artifact history.
+
+    Attributes:
+        num_versions: Number of versions to generate.
+        base_lines: Lines in the root artifact.
+        edits_per_version: Lines changed (replaced/inserted/deleted) per
+            derivation step.
+        branching_factor: 0 → pure linear chain (LC); larger values make
+            more versions fork off earlier versions (BC).
+        line_width: Characters per generated line.
+        seed: RNG seed.
+    """
+
+    num_versions: int = 50
+    base_lines: int = 400
+    edits_per_version: int = 20
+    branching_factor: float = 0.0
+    line_width: int = 40
+    seed: int = 13
+
+
+def generate_text_history(
+    config: SyntheticConfig,
+) -> tuple[dict[int, list[str]], dict[int, tuple[int, ...]]]:
+    """Generate artifacts and their derivation edges.
+
+    Returns:
+        (artifacts, parents): vid -> list of lines, vid -> parent vids.
+    """
+    rng = random.Random(config.seed)
+
+    def random_line() -> str:
+        return "".join(
+            rng.choice("abcdefghijklmnopqrstuvwxyz ")
+            for _ in range(config.line_width)
+        )
+
+    artifacts: dict[int, list[str]] = {}
+    parents: dict[int, tuple[int, ...]] = {}
+    artifacts[1] = [random_line() for _ in range(config.base_lines)]
+    parents[1] = ()
+    for vid in range(2, config.num_versions + 1):
+        if config.branching_factor > 0 and rng.random() < config.branching_factor:
+            parent = rng.randrange(1, vid)
+        else:
+            parent = vid - 1
+        lines = list(artifacts[parent])
+        for _ in range(config.edits_per_version):
+            roll = rng.random()
+            if roll < 0.5 and lines:
+                lines[rng.randrange(len(lines))] = random_line()
+            elif roll < 0.85:
+                lines.insert(rng.randrange(len(lines) + 1), random_line())
+            elif lines:
+                del lines[rng.randrange(len(lines))]
+        artifacts[vid] = lines
+        parents[vid] = (parent,)
+    return artifacts, parents
+
+
+def build_store(
+    config: SyntheticConfig,
+    codec: DeltaCodec | None = None,
+    extra_pairs: int = 0,
+) -> VersionedStore:
+    """Generate a history and load it into a :class:`VersionedStore`."""
+    artifacts, parents = generate_text_history(config)
+    store = VersionedStore(codec or LineDeltaCodec())
+    for vid in sorted(artifacts):
+        store.add_version(vid, artifacts[vid], parents[vid])
+    if extra_pairs:
+        existing = {
+            (p, v) for v, ps in parents.items() for p in ps
+        }
+        for source, target in reveal_similar_pairs(
+            artifacts, existing, budget=extra_pairs
+        ):
+            store.reveal_pair(source, target)
+    return store

@@ -1,0 +1,34 @@
+"""VQuel: the generalized versioning query language (Chapter 6).
+
+A Quel/GEM-descended language for querying versions, their data, and
+provenance together. The package contains the conceptual data model of
+Figure 6.1 (:mod:`repro.vquel.model`), a lexer and recursive-descent
+parser (:mod:`repro.vquel.lexer`, :mod:`repro.vquel.parser`), and an
+evaluator implementing Quel-style nested iterators with implicit-grouping
+aggregates and the ``P()``/``D()``/``N()`` version-graph traversals
+(:mod:`repro.vquel.evaluator`).
+
+Typical use::
+
+    from repro.vquel import Repository, run_query
+    repo = Repository.from_cvd(cvd, relation_name="Employee")
+    rows = run_query(repo, '''
+        range of V is Version
+        retrieve V.author.name where V.id = "v01"
+    ''')
+"""
+
+from repro.vquel.errors import VQuelError, VQuelParseError
+from repro.vquel.evaluator import run_query
+from repro.vquel.model import Author, Repository, VRecord, VRelation, VVersion
+
+__all__ = [
+    "Author",
+    "Repository",
+    "VQuelError",
+    "VQuelParseError",
+    "VRecord",
+    "VRelation",
+    "VVersion",
+    "run_query",
+]

@@ -1,0 +1,134 @@
+"""AST node definitions for VQuel."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class Node:
+    """Base AST node."""
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class PathExpr(Node):
+    """A dotted path, optionally with per-segment filters/arguments.
+
+    ``Version(id="v01").Relations(name="S").Tuples`` parses into root
+    segment ``Version`` with a filter, then ``Relations`` with a filter,
+    then ``Tuples``.
+    """
+
+    segments: list["PathSegment"]
+
+    def root_name(self) -> str:
+        return self.segments[0].name
+
+
+@dataclass
+class PathSegment(Node):
+    """One path step: a name plus optional call arguments or filters."""
+
+    name: str
+    #: positional args, e.g. the 2 in N(2), or the S in Version(S).
+    args: list["Expr"] = field(default_factory=list)
+    #: equality filters, e.g. (name = "Employee").
+    filters: list[tuple[str, "Expr"]] = field(default_factory=list)
+    has_parens: bool = False
+
+
+@dataclass
+class StringLit(Node):
+    value: str
+
+
+@dataclass
+class NumberLit(Node):
+    value: float | int
+
+
+@dataclass
+class BinOp(Node):
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class NotOp(Node):
+    operand: "Expr"
+
+
+@dataclass
+class AggregateCall(Node):
+    """``count(expr [group by I, J] [where pred])`` and the ``_all``
+    variants."""
+
+    func: str  # count / sum / ... possibly with _all suffix
+    argument: "Expr | None"  # None for count()
+    group_by: list[str] = field(default_factory=list)
+    where: "Expr | None" = None
+
+    @property
+    def is_all_variant(self) -> bool:
+        return self.func.endswith("_all")
+
+    @property
+    def base_func(self) -> str:
+        return self.func[:-4] if self.is_all_variant else self.func
+
+
+@dataclass
+class FunctionCall(Node):
+    """A scalar function like ``abs(x)``."""
+
+    name: str
+    args: list["Expr"]
+
+
+Expr = (
+    PathExpr
+    | StringLit
+    | NumberLit
+    | BinOp
+    | NotOp
+    | AggregateCall
+    | FunctionCall
+)
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class RangeStmt(Node):
+    """``range of V is <set expression>``."""
+
+    iterator: str
+    source: PathExpr
+
+
+@dataclass
+class Target(Node):
+    """One entry in a retrieve target list."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass
+class RetrieveStmt(Node):
+    """``retrieve [into T] [unique] targets [where ...] [sort by ...]``."""
+
+    targets: list[Target]
+    into: str | None = None
+    unique: bool = False
+    where: Expr | None = None
+    sort_by: list[tuple[Expr, bool]] = field(default_factory=list)  # (expr, desc)
+
+
+@dataclass
+class Program(Node):
+    statements: list[RangeStmt | RetrieveStmt]

@@ -1,0 +1,17 @@
+"""VQuel exceptions."""
+
+
+class VQuelError(Exception):
+    """Base class for VQuel errors."""
+
+
+class VQuelParseError(VQuelError):
+    """The query text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        super().__init__(message)
+        self.position = position
+
+
+class VQuelEvaluationError(VQuelError):
+    """The query is well-formed but cannot be evaluated."""

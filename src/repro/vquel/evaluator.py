@@ -1,0 +1,562 @@
+"""VQuel evaluation: nested iterators with Quel-style aggregates.
+
+Semantics implemented (Section 6.3):
+
+* ``range of V is <set>`` declares an iterator; dependent iterators
+  (``range of R is V.Relations``) range over sets derived from earlier
+  bindings.
+* ``retrieve`` enumerates the *top-level* iterators — those referenced
+  outside aggregates or listed in a ``group by`` — in declaration order.
+* Plain aggregates (``count``, ``sum``, ...) rebind their innermost
+  referenced iterator per outer binding; every other referenced iterator
+  keeps its outer binding. ``*_all`` variants rebind everything not in
+  their explicit ``group by`` list.
+* ``retrieve into T (...)`` materializes rows as entities and implicitly
+  declares ``T`` as an iterator over them for later statements.
+* ``Version(S)`` climbs from a bound record/relation back to its version
+  (the "up the hierarchy" reference of Query 6.12).
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Iterable, Sequence
+
+from repro.vquel import ast
+from repro.vquel.errors import VQuelEvaluationError
+from repro.vquel.model import Repository, VRecord, VRelation, VVersion
+from repro.vquel.parser import parse
+
+
+class DerivedEntity:
+    """A row produced by ``retrieve into``, with named fields."""
+
+    __slots__ = ("_fields",)
+
+    def __init__(self, fields: dict[str, object]) -> None:
+        self._fields = fields
+
+    def __getattr__(self, name: str) -> object:
+        fields = object.__getattribute__(self, "_fields")
+        if name in fields:
+            return fields[name]
+        raise AttributeError(f"derived entity has no field {name!r}")
+
+    def values(self) -> dict[str, object]:
+        return dict(self._fields)
+
+    def __repr__(self) -> str:
+        return f"DerivedEntity({self._fields!r})"
+
+
+class QueryResult:
+    """Rows plus column names from the final retrieve of a program."""
+
+    def __init__(self, columns: list[str], rows: list[tuple]) -> None:
+        self.columns = columns
+        self.rows = rows
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, QueryResult):
+            return self.rows == other.rows
+        return self.rows == other
+
+    def __repr__(self) -> str:
+        return f"QueryResult({self.columns}, {len(self.rows)} rows)"
+
+
+def run_query(repository: Repository, text: str) -> QueryResult:
+    """Parse and evaluate a VQuel program; returns the last retrieve's
+    result."""
+    program = parse(text)
+    return Evaluator(repository).run(program)
+
+
+class Evaluator:
+    """Evaluates one program against a repository."""
+
+    def __init__(self, repository: Repository) -> None:
+        self.repository = repository
+        #: iterator name -> source path (declaration order preserved).
+        self.declarations: dict[str, ast.PathExpr] = {}
+        #: derived sets from `retrieve into`.
+        self.derived: dict[str, list[DerivedEntity]] = {}
+
+    # ------------------------------------------------------------------
+    def run(self, program: ast.Program) -> QueryResult:
+        result: QueryResult | None = None
+        for statement in program.statements:
+            if isinstance(statement, ast.RangeStmt):
+                self.declarations[statement.iterator] = statement.source
+            else:
+                result = self._retrieve(statement)
+        if result is None:
+            raise VQuelEvaluationError("program has no retrieve statement")
+        return result
+
+    # ------------------------------------------------------------------
+    # Retrieve
+    # ------------------------------------------------------------------
+    def _retrieve(self, statement: ast.RetrieveStmt) -> QueryResult:
+        exprs: list[ast.Expr] = [t.expr for t in statement.targets]
+        if statement.where is not None:
+            exprs.append(statement.where)
+        exprs.extend(expr for expr, _ in statement.sort_by)
+
+        top_level = self._top_level_iterators(exprs)
+        loop_order = [
+            name for name in self.declarations if name in top_level
+        ]
+
+        columns = [self._column_name(t) for t in statement.targets]
+        produced: list[tuple[tuple, tuple]] = []  # (sort_key, row)
+        seen: set = set()
+
+        for bindings in self._enumerate(loop_order, {}):
+            if statement.where is not None:
+                if not _truthy(self._evaluate(statement.where, bindings)):
+                    continue
+            row = tuple(
+                self._evaluate(t.expr, bindings) for t in statement.targets
+            )
+            if statement.unique:
+                key = _hashable(row)
+                if key in seen:
+                    continue
+                seen.add(key)
+            sort_key = tuple(
+                (self._evaluate(expr, bindings), descending)
+                for expr, descending in statement.sort_by
+            )
+            produced.append((sort_key, row))
+
+        if statement.sort_by:
+            for position in reversed(range(len(statement.sort_by))):
+                descending = statement.sort_by[position][1]
+                produced.sort(
+                    key=lambda item: _sortable(item[0][position][0]),
+                    reverse=descending,
+                )
+        rows = [row for _key, row in produced]
+
+        if statement.into is not None:
+            entities = [
+                DerivedEntity(dict(zip(columns, row))) for row in rows
+            ]
+            self.derived[statement.into] = entities
+            # `into T` implicitly declares T as an iterator over the rows.
+            self.declarations[statement.into] = ast.PathExpr(
+                [ast.PathSegment(name=statement.into)]
+            )
+        return QueryResult(columns, rows)
+
+    def _column_name(self, target: ast.Target) -> str:
+        if target.alias:
+            return target.alias
+        expr = target.expr
+        if isinstance(expr, ast.PathExpr):
+            return expr.segments[-1].name
+        if isinstance(expr, ast.AggregateCall):
+            return expr.func
+        if isinstance(expr, ast.FunctionCall):
+            return expr.name
+        return "expr"
+
+    # ------------------------------------------------------------------
+    # Iterator analysis
+    # ------------------------------------------------------------------
+    def _top_level_iterators(self, exprs: Iterable[ast.Expr]) -> set[int] | set[str]:
+        """Iterators referenced outside aggregates or in a group-by,
+        closed under source-path dependencies."""
+        direct: set[str] = set()
+        for expr in exprs:
+            self._collect_refs(expr, direct, inside_aggregate=False)
+        return self._dependency_closure(direct)
+
+    def _dependency_closure(self, names: set[str]) -> set[str]:
+        result = set(names)
+        changed = True
+        while changed:
+            changed = False
+            for name in list(result):
+                source = self.declarations.get(name)
+                if source is None:
+                    continue
+                for dependency in self._path_refs(source):
+                    if dependency not in result:
+                        result.add(dependency)
+                        changed = True
+        return result
+
+    def _collect_refs(
+        self, expr: ast.Expr, out: set[str], inside_aggregate: bool
+    ) -> None:
+        if isinstance(expr, ast.PathExpr):
+            if not inside_aggregate:
+                out.update(self._path_refs(expr))
+        elif isinstance(expr, ast.BinOp):
+            self._collect_refs(expr.left, out, inside_aggregate)
+            self._collect_refs(expr.right, out, inside_aggregate)
+        elif isinstance(expr, ast.NotOp):
+            self._collect_refs(expr.operand, out, inside_aggregate)
+        elif isinstance(expr, ast.FunctionCall):
+            for arg in expr.args:
+                self._collect_refs(arg, out, inside_aggregate)
+        elif isinstance(expr, ast.AggregateCall):
+            # group-by names are top-level even though inside an aggregate.
+            out.update(
+                name for name in expr.group_by if name in self.declarations
+            )
+
+    def _path_refs(self, path: ast.PathExpr) -> set[str]:
+        """Declared iterators a path references (root and upref args)."""
+        refs: set[str] = set()
+        root = path.segments[0]
+        if root.name in self.declarations:
+            refs.add(root.name)
+        for segment in path.segments:
+            for arg in segment.args:
+                if isinstance(arg, ast.PathExpr):
+                    refs |= self._path_refs(arg)
+            for _key, value in segment.filters:
+                if isinstance(value, ast.PathExpr):
+                    refs |= self._path_refs(value)
+        return refs
+
+    def _refs_in(self, expr: ast.Expr) -> set[str]:
+        """All declared iterators referenced anywhere in ``expr``."""
+        refs: set[str] = set()
+
+        def walk(node: ast.Expr) -> None:
+            if isinstance(node, ast.PathExpr):
+                refs.update(self._path_refs(node))
+            elif isinstance(node, ast.BinOp):
+                walk(node.left)
+                walk(node.right)
+            elif isinstance(node, ast.NotOp):
+                walk(node.operand)
+            elif isinstance(node, ast.FunctionCall):
+                for arg in node.args:
+                    walk(arg)
+            elif isinstance(node, ast.AggregateCall):
+                if node.argument is not None:
+                    walk(node.argument)
+                if node.where is not None:
+                    walk(node.where)
+        walk(expr)
+        return refs
+
+    # ------------------------------------------------------------------
+    # Binding enumeration
+    # ------------------------------------------------------------------
+    def _enumerate(
+        self, loop_order: Sequence[str], fixed: dict[str, object]
+    ):
+        """Yield binding dicts for ``loop_order`` iterators, nested in
+        order, on top of ``fixed`` outer bindings."""
+        if not loop_order:
+            yield dict(fixed)
+            return
+        name = loop_order[0]
+        rest = loop_order[1:]
+        source = self.declarations[name]
+        for entity in self._evaluate_set(source, fixed):
+            fixed[name] = entity
+            yield from self._enumerate(rest, fixed)
+        fixed.pop(name, None)
+
+    def _evaluate_set(
+        self, path: ast.PathExpr, bindings: dict[str, object]
+    ) -> list[object]:
+        value = self._evaluate_path(path, bindings)
+        if isinstance(value, list):
+            return value
+        if value is None:
+            return []
+        return [value]
+
+    # ------------------------------------------------------------------
+    # Expression evaluation
+    # ------------------------------------------------------------------
+    def _evaluate(self, expr: ast.Expr, bindings: dict[str, object]):
+        if isinstance(expr, ast.StringLit):
+            return expr.value
+        if isinstance(expr, ast.NumberLit):
+            return expr.value
+        if isinstance(expr, ast.PathExpr):
+            return self._evaluate_path(expr, bindings)
+        if isinstance(expr, ast.BinOp):
+            return self._evaluate_binop(expr, bindings)
+        if isinstance(expr, ast.NotOp):
+            return not _truthy(self._evaluate(expr.operand, bindings))
+        if isinstance(expr, ast.FunctionCall):
+            return self._evaluate_function(expr, bindings)
+        if isinstance(expr, ast.AggregateCall):
+            return self._evaluate_aggregate(expr, bindings)
+        raise VQuelEvaluationError(f"cannot evaluate {expr!r}")
+
+    def _evaluate_binop(self, expr: ast.BinOp, bindings: dict[str, object]):
+        if expr.op == "and":
+            return _truthy(self._evaluate(expr.left, bindings)) and _truthy(
+                self._evaluate(expr.right, bindings)
+            )
+        if expr.op == "or":
+            return _truthy(self._evaluate(expr.left, bindings)) or _truthy(
+                self._evaluate(expr.right, bindings)
+            )
+        left = self._evaluate(expr.left, bindings)
+        right = self._evaluate(expr.right, bindings)
+        if expr.op == "=":
+            return left == right
+        if expr.op == "!=":
+            return left != right
+        if left is None or right is None:
+            return False  # SQL-style: NULL never satisfies an ordering
+        if expr.op == "<":
+            return left < right
+        if expr.op == "<=":
+            return left <= right
+        if expr.op == ">":
+            return left > right
+        if expr.op == ">=":
+            return left >= right
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        if expr.op == "*":
+            return left * right
+        if expr.op == "/":
+            return left / right
+        raise VQuelEvaluationError(f"unknown operator {expr.op!r}")
+
+    def _evaluate_function(
+        self, expr: ast.FunctionCall, bindings: dict[str, object]
+    ):
+        args = [self._evaluate(arg, bindings) for arg in expr.args]
+        if expr.name == "abs":
+            return abs(args[0])
+        if expr.name == "lower":
+            return str(args[0]).lower()
+        if expr.name == "upper":
+            return str(args[0]).upper()
+        raise VQuelEvaluationError(f"unknown function {expr.name!r}")
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def _evaluate_aggregate(
+        self, aggregate: ast.AggregateCall, bindings: dict[str, object]
+    ):
+        refs: set[str] = set()
+        if aggregate.argument is not None:
+            refs |= self._refs_in(aggregate.argument)
+        if aggregate.where is not None:
+            refs |= self._refs_in(aggregate.where)
+        refs = {name for name in refs if name in self.declarations}
+
+        if aggregate.is_all_variant:
+            rebound = refs - set(aggregate.group_by)
+        else:
+            rebound = {name for name in refs if name not in bindings}
+            if refs and not rebound and aggregate.argument is not None:
+                # All referenced iterators are bound by the outer query.
+                # If the argument is set-valued under those bindings
+                # (count(V.Relations.Tuples)), aggregate that set as-is;
+                # if it is scalar (min(P.commit_ts)), re-enumerate the
+                # innermost iterator per Quel semantics.
+                probe = self._evaluate(aggregate.argument, bindings)
+                if isinstance(probe, list):
+                    values = list(probe)
+                    if aggregate.where is not None and not _truthy(
+                        self._evaluate(aggregate.where, bindings)
+                    ):
+                        values = []
+                    return _apply_aggregate(aggregate.base_func, values)
+                order = list(self.declarations)
+                innermost = max(refs, key=order.index)
+                rebound.add(innermost)
+        rebound = self._rebind_closure(rebound, bindings)
+        loop_order = [name for name in self.declarations if name in rebound]
+
+        inner_bindings = {
+            k: v for k, v in bindings.items() if k not in rebound
+        }
+        values: list[object] = []
+        for enumerated in self._enumerate(loop_order, inner_bindings):
+            if aggregate.where is not None and not _truthy(
+                self._evaluate(aggregate.where, enumerated)
+            ):
+                continue
+            if aggregate.argument is None:
+                values.append(1)
+                continue
+            value = self._evaluate(aggregate.argument, enumerated)
+            if isinstance(value, list):
+                values.extend(value)
+            else:
+                values.append(value)
+        return _apply_aggregate(aggregate.base_func, values)
+
+    def _rebind_closure(
+        self, rebound: set[str], bindings: dict[str, object]
+    ) -> set[str]:
+        """A rebound iterator's source dependencies must be bound; pull in
+        any dependency that is neither bound outer nor already rebound."""
+        changed = True
+        result = set(rebound)
+        while changed:
+            changed = False
+            for name in list(result):
+                source = self.declarations.get(name)
+                if source is None:
+                    continue
+                for dependency in self._path_refs(source):
+                    if dependency in bindings or dependency in result:
+                        continue
+                    if dependency in self.declarations:
+                        result.add(dependency)
+                        changed = True
+        return result
+
+    # ------------------------------------------------------------------
+    # Path navigation
+    # ------------------------------------------------------------------
+    def _evaluate_path(self, path: ast.PathExpr, bindings: dict[str, object]):
+        root = path.segments[0]
+        value = self._resolve_root(root, bindings)
+        for segment in path.segments[1:]:
+            value = self._navigate(value, segment, bindings)
+        return value
+
+    def _resolve_root(
+        self, segment: ast.PathSegment, bindings: dict[str, object]
+    ):
+        name = segment.name
+        # Up-reference: Version(S) climbs from a bound entity.
+        if name == "Version" and segment.args:
+            target = self._evaluate(segment.args[0], bindings)
+            return _up_to_version(target)
+        if name == "Version":
+            return self._apply_filters(
+                list(self.repository.versions), segment, bindings
+            )
+        if name in bindings:
+            return self._apply_filters(bindings[name], segment, bindings)
+        if name in self.derived:
+            return self._apply_filters(
+                list(self.derived[name]), segment, bindings
+            )
+        raise VQuelEvaluationError(f"unknown iterator or set {name!r}")
+
+    def _navigate(
+        self, value, segment: ast.PathSegment, bindings: dict[str, object]
+    ):
+        if isinstance(value, list):
+            results: list[object] = []
+            for element in value:
+                navigated = self._navigate(element, segment, bindings)
+                if isinstance(navigated, list):
+                    results.extend(navigated)
+                else:
+                    results.append(navigated)
+            return results
+        if value is None:
+            return None
+        name = segment.name
+        if name in ("P", "D", "N") and isinstance(value, VVersion):
+            args = [self._evaluate(a, bindings) for a in segment.args]
+            hops = int(args[0]) if args else None
+            if name == "N":
+                if hops is None:
+                    raise VQuelEvaluationError("N() requires a hop count")
+                return self._apply_filters(value.N(hops), segment, bindings)
+            method = value.P if name == "P" else value.D
+            return self._apply_filters(method(hops), segment, bindings)
+        try:
+            attribute = getattr(value, name)
+        except AttributeError as error:
+            # The conceptual Record table is the union of all fields across
+            # records (Figure 6.1), so a missing record attribute reads as
+            # NULL rather than erroring; other entities keep strict lookup.
+            if isinstance(value, (VRecord, DerivedEntity)):
+                return None
+            raise VQuelEvaluationError(str(error)) from None
+        return self._apply_filters(attribute, segment, bindings)
+
+    def _apply_filters(
+        self, value, segment: ast.PathSegment, bindings: dict[str, object]
+    ):
+        if not segment.filters:
+            return value
+        items = value if isinstance(value, list) else [value]
+        kept = []
+        for item in items:
+            match = True
+            for key, filter_expr in segment.filters:
+                expected = self._evaluate(filter_expr, bindings)
+                actual = getattr(item, key, None)
+                if actual != expected:
+                    match = False
+                    break
+            if match:
+                kept.append(item)
+        if isinstance(value, list):
+            return kept
+        return kept[0] if kept else None
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _truthy(value: object) -> bool:
+    return bool(value)
+
+
+def _hashable(row: tuple):
+    return tuple(
+        id(item) if isinstance(item, (VVersion, VRelation, VRecord)) else item
+        for item in row
+    )
+
+
+def _sortable(value: object):
+    if value is None:
+        return (0, 0)
+    return (1, value)
+
+
+def _up_to_version(entity) -> VVersion | None:
+    if isinstance(entity, VVersion):
+        return entity
+    version = getattr(entity, "version", None)
+    if version is None:
+        raise VQuelEvaluationError(
+            f"cannot climb to Version from {entity!r}"
+        )
+    return version
+
+
+def _apply_aggregate(func: str, values: list[object]):
+    if func == "count":
+        return len(values)
+    present = [v for v in values if v is not None]
+    if func == "any":
+        return any(present)
+    if not present:
+        return None
+    if func == "sum":
+        return sum(present)
+    if func == "avg":
+        return statistics.fmean(present)
+    if func == "min":
+        return min(present)
+    if func == "max":
+        return max(present)
+    raise VQuelEvaluationError(f"unknown aggregate {func!r}")

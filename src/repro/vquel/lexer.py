@@ -1,0 +1,143 @@
+"""Tokenizer for VQuel query text.
+
+String literals accept both double quotes (``"v01"``) and the
+double-pipe form the dissertation's typesetting produced (``||v01||``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vquel.errors import VQuelParseError
+
+KEYWORDS = frozenset(
+    {
+        "range",
+        "of",
+        "is",
+        "retrieve",
+        "into",
+        "unique",
+        "where",
+        "sort",
+        "by",
+        "asc",
+        "desc",
+        "and",
+        "or",
+        "not",
+        "as",
+        "group",
+    }
+)
+
+AGGREGATE_FUNCTIONS = frozenset(
+    {
+        "count",
+        "sum",
+        "avg",
+        "min",
+        "max",
+        "any",
+        "count_all",
+        "sum_all",
+        "avg_all",
+        "min_all",
+        "max_all",
+        "any_all",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    kind is one of: IDENT, KEYWORD, STRING, NUMBER, OP, LPAREN, RPAREN,
+    DOT, COMMA, EOF.
+    """
+
+    kind: str
+    value: str
+    position: int
+
+
+_OPERATORS = ("!=", "<=", ">=", "=", "<", ">", "+", "-", "*", "/")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convert query text into a token list ending with EOF."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "#":  # comment to end of line
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == '"':
+            end = text.find('"', i + 1)
+            if end < 0:
+                raise VQuelParseError("unterminated string literal", i)
+            tokens.append(Token("STRING", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if text.startswith("||", i):
+            end = text.find("||", i + 2)
+            if end < 0:
+                raise VQuelParseError("unterminated ||string|| literal", i)
+            tokens.append(Token("STRING", text[i + 2 : end], i))
+            i = end + 2
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # Don't swallow a trailing path dot like "1.relations".
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.lower() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.lower(), i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if text.startswith(operator, i):
+                tokens.append(Token("OP", operator, i))
+                i += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch == "(":
+            tokens.append(Token("LPAREN", ch, i))
+        elif ch == ")":
+            tokens.append(Token("RPAREN", ch, i))
+        elif ch == ".":
+            tokens.append(Token("DOT", ch, i))
+        elif ch == ",":
+            tokens.append(Token("COMMA", ch, i))
+        else:
+            raise VQuelParseError(f"unexpected character {ch!r}", i)
+        i += 1
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,282 @@
+"""Recursive-descent parser for VQuel."""
+
+from __future__ import annotations
+
+from repro.vquel import ast
+from repro.vquel.errors import VQuelParseError
+from repro.vquel.lexer import AGGREGATE_FUNCTIONS, Token, tokenize
+
+_SCALAR_FUNCTIONS = frozenset({"abs", "lower", "upper"})
+
+
+class Parser:
+    """Parses a full VQuel program (range and retrieve statements)."""
+
+    def __init__(self, text: str) -> None:
+        self._tokens = tokenize(text)
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._index + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str, value: str | None = None) -> Token:
+        token = self._peek()
+        if token.kind != kind or (value is not None and token.value != value):
+            raise VQuelParseError(
+                f"expected {value or kind} but found {token.value!r}",
+                token.position,
+            )
+        return self._advance()
+
+    def _accept(self, kind: str, value: str | None = None) -> Token | None:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._advance()
+        return None
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def parse(self) -> ast.Program:
+        statements: list[ast.RangeStmt | ast.RetrieveStmt] = []
+        while self._peek().kind != "EOF":
+            token = self._peek()
+            if token.kind == "KEYWORD" and token.value == "range":
+                statements.append(self._parse_range())
+            elif token.kind == "KEYWORD" and token.value == "retrieve":
+                statements.append(self._parse_retrieve())
+            else:
+                raise VQuelParseError(
+                    f"expected 'range' or 'retrieve', found {token.value!r}",
+                    token.position,
+                )
+        if not statements:
+            raise VQuelParseError("empty query", 0)
+        return ast.Program(statements)
+
+    # ------------------------------------------------------------------
+    def _parse_range(self) -> ast.RangeStmt:
+        self._expect("KEYWORD", "range")
+        self._expect("KEYWORD", "of")
+        iterator = self._expect("IDENT").value
+        self._expect("KEYWORD", "is")
+        source = self._parse_path()
+        return ast.RangeStmt(iterator=iterator, source=source)
+
+    def _parse_retrieve(self) -> ast.RetrieveStmt:
+        self._expect("KEYWORD", "retrieve")
+        into = None
+        if self._accept("KEYWORD", "into"):
+            into = self._expect("IDENT").value
+        unique = bool(self._accept("KEYWORD", "unique"))
+        # Target list may be parenthesized (retrieve into T (a, b)).
+        wrapped = False
+        if self._peek().kind == "LPAREN" and into is not None:
+            wrapped = True
+            self._advance()
+        targets = [self._parse_target()]
+        while self._accept("COMMA"):
+            targets.append(self._parse_target())
+        if wrapped:
+            self._expect("RPAREN")
+        where = None
+        if self._accept("KEYWORD", "where"):
+            where = self._parse_expr()
+        sort_by: list[tuple[ast.Expr, bool]] = []
+        if self._accept("KEYWORD", "sort"):
+            self._expect("KEYWORD", "by")
+            sort_by.append(self._parse_sort_key())
+            while self._accept("COMMA"):
+                sort_by.append(self._parse_sort_key())
+        return ast.RetrieveStmt(
+            targets=targets,
+            into=into,
+            unique=unique,
+            where=where,
+            sort_by=sort_by,
+        )
+
+    def _parse_sort_key(self) -> tuple[ast.Expr, bool]:
+        expr = self._parse_expr()
+        descending = False
+        if self._accept("KEYWORD", "desc"):
+            descending = True
+        else:
+            self._accept("KEYWORD", "asc")
+        return expr, descending
+
+    def _parse_target(self) -> ast.Target:
+        expr = self._parse_expr()
+        alias = None
+        if self._accept("KEYWORD", "as"):
+            alias = self._expect("IDENT").value
+        return ast.Target(expr=expr, alias=alias)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence: or < and < not < comparison < additive
+    # < multiplicative < unary/primary)
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Expr:
+        left = self._parse_and()
+        while self._accept("KEYWORD", "or"):
+            right = self._parse_and()
+            left = ast.BinOp("or", left, right)
+        return left
+
+    def _parse_and(self) -> ast.Expr:
+        left = self._parse_not()
+        while self._accept("KEYWORD", "and"):
+            right = self._parse_not()
+            left = ast.BinOp("and", left, right)
+        return left
+
+    def _parse_not(self) -> ast.Expr:
+        if self._accept("KEYWORD", "not"):
+            return ast.NotOp(self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> ast.Expr:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.kind == "OP" and token.value in ("=", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            right = self._parse_additive()
+            return ast.BinOp(token.value, left, right)
+        return left
+
+    def _parse_additive(self) -> ast.Expr:
+        left = self._parse_multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.value in ("+", "-"):
+                self._advance()
+                right = self._parse_multiplicative()
+                left = ast.BinOp(token.value, left, right)
+            else:
+                return left
+
+    def _parse_multiplicative(self) -> ast.Expr:
+        left = self._parse_primary()
+        while True:
+            token = self._peek()
+            if token.kind == "OP" and token.value in ("*", "/"):
+                self._advance()
+                right = self._parse_primary()
+                left = ast.BinOp(token.value, left, right)
+            else:
+                return left
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self._peek()
+        if token.kind == "STRING":
+            self._advance()
+            return ast.StringLit(token.value)
+        if token.kind == "NUMBER":
+            self._advance()
+            text = token.value
+            return ast.NumberLit(float(text) if "." in text else int(text))
+        if token.kind == "LPAREN":
+            self._advance()
+            inner = self._parse_expr()
+            self._expect("RPAREN")
+            return inner
+        if token.kind == "OP" and token.value == "-":
+            self._advance()
+            operand = self._parse_primary()
+            return ast.BinOp("-", ast.NumberLit(0), operand)
+        if token.kind == "IDENT":
+            lowered = token.value.lower()
+            if lowered in AGGREGATE_FUNCTIONS and self._peek(1).kind == "LPAREN":
+                return self._parse_aggregate(lowered)
+            if lowered in _SCALAR_FUNCTIONS and self._peek(1).kind == "LPAREN":
+                return self._parse_scalar_function(token.value)
+            return self._parse_path()
+        raise VQuelParseError(
+            f"unexpected token {token.value!r} in expression", token.position
+        )
+
+    def _parse_aggregate(self, func: str) -> ast.AggregateCall:
+        self._advance()  # function name
+        self._expect("LPAREN")
+        argument: ast.Expr | None = None
+        group_by: list[str] = []
+        where: ast.Expr | None = None
+        if self._peek().kind != "RPAREN":
+            argument = self._parse_expr()
+            if self._accept("KEYWORD", "group"):
+                self._expect("KEYWORD", "by")
+                group_by.append(self._expect("IDENT").value)
+                while self._accept("COMMA"):
+                    group_by.append(self._expect("IDENT").value)
+            if self._accept("KEYWORD", "where"):
+                where = self._parse_expr()
+        self._expect("RPAREN")
+        return ast.AggregateCall(
+            func=func, argument=argument, group_by=group_by, where=where
+        )
+
+    def _parse_scalar_function(self, name: str) -> ast.FunctionCall:
+        self._advance()
+        self._expect("LPAREN")
+        args = [self._parse_expr()]
+        while self._accept("COMMA"):
+            args.append(self._parse_expr())
+        self._expect("RPAREN")
+        return ast.FunctionCall(name=name.lower(), args=args)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _parse_path(self) -> ast.PathExpr:
+        segments = [self._parse_segment()]
+        while self._accept("DOT"):
+            segments.append(self._parse_segment())
+        return ast.PathExpr(segments)
+
+    def _parse_segment(self) -> ast.PathSegment:
+        token = self._peek()
+        if token.kind == "KEYWORD" and token.value == "group":
+            # allow 'group' as plain identifier in paths? keep strict: no.
+            raise VQuelParseError("'group' is a keyword", token.position)
+        name_token = self._expect("IDENT") if token.kind == "IDENT" else None
+        if name_token is None:
+            raise VQuelParseError(
+                f"expected identifier, found {token.value!r}", token.position
+            )
+        segment = ast.PathSegment(name=name_token.value)
+        if self._peek().kind == "LPAREN":
+            self._advance()
+            segment.has_parens = True
+            while self._peek().kind != "RPAREN":
+                # Either a filter (ident = expr) or a positional argument.
+                if (
+                    self._peek().kind == "IDENT"
+                    and self._peek(1).kind == "OP"
+                    and self._peek(1).value == "="
+                ):
+                    key = self._advance().value
+                    self._advance()  # '='
+                    segment.filters.append((key, self._parse_expr()))
+                else:
+                    segment.args.append(self._parse_expr())
+                if not self._accept("COMMA"):
+                    break
+            self._expect("RPAREN")
+        return segment
+
+
+def parse(text: str) -> ast.Program:
+    """Parse VQuel text into a :class:`~repro.vquel.ast.Program`."""
+    return Parser(text).parse()

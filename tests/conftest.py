@@ -1,0 +1,140 @@
+"""Shared fixtures: the Figure 3.2 protein corpus, the Figure 6.1-style
+employee repository, small benchmark histories, and schema builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cvd import CVD
+from repro.datasets.benchmark import BenchmarkConfig, generate_cur, generate_sci
+from repro.datasets.protein import protein_history
+from repro.relational.database import Database
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.types import INT, TEXT
+from repro.vquel.model import Author, Repository, VRecord, VRelation, VVersion
+
+
+@pytest.fixture
+def protein_schema() -> Schema:
+    return Schema(
+        [
+            ColumnDef("protein1", TEXT),
+            ColumnDef("protein2", TEXT),
+            ColumnDef("neighborhood", INT),
+            ColumnDef("cooccurrence", INT),
+            ColumnDef("coexpression", INT),
+        ],
+        primary_key=("protein1", "protein2"),
+    )
+
+
+@pytest.fixture
+def protein_cvd(protein_schema) -> CVD:
+    """The Figure 3.2 history loaded into a split-by-rlist CVD."""
+    return CVD.from_history(
+        Database(),
+        protein_history(),
+        name="interaction",
+        model="split_by_rlist",
+        schema=protein_schema,
+    )
+
+
+def make_protein_cvd(model: str, schema: Schema) -> CVD:
+    return CVD.from_history(
+        Database(),
+        protein_history(),
+        name="interaction",
+        model=model,
+        schema=schema,
+    )
+
+
+@pytest.fixture(scope="session")
+def sci_tiny():
+    """A small SCI history shared (read-only) across tests."""
+    return generate_sci(
+        BenchmarkConfig(
+            num_branches=5, target_records=800, ops_per_commit=25, seed=101
+        ),
+        name="SCI_tiny",
+    )
+
+
+@pytest.fixture(scope="session")
+def cur_tiny():
+    return generate_cur(
+        BenchmarkConfig(
+            num_branches=5, target_records=800, ops_per_commit=25, seed=102
+        ),
+        name="CUR_tiny",
+    )
+
+
+def _employee(i: int, first: str, last: str, age: int) -> VRecord:
+    return VRecord(
+        f"e{i}",
+        {
+            "employee_id": f"e{i:02d}",
+            "first_name": first,
+            "last_name": last,
+            "age": age,
+        },
+    )
+
+
+@pytest.fixture
+def employee_repo() -> Repository:
+    """Three versions of an Employee (+Department) corpus, the running
+    example of Chapter 6."""
+    repo = Repository()
+    v1 = VVersion("v01", Author("Alice", "a@x"), "initial", creation_ts=100.0)
+    v1.add_relation(
+        VRelation(
+            "Employee",
+            ["employee_id", "first_name", "last_name", "age"],
+            [
+                _employee(1, "Ann", "Smith", 30),
+                _employee(2, "Bob", "Jones", 55),
+                _employee(3, "Cy", "Smith", 60),
+            ],
+        )
+    )
+    v1.add_relation(
+        VRelation(
+            "Department",
+            ["dept_id", "name"],
+            [VRecord("d1", {"dept_id": "d1", "name": "Eng"})],
+        )
+    )
+    repo.add_version(v1)
+
+    v2 = VVersion("v02", Author("Bob", "b@x"), "add employee", creation_ts=200.0)
+    v2.add_relation(
+        VRelation(
+            "Employee",
+            ["employee_id", "first_name", "last_name", "age"],
+            [
+                _employee(1, "Ann", "Smith", 30),
+                _employee(2, "Bob", "Jones", 55),
+                _employee(3, "Cy", "Smith", 61),
+                _employee(4, "Di", "Lee", 40),
+            ],
+            changed=True,
+        )
+    )
+    repo.add_version(v2)
+    repo.link("v01", "v02")
+
+    v3 = VVersion("v03", Author("Alice", "a@x"), "cleanup", creation_ts=300.0)
+    v3.add_relation(
+        VRelation(
+            "Employee",
+            ["employee_id", "first_name", "last_name", "age"],
+            [_employee(1, "Ann", "Smith", 30), _employee(4, "Di", "Lee", 40)],
+            changed=True,
+        )
+    )
+    repo.add_version(v3)
+    repo.link("v02", "v03")
+    return repo

@@ -1,0 +1,66 @@
+"""Tests for CSV + schema-file round-trips."""
+
+import pytest
+
+from repro.core.csvio import (
+    read_csv,
+    read_schema_file,
+    write_csv,
+    write_schema_file,
+)
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.types import BOOL, FLOAT, INT, TEXT
+
+SCHEMA = Schema(
+    [
+        ColumnDef("name", TEXT),
+        ColumnDef("count", INT),
+        ColumnDef("ratio", FLOAT),
+        ColumnDef("active", BOOL),
+    ],
+    primary_key=("name",),
+)
+
+ROWS = [("a", 1, 0.5, True), ("b", 2, 1.25, False), ("c", None, None, None)]
+
+
+class TestRoundtrip:
+    def test_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "data.csv"
+        write_csv(path, SCHEMA.column_names, ROWS)
+        back = read_csv(path, SCHEMA)
+        assert back == ROWS
+
+    def test_schema_roundtrip(self, tmp_path):
+        path = tmp_path / "schema.csv"
+        write_schema_file(path, SCHEMA)
+        back = read_schema_file(path)
+        assert back.column_names == SCHEMA.column_names
+        assert back.primary_key == ("name",)
+        assert back.dtype_of("ratio") is FLOAT
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("wrong,header\n1,2\n")
+        with pytest.raises(ValueError):
+            read_csv(path, SCHEMA)
+
+    def test_empty_values_become_none(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("name,count,ratio,active\nx,,,\n")
+        rows = read_csv(path, SCHEMA)
+        assert rows == [("x", None, None, None)]
+
+    def test_boolean_parsing(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text(
+            "name,count,ratio,active\na,1,1.0,true\nb,1,1.0,0\nc,1,1.0,T\n"
+        )
+        rows = read_csv(path, SCHEMA)
+        assert [r[3] for r in rows] == [True, False, True]
+
+    def test_schema_without_primary_key(self, tmp_path):
+        schema = Schema([ColumnDef("x", INT)])
+        path = tmp_path / "schema.csv"
+        write_schema_file(path, schema)
+        assert read_schema_file(path).primary_key == ()

@@ -1,0 +1,59 @@
+"""The README quickstart snippet must actually run as printed."""
+
+
+def test_readme_quickstart_snippet():
+    from repro.core import Orpheus
+    from repro.relational import INT, TEXT, ColumnDef, Schema
+
+    orpheus = Orpheus()
+    orpheus.create_user("alice")
+    orpheus.config("alice")
+
+    schema = Schema(
+        [ColumnDef("gene", TEXT), ColumnDef("score", INT)],
+        primary_key=("gene",),
+    )
+    v1 = orpheus.init("genes", schema, rows=[("BRCA1", 10), ("TP53", 7)])
+
+    table = orpheus.checkout("genes", v1, "my_workspace")
+    table.insert(("EGFR", 4))
+    v2 = orpheus.commit("my_workspace", message="add EGFR")
+
+    assert orpheus.diff("genes", v2, v1) == ([("EGFR", 4)], [])
+
+
+def test_docs_sql_examples():
+    from repro.core.sql import run_sql
+    from repro.core.cvd import CVD
+    from repro.datasets.protein import protein_history
+    from repro.relational.database import Database
+    from repro.relational.schema import ColumnDef, Schema
+    from repro.relational.types import INT, TEXT
+
+    schema = Schema(
+        [
+            ColumnDef("protein1", TEXT),
+            ColumnDef("protein2", TEXT),
+            ColumnDef("neighborhood", INT),
+            ColumnDef("cooccurrence", INT),
+            ColumnDef("coexpression", INT),
+        ],
+        primary_key=("protein1", "protein2"),
+    )
+    cvd = CVD.from_history(
+        Database(), protein_history(), name="interaction", schema=schema
+    )
+    first = run_sql(
+        cvd,
+        "SELECT * FROM VERSION 1, 2 OF CVD interaction "
+        "WHERE coexpression > 80 LIMIT 50;",
+    )
+    assert len(first) == 2
+    second = run_sql(
+        cvd,
+        "SELECT vid, count(*) AS n, max(coexpression) "
+        "FROM CVD interaction "
+        "WHERE vid IN descendant(1) AND coexpression > 80 "
+        "GROUP BY vid ORDER BY n DESC;",
+    )
+    assert second.rows[0][0] == 4  # the merge version has the most hits

@@ -1,0 +1,118 @@
+"""Tests for the merge conflict-resolution strategies."""
+
+import pytest
+
+from repro.core.cvd import CVD
+from repro.core.merge import (
+    MergeConflictError,
+    merge_latest,
+    merge_manual,
+    merge_precedence,
+    merge_strict,
+)
+from repro.relational.database import Database
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.types import INT, TEXT
+
+SCHEMA = Schema(
+    [ColumnDef("key", TEXT), ColumnDef("value", INT)], primary_key=("key",)
+)
+
+
+@pytest.fixture
+def forked():
+    """v1 -> (v2, v3) where both branches edit key 'a' differently."""
+    cvd = CVD(Database(), "m", SCHEMA)
+    v1 = cvd.commit([("a", 1), ("b", 2)])
+    v2 = cvd.commit([("a", 100), ("b", 2), ("c", 3)], parents=[v1])
+    v3 = cvd.commit([("a", 200), ("b", 2), ("d", 4)], parents=[v1])
+    return cvd, v2, v3
+
+
+class TestPrecedence:
+    def test_first_listed_wins(self, forked):
+        cvd, v2, v3 = forked
+        result = merge_precedence(cvd, [v2, v3])
+        merged = dict(result.rows)
+        assert merged["a"] == 100
+        result = merge_precedence(cvd, [v3, v2])
+        assert dict(result.rows)["a"] == 200
+
+    def test_union_of_non_conflicting(self, forked):
+        cvd, v2, v3 = forked
+        merged = dict(merge_precedence(cvd, [v2, v3]).rows)
+        assert merged["c"] == 3 and merged["d"] == 4
+
+    def test_matches_cvd_checkout_semantics(self, forked):
+        """merge_precedence must agree with CVD.checkout's built-in
+        precedence merge."""
+        cvd, v2, v3 = forked
+        assert sorted(merge_precedence(cvd, [v2, v3]).rows) == sorted(
+            cvd.checkout([v2, v3]).rows
+        )
+
+    def test_conflict_report(self, forked):
+        cvd, v2, v3 = forked
+        result = merge_precedence(cvd, [v2, v3])
+        assert len(result.conflicts) == 1
+        assert result.conflicts[0].key == ("a",)
+        assert result.decisions[("a",)] == v2
+
+    def test_identical_payloads_not_conflicts(self, forked):
+        cvd, v2, v3 = forked
+        result = merge_precedence(cvd, [v2, v3])
+        assert ("b",) not in {c.key for c in result.conflicts}
+
+
+class TestLatest:
+    def test_newest_commit_wins(self, forked):
+        cvd, v2, v3 = forked
+        # v3 committed after v2.
+        assert dict(merge_latest(cvd, [v2, v3]).rows)["a"] == 200
+        assert dict(merge_latest(cvd, [v3, v2]).rows)["a"] == 200
+
+
+class TestManual:
+    def test_resolver_picks_candidate(self, forked):
+        cvd, v2, v3 = forked
+
+        def resolver(conflict):
+            # Keep the larger value.
+            return max(
+                (payload for _vid, payload in conflict.candidates),
+                key=lambda p: p[1],
+            )
+
+        assert dict(merge_manual(cvd, [v2, v3], resolver).rows)["a"] == 200
+
+    def test_resolver_may_synthesize(self, forked):
+        cvd, v2, v3 = forked
+        result = merge_manual(
+            cvd, [v2, v3], lambda conflict: ("a", 150)
+        )
+        assert dict(result.rows)["a"] == 150
+
+    def test_resolved_rows_commit_cleanly(self, forked):
+        cvd, v2, v3 = forked
+        result = merge_manual(cvd, [v2, v3], lambda c: c.candidates[0][1])
+        v4 = cvd.commit(result.rows, parents=[v2, v3], message="merge")
+        assert cvd.versions.is_merge(v4)
+
+
+class TestStrict:
+    def test_raises_on_conflict(self, forked):
+        cvd, v2, v3 = forked
+        with pytest.raises(MergeConflictError) as excinfo:
+            merge_strict(cvd, [v2, v3])
+        assert excinfo.value.conflicts[0].key == ("a",)
+
+    def test_clean_merge_passes(self, forked):
+        cvd, v2, v3 = forked
+        v1 = 1
+        result = merge_strict(cvd, [v1, v1])
+        assert sorted(result.rows) == [("a", 1), ("b", 2)]
+
+    def test_empty_vids_rejected(self, forked):
+        cvd, _v2, _v3 = forked
+        with pytest.raises(ValueError):
+            merge_strict(cvd, [])

@@ -1,0 +1,112 @@
+"""Tests for the version manager and attribute registry."""
+
+import pytest
+
+from repro.core.errors import NoSuchVersionError
+from repro.core.metadata import (
+    AttributeRegistry,
+    VersionManager,
+    VersionMetadata,
+)
+from repro.relational.types import FLOAT, INT, TEXT
+
+
+def register_chain(manager: VersionManager, count: int) -> list[int]:
+    vids = []
+    for i in range(count):
+        vid = manager.allocate_vid()
+        parents = (vids[-1],) if vids else ()
+        manager.register(VersionMetadata(vid=vid, parents=parents))
+        vids.append(vid)
+    return vids
+
+
+class TestVersionManager:
+    def test_allocate_monotone(self):
+        manager = VersionManager()
+        assert manager.allocate_vid() == 1
+        assert manager.allocate_vid() == 2
+
+    def test_register_external_vid_advances_counter(self):
+        manager = VersionManager()
+        manager.register(VersionMetadata(vid=10, parents=()))
+        assert manager.allocate_vid() == 11
+
+    def test_duplicate_vid_rejected(self):
+        manager = VersionManager()
+        manager.register(VersionMetadata(vid=1, parents=()))
+        with pytest.raises(ValueError):
+            manager.register(VersionMetadata(vid=1, parents=()))
+
+    def test_children_backlinks(self):
+        manager = VersionManager()
+        vids = register_chain(manager, 3)
+        assert manager.children(vids[0]) == (vids[1],)
+        assert manager.parents(vids[2]) == (vids[1],)
+
+    def test_unknown_version(self):
+        manager = VersionManager()
+        with pytest.raises(NoSuchVersionError):
+            manager.get(5)
+
+    def test_latest_requires_versions(self):
+        manager = VersionManager()
+        with pytest.raises(NoSuchVersionError):
+            manager.latest_vid()
+
+    def test_roots_and_edges(self):
+        manager = VersionManager()
+        manager.register(VersionMetadata(vid=1, parents=()))
+        manager.register(VersionMetadata(vid=2, parents=(1,)))
+        manager.register(VersionMetadata(vid=3, parents=()))
+        assert manager.roots() == [1, 3]
+        assert manager.edges() == [(1, 2)]
+
+    def test_topological_levels_on_diamond(self):
+        manager = VersionManager()
+        manager.register(VersionMetadata(vid=1, parents=()))
+        manager.register(VersionMetadata(vid=2, parents=(1,)))
+        manager.register(VersionMetadata(vid=3, parents=(1,)))
+        manager.register(VersionMetadata(vid=4, parents=(2, 3)))
+        levels = manager.topological_levels()
+        assert levels == {1: 1, 2: 2, 3: 2, 4: 3}
+
+    def test_closure_limits(self):
+        manager = VersionManager()
+        vids = register_chain(manager, 5)
+        assert manager.ancestors(vids[4], max_hops=2) == {vids[3], vids[2]}
+        assert manager.descendants(vids[0], max_hops=1) == {vids[1]}
+        assert manager.ancestors(vids[4]) == set(vids[:4])
+
+
+class TestAttributeRegistry:
+    def test_interning_is_idempotent(self):
+        registry = AttributeRegistry()
+        a = registry.intern("count", INT)
+        b = registry.intern("count", INT)
+        assert a == b
+        assert len(registry) == 1
+
+    def test_type_change_creates_new_entry(self):
+        """The Figure 4.3 single-pool behaviour."""
+        registry = AttributeRegistry()
+        a = registry.intern("cooccurrence", INT)
+        b = registry.intern("cooccurrence", FLOAT)
+        assert a != b
+        assert len(registry) == 2
+        assert registry.entry(a).dtype is INT
+        assert registry.entry(b).dtype is FLOAT
+
+    def test_entry_lookup(self):
+        registry = AttributeRegistry()
+        attr_id = registry.intern("name", TEXT)
+        entry = registry.entry(attr_id)
+        assert entry.name == "name"
+        with pytest.raises(KeyError):
+            registry.entry(99)
+
+    def test_ids_for_names_returns_latest(self):
+        registry = AttributeRegistry()
+        registry.intern("x", INT)
+        latest = registry.intern("x", FLOAT)
+        assert registry.ids_for_names(["x"]) == [latest]

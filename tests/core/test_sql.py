@@ -1,0 +1,197 @@
+"""Tests for the version-aware SQL translator (Section 3.3.2 dialect)."""
+
+import pytest
+
+from repro.core.sql import SQLParseError, run_sql
+
+
+class TestVersionSelect:
+    def test_paper_example(self, protein_cvd):
+        """The exact query from Section 3.3.2."""
+        result = run_sql(
+            protein_cvd,
+            "SELECT * FROM VERSION 1, 2 OF CVD interaction "
+            "WHERE coexpression > 80 LIMIT 50;",
+        )
+        assert sorted(result.rows) == [
+            ("ENSP300413", "ENSP274242", 426, 0, 164),
+            ("ENSP309334", "ENSP346022", 0, 227, 975),
+        ]
+        assert result.columns == protein_cvd.schema.column_names
+
+    def test_projection_and_alias(self, protein_cvd):
+        result = run_sql(
+            protein_cvd,
+            "SELECT protein1 AS p, coexpression FROM VERSION 4 OF CVD "
+            "interaction WHERE coexpression >= 975",
+        )
+        assert result.columns == ["p", "coexpression"]
+        assert result.rows == [("ENSP309334", 975)]
+
+    def test_string_literals(self, protein_cvd):
+        result = run_sql(
+            protein_cvd,
+            "SELECT coexpression FROM VERSION 1 OF CVD interaction "
+            "WHERE protein1 = 'ENSP300413'",
+        )
+        assert result.rows == [(164,)]
+
+    def test_boolean_connectives(self, protein_cvd):
+        result = run_sql(
+            protein_cvd,
+            "SELECT protein1 FROM VERSION 4 OF CVD interaction "
+            "WHERE coexpression > 80 AND NOT neighborhood = 0",
+        )
+        assert result.rows == [("ENSP300413",)]
+
+    def test_order_by_and_limit(self, protein_cvd):
+        result = run_sql(
+            protein_cvd,
+            "SELECT protein1, coexpression FROM VERSION 4 OF CVD "
+            "interaction ORDER BY coexpression DESC LIMIT 2",
+        )
+        assert [row[1] for row in result.rows] == [975, 164]
+
+    def test_whole_cvd_source(self, protein_cvd):
+        result = run_sql(
+            protein_cvd,
+            "SELECT protein1 FROM CVD interaction WHERE coexpression > 900",
+        )
+        assert result.rows == [("ENSP309334",)]
+
+
+class TestGroupByVid:
+    def test_count_star(self, protein_cvd):
+        result = run_sql(
+            protein_cvd,
+            "SELECT vid, count(*) FROM CVD interaction GROUP BY vid",
+        )
+        assert result.rows == [(1, 3), (2, 3), (3, 4), (4, 6)]
+
+    def test_aggregate_with_filter(self, protein_cvd):
+        result = run_sql(
+            protein_cvd,
+            "SELECT vid, count(*) AS n FROM CVD interaction "
+            "WHERE coexpression > 80 GROUP BY vid",
+        )
+        assert dict(result.rows)[4] == 4
+
+    def test_max_aggregate(self, protein_cvd):
+        result = run_sql(
+            protein_cvd,
+            "SELECT vid, max(coexpression) FROM CVD interaction GROUP BY vid",
+        )
+        assert dict(result.rows)[1] == 164
+
+    def test_grouped_over_listed_versions(self, protein_cvd):
+        result = run_sql(
+            protein_cvd,
+            "SELECT vid, count(*) FROM VERSION 2, 3 OF CVD interaction "
+            "GROUP BY vid",
+        )
+        assert result.rows == [(2, 3), (3, 4)]
+
+    def test_order_by_aggregate(self, protein_cvd):
+        result = run_sql(
+            protein_cvd,
+            "SELECT vid, count(*) AS n FROM CVD interaction "
+            "GROUP BY vid ORDER BY n DESC LIMIT 1",
+        )
+        assert result.rows == [(4, 6)]
+
+
+class TestGraphPredicates:
+    def test_descendant(self, protein_cvd):
+        result = run_sql(
+            protein_cvd,
+            "SELECT vid, count(*) FROM CVD interaction "
+            "WHERE vid IN descendant(1) GROUP BY vid",
+        )
+        assert [row[0] for row in result.rows] == [2, 3, 4]
+
+    def test_ancestor(self, protein_cvd):
+        result = run_sql(
+            protein_cvd,
+            "SELECT vid, count(*) FROM CVD interaction "
+            "WHERE vid IN ancestor(4) GROUP BY vid",
+        )
+        assert [row[0] for row in result.rows] == [1, 2, 3]
+
+    def test_parent(self, protein_cvd):
+        result = run_sql(
+            protein_cvd,
+            "SELECT vid, count(*) FROM CVD interaction "
+            "WHERE vid IN parent(4) GROUP BY vid",
+        )
+        assert [row[0] for row in result.rows] == [2, 3]
+
+    def test_graph_predicate_combined_with_row_filter(self, protein_cvd):
+        result = run_sql(
+            protein_cvd,
+            "SELECT vid, count(*) AS n FROM CVD interaction "
+            "WHERE vid IN descendant(1) AND coexpression > 80 GROUP BY vid",
+        )
+        # v2: r3,r4 qualify; v3: r3,r5,r6; v4: r3,r4,r5,r6.
+        assert dict(result.rows) == {2: 2, 3: 3, 4: 4}
+
+
+class TestDictDispatch:
+    def test_multi_cvd_mapping(self, protein_cvd):
+        result = run_sql(
+            {"interaction": protein_cvd},
+            "SELECT vid, count(*) FROM CVD interaction GROUP BY vid",
+        )
+        assert len(result) == 4
+
+    def test_unknown_cvd(self, protein_cvd):
+        with pytest.raises(SQLParseError):
+            run_sql({"interaction": protein_cvd}, "SELECT * FROM CVD ghost")
+
+    def test_name_mismatch_on_single_cvd(self, protein_cvd):
+        with pytest.raises(SQLParseError):
+            run_sql(protein_cvd, "SELECT * FROM CVD other")
+
+
+class TestErrors:
+    def test_aggregate_without_group_by(self, protein_cvd):
+        with pytest.raises(SQLParseError):
+            run_sql(
+                protein_cvd,
+                "SELECT count(*) FROM VERSION 1 OF CVD interaction",
+            )
+
+    def test_group_by_non_vid(self, protein_cvd):
+        with pytest.raises(SQLParseError):
+            run_sql(
+                protein_cvd,
+                "SELECT protein1 FROM CVD interaction GROUP BY protein1",
+            )
+
+    def test_star_with_group_by(self, protein_cvd):
+        with pytest.raises(SQLParseError):
+            run_sql(
+                protein_cvd,
+                "SELECT * FROM CVD interaction GROUP BY vid",
+            )
+
+    def test_star_mixed_with_columns(self, protein_cvd):
+        with pytest.raises(SQLParseError):
+            run_sql(
+                protein_cvd,
+                "SELECT *, protein1 FROM VERSION 1 OF CVD interaction",
+            )
+
+    def test_garbage(self, protein_cvd):
+        with pytest.raises(SQLParseError):
+            run_sql(protein_cvd, "DELETE FROM CVD interaction")
+
+    def test_trailing_tokens(self, protein_cvd):
+        with pytest.raises(SQLParseError):
+            run_sql(
+                protein_cvd,
+                "SELECT * FROM VERSION 1 OF CVD interaction garbage here",
+            )
+
+    def test_unsupported_tokens(self, protein_cvd):
+        with pytest.raises(SQLParseError):
+            run_sql(protein_cvd, "SELECT * FROM CVD interaction WHERE a ~ b")

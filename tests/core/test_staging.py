@@ -1,0 +1,72 @@
+"""Tests for the staging area and its provenance metadata."""
+
+import pytest
+
+from repro.core.errors import StagingError
+from repro.core.staging import StagingArea
+from repro.relational.database import Database
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.types import INT
+
+SCHEMA = Schema([ColumnDef("x", INT)])
+
+
+@pytest.fixture
+def staging():
+    return StagingArea(Database())
+
+
+class TestMaterialize:
+    def test_creates_table_with_rows(self, staging):
+        table = staging.materialize(
+            "w", SCHEMA, [(1,), (2,)], "cvd", (1,), owner="alice"
+        )
+        assert len(table) == 2
+        assert staging.database.has_table("w")
+
+    def test_records_provenance(self, staging):
+        staging.materialize("w", SCHEMA, [], "cvd", (3, 4), owner="bob")
+        info = staging.metadata("w")
+        assert info.cvd_name == "cvd"
+        assert info.parents == (3, 4)
+        assert info.owner == "bob"
+        assert info.checkout_time > 0
+
+    def test_duplicate_name_rejected(self, staging):
+        staging.materialize("w", SCHEMA, [], "cvd", (), owner="a")
+        with pytest.raises(StagingError):
+            staging.materialize("w", SCHEMA, [], "cvd", (), owner="a")
+
+    def test_collision_with_existing_table(self, staging):
+        staging.database.create_table("occupied", SCHEMA)
+        with pytest.raises(StagingError):
+            staging.materialize("occupied", SCHEMA, [], "cvd", (), owner="a")
+
+
+class TestAccess:
+    def test_owner_check(self, staging):
+        staging.materialize("w", SCHEMA, [], "cvd", (), owner="alice")
+        staging.table("w", user="alice")
+        with pytest.raises(StagingError):
+            staging.table("w", user="eve")
+
+    def test_unknown_table(self, staging):
+        with pytest.raises(StagingError):
+            staging.metadata("ghost")
+
+
+class TestRelease:
+    def test_release_drops_table_and_metadata(self, staging):
+        staging.materialize("w", SCHEMA, [], "cvd", (), owner="a")
+        staging.release("w")
+        assert not staging.database.has_table("w")
+        assert staging.staged_names() == []
+
+    def test_release_unknown_rejected(self, staging):
+        with pytest.raises(StagingError):
+            staging.release("ghost")
+
+    def test_staged_names_sorted(self, staging):
+        staging.materialize("zz", SCHEMA, [], "cvd", (), owner="a")
+        staging.materialize("aa", SCHEMA, [], "cvd", (), owner="a")
+        assert staging.staged_names() == ["aa", "zz"]

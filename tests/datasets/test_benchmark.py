@@ -1,0 +1,151 @@
+"""Tests for the benchmark generators and history structures."""
+
+import pytest
+
+from repro.datasets.benchmark import (
+    BenchmarkConfig,
+    generate_cur,
+    generate_sci,
+    standard_datasets,
+)
+from repro.datasets.history import CommitSpec, VersionedHistory, linear_history
+from repro.datasets.protein import protein_history
+
+
+class TestConfigValidation:
+    def test_bad_insert_fraction(self):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(insert_fraction=1.5)
+
+    def test_fractions_exceed_one(self):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(insert_fraction=0.95, delete_fraction=0.1)
+
+    def test_bad_branches(self):
+        with pytest.raises(ValueError):
+            BenchmarkConfig(num_branches=0)
+
+
+class TestSciWorkload:
+    @pytest.fixture(scope="class")
+    def history(self):
+        return generate_sci(
+            BenchmarkConfig(
+                num_branches=6, target_records=1200, ops_per_commit=30, seed=4
+            )
+        )
+
+    def test_is_tree(self, history):
+        assert not history.has_merges
+
+    def test_validates(self, history):
+        history.validate()
+
+    def test_reaches_target_records(self, history):
+        assert history.num_records >= 1200
+
+    def test_uses_branches(self, history):
+        branches = {c.branch for c in history.commits}
+        assert len(branches) > 1
+
+    def test_deterministic(self):
+        config = BenchmarkConfig(target_records=500, seed=99)
+        a = generate_sci(config)
+        b = generate_sci(config)
+        assert [c.rids for c in a.commits] == [c.rids for c in b.commits]
+
+    def test_children_overlap_parents(self, history):
+        """Versioning workloads evolve incrementally: every child shares
+        most records with its parent."""
+        for commit in history.commits:
+            for parent in commit.parents:
+                overlap = history.edge_weight(parent, commit.vid)
+                assert overlap > 0.5 * len(history.records_of(parent))
+
+
+class TestCurWorkload:
+    @pytest.fixture(scope="class")
+    def history(self):
+        return generate_cur(
+            BenchmarkConfig(
+                num_branches=6, target_records=1200, ops_per_commit=30, seed=4
+            )
+        )
+
+    def test_has_merges(self, history):
+        assert history.has_merges
+
+    def test_merge_has_two_parents(self, history):
+        merges = [c for c in history.commits if len(c.parents) > 1]
+        assert merges
+        assert all(len(c.parents) == 2 for c in merges)
+
+    def test_duplicated_records_positive(self, history):
+        """|R̂| of the DAG-to-tree reduction, as in Table 5.2."""
+        duplicated = history.duplicated_records_as_tree()
+        assert 0 < duplicated < history.num_records
+
+    def test_validates(self, history):
+        history.validate()
+
+
+class TestStandardDatasets:
+    def test_all_names(self):
+        datasets = standard_datasets(["SCI_S", "CUR_S"])
+        assert set(datasets) == {"SCI_S", "CUR_S"}
+        assert not datasets["SCI_S"].has_merges
+        assert datasets["CUR_S"].has_merges
+
+    def test_summary_shape(self):
+        history = standard_datasets(["SCI_S"])["SCI_S"]
+        summary = history.summary()
+        assert summary["num_edges"] >= summary["num_records"]
+
+
+class TestHistoryStructures:
+    def test_self_parent_rejected(self):
+        with pytest.raises(ValueError):
+            CommitSpec(vid=1, parents=(1,), rids=frozenset())
+
+    def test_dangling_parent_rejected(self):
+        history = VersionedHistory()
+        history.commits.append(
+            CommitSpec(vid=1, parents=(99,), rids=frozenset())
+        )
+        with pytest.raises(ValueError):
+            history.validate()
+
+    def test_dangling_rid_rejected(self):
+        history = VersionedHistory()
+        history.commits.append(
+            CommitSpec(vid=1, parents=(), rids=frozenset({5}))
+        )
+        with pytest.raises(ValueError):
+            history.validate()
+
+    def test_linear_history_builder(self):
+        history = linear_history([3, 5, 4])
+        history.validate()
+        assert history.num_versions == 3
+        assert [len(c.rids) for c in history.commits] == [3, 5, 4]
+
+    def test_subset_parent_closure(self):
+        history = linear_history([2, 3, 4])
+        subset = history.subset([1, 2])
+        assert subset.num_versions == 2
+        with pytest.raises(ValueError):
+            history.subset([2, 3])  # missing parent 1
+
+    def test_edge_weight(self):
+        history = protein_history()
+        assert history.edge_weight(2, 3) == 1  # only r3 shared
+
+    def test_payload_rows_sorted_by_rid(self):
+        history = protein_history()
+        rows = history.payload_rows(1)
+        assert len(rows) == 3
+
+    def test_commit_by_vid_missing(self):
+        history = protein_history()
+        with pytest.raises(KeyError):
+            history.commit_by_vid(17)

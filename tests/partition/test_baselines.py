@@ -1,0 +1,112 @@
+"""Tests for the Agglo and Kmeans baselines."""
+
+import pytest
+
+from repro.partition.baselines import (
+    agglo_partition,
+    binary_search_capacity,
+    kmeans_partition,
+)
+
+
+@pytest.fixture
+def membership(sci_tiny):
+    return {c.vid: c.rids for c in sci_tiny.commits}
+
+
+@pytest.fixture
+def total_records(membership):
+    return len(frozenset().union(*membership.values()))
+
+
+class TestAgglo:
+    def test_produces_valid_partitioning(self, membership):
+        p = agglo_partition(membership, capacity=float("inf"))
+        p.validate_cover(list(membership))
+
+    def test_capacity_limits_partition_records(
+        self, membership, total_records
+    ):
+        capacity = total_records * 0.6
+        p = agglo_partition(membership, capacity=capacity)
+        for records in p.partition_records(membership):
+            assert len(records) <= capacity
+
+    def test_unlimited_capacity_merges_aggressively(self, membership):
+        p_unlimited = agglo_partition(membership, capacity=float("inf"))
+        p_tight = agglo_partition(
+            membership, capacity=max(len(r) for r in membership.values())
+        )
+        assert p_unlimited.num_partitions <= p_tight.num_partitions
+
+    def test_deterministic_for_seed(self, membership):
+        a = agglo_partition(membership, capacity=float("inf"), seed=3)
+        b = agglo_partition(membership, capacity=float("inf"), seed=3)
+        assert sorted(map(sorted, a.groups)) == sorted(map(sorted, b.groups))
+
+
+class TestKmeans:
+    def test_produces_valid_partitioning(self, membership):
+        p = kmeans_partition(membership, k=4)
+        p.validate_cover(list(membership))
+
+    def test_k_bounds_partitions(self, membership):
+        p = kmeans_partition(membership, k=5)
+        assert p.num_partitions <= 5
+
+    def test_k_one_is_single_partition(self, membership, total_records):
+        p = kmeans_partition(membership, k=1)
+        assert p.num_partitions == 1
+        assert p.storage_cost(membership) == total_records
+
+    def test_invalid_k(self, membership):
+        with pytest.raises(ValueError):
+            kmeans_partition(membership, k=0)
+
+    def test_more_k_trades_storage_for_checkout(self, membership):
+        low_k = kmeans_partition(membership, k=2, seed=5)
+        high_k = kmeans_partition(membership, k=10, seed=5)
+        assert high_k.storage_cost(membership) >= low_k.storage_cost(
+            membership
+        )
+
+
+class TestBudgetSearch:
+    @pytest.mark.parametrize("algorithm", ["agglo", "kmeans"])
+    def test_meets_storage_budget(
+        self, membership, total_records, algorithm
+    ):
+        budget = 2.0 * total_records
+        p = binary_search_capacity(
+            membership, budget, algorithm=algorithm, time_budget=30
+        )
+        assert p.storage_cost(membership) <= budget
+
+    def test_unknown_algorithm(self, membership):
+        with pytest.raises(ValueError):
+            binary_search_capacity(membership, 1000, algorithm="magic")
+
+
+class TestLyreSplitDominance:
+    def test_lyresplit_beats_baselines_at_equal_budget(
+        self, sci_tiny, membership, total_records
+    ):
+        """The headline Figure 5.8 result, scaled down: at the same
+        storage budget LyreSplit's checkout cost is at least as good as
+        both baselines'."""
+        from repro.partition.lyresplit import lyresplit_for_budget
+        from repro.partition.version_graph import graph_from_history
+
+        budget = 2.0 * total_records
+        graph = graph_from_history(sci_tiny)
+        ours = lyresplit_for_budget(
+            graph, budget, membership=membership
+        ).partitioning.checkout_cost(membership)
+        agglo = binary_search_capacity(
+            membership, budget, algorithm="agglo", time_budget=30
+        ).checkout_cost(membership)
+        kmeans = binary_search_capacity(
+            membership, budget, algorithm="kmeans", time_budget=30
+        ).checkout_cost(membership)
+        assert ours <= agglo * 1.05
+        assert ours <= kmeans * 1.05

@@ -1,0 +1,65 @@
+"""Tests for the schema-change-aware splitting rule (Section 5.3.3)."""
+
+import pytest
+
+from repro.partition.lyresplit import lyresplit
+from repro.partition.schema_aware import lyresplit_schema_aware
+from repro.partition.version_graph import VersionTree, graph_from_history
+
+
+def fixed_schema_attributes(tree, num_attributes=5):
+    attrs = frozenset(range(num_attributes))
+    return {vid: attrs for vid in tree.nodes}
+
+
+class TestReductionToPlainRule:
+    def test_fixed_schema_matches_min_weight_lyresplit(self, sci_tiny):
+        """With no schema changes, a(v_i, v_j) = |A| and the rule reduces
+        to w ≤ δ|R|, so the partitionings coincide."""
+        tree = graph_from_history(sci_tiny).to_tree()
+        attributes = fixed_schema_attributes(tree)
+        aware = lyresplit_schema_aware(tree, 0.5, attributes)
+        plain = lyresplit(tree, 0.5, edge_rule="min_weight")
+        assert sorted(map(sorted, aware.partitioning.groups)) == sorted(
+            map(sorted, plain.partitioning.groups)
+        )
+
+
+class TestSchemaChangeSensitivity:
+    @pytest.fixture
+    def small_tree(self):
+        return VersionTree(
+            nodes={1: 100, 2: 100, 3: 100},
+            parent={1: None, 2: 1, 3: 2},
+            weight_to_parent={1: 0, 2: 90, 3: 90},
+            order=[1, 2, 3],
+        )
+
+    def test_attribute_divergence_creates_candidates(self, small_tree):
+        """A version sharing few attributes with its parent gets split
+        off even when row overlap is high, while the same history with a
+        fixed schema stays in one partition at the same δ."""
+        # v3 shares only 1 of its 5 attributes with v2.
+        attributes = {
+            1: frozenset({0, 1, 2, 3, 4}),
+            2: frozenset({0, 1, 2, 3, 4}),
+            3: frozenset({0, 5, 6, 7, 8}),
+        }
+        result = lyresplit_schema_aware(small_tree, 0.55, attributes)
+        groups = sorted(map(sorted, result.partitioning.groups))
+        assert [3] in groups  # v3 split off
+
+        same = fixed_schema_attributes(small_tree)
+        result_same = lyresplit_schema_aware(small_tree, 0.55, same)
+        assert result_same.partitioning.num_partitions == 1
+
+    def test_cover(self, small_tree):
+        attributes = fixed_schema_attributes(small_tree)
+        result = lyresplit_schema_aware(small_tree, 0.5, attributes)
+        result.partitioning.validate_cover([1, 2, 3])
+
+    def test_invalid_delta(self, small_tree):
+        with pytest.raises(ValueError):
+            lyresplit_schema_aware(
+                small_tree, 0, fixed_schema_attributes(small_tree)
+            )

@@ -1,0 +1,102 @@
+"""Tests for the weighted-frequency generalization (Section 5.3.2)."""
+
+import pytest
+
+from repro.partition.lyresplit import lyresplit
+from repro.partition.version_graph import graph_from_history
+from repro.partition.weighted import expand_weighted_tree, lyresplit_weighted
+
+
+class TestExpansion:
+    def test_replica_counts(self, sci_tiny):
+        tree = graph_from_history(sci_tiny).to_tree()
+        frequencies = {vid: 2 for vid in tree.nodes}
+        expanded, replica_of = expand_weighted_tree(tree, frequencies)
+        assert len(expanded.nodes) == 2 * len(tree.nodes)
+        assert len(set(replica_of.values())) == len(tree.nodes)
+
+    def test_chain_structure(self):
+        """A version with f=3 becomes a 3-chain with full-overlap edges."""
+        from repro.partition.version_graph import VersionTree
+
+        tree = VersionTree(
+            nodes={1: 10, 2: 8},
+            parent={1: None, 2: 1},
+            weight_to_parent={1: 0, 2: 5},
+            order=[1, 2],
+        )
+        expanded, replica_of = expand_weighted_tree(tree, {1: 1, 2: 3})
+        # Replicas: [v1], [v2, v2', v2''] -> 4 nodes.
+        assert len(expanded.nodes) == 4
+        chain_replicas = [r for r, v in replica_of.items() if v == 2]
+        weights = sorted(
+            expanded.weight_to_parent[r] for r in chain_replicas
+        )
+        # First replica keeps the original edge weight 5; the other two
+        # chain with full overlap 8.
+        assert weights == [5, 8, 8]
+
+    def test_invalid_frequency(self):
+        from repro.partition.version_graph import VersionTree
+
+        tree = VersionTree(
+            nodes={1: 10}, parent={1: None}, weight_to_parent={1: 0}, order=[1]
+        )
+        with pytest.raises(ValueError):
+            expand_weighted_tree(tree, {1: 0})
+
+
+class TestWeightedSplit:
+    def test_uniform_weights_cover(self, sci_tiny):
+        graph = graph_from_history(sci_tiny)
+        frequencies = {c.vid: 1 for c in sci_tiny.commits}
+        result = lyresplit_weighted(graph, 0.5, frequencies)
+        result.partitioning.validate_cover(
+            [c.vid for c in sci_tiny.commits]
+        )
+
+    def test_hot_versions_get_smaller_partitions(self, sci_tiny):
+        """Weighting the latest versions heavily should not increase
+        their checkout cost relative to the unweighted solution."""
+        graph = graph_from_history(sci_tiny)
+        membership = {c.vid: c.rids for c in sci_tiny.commits}
+        vids = [c.vid for c in sci_tiny.commits]
+        hot = set(vids[-10:])
+        frequencies = {vid: (50 if vid in hot else 1) for vid in vids}
+
+        unweighted = lyresplit(graph, 0.5).partitioning
+        weighted = lyresplit_weighted(
+            graph, 0.5, frequencies, membership=membership
+        ).partitioning
+
+        def hot_cost(partitioning):
+            records = partitioning.partition_records(membership)
+            assignment = partitioning.assignment()
+            return sum(len(records[assignment[v]]) for v in hot) / len(hot)
+
+        assert hot_cost(weighted) <= hot_cost(unweighted) * 1.25
+
+    def test_weighted_cost_bounded(self, sci_tiny):
+        """The weighted analogue of Theorem 5.2's checkout bound: C_w
+        within (1/δ)·ζ where ζ = Σf_i|R(v_i)|/Σf_i."""
+        graph = graph_from_history(sci_tiny)
+        membership = {c.vid: c.rids for c in sci_tiny.commits}
+        frequencies = {
+            c.vid: 1 + (c.vid % 5) for c in sci_tiny.commits
+        }
+        delta = 0.5
+        result = lyresplit_weighted(
+            graph, delta, frequencies, membership=membership
+        )
+        total_weight = sum(frequencies.values())
+        zeta = (
+            sum(
+                frequencies[c.vid] * len(c.rids)
+                for c in sci_tiny.commits
+            )
+            / total_weight
+        )
+        weighted_cost = result.partitioning.weighted_checkout_cost(
+            membership, frequencies
+        )
+        assert weighted_cost <= (1 / delta) * zeta + 1e-9

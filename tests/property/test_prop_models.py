@@ -1,0 +1,108 @@
+"""Property tests: all data models agree under random commit histories."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cvd import CVD
+from repro.core.models import DATA_MODELS
+from repro.relational.database import Database
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.types import INT, TEXT
+
+
+@st.composite
+def commit_scripts(draw):
+    """A random history: each step edits the head version's rows.
+
+    Rows are (key, value); edits insert fresh keys, update values, or
+    delete rows. Occasionally a commit branches from an older version.
+    """
+    num_commits = draw(st.integers(min_value=1, max_value=6))
+    script = []
+    for index in range(num_commits):
+        operations = draw(
+            st.lists(
+                st.tuples(
+                    st.sampled_from(["insert", "update", "delete"]),
+                    st.integers(min_value=0, max_value=30),
+                    st.integers(min_value=0, max_value=99),
+                ),
+                max_size=8,
+            )
+        )
+        branch_from = (
+            draw(st.integers(min_value=1, max_value=index))
+            if index > 0
+            else None
+        )
+        script.append((branch_from, operations))
+    return script
+
+
+def apply_script(script):
+    """Replay a script into expected version contents."""
+    versions: dict[int, dict[str, int]] = {}
+    for index, (branch_from, operations) in enumerate(script, start=1):
+        state = dict(versions[branch_from]) if branch_from else {}
+        for op, key_index, value in operations:
+            key = f"k{key_index}"
+            if op == "insert" or op == "update":
+                state[key] = value
+            elif key in state:
+                del state[key]
+        versions[index] = state
+    return versions
+
+
+SCHEMA = Schema(
+    [ColumnDef("key", TEXT), ColumnDef("value", INT)], primary_key=("key",)
+)
+
+
+class TestModelAgreement:
+    @given(script=commit_scripts())
+    @settings(max_examples=60, deadline=None)
+    def test_all_models_return_identical_contents(self, script):
+        expected = apply_script(script)
+        for model_name in DATA_MODELS:
+            cvd = CVD(Database(), "p", SCHEMA, model=model_name)
+            vids = {}
+            for index, (branch_from, _ops) in enumerate(script, start=1):
+                rows = sorted(expected[index].items())
+                parents = [vids[branch_from]] if branch_from else []
+                vids[index] = cvd.commit(rows, parents=parents)
+            for index, state in expected.items():
+                result = cvd.checkout(vids[index])
+                assert sorted(result.rows) == sorted(state.items()), (
+                    model_name,
+                    index,
+                )
+
+    @given(script=commit_scripts())
+    @settings(max_examples=40, deadline=None)
+    def test_checkout_commit_identity(self, script):
+        """commit(checkout(v)) recreates exactly v's contents."""
+        expected = apply_script(script)
+        cvd = CVD(Database(), "p", SCHEMA)
+        vids = {}
+        for index, (branch_from, _ops) in enumerate(script, start=1):
+            rows = sorted(expected[index].items())
+            parents = [vids[branch_from]] if branch_from else []
+            vids[index] = cvd.commit(rows, parents=parents)
+        head = vids[len(script)]
+        result = cvd.checkout(head)
+        recommitted = cvd.commit(result.rows, parents=[head])
+        assert cvd.membership(recommitted) == cvd.membership(head)
+
+    @given(script=commit_scripts())
+    @settings(max_examples=40, deadline=None)
+    def test_record_count_metadata_consistent(self, script):
+        expected = apply_script(script)
+        cvd = CVD(Database(), "p", SCHEMA)
+        vids = {}
+        for index, (branch_from, _ops) in enumerate(script, start=1):
+            rows = sorted(expected[index].items())
+            parents = [vids[branch_from]] if branch_from else []
+            vids[index] = cvd.commit(rows, parents=parents)
+            metadata = cvd.versions.get(vids[index])
+            assert metadata.record_count == len(expected[index])

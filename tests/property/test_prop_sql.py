@@ -1,0 +1,107 @@
+"""Property tests: the SQL translator agrees with the Python query API."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.queries import aggregate_by_version, select_from_versions
+from repro.core.sql import run_sql
+from repro.relational.expressions import col, lit
+from repro.relational.query import Aggregate
+
+NUMERIC_COLUMNS = ("neighborhood", "cooccurrence", "coexpression")
+OPERATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+@pytest.fixture(scope="module")
+def protein_cvd():
+    """Module-scoped (read-only queries): hypothesis reuses it safely."""
+    from repro.relational.schema import ColumnDef, Schema
+    from repro.relational.types import INT, TEXT
+    from tests.conftest import make_protein_cvd
+
+    schema = Schema(
+        [
+            ColumnDef("protein1", TEXT),
+            ColumnDef("protein2", TEXT),
+            ColumnDef("neighborhood", INT),
+            ColumnDef("cooccurrence", INT),
+            ColumnDef("coexpression", INT),
+        ],
+        primary_key=("protein1", "protein2"),
+    )
+    return make_protein_cvd("split_by_rlist", schema)
+
+
+@st.composite
+def simple_predicates(draw):
+    """(sql text, expression) pairs over the protein schema."""
+    column = draw(st.sampled_from(NUMERIC_COLUMNS))
+    operator = draw(st.sampled_from(OPERATORS))
+    value = draw(st.integers(min_value=0, max_value=1000))
+    sql = f"{column} {operator} {value}"
+    expression = {
+        "=": col(column) == lit(value),
+        "!=": col(column) != lit(value),
+        "<": col(column) < lit(value),
+        "<=": col(column) <= lit(value),
+        ">": col(column) > lit(value),
+        ">=": col(column) >= lit(value),
+    }[operator]
+    return sql, expression
+
+
+class TestSqlAgreesWithApi:
+    @given(
+        predicate=simple_predicates(),
+        vids=st.lists(
+            st.integers(min_value=1, max_value=4),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_version_select(self, protein_cvd, predicate, vids):
+        sql_text, expression = predicate
+        vid_list = ", ".join(map(str, vids))
+        sql_rows = run_sql(
+            protein_cvd,
+            f"SELECT * FROM VERSION {vid_list} OF CVD interaction "
+            f"WHERE {sql_text}",
+        ).rows
+        api_rows = select_from_versions(
+            protein_cvd, vids, where=expression
+        )
+        assert sorted(sql_rows) == sorted(api_rows)
+
+    @given(
+        predicate=simple_predicates(),
+        function=st.sampled_from(("count", "max", "min", "sum")),
+        column=st.sampled_from(NUMERIC_COLUMNS),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_grouped_aggregate(self, protein_cvd, predicate, function, column):
+        sql_text, expression = predicate
+        argument = "*" if function == "count" else column
+        sql_rows = run_sql(
+            protein_cvd,
+            f"SELECT vid, {function}({argument}) FROM CVD interaction "
+            f"WHERE {sql_text} GROUP BY vid",
+        ).rows
+        aggregate = Aggregate(
+            function, None if function == "count" else col(column)
+        )
+        api_rows = aggregate_by_version(
+            protein_cvd, [aggregate], where=expression
+        )
+        assert sql_rows == api_rows
+
+    @given(limit=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=30, deadline=None)
+    def test_limit_respected(self, protein_cvd, limit):
+        rows = run_sql(
+            protein_cvd,
+            f"SELECT * FROM VERSION 4 OF CVD interaction LIMIT {limit}",
+        ).rows
+        assert len(rows) == min(limit, 6)

@@ -1,0 +1,90 @@
+"""Property tests: storage-plan invariants over random cost graphs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.graph import ROOT, StorageGraph
+from repro.storage.solvers.lmg import lmg_min_storage
+from repro.storage.solvers.mp import mp_min_storage
+from repro.storage.solvers.mst import minimum_spanning_storage
+from repro.storage.solvers.spt import shortest_path_tree
+
+
+@st.composite
+def storage_graphs(draw):
+    """Random directed storage graphs: every version materializable plus
+    random delta edges cheaper than materialization."""
+    num_versions = draw(st.integers(min_value=1, max_value=15))
+    graph = StorageGraph(num_versions=num_versions)
+    materialization = {}
+    for vid in range(1, num_versions + 1):
+        cost = draw(st.integers(min_value=100, max_value=2000))
+        materialization[vid] = cost
+        phi = draw(st.integers(min_value=100, max_value=2000))
+        graph.edges[(ROOT, vid)] = (float(cost), float(phi))
+    num_deltas = draw(st.integers(min_value=0, max_value=num_versions * 2))
+    for _ in range(num_deltas):
+        source = draw(st.integers(min_value=1, max_value=num_versions))
+        target = draw(st.integers(min_value=1, max_value=num_versions))
+        if source == target:
+            continue
+        delta = draw(st.integers(min_value=1, max_value=200))
+        phi = draw(st.integers(min_value=1, max_value=600))
+        graph.edges[(source, target)] = (float(delta), float(phi))
+    return graph
+
+
+class TestSolverInvariants:
+    @given(graph=storage_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_mst_is_valid_and_minimal_vs_spt(self, graph):
+        mst = minimum_spanning_storage(graph)
+        mst.validate(graph)
+        spt = shortest_path_tree(graph)
+        spt.validate(graph)
+        assert mst.total_storage_cost(graph) <= spt.total_storage_cost(
+            graph
+        ) + 1e-9
+
+    @given(graph=storage_graphs())
+    @settings(max_examples=100, deadline=None)
+    def test_spt_recreation_dominates_every_plan(self, graph):
+        """The SPT minimizes each R_i individually."""
+        spt_costs = shortest_path_tree(graph).recreation_costs(graph)
+        mst_costs = minimum_spanning_storage(graph).recreation_costs(graph)
+        for vid in graph.vertices():
+            assert spt_costs[vid] <= mst_costs[vid] + 1e-9
+
+    @given(graph=storage_graphs(), slack=st.floats(min_value=1.0, max_value=3.0))
+    @settings(max_examples=75, deadline=None)
+    def test_mp_meets_its_budget(self, graph, slack):
+        spt_max = shortest_path_tree(graph).max_recreation(graph)
+        budget = spt_max * slack
+        plan = mp_min_storage(graph, budget)
+        plan.validate(graph)
+        assert plan.max_recreation(graph) <= budget + 1e-6
+
+    @given(graph=storage_graphs(), slack=st.floats(min_value=1.0, max_value=3.0))
+    @settings(max_examples=75, deadline=None)
+    def test_lmg_meets_its_budget(self, graph, slack):
+        spt_sum = shortest_path_tree(graph).sum_recreation(graph)
+        budget = spt_sum * slack
+        plan = lmg_min_storage(graph, budget)
+        plan.validate(graph)
+        assert plan.sum_recreation(graph) <= budget + 1e-6
+
+    @given(graph=storage_graphs())
+    @settings(max_examples=75, deadline=None)
+    def test_recreation_cost_equals_path_walk(self, graph):
+        """The solver-reported recreation must equal an independent walk
+        up the parent chain."""
+        plan = minimum_spanning_storage(graph)
+        costs = plan.recreation_costs(graph)
+        for vid in graph.vertices():
+            walked = 0.0
+            current = vid
+            while current != ROOT:
+                parent = plan.parent[current]
+                walked += graph.recreation_weight(parent, current)
+                current = parent
+            assert abs(walked - costs[vid]) < 1e-9

@@ -1,0 +1,115 @@
+"""Tests for structural explanations (Section 8.5)."""
+
+import pytest
+
+from repro.provenance import Artifact, explain_edge
+from repro.provenance.explain import discover_candidate_key
+
+
+def art(name, columns, rows):
+    return Artifact(name, columns, rows)
+
+
+@pytest.fixture
+def base():
+    return art(
+        "v1.csv",
+        ["id", "value", "label"],
+        [(f"k{i}", i * 10, f"l{i}") for i in range(10)],
+    )
+
+
+class TestCandidateKey:
+    def test_single_column_key(self, base):
+        child = art("v2.csv", base.columns, list(base.rows))
+        assert discover_candidate_key(base, child) == ("id",)
+
+    def test_composite_key(self):
+        # No single column is unique; only (p, q) identifies rows.
+        rows = [("a", 1, "x"), ("a", 2, "x"), ("b", 1, "x")]
+        a = art("a.csv", ["p", "q", "v"], rows)
+        b = art("b.csv", ["p", "q", "v"], rows)
+        assert discover_candidate_key(a, b) == ("p", "q")
+
+    def test_no_key(self):
+        rows = [("a", "a"), ("a", "a")]
+        a = art("a.csv", ["x", "y"], rows)
+        b = art("b.csv", ["x", "y"], rows)
+        assert discover_candidate_key(a, b) == ()
+
+
+class TestExplanations:
+    def test_row_insertion(self, base):
+        child = art(
+            "v2.csv", base.columns, base.rows + [("k99", 990, "l99")]
+        )
+        explanation = explain_edge(base, child)
+        assert explanation.rows_inserted == 1
+        assert explanation.rows_deleted == 0
+        assert "insert 1 row(s)" in explanation.operations
+
+    def test_row_deletion(self, base):
+        child = art("v2.csv", base.columns, base.rows[:-2])
+        explanation = explain_edge(base, child)
+        assert explanation.rows_deleted == 2
+
+    def test_column_addition_is_row_preserving(self, base):
+        child = art(
+            "v2.csv",
+            base.columns + ["derived"],
+            [row + (row[1] * 2,) for row in base.rows],
+        )
+        explanation = explain_edge(base, child)
+        assert explanation.columns_added == ["derived"]
+        assert explanation.row_preserving
+
+    def test_column_drop(self, base):
+        child = art(
+            "v2.csv", ["id", "value"], [row[:2] for row in base.rows]
+        )
+        explanation = explain_edge(base, child)
+        assert explanation.columns_dropped == ["label"]
+        assert explanation.row_preserving
+
+    def test_rename_detected_by_value_identity(self, base):
+        child = art(
+            "v2.csv",
+            ["id", "amount", "label"],
+            list(base.rows),
+        )
+        explanation = explain_edge(base, child)
+        assert ("value", "amount") in explanation.columns_renamed
+        assert explanation.columns_added == []
+        assert explanation.columns_dropped == []
+
+    def test_in_place_update(self, base):
+        rows = list(base.rows)
+        rows[3] = (rows[3][0], 999999, rows[3][2])
+        child = art("v2.csv", base.columns, rows)
+        explanation = explain_edge(base, child)
+        assert explanation.row_preserving
+        assert "update 1 row(s) in place" in explanation.operations
+
+    def test_identical_contents(self, base):
+        child = art("v2.csv", base.columns, list(base.rows))
+        explanation = explain_edge(base, child)
+        assert explanation.operations == ["identical contents"]
+
+    def test_key_columns_reported(self, base):
+        child = art("v2.csv", base.columns, list(base.rows))
+        explanation = explain_edge(base, child)
+        assert explanation.key_columns == ("id",)
+
+
+class TestArtifactValidation:
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Artifact("bad.csv", ["a", "b"], [(1,)])
+
+    def test_column_values(self, base):
+        assert base.column_values("value")[:3] == [0, 10, 20]
+
+    def test_key_projection(self, base):
+        keys = base.key_projection(["id"])
+        assert ("k0",) in keys
+        assert len(keys) == 10

@@ -1,0 +1,161 @@
+"""Tests for lineage inference, sketches, and evaluation metrics."""
+
+import pytest
+
+from repro.provenance import (
+    Artifact,
+    InferenceConfig,
+    evaluate_edges,
+    infer_lineage,
+)
+from repro.provenance.sketches import artifact_sketch, exact_jaccard, sketch_of
+from repro.provenance.synthetic import RepositoryConfig, generate_repository
+
+
+class TestSketches:
+    def test_identical_sets_estimate_one(self):
+        elements = frozenset(range(100))
+        a = sketch_of(elements)
+        b = sketch_of(frozenset(elements))
+        assert a.estimated_jaccard(b) == 1.0
+
+    def test_disjoint_sets_estimate_near_zero(self):
+        a = sketch_of(frozenset(range(100)))
+        b = sketch_of(frozenset(range(1000, 1100)))
+        assert a.estimated_jaccard(b) < 0.2
+
+    def test_estimate_tracks_exact(self):
+        base = frozenset(range(200))
+        half = frozenset(range(100, 300))
+        estimated = sketch_of(base, k=128).estimated_jaccard(
+            sketch_of(half, k=128)
+        )
+        exact = exact_jaccard(base, half)
+        assert abs(estimated - exact) < 0.15
+
+    def test_artifact_sketch(self):
+        artifact = Artifact("a.csv", ["id"], [(i,) for i in range(50)])
+        sketch = artifact_sketch(artifact)
+        assert len(sketch.minima) == 32
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            sketch_of(frozenset({1}), k=4).estimated_jaccard(
+                sketch_of(frozenset({1}), k=8)
+            )
+
+
+class TestInferenceAccuracy:
+    @pytest.mark.parametrize(
+        "config, minimum_f1",
+        [
+            (RepositoryConfig(num_artifacts=15, seed=1), 0.85),
+            (
+                RepositoryConfig(
+                    num_artifacts=15, seed=2, drop_timestamps=True
+                ),
+                0.70,
+            ),
+            (
+                RepositoryConfig(
+                    num_artifacts=20,
+                    seed=3,
+                    schema_change_probability=0.4,
+                ),
+                0.80,
+            ),
+        ],
+    )
+    def test_f1_above_floor(self, config, minimum_f1):
+        artifacts, truth = generate_repository(config)
+        edges = infer_lineage(artifacts)
+        metrics = evaluate_edges([e.as_pair() for e in edges], truth)
+        assert metrics.f1 >= minimum_f1
+
+    def test_undirected_at_least_directed(self):
+        artifacts, truth = generate_repository(
+            RepositoryConfig(num_artifacts=15, seed=5, drop_timestamps=True)
+        )
+        edges = infer_lineage(artifacts)
+        metrics = evaluate_edges([e.as_pair() for e in edges], truth)
+        assert metrics.undirected_f1 >= metrics.f1
+
+    def test_each_child_gets_one_parent(self):
+        artifacts, _truth = generate_repository(
+            RepositoryConfig(num_artifacts=12, seed=7)
+        )
+        edges = infer_lineage(artifacts)
+        children = [e.child for e in edges]
+        assert len(children) == len(set(children))
+
+    def test_no_cycles(self):
+        artifacts, _truth = generate_repository(
+            RepositoryConfig(num_artifacts=12, seed=8)
+        )
+        edges = infer_lineage(artifacts)
+        parent_of = {e.child: e.parent for e in edges}
+        for start in parent_of:
+            seen = {start}
+            current = parent_of.get(start)
+            while current is not None:
+                assert current not in seen, "cycle in inferred lineage"
+                seen.add(current)
+                current = parent_of.get(current)
+
+    def test_empty_and_single(self):
+        assert infer_lineage([]) == []
+        only = Artifact("one.csv", ["id"], [(1,)])
+        assert infer_lineage([only]) == []
+
+    def test_explanations_attached(self):
+        artifacts, _truth = generate_repository(
+            RepositoryConfig(num_artifacts=8, seed=9)
+        )
+        edges = infer_lineage(artifacts, explain=True)
+        assert all(e.explanation is not None for e in edges)
+        assert all(e.explanation.operations for e in edges)
+
+    def test_unrelated_artifacts_not_linked(self):
+        import random
+
+        rng = random.Random(0)
+        a = Artifact(
+            "a.csv", ["id", "x"],
+            [(f"a{i}", rng.randrange(10**6)) for i in range(50)],
+        )
+        b = Artifact(
+            "b.csv", ["key", "y"],
+            [(f"b{i}", rng.randrange(10**6)) for i in range(50)],
+        )
+        assert infer_lineage([a, b]) == []
+
+    def test_config_floor_prunes(self):
+        artifacts, truth = generate_repository(
+            RepositoryConfig(num_artifacts=10, seed=11)
+        )
+        strict = InferenceConfig(edge_floor=0.99)
+        edges = infer_lineage(artifacts, config=strict)
+        assert len(edges) <= len(truth)
+
+
+class TestEvaluateEdges:
+    def test_perfect(self):
+        truth = [("a", "b"), ("b", "c")]
+        metrics = evaluate_edges(truth, truth)
+        assert metrics.precision == metrics.recall == metrics.f1 == 1.0
+
+    def test_reversed_edge_counts_undirected_only(self):
+        truth = [("a", "b")]
+        metrics = evaluate_edges([("b", "a")], truth)
+        assert metrics.f1 == 0.0
+        assert metrics.undirected_f1 == 1.0
+
+    def test_empty_inferred(self):
+        metrics = evaluate_edges([], [("a", "b")])
+        assert metrics.precision == 1.0  # vacuous
+        assert metrics.recall == 0.0
+
+    def test_counts(self):
+        metrics = evaluate_edges([("a", "b")], [("a", "b"), ("b", "c")])
+        assert metrics.num_inferred == 1
+        assert metrics.num_truth == 2

@@ -1,0 +1,51 @@
+"""Tests for the cost accountant."""
+
+from repro.relational.costs import CostAccountant, CostSnapshot
+
+
+class TestAccounting:
+    def test_charges_accumulate(self):
+        accountant = CostAccountant()
+        accountant.charge_seq_scan(10, 100)
+        accountant.charge_random_read(2, 20)
+        accountant.charge_write(3, 30)
+        accountant.charge_index_probe(1)
+        snapshot = accountant.snapshot()
+        assert snapshot.seq_rows == 10
+        assert snapshot.random_rows == 2
+        assert snapshot.rows_written == 3
+        assert snapshot.index_probes == 1
+        assert snapshot.bytes_read == 120
+        assert snapshot.bytes_written == 30
+
+    def test_reset(self):
+        accountant = CostAccountant()
+        accountant.charge_seq_scan(5)
+        accountant.reset()
+        assert accountant.snapshot().seq_rows == 0
+
+    def test_snapshot_is_immutable_copy(self):
+        accountant = CostAccountant()
+        accountant.charge_seq_scan(1)
+        snapshot = accountant.snapshot()
+        accountant.charge_seq_scan(1)
+        assert snapshot.seq_rows == 1
+
+    def test_snapshot_difference(self):
+        accountant = CostAccountant()
+        accountant.charge_seq_scan(10)
+        before = accountant.snapshot()
+        accountant.charge_seq_scan(7)
+        accountant.charge_random_read(2)
+        delta = accountant.snapshot() - before
+        assert delta.seq_rows == 7
+        assert delta.random_rows == 2
+
+    def test_weighted_io_penalizes_random(self):
+        sequential = CostSnapshot(100, 0, 0, 0, 0, 0)
+        random_heavy = CostSnapshot(0, 100, 0, 0, 0, 0)
+        assert random_heavy.weighted_io() == 10 * sequential.weighted_io()
+
+    def test_total_rows_read(self):
+        snapshot = CostSnapshot(5, 3, 0, 0, 0, 0)
+        assert snapshot.total_rows_read() == 8

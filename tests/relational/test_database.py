@@ -1,0 +1,64 @@
+"""Tests for the database namespace."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.errors import TableExistsError, UnknownTableError
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.types import INT
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database("test")
+
+
+SCHEMA = Schema([ColumnDef("x", INT)])
+
+
+class TestLifecycle:
+    def test_create_and_get(self, db):
+        table = db.create_table("t", SCHEMA)
+        assert db.table("t") is table
+
+    def test_duplicate_rejected(self, db):
+        db.create_table("t", SCHEMA)
+        with pytest.raises(TableExistsError):
+            db.create_table("t", SCHEMA)
+
+    def test_drop(self, db):
+        db.create_table("t", SCHEMA)
+        db.drop_table("t")
+        assert not db.has_table("t")
+
+    def test_drop_missing(self, db):
+        with pytest.raises(UnknownTableError):
+            db.drop_table("ghost")
+
+    def test_drop_missing_ok(self, db):
+        db.drop_table("ghost", missing_ok=True)
+
+    def test_table_names_sorted(self, db):
+        db.create_table("zeta", SCHEMA)
+        db.create_table("alpha", SCHEMA)
+        assert db.table_names() == ["alpha", "zeta"]
+
+
+class TestSharedAccounting:
+    def test_tables_share_accountant(self, db):
+        a = db.create_table("a", SCHEMA)
+        b = db.create_table("b", SCHEMA)
+        a.insert((1,))
+        b.insert((2,))
+        assert db.accountant.rows_written == 2
+
+    def test_total_storage(self, db):
+        a = db.create_table("a", SCHEMA)
+        a.insert((1,))
+        assert db.total_storage_bytes() > 0
+
+    def test_reset_costs(self, db):
+        t = db.create_table("t", SCHEMA)
+        t.insert((1,))
+        db.reset_costs()
+        assert db.accountant.snapshot().rows_written == 0

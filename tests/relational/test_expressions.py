@@ -1,0 +1,126 @@
+"""Tests for the expression AST, including PostgreSQL array operators."""
+
+import pytest
+
+from repro.relational.errors import RelationalError, UnknownColumnError
+from repro.relational.expressions import (
+    ArrayAppend,
+    ArrayContainedBy,
+    ArrayContains,
+    BinaryOp,
+    FunctionCall,
+    InSet,
+    UnaryOp,
+    col,
+    lit,
+)
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.types import INT, INT_ARRAY, TEXT
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            ColumnDef("a", INT),
+            ColumnDef("name", TEXT),
+            ColumnDef("vlist", INT_ARRAY),
+        ]
+    )
+
+
+ROW = (5, "hello", [1, 3, 7])
+
+
+class TestBasics:
+    def test_column(self, schema):
+        assert col("a").bind(schema)(ROW) == 5
+
+    def test_unknown_column(self, schema):
+        with pytest.raises(UnknownColumnError):
+            col("zzz").bind(schema)
+
+    def test_literal(self, schema):
+        assert lit(42).bind(schema)(ROW) == 42
+
+    def test_comparisons(self, schema):
+        assert (col("a") > lit(3)).bind(schema)(ROW)
+        assert (col("a") <= lit(5)).bind(schema)(ROW)
+        assert not (col("a") == lit(6)).bind(schema)(ROW)
+        assert (col("a") != lit(6)).bind(schema)(ROW)
+
+    def test_arithmetic(self, schema):
+        assert (col("a") + lit(1)).bind(schema)(ROW) == 6
+        assert (col("a") * lit(2)).bind(schema)(ROW) == 10
+
+    def test_boolean_connectives(self, schema):
+        expr = (col("a") > lit(1)) & (col("name") == lit("hello"))
+        assert expr.bind(schema)(ROW)
+        expr = (col("a") > lit(100)) | (col("name") == lit("hello"))
+        assert expr.bind(schema)(ROW)
+        assert not (~(col("a") == lit(5))).bind(schema)(ROW)
+
+    def test_unknown_operator(self, schema):
+        with pytest.raises(RelationalError):
+            BinaryOp("%%", col("a"), lit(1)).bind(schema)
+
+    def test_unknown_unary(self, schema):
+        with pytest.raises(RelationalError):
+            UnaryOp("neg", col("a")).bind(schema)
+
+
+class TestArrayOperators:
+    def test_contained_by_true(self, schema):
+        expr = ArrayContainedBy(lit([3]), col("vlist"))
+        assert expr.bind(schema)(ROW)
+
+    def test_contained_by_false(self, schema):
+        expr = ArrayContainedBy(lit([2]), col("vlist"))
+        assert not expr.bind(schema)(ROW)
+
+    def test_contained_by_multiple(self, schema):
+        assert ArrayContainedBy(lit([1, 7]), col("vlist")).bind(schema)(ROW)
+        assert not ArrayContainedBy(lit([1, 2]), col("vlist")).bind(schema)(ROW)
+
+    def test_contains(self, schema):
+        assert ArrayContains(col("vlist"), lit([1, 3])).bind(schema)(ROW)
+
+    def test_contains_null_is_false(self, schema):
+        row = (5, "x", None)
+        assert not ArrayContains(col("vlist"), lit([1])).bind(schema)(row)
+
+    def test_append_copies(self, schema):
+        appended = ArrayAppend(col("vlist"), lit(9)).bind(schema)(ROW)
+        assert appended == [1, 3, 7, 9]
+        assert ROW[2] == [1, 3, 7]  # original untouched
+
+    def test_append_to_null(self, schema):
+        row = (5, "x", None)
+        assert ArrayAppend(col("vlist"), lit(9)).bind(schema)(row) == [9]
+
+
+class TestInSet:
+    def test_membership(self, schema):
+        expr = InSet(col("a"), frozenset({4, 5, 6}))
+        assert expr.bind(schema)(ROW)
+
+    def test_non_membership(self, schema):
+        expr = InSet(col("a"), frozenset({1, 2}))
+        assert not expr.bind(schema)(ROW)
+
+
+class TestFunctions:
+    def test_abs(self, schema):
+        expr = FunctionCall("abs", (lit(-3),))
+        assert expr.bind(schema)(ROW) == 3
+
+    def test_array_length(self, schema):
+        expr = FunctionCall("array_length", (col("vlist"),))
+        assert expr.bind(schema)(ROW) == 3
+
+    def test_lower_upper(self, schema):
+        assert FunctionCall("upper", (col("name"),)).bind(schema)(ROW) == "HELLO"
+
+    def test_unknown_function(self, schema):
+        with pytest.raises(RelationalError):
+            FunctionCall("nope", ()).bind(schema)

@@ -1,0 +1,138 @@
+"""Tests for the logical query layer."""
+
+import pytest
+
+from repro.relational.expressions import col, lit
+from repro.relational.query import Aggregate, Query
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.table import Table
+from repro.relational.types import INT, TEXT
+
+
+@pytest.fixture
+def table() -> Table:
+    schema = Schema(
+        [ColumnDef("vid", INT), ColumnDef("kind", TEXT), ColumnDef("n", INT)]
+    )
+    t = Table("t", schema)
+    t.insert_many(
+        [
+            (1, "a", 10),
+            (1, "b", 20),
+            (2, "a", 30),
+            (2, "a", 40),
+            (3, "b", None),
+        ]
+    )
+    return t
+
+
+class TestSelect:
+    def test_select_all(self, table):
+        assert len(Query(table).execute()) == 5
+
+    def test_projection(self, table):
+        rows = Query(table, columns=("kind",)).execute()
+        assert rows[0] == ("a",)
+
+    def test_where(self, table):
+        rows = Query(table, where=col("n") > lit(25)).execute()
+        assert len(rows) == 2
+
+    def test_limit(self, table):
+        assert len(Query(table, limit=2).execute()) == 2
+
+    def test_order_by_desc(self, table):
+        rows = Query(
+            table,
+            columns=("n",),
+            where=col("n") > lit(0),
+            order_by=(("n", True),),
+        ).execute()
+        assert [r[0] for r in rows] == [40, 30, 20, 10]
+
+    def test_multi_key_order(self, table):
+        rows = Query(
+            table,
+            columns=("kind", "vid"),
+            order_by=(("kind", False), ("vid", True)),
+        ).execute()
+        assert rows[0] == ("a", 2)
+
+
+class TestAggregates:
+    def test_count_star_by_group(self, table):
+        rows = Query(
+            table,
+            group_by=("vid",),
+            aggregates=(Aggregate("count", alias="cnt"),),
+            order_by=(("vid", False),),
+        ).execute()
+        assert rows == [(1, 2), (2, 2), (3, 1)]
+
+    def test_sum(self, table):
+        rows = Query(
+            table,
+            group_by=("kind",),
+            aggregates=(Aggregate("sum", col("n"), alias="total"),),
+            order_by=(("kind", False),),
+        ).execute()
+        assert rows == [("a", 80), ("b", 20)]
+
+    def test_avg_skips_nulls(self, table):
+        rows = Query(
+            table,
+            group_by=("kind",),
+            aggregates=(Aggregate("avg", col("n"), alias="mean"),),
+            order_by=(("kind", False),),
+        ).execute()
+        assert rows[1] == ("b", 20.0)  # the NULL row is ignored
+
+    def test_min_max(self, table):
+        rows = Query(
+            table,
+            group_by=("vid",),
+            aggregates=(
+                Aggregate("min", col("n"), alias="lo"),
+                Aggregate("max", col("n"), alias="hi"),
+            ),
+            order_by=(("vid", False),),
+        ).execute()
+        assert rows[0] == (1, 10, 20)
+
+    def test_all_null_group_returns_none(self, table):
+        rows = Query(
+            table,
+            where=col("vid") == lit(3),
+            group_by=("vid",),
+            aggregates=(Aggregate("sum", col("n")),),
+        ).execute()
+        assert rows == [(3, None)]
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(Exception):
+            Aggregate("median")
+
+    def test_filtered_group(self, table):
+        rows = Query(
+            table,
+            where=col("kind") == lit("a"),
+            group_by=("vid",),
+            aggregates=(Aggregate("count", alias="cnt"),),
+            order_by=(("vid", False),),
+        ).execute()
+        assert rows == [(1, 1), (2, 2)]
+
+
+class TestOutputSchema:
+    def test_projection_schema(self, table):
+        q = Query(table, columns=("n", "kind"))
+        assert q.output_schema().column_names == ["n", "kind"]
+
+    def test_group_schema(self, table):
+        q = Query(
+            table,
+            group_by=("vid",),
+            aggregates=(Aggregate("count", alias="cnt"),),
+        )
+        assert q.output_schema().column_names == ["vid", "cnt"]

@@ -1,0 +1,96 @@
+"""Tests for relation schemas."""
+
+import pytest
+
+from repro.relational.errors import SchemaError, UnknownColumnError
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.types import FLOAT, INT, TEXT
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema(
+        [
+            ColumnDef("id", INT),
+            ColumnDef("name", TEXT),
+            ColumnDef("score", FLOAT),
+        ],
+        primary_key=("id",),
+    )
+
+
+class TestConstruction:
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([ColumnDef("a", INT), ColumnDef("a", TEXT)])
+
+    def test_empty_column_name_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnDef("", INT)
+
+    def test_unknown_pk_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([ColumnDef("a", INT)], primary_key=("b",))
+
+    def test_composite_primary_key(self):
+        schema = Schema(
+            [ColumnDef("a", INT), ColumnDef("b", INT)], primary_key=("a", "b")
+        )
+        assert schema.key_of((1, 2)) == (1, 2)
+
+
+class TestLookup:
+    def test_position(self, schema):
+        assert schema.position("name") == 1
+
+    def test_unknown_column(self, schema):
+        with pytest.raises(UnknownColumnError):
+            schema.position("missing")
+
+    def test_dtype_of(self, schema):
+        assert schema.dtype_of("score") is FLOAT
+
+    def test_column_names_ordered(self, schema):
+        assert schema.column_names == ["id", "name", "score"]
+
+
+class TestRowValidation:
+    def test_valid_row(self, schema):
+        schema.validate_row((1, "x", 2.5))
+
+    def test_arity_mismatch(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_row((1, "x"))
+
+    def test_type_mismatch(self, schema):
+        with pytest.raises(SchemaError):
+            schema.validate_row(("one", "x", 2.5))
+
+    def test_nulls_allowed(self, schema):
+        schema.validate_row((None, None, None))
+
+
+class TestEvolution:
+    def test_with_column(self, schema):
+        wider = schema.with_column(ColumnDef("extra", TEXT))
+        assert wider.column_names[-1] == "extra"
+        assert len(schema.columns) == 3  # original untouched
+
+    def test_with_widened_column(self, schema):
+        widened = schema.with_widened_column("id", FLOAT)
+        assert widened.dtype_of("id") is FLOAT
+        assert schema.dtype_of("id") is INT
+
+    def test_widening_is_monotone(self, schema):
+        widened = schema.with_widened_column("score", INT)
+        assert widened.dtype_of("score") is FLOAT  # never narrows
+
+
+class TestBytes:
+    def test_row_bytes_positive(self, schema):
+        assert schema.row_bytes((1, "abc", 1.0)) > 0
+
+    def test_longer_text_is_bigger(self, schema):
+        small = schema.row_bytes((1, "a", 1.0))
+        large = schema.row_bytes((1, "a" * 100, 1.0))
+        assert large > small

@@ -1,0 +1,108 @@
+"""Tests for column data types and widening."""
+
+import pytest
+
+from repro.relational.types import (
+    BOOL,
+    FLOAT,
+    INT,
+    INT_ARRAY,
+    TEXT,
+    generalize_types,
+    type_by_name,
+)
+
+
+class TestValidation:
+    def test_int_accepts_int(self):
+        assert INT.validate(5)
+
+    def test_int_rejects_bool(self):
+        assert not INT.validate(True)
+
+    def test_int_rejects_float(self):
+        assert not INT.validate(5.0)
+
+    def test_float_accepts_int(self):
+        assert FLOAT.validate(7)
+
+    def test_float_rejects_bool(self):
+        assert not FLOAT.validate(False)
+
+    def test_text_accepts_str(self):
+        assert TEXT.validate("hello")
+
+    def test_text_rejects_int(self):
+        assert not TEXT.validate(5)
+
+    def test_array_accepts_int_list(self):
+        assert INT_ARRAY.validate([1, 2, 3])
+
+    def test_array_accepts_empty(self):
+        assert INT_ARRAY.validate([])
+
+    def test_array_rejects_mixed(self):
+        assert not INT_ARRAY.validate([1, "two"])
+
+    def test_none_valid_everywhere(self):
+        for dtype in (INT, FLOAT, TEXT, BOOL, INT_ARRAY):
+            assert dtype.validate(None)
+
+
+class TestCoercion:
+    def test_int_to_float(self):
+        assert FLOAT.coerce(3) == 3.0
+        assert isinstance(FLOAT.coerce(3), float)
+
+    def test_int_to_text(self):
+        assert TEXT.coerce(3) == "3"
+
+    def test_none_passthrough(self):
+        assert TEXT.coerce(None) is None
+
+    def test_array_copies(self):
+        original = [1, 2]
+        coerced = INT_ARRAY.coerce(original)
+        assert coerced == original
+        assert coerced is not original
+
+
+class TestSizeof:
+    def test_null_is_one_byte(self):
+        assert INT.sizeof(None) == 1
+
+    def test_array_scales_with_length(self):
+        assert INT_ARRAY.sizeof([1, 2, 3]) > INT_ARRAY.sizeof([1])
+
+    def test_text_scales_with_length(self):
+        assert TEXT.sizeof("long string") > TEXT.sizeof("a")
+
+
+class TestGeneralize:
+    def test_same_type_is_identity(self):
+        assert generalize_types(INT, INT) is INT
+
+    def test_int_widens_to_decimal(self):
+        assert generalize_types(INT, FLOAT) is FLOAT
+        assert generalize_types(FLOAT, INT) is FLOAT
+
+    def test_int_widens_to_text(self):
+        assert generalize_types(INT, TEXT) is TEXT
+
+    def test_bool_widens_to_text_not_numeric(self):
+        assert generalize_types(BOOL, INT) is TEXT
+        assert generalize_types(BOOL, FLOAT) is TEXT
+
+    def test_array_cannot_generalize(self):
+        with pytest.raises(ValueError):
+            generalize_types(INT_ARRAY, INT)
+
+
+class TestLookup:
+    def test_by_name_roundtrip(self):
+        for dtype in (INT, FLOAT, TEXT, BOOL, INT_ARRAY):
+            assert type_by_name(dtype.name) is dtype
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            type_by_name("varchar")

@@ -1,0 +1,73 @@
+"""Tests for the symmetric-scenario dispatch paths of solve()."""
+
+import pytest
+
+from repro.storage.deltas import XorDeltaCodec
+from repro.storage.engine import VersionedStore
+from repro.storage.solvers import solve
+from repro.storage.solvers.mst import minimum_spanning_storage
+from repro.storage.solvers.spt import shortest_path_tree
+from repro.storage.synthetic import SyntheticConfig, generate_text_history
+
+
+@pytest.fixture(scope="module")
+def symmetric_graph():
+    artifacts, parents = generate_text_history(
+        SyntheticConfig(num_versions=18, branching_factor=0.25, seed=27)
+    )
+    store = VersionedStore(XorDeltaCodec())
+    for vid in sorted(artifacts):
+        store.add_version(
+            vid, bytes("\n".join(artifacts[vid]), "utf8"), parents[vid]
+        )
+    return store.graph()
+
+
+class TestSymmetricDispatch:
+    def test_problem4_uses_last_and_meets_budget(self, symmetric_graph):
+        mst = minimum_spanning_storage(symmetric_graph)
+        budget = mst.total_storage_cost(symmetric_graph) * 2.0
+        plan = solve(symmetric_graph, 4, threshold=budget)
+        plan.validate(symmetric_graph)
+        assert plan.total_storage_cost(symmetric_graph) <= budget + 1e-6
+        assert plan.max_recreation(symmetric_graph) <= mst.max_recreation(
+            symmetric_graph
+        ) + 1e-6
+
+    def test_problem4_impossible_budget_falls_back_to_mst(
+        self, symmetric_graph
+    ):
+        mst = minimum_spanning_storage(symmetric_graph)
+        tiny = mst.total_storage_cost(symmetric_graph) * 0.5
+        plan = solve(symmetric_graph, 4, threshold=tiny)
+        assert plan.total_storage_cost(symmetric_graph) == pytest.approx(
+            mst.total_storage_cost(symmetric_graph)
+        )
+
+    def test_problem6_prefers_last_when_it_fits(self, symmetric_graph):
+        spt_max = shortest_path_tree(symmetric_graph).max_recreation(
+            symmetric_graph
+        )
+        plan = solve(symmetric_graph, 6, threshold=spt_max * 3)
+        plan.validate(symmetric_graph)
+        assert plan.max_recreation(symmetric_graph) <= spt_max * 3 + 1e-6
+
+    def test_problem6_tight_budget_falls_through_to_mp(self, symmetric_graph):
+        spt_max = shortest_path_tree(symmetric_graph).max_recreation(
+            symmetric_graph
+        )
+        plan = solve(symmetric_graph, 6, threshold=spt_max * 1.01)
+        assert plan.max_recreation(symmetric_graph) <= spt_max * 1.01 + 1e-6
+
+    def test_undirected_mst_uses_reverse_edges(self, symmetric_graph):
+        """Prim over a symmetric graph may store the delta in either
+        direction; the resulting tree still validates and can beat a
+        forward-only arborescence."""
+        from repro.storage.solvers.mst import _prim, minimum_arborescence
+
+        prim_plan = _prim(symmetric_graph)
+        prim_plan.validate(symmetric_graph)
+        arb = minimum_arborescence(symmetric_graph)
+        assert prim_plan.total_storage_cost(
+            symmetric_graph
+        ) <= arb.total_storage_cost(symmetric_graph) + 1e-6

@@ -1,0 +1,110 @@
+"""Adversarial tests for Chu-Liu/Edmonds: cycle contraction paths."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.graph import ROOT, StorageGraph
+from repro.storage.solvers.mst import minimum_arborescence
+
+
+def graph_from_edges(num_versions, edges):
+    graph = StorageGraph(num_versions=num_versions)
+    for source, target, weight in edges:
+        graph.edges[(source, target)] = (float(weight), float(weight))
+    return graph
+
+
+def networkx_weight(graph: StorageGraph) -> float:
+    nx_graph = nx.DiGraph()
+    for (source, target), (delta, _phi) in graph.edges.items():
+        nx_graph.add_edge(source, target, weight=delta)
+    arb = nx.algorithms.tree.branchings.minimum_spanning_arborescence(
+        nx_graph, attr="weight"
+    )
+    return sum(d["weight"] for _u, _v, d in arb.edges(data=True))
+
+
+class TestContraction:
+    def test_two_cycle_must_be_broken(self):
+        """Cheap 1<->2 cycle: the greedy per-node choice picks the cycle;
+        contraction must break it via one of the root edges."""
+        graph = graph_from_edges(
+            2,
+            [
+                (ROOT, 1, 100),
+                (ROOT, 2, 120),
+                (1, 2, 1),
+                (2, 1, 1),
+            ],
+        )
+        plan = minimum_arborescence(graph)
+        plan.validate(graph)
+        assert plan.total_storage_cost(graph) == 101  # root->1, 1->2
+
+    def test_three_cycle(self):
+        graph = graph_from_edges(
+            3,
+            [
+                (ROOT, 1, 50),
+                (ROOT, 2, 60),
+                (ROOT, 3, 70),
+                (1, 2, 2),
+                (2, 3, 3),
+                (3, 1, 4),
+            ],
+        )
+        plan = minimum_arborescence(graph)
+        plan.validate(graph)
+        assert plan.total_storage_cost(graph) == networkx_weight(graph)
+
+    def test_nested_cycles(self):
+        """Two interlocking cycles force recursive contraction."""
+        graph = graph_from_edges(
+            4,
+            [
+                (ROOT, 1, 100),
+                (ROOT, 2, 100),
+                (ROOT, 3, 100),
+                (ROOT, 4, 100),
+                (1, 2, 1),
+                (2, 1, 1),
+                (3, 4, 1),
+                (4, 3, 1),
+                (2, 3, 2),
+                (4, 1, 2),
+            ],
+        )
+        plan = minimum_arborescence(graph)
+        plan.validate(graph)
+        assert plan.total_storage_cost(graph) == networkx_weight(graph)
+
+
+@st.composite
+def random_directed_graphs(draw):
+    num_versions = draw(st.integers(min_value=1, max_value=8))
+    graph = StorageGraph(num_versions=num_versions)
+    for vid in range(1, num_versions + 1):
+        weight = draw(st.integers(min_value=50, max_value=200))
+        graph.edges[(ROOT, vid)] = (float(weight), float(weight))
+    extra = draw(st.integers(min_value=0, max_value=num_versions * 3))
+    for _ in range(extra):
+        source = draw(st.integers(min_value=1, max_value=num_versions))
+        target = draw(st.integers(min_value=1, max_value=num_versions))
+        if source == target:
+            continue
+        weight = draw(st.integers(min_value=1, max_value=60))
+        graph.edges[(source, target)] = (float(weight), float(weight))
+    return graph
+
+
+class TestAgainstNetworkx:
+    @given(graph=random_directed_graphs())
+    @settings(max_examples=200, deadline=None)
+    def test_weight_matches_reference(self, graph):
+        plan = minimum_arborescence(graph)
+        plan.validate(graph)
+        assert plan.total_storage_cost(graph) == pytest.approx(
+            networkx_weight(graph)
+        )

@@ -1,0 +1,145 @@
+"""Tests for the end-to-end versioned store and matrices."""
+
+import pytest
+
+from repro.storage.deltas import LineDeltaCodec
+from repro.storage.engine import VersionedStore, reveal_similar_pairs
+from repro.storage.matrices import CostMatrices
+from repro.storage.synthetic import SyntheticConfig, build_store
+
+
+class TestRegistration:
+    def test_duplicate_version_rejected(self):
+        store = VersionedStore(LineDeltaCodec())
+        store.add_version(1, ["a"])
+        with pytest.raises(ValueError):
+            store.add_version(1, ["b"])
+
+    def test_unknown_parent_rejected(self):
+        store = VersionedStore(LineDeltaCodec())
+        with pytest.raises(ValueError):
+            store.add_version(1, ["a"], parents=[7])
+
+    def test_non_contiguous_vids_rejected(self):
+        store = VersionedStore(LineDeltaCodec())
+        store.add_version(5, ["a"])
+        with pytest.raises(ValueError):
+            store.matrices()
+
+    def test_reveal_pair_requires_registration(self):
+        store = VersionedStore(LineDeltaCodec())
+        store.add_version(1, ["a"])
+        with pytest.raises(ValueError):
+            store.reveal_pair(1, 2)
+
+
+class TestMatrices:
+    def test_materialization_on_every_version(self):
+        store = build_store(SyntheticConfig(num_versions=10, seed=1))
+        matrices = store.matrices()
+        matrices.validate()
+        for vid in range(1, 11):
+            assert matrices.has_entry(vid, vid)
+
+    def test_edges_include_version_graph(self):
+        store = build_store(SyntheticConfig(num_versions=10, seed=1))
+        matrices = store.matrices()
+        for vid in range(2, 11):
+            assert any(
+                matrices.has_entry(parent, vid) for parent in range(1, vid)
+            )
+
+    def test_missing_materialization_rejected(self):
+        matrices = CostMatrices(num_versions=2)
+        matrices.set_materialization(1, 10, 10)
+        with pytest.raises(ValueError):
+            matrices.validate()
+
+    def test_symmetric_mirrors_entries(self):
+        matrices = CostMatrices(num_versions=2, symmetric=True)
+        matrices.set_delta(1, 2, 5, 5)
+        assert matrices.delta(2, 1) == 5
+
+    def test_triangle_inequality_on_real_deltas(self):
+        """XOR deltas over real artifacts obey Equation 7.4."""
+        from repro.storage.deltas import XorDeltaCodec
+        from repro.storage.synthetic import generate_text_history
+
+        artifacts, parents = generate_text_history(
+            SyntheticConfig(num_versions=8, seed=4)
+        )
+        blobs = {
+            vid: bytes("".join(lines), "utf8")
+            for vid, lines in artifacts.items()
+        }
+        pairs = [(p, v) for v, ps in parents.items() for p in ps]
+        matrices, _deltas = CostMatrices.from_artifacts(
+            blobs, XorDeltaCodec(), pairs
+        )
+        assert matrices.check_triangle_inequality() == []
+
+
+class TestRetrieval:
+    @pytest.fixture(scope="class")
+    def planned_store(self):
+        store = build_store(
+            SyntheticConfig(num_versions=15, branching_factor=0.3, seed=8),
+            extra_pairs=5,
+        )
+        store.plan(1)
+        return store
+
+    def test_all_versions_roundtrip(self, planned_store):
+        for vid in range(1, 16):
+            assert (
+                planned_store.retrieve(vid)
+                == planned_store._artifacts[vid]
+            )
+
+    def test_chain_length_zero_for_materialized(self, planned_store):
+        for vid in planned_store._plan.materialized():
+            assert planned_store.retrieval_chain_length(vid) == 0
+
+    def test_report_fields(self, planned_store):
+        report = planned_store.report()
+        assert report["num_versions"] == 15
+        assert report["total_storage"] > 0
+        assert report["max_recreation"] >= report["sum_recreation"] / 15
+
+    def test_retrieve_without_plan_raises(self):
+        store = build_store(SyntheticConfig(num_versions=3, seed=1))
+        with pytest.raises(RuntimeError):
+            store.retrieve(1)
+
+    def test_replanning_changes_tradeoff(self):
+        store = build_store(SyntheticConfig(num_versions=15, seed=6))
+        plan1 = store.plan(1)
+        storage_min = plan1.total_storage_cost(store.graph())
+        recreation_p1 = plan1.sum_recreation(store.graph())
+        plan2 = store.plan(2)
+        assert plan2.total_storage_cost(store.graph()) >= storage_min
+        assert plan2.sum_recreation(store.graph()) <= recreation_p1
+
+
+class TestSimilarityReveal:
+    def test_extra_pairs_reduce_storage(self):
+        base = build_store(
+            SyntheticConfig(num_versions=25, branching_factor=0.5, seed=12)
+        )
+        enriched = build_store(
+            SyntheticConfig(num_versions=25, branching_factor=0.5, seed=12),
+            extra_pairs=20,
+        )
+        base_cost = base.plan(1).total_storage_cost(base.graph())
+        enriched_cost = enriched.plan(1).total_storage_cost(enriched.graph())
+        assert enriched_cost <= base_cost
+
+    def test_reveal_budget_respected(self):
+        artifacts = {i: [f"line {i}", "shared"] for i in range(1, 8)}
+        pairs = reveal_similar_pairs(artifacts, set(), budget=3)
+        assert len(pairs) == 3
+
+    def test_existing_pairs_excluded(self):
+        artifacts = {1: ["a"], 2: ["a"]}
+        pairs = reveal_similar_pairs(artifacts, {(1, 2)}, budget=5)
+        assert (1, 2) not in pairs

@@ -1,0 +1,72 @@
+"""Tests for the LAST algorithm in the undirected Φ = Δ scenario."""
+
+import pytest
+
+from repro.storage.deltas import XorDeltaCodec
+from repro.storage.engine import VersionedStore
+from repro.storage.solvers.last import last_tree
+from repro.storage.solvers.mst import minimum_spanning_storage
+from repro.storage.solvers.spt import shortest_path_distances
+from repro.storage.synthetic import SyntheticConfig, generate_text_history
+
+
+@pytest.fixture(scope="module")
+def xor_store() -> VersionedStore:
+    artifacts, parents = generate_text_history(
+        SyntheticConfig(num_versions=20, branching_factor=0.2, seed=17)
+    )
+    store = VersionedStore(XorDeltaCodec())
+    for vid in sorted(artifacts):
+        store.add_version(
+            vid, bytes("".join(artifacts[vid]), "utf8"), parents[vid]
+        )
+    return store
+
+
+class TestGuarantees:
+    @pytest.mark.parametrize("alpha", [1.5, 2.0, 4.0])
+    def test_recreation_within_alpha_of_shortest_path(self, xor_store, alpha):
+        graph = xor_store.graph()
+        plan = last_tree(graph, alpha)
+        shortest = shortest_path_distances(graph)
+        recreation = plan.recreation_costs(graph)
+        for vertex in graph.vertices():
+            assert recreation[vertex] <= alpha * shortest[vertex] + 1e-6
+
+    @pytest.mark.parametrize("alpha", [1.5, 2.0, 4.0])
+    def test_storage_within_bound_of_mst(self, xor_store, alpha):
+        graph = xor_store.graph()
+        plan = last_tree(graph, alpha)
+        mst_weight = minimum_spanning_storage(graph).total_storage_cost(graph)
+        bound = (1 + 2 / (alpha - 1)) * mst_weight
+        assert plan.total_storage_cost(graph) <= bound + 1e-6
+
+    def test_alpha_trades_storage_for_recreation(self, xor_store):
+        graph = xor_store.graph()
+        tight = last_tree(graph, 1.2)
+        loose = last_tree(graph, 6.0)
+        assert tight.max_recreation(graph) <= loose.max_recreation(
+            graph
+        ) * 1.01 + 1e-6
+        assert loose.total_storage_cost(graph) <= tight.total_storage_cost(
+            graph
+        ) + 1e-6
+
+
+class TestConstraints:
+    def test_alpha_must_exceed_one(self, xor_store):
+        with pytest.raises(ValueError):
+            last_tree(xor_store.graph(), 1.0)
+
+    def test_rejects_directed_graph(self):
+        from repro.storage.synthetic import build_store
+
+        directed = build_store(SyntheticConfig(num_versions=5, seed=2))
+        with pytest.raises(ValueError):
+            last_tree(directed.graph(), 2.0)
+
+    def test_retrieval_after_last_plan(self, xor_store):
+        plan = last_tree(xor_store.graph(), 2.0)
+        xor_store.adopt_plan(plan)
+        for vid in xor_store.graph().vertices():
+            assert xor_store.retrieve(vid) == xor_store._artifacts[vid]

@@ -1,0 +1,112 @@
+"""Tests for the online storage planner (Chapter 7 future work)."""
+
+import pytest
+
+from repro.storage.deltas import LineDeltaCodec
+from repro.storage.online import OnlineVersionedStore
+from repro.storage.solvers.mp import mp_min_storage
+from repro.storage.synthetic import SyntheticConfig, generate_text_history
+
+
+@pytest.fixture(scope="module")
+def history():
+    return generate_text_history(
+        SyntheticConfig(
+            num_versions=25, branching_factor=0.2, edits_per_version=15,
+            seed=91,
+        )
+    )
+
+
+def budget_for(history) -> float:
+    artifacts, _parents = history
+    codec = LineDeltaCodec()
+    return max(
+        codec.materialize_cost(a)[1] for a in artifacts.values()
+    ) * 2.0
+
+
+class TestOnlinePlanning:
+    def test_streaming_build_and_retrieve(self, history):
+        artifacts, parents = history
+        store = OnlineVersionedStore(
+            LineDeltaCodec(), max_recreation=budget_for(history)
+        )
+        for vid in sorted(artifacts):
+            store.add_version(vid, artifacts[vid], parents[vid])
+        for vid in sorted(artifacts)[::5]:
+            assert store.retrieve(vid) == artifacts[vid]
+
+    def test_recreation_budget_respected(self, history):
+        artifacts, parents = history
+        theta = budget_for(history)
+        store = OnlineVersionedStore(LineDeltaCodec(), max_recreation=theta)
+        for vid in sorted(artifacts):
+            store.add_version(vid, artifacts[vid], parents[vid])
+        for vid in artifacts:
+            assert store.recreation_cost(vid) <= theta + 1e-6
+
+    def test_storage_within_tolerance_of_static(self, history):
+        artifacts, parents = history
+        theta = budget_for(history)
+        mu = 1.5
+        store = OnlineVersionedStore(
+            LineDeltaCodec(), max_recreation=theta, tolerance=mu
+        )
+        for vid in sorted(artifacts):
+            store.add_version(vid, artifacts[vid], parents[vid])
+        static = mp_min_storage(store.graph(), theta)
+        assert store.total_storage_cost() <= mu * static.total_storage_cost(
+            store.graph()
+        ) * 1.01
+
+    def test_first_version_is_materialized(self, history):
+        artifacts, parents = history
+        store = OnlineVersionedStore(
+            LineDeltaCodec(), max_recreation=budget_for(history)
+        )
+        store.add_version(1, artifacts[1], ())
+        assert store.plan().materialized() == [1]
+
+    def test_tight_budget_materializes_more(self, history):
+        artifacts, parents = history
+        codec = LineDeltaCodec()
+        max_phi = max(codec.materialize_cost(a)[1] for a in artifacts.values())
+        counts = {}
+        for slack in (1.05, 4.0):
+            store = OnlineVersionedStore(
+                codec, max_recreation=max_phi * slack, tolerance=10.0
+            )
+            for vid in sorted(artifacts):
+                store.add_version(vid, artifacts[vid], parents[vid])
+            counts[slack] = len(store.plan().materialized())
+        assert counts[1.05] >= counts[4.0]
+
+    def test_duplicate_version_rejected(self, history):
+        artifacts, _parents = history
+        store = OnlineVersionedStore(
+            LineDeltaCodec(), max_recreation=budget_for(history)
+        )
+        store.add_version(1, artifacts[1], ())
+        with pytest.raises(ValueError):
+            store.add_version(1, artifacts[1], ())
+
+    def test_impossible_budget_raises(self, history):
+        artifacts, _parents = history
+        store = OnlineVersionedStore(LineDeltaCodec(), max_recreation=1.0)
+        with pytest.raises(ValueError):
+            store.add_version(1, artifacts[1], ())
+
+    def test_replan_statistics_tracked(self, history):
+        artifacts, parents = history
+        theta = budget_for(history)
+        store = OnlineVersionedStore(
+            LineDeltaCodec(), max_recreation=theta, tolerance=1.01
+        )
+        for vid in sorted(artifacts):
+            store.add_version(vid, artifacts[vid], parents[vid])
+        assert store.stats.versions_added == len(artifacts)
+        assert (
+            store.stats.materialized + store.stats.delta_stored
+            >= len(artifacts)
+        )

@@ -1,0 +1,124 @@
+"""End-to-end tests for the orpheus CLI."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    (tmp_path / "data.csv").write_text(
+        "protein1,protein2,coexpression\nENSP1,ENSP2,10\nENSP3,ENSP4,90\n"
+    )
+    (tmp_path / "schema.csv").write_text(
+        "protein1,text\nprotein2,text\ncoexpression,integer\n"
+        "primary_key,protein1,protein2\n"
+    )
+    return tmp_path
+
+
+def run(workspace, *args) -> int:
+    return main(["--root", str(workspace), *args])
+
+
+class TestLifecycle:
+    def test_full_flow(self, workspace, capsys):
+        assert run(workspace, "create_user", "alice") == 0
+        assert run(workspace, "config", "alice") == 0
+        assert run(workspace, "whoami") == 0
+        assert "alice" in capsys.readouterr().out
+
+        assert (
+            run(
+                workspace,
+                "init",
+                "-d", "inter",
+                "-f", str(workspace / "data.csv"),
+                "-s", str(workspace / "schema.csv"),
+            )
+            == 0
+        )
+        work = workspace / "work.csv"
+        assert (
+            run(
+                workspace,
+                "checkout", "-d", "inter", "-v", "1", "-f", str(work),
+            )
+            == 0
+        )
+        with open(work, "a", newline="") as handle:
+            handle.write("ENSP5,ENSP6,50\r\n")
+        assert (
+            run(
+                workspace,
+                "commit", "-d", "inter", "-f", str(work), "-m", "added",
+            )
+            == 0
+        )
+        assert run(workspace, "log", "-d", "inter") == 0
+        out = capsys.readouterr().out
+        assert "v1" in out and "v2" in out and "added" in out
+
+        assert run(workspace, "diff", "-d", "inter", "-a", "2", "-b", "1") == 0
+        out = capsys.readouterr().out
+        assert "only in v2: 1" in out
+
+        assert run(workspace, "ls") == 0
+        assert "inter" in capsys.readouterr().out
+
+    def test_state_persists_between_invocations(self, workspace):
+        run(workspace, "init", "-d", "x",
+            "-f", str(workspace / "data.csv"),
+            "-s", str(workspace / "schema.csv"))
+        # New invocation loads the pickled state.
+        assert run(workspace, "log", "-d", "x") == 0
+
+    def test_drop(self, workspace, capsys):
+        run(workspace, "init", "-d", "x",
+            "-f", str(workspace / "data.csv"),
+            "-s", str(workspace / "schema.csv"))
+        assert run(workspace, "drop", "-d", "x") == 0
+        assert run(workspace, "log", "-d", "x") == 1  # now an error
+
+    def test_error_messages_not_tracebacks(self, workspace, capsys):
+        code = run(workspace, "log", "-d", "ghost")
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_optimize_over_partitioned_model(self, workspace, capsys):
+        run(workspace, "create_user", "a")
+        run(workspace, "config", "a")
+        run(workspace, "init", "-d", "x",
+            "-f", str(workspace / "data.csv"),
+            "-s", str(workspace / "schema.csv"),
+            "--model", "partitioned_rlist")
+        work = workspace / "w.csv"
+        run(workspace, "checkout", "-d", "x", "-v", "1", "-f", str(work))
+        with open(work, "a", newline="") as handle:
+            handle.write("ENSP9,ENSP10,42\r\n")
+        run(workspace, "commit", "-d", "x", "-f", str(work))
+        assert run(workspace, "optimize", "-d", "x", "--gamma", "2.0") == 0
+        assert "repartitioned" in capsys.readouterr().out
+
+    def test_multi_version_checkout(self, workspace):
+        run(workspace, "create_user", "a")
+        run(workspace, "config", "a")
+        run(workspace, "init", "-d", "x",
+            "-f", str(workspace / "data.csv"),
+            "-s", str(workspace / "schema.csv"))
+        w1 = workspace / "w1.csv"
+        run(workspace, "checkout", "-d", "x", "-v", "1", "-f", str(w1))
+        with open(w1, "a", newline="") as handle:
+            handle.write("ENSP7,ENSP8,70\r\n")
+        run(workspace, "commit", "-d", "x", "-f", str(w1))
+        merged = workspace / "merged.csv"
+        assert (
+            run(
+                workspace,
+                "checkout", "-d", "x", "-v", "1", "2", "-f", str(merged),
+            )
+            == 0
+        )
+        lines = merged.read_text().strip().splitlines()
+        assert len(lines) == 1 + 3  # header + union of records

@@ -1,0 +1,245 @@
+"""Evaluator tests: every numbered query from Chapter 6 plus semantics
+corner cases, run against the Figure 6.1-style employee corpus."""
+
+import pytest
+
+from repro.vquel import run_query
+from repro.vquel.errors import VQuelEvaluationError
+
+
+class TestThesisQueries:
+    def test_q1_author_of_version(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            'range of V is Version retrieve V.author.name where V.id = ||v01||',
+        )
+        assert result.rows == [("Alice",)]
+
+    def test_q2_commits_after_date(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            'range of V is Version retrieve V.id '
+            'where V.author.name = "Alice" and V.creation_ts >= 150',
+        )
+        assert result.rows == [("v03",)]
+
+    def test_q3_versions_containing_relation(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version range of R is V.Relations "
+            'retrieve V.id where R.name = "Employee"',
+        )
+        assert result.rows == [("v01",), ("v02",), ("v03",)]
+
+    def test_q4_commit_history_reverse_chronological(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version range of R is V.Relations "
+            'retrieve V.creation_ts, V.author.name '
+            'where R.name = "Employee" and R.changed = 1 '
+            "sort by V.creation_ts desc",
+        )
+        assert [row[0] for row in result.rows] == [300.0, 200.0]
+
+    def test_q5_history_of_tuple(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version range of R is V.Relations "
+            "range of E is R.Tuples "
+            'retrieve E.age, V.id '
+            'where E.employee_id = "e01" and R.name = "Employee" '
+            "sort by V.creation_ts",
+        )
+        assert result.rows == [(30, "v01"), (30, "v02"), (30, "v03")]
+
+    def test_q6_tuples_differing_between_versions(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of E1 is Version(id = ||v01||)"
+            ".Relations(name = ||Employee||).Tuples "
+            "range of E2 is Version(id = ||v02||)"
+            ".Relations(name = ||Employee||).Tuples "
+            "retrieve E1.employee_id, E1.age "
+            "where E1.employee_id = E2.employee_id and E1.all != E2.all",
+        )
+        assert result.rows == [("e03", 60)]
+
+    def test_q7_count_relations_per_version(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version range of R is V.Relations "
+            "retrieve V.id, count(R)",
+        )
+        assert result.rows == [("v01", 2), ("v02", 1), ("v03", 1)]
+
+    def test_q8_versions_with_n_smiths(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version "
+            "range of E is V.Relations(name = ||Employee||).Tuples "
+            "retrieve V.commit_id "
+            "where count(E.employee_id where E.last_name = ||Smith||) = 2",
+        )
+        assert result.rows == [("v01",), ("v02",)]
+
+    def test_q9_count_all_grouped(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version "
+            "range of R is V.Relations(name = ||Employee||) "
+            "range of E is R.Tuples "
+            "retrieve V.commit_id "
+            "where count_all(E.employee_id group by R, V "
+            "where E.last_name = ||Smith||) = 2",
+        )
+        assert result.rows == [("v01",), ("v02",)]
+
+    def test_q10_total_tuples_per_version(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version range of R is V.Relations "
+            "range of T is R.Tuples "
+            "retrieve unique V.id where count_all(T group by V) = 4",
+        )
+        assert result.rows == [("v01",), ("v02",)]
+
+    def test_q11_retrieve_into_and_max(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version "
+            "range of E is V.Relations(name = ||Employee||).Tuples "
+            "retrieve into T (V.id as id, "
+            "count(E.employee_id where E.age > 50) as c) "
+            "retrieve T.id where T.c = max(T.c)",
+        )
+        assert result.rows == [("v01",), ("v02",)]
+
+    def test_q13_neighbors_with_few_records(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version(id = ||v01||) "
+            "range of N is V.N(2) "
+            "range of E is N.Relations(name = ||Employee||).Tuples "
+            "retrieve unique N.id where count(E) < 3",
+        )
+        assert result.rows == [("v03",)]
+
+    def test_q14_delta_from_previous(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version range of P is V.P(1) "
+            "retrieve unique V.id "
+            "where abs(count(V.Relations.Tuples) "
+            "- count(P.Relations.Tuples)) >= 2",
+        )
+        # v01 (no parent: count 0) and v03 (4 -> 2 tuples).
+        assert result.rows == [("v01",), ("v03",)]
+
+    def test_q15_first_appearance_among_ancestors(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version(id = ||v03||) "
+            "range of E is V.Relations(name = ||Employee||).Tuples "
+            "range of P is V.P() "
+            "range of PE is P.Relations(name = ||Employee||).Tuples "
+            "retrieve unique E.id, P.id "
+            "where E.employee_id = PE.employee_id "
+            "and P.commit_ts = min(P.commit_ts)",
+        )
+        assert ("e1", "v01") in result.rows
+
+    def test_q16_tuple_level_provenance(self, employee_repo):
+        v1 = employee_repo.version("v01")
+        v2 = employee_repo.version("v02")
+        child = v2.relation("Employee").Tuples[0]
+        parent = v1.relation("Employee").Tuples[0]
+        child.parents.append(parent)
+        parent.children.append(child)
+        employee_repo.validate()
+        result = run_query(
+            employee_repo,
+            "range of E is Version(id = ||v02||)"
+            ".Relations(name = ||Employee||).Tuples "
+            "range of P is E.parents "
+            "retrieve E.id, P.id where E.age = 30",
+        )
+        assert result.rows == [("e1", "e1")]
+
+
+class TestSemantics:
+    def test_missing_record_attribute_is_null(self, employee_repo):
+        """Union-of-fields Record semantics: Department rows read NULL
+        for employee columns instead of erroring."""
+        result = run_query(
+            employee_repo,
+            "range of V is Version range of R is V.Relations "
+            "range of T is R.Tuples "
+            'retrieve T.dept_id where T.dept_id = "d1"',
+        )
+        assert result.rows == [("d1",)]
+
+    def test_unknown_iterator_raises(self, employee_repo):
+        with pytest.raises(VQuelEvaluationError):
+            run_query(employee_repo, "retrieve Z.id")
+
+    def test_unknown_version_attribute_raises(self, employee_repo):
+        with pytest.raises(VQuelEvaluationError):
+            run_query(
+                employee_repo,
+                "range of V is Version retrieve V.no_such_attr",
+            )
+
+    def test_version_upref(self, employee_repo):
+        """Version(S) climbs from a record binding to its version."""
+        result = run_query(
+            employee_repo,
+            "range of S is Version(id = ||v02||)"
+            ".Relations(name = ||Employee||).Tuples "
+            "retrieve unique Version(S).id",
+        )
+        assert result.rows == [("v02",)]
+
+    def test_p_unbounded_reaches_root(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version(id = ||v03||) range of P is V.P() "
+            "retrieve P.id sort by P.id",
+        )
+        assert result.rows == [("v01",), ("v02",)]
+
+    def test_d_descendants(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version(id = ||v01||) range of D is V.D() "
+            "retrieve D.id sort by D.id",
+        )
+        assert result.rows == [("v02",), ("v03",)]
+
+    def test_column_names(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version retrieve V.id as vid, count(V.Relations)",
+        )
+        assert result.columns == ["vid", "count"]
+
+    def test_sum_and_avg(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of E is Version(id = ||v01||)"
+            ".Relations(name = ||Employee||).Tuples "
+            "retrieve sum(E.age), avg(E.age)",
+        )
+        assert result.rows == [(145, 145 / 3)]
+
+    def test_any_aggregate(self, employee_repo):
+        result = run_query(
+            employee_repo,
+            "range of V is Version "
+            "range of E is V.Relations(name = ||Employee||).Tuples "
+            "retrieve V.id where any(E.age > 59)",
+        )
+        assert result.rows == [("v01",), ("v02",)]
+
+    def test_no_retrieve_raises(self, employee_repo):
+        with pytest.raises(Exception):
+            run_query(employee_repo, "range of V is Version")

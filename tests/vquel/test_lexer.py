@@ -1,0 +1,68 @@
+"""Tests for the VQuel tokenizer."""
+
+import pytest
+
+from repro.vquel.errors import VQuelParseError
+from repro.vquel.lexer import tokenize
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text) if t.kind != "EOF"]
+
+
+class TestBasics:
+    def test_keywords_lowercased(self):
+        tokens = tokenize("RANGE of V IS Version")
+        assert tokens[0].kind == "KEYWORD"
+        assert tokens[0].value == "range"
+
+    def test_identifiers(self):
+        assert values("V.author.name") == ["V", ".", "author", ".", "name"]
+
+    def test_double_quoted_string(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind == "STRING"
+        assert tokens[0].value == "hello world"
+
+    def test_pipe_string(self):
+        """The dissertation's ||literal|| quoting."""
+        tokens = tokenize("||v01||")
+        assert tokens[0].kind == "STRING"
+        assert tokens[0].value == "v01"
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.5")
+        assert [t.value for t in tokens[:2]] == ["42", "3.5"]
+
+    def test_number_then_path_dot(self):
+        # "V.P(1).id" must not lex "1." as a float prefix eating the paren
+        assert values("P(1).id") == ["P", "(", "1", ")", ".", "id"]
+
+    def test_operators(self):
+        assert values("a >= 1 and b != 2") == [
+            "a", ">=", "1", "and", "b", "!=", "2",
+        ]
+
+    def test_comments_skipped(self):
+        assert values("a # comment\n b") == ["a", "b"]
+
+    def test_eof_terminator(self):
+        assert kinds("x")[-1] == "EOF"
+
+
+class TestErrors:
+    def test_unterminated_string(self):
+        with pytest.raises(VQuelParseError):
+            tokenize('"unterminated')
+
+    def test_unterminated_pipe_string(self):
+        with pytest.raises(VQuelParseError):
+            tokenize("||unterminated")
+
+    def test_unexpected_character(self):
+        with pytest.raises(VQuelParseError):
+            tokenize("a @ b")

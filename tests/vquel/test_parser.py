@@ -1,0 +1,132 @@
+"""Tests for the VQuel parser."""
+
+import pytest
+
+from repro.vquel import ast
+from repro.vquel.errors import VQuelParseError
+from repro.vquel.parser import parse
+
+
+class TestRange:
+    def test_simple_range(self):
+        program = parse("range of V is Version retrieve V.id")
+        assert isinstance(program.statements[0], ast.RangeStmt)
+        assert program.statements[0].iterator == "V"
+        assert program.statements[0].source.root_name() == "Version"
+
+    def test_dependent_range(self):
+        program = parse(
+            "range of V is Version range of R is V.Relations retrieve R.name"
+        )
+        stmt = program.statements[1]
+        assert stmt.source.segments[0].name == "V"
+        assert stmt.source.segments[1].name == "Relations"
+
+    def test_path_filters(self):
+        program = parse(
+            'range of E is Version(id = "v01").Relations(name = "S").Tuples '
+            "retrieve E.id"
+        )
+        segments = program.statements[0].source.segments
+        assert segments[0].filters[0][0] == "id"
+        assert segments[1].filters[0][0] == "name"
+        assert segments[2].name == "Tuples"
+
+    def test_positional_args(self):
+        program = parse("range of V is Version range of N is V.N(2) retrieve N.id")
+        segment = program.statements[1].source.segments[1]
+        assert isinstance(segment.args[0], ast.NumberLit)
+        assert segment.args[0].value == 2
+
+
+class TestRetrieve:
+    def test_targets_and_alias(self):
+        program = parse(
+            "range of V is Version retrieve V.id as vid, V.commit_msg"
+        )
+        targets = program.statements[1].targets
+        assert targets[0].alias == "vid"
+        assert targets[1].alias is None
+
+    def test_into_with_parens(self):
+        program = parse(
+            "range of V is Version retrieve into T (V.id as id, count(V) as c)"
+        )
+        stmt = program.statements[1]
+        assert stmt.into == "T"
+        assert len(stmt.targets) == 2
+
+    def test_unique(self):
+        program = parse("range of V is Version retrieve unique V.id")
+        assert program.statements[1].unique
+
+    def test_where_clause(self):
+        program = parse(
+            'range of V is Version retrieve V.id where V.id = "v01" and not V.id = "v02"'
+        )
+        where = program.statements[1].where
+        assert isinstance(where, ast.BinOp)
+        assert where.op == "and"
+        assert isinstance(where.right, ast.NotOp)
+
+    def test_sort_by(self):
+        program = parse(
+            "range of V is Version retrieve V.id sort by V.creation_ts desc, V.id"
+        )
+        sort_by = program.statements[1].sort_by
+        assert sort_by[0][1] is True
+        assert sort_by[1][1] is False
+
+
+class TestAggregates:
+    def test_plain_aggregate(self):
+        program = parse(
+            "range of V is Version range of R is V.Relations "
+            "retrieve V.id, count(R)"
+        )
+        aggregate = program.statements[2].targets[1].expr
+        assert isinstance(aggregate, ast.AggregateCall)
+        assert aggregate.func == "count"
+        assert not aggregate.is_all_variant
+
+    def test_aggregate_with_where(self):
+        program = parse(
+            "range of E is Version retrieve count(E.id where E.age > 50)"
+        )
+        aggregate = program.statements[1].targets[0].expr
+        assert aggregate.where is not None
+
+    def test_all_variant_with_group_by(self):
+        program = parse(
+            "range of V is Version retrieve count_all(V.id group by V where V.id != \"x\")"
+        )
+        aggregate = program.statements[1].targets[0].expr
+        assert aggregate.is_all_variant
+        assert aggregate.base_func == "count"
+        assert aggregate.group_by == ["V"]
+
+    def test_nested_arithmetic(self):
+        program = parse(
+            "range of V is Version retrieve abs(count(V) - 3) where 1 = 1"
+        )
+        func = program.statements[1].targets[0].expr
+        assert isinstance(func, ast.FunctionCall)
+        assert func.name == "abs"
+
+
+class TestErrors:
+    def test_empty_program(self):
+        with pytest.raises(VQuelParseError):
+            parse("   ")
+
+    def test_missing_is(self):
+        with pytest.raises(VQuelParseError):
+            parse("range of V Version retrieve V.id")
+
+    def test_garbage_statement(self):
+        with pytest.raises(VQuelParseError):
+            parse("select * from t")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(VQuelParseError):
+            parse("range of V is Version retrieve count(V")
