@@ -12,12 +12,18 @@ import functools
 import time
 from typing import Callable
 
+from repro import telemetry
 from repro.core.cvd import CVD
 from repro.datasets.benchmark import STANDARD_CONFIGS, standard_datasets
 from repro.datasets.history import VersionedHistory
 from repro.relational.database import Database
 from repro.relational.schema import ColumnDef, Schema
 from repro.relational.types import INT
+
+# Benches always run instrumented so every exported result carries the
+# system's internal metrics (rows moved, span latencies, join volumes)
+# alongside wall-clock, not instead of it.
+telemetry.enable()
 
 
 @functools.lru_cache(maxsize=None)
@@ -69,7 +75,10 @@ def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
     """Fixed-width table printer; also exports the series as CSV.
 
     Every printed table lands in ``results/<slug>.csv`` so the figures
-    can be re-plotted without re-running the harness.
+    can be re-plotted without re-running the harness, and the telemetry
+    accumulated while producing it lands in
+    ``results/<slug>.telemetry.json`` (the registry is reset afterwards,
+    so each table's snapshot covers only its own work).
     """
     widths = [
         max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
@@ -82,20 +91,41 @@ def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
     for row in rows:
         print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
     _export_csv(title, headers, rows)
+    _export_telemetry(title)
+
+
+def _results_dir():
+    import pathlib
+
+    results_dir = pathlib.Path(__file__).parent.parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    return results_dir
+
+
+def _slug(title: str) -> str:
+    import re
+
+    return re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:80]
 
 
 def _export_csv(title: str, headers: list[str], rows: list[tuple]) -> None:
     import csv
-    import pathlib
-    import re
 
-    results_dir = pathlib.Path(__file__).parent.parent / "results"
-    results_dir.mkdir(exist_ok=True)
-    slug = re.sub(r"[^a-z0-9]+", "_", title.lower()).strip("_")[:80]
-    with open(results_dir / f"{slug}.csv", "w", newline="") as handle:
+    with open(_results_dir() / f"{_slug(title)}.csv", "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(headers)
         writer.writerows(rows)
+
+
+def _export_telemetry(title: str) -> None:
+    """Snapshot the internal metrics behind this table, then reset so
+    the next table starts from zero."""
+    snapshot = telemetry.snapshot()
+    if snapshot.is_empty():
+        return
+    path = _results_dir() / f"{_slug(title)}.telemetry.json"
+    path.write_text(snapshot.to_json() + "\n")
+    telemetry.reset()
 
 
 def fmt(value: float, digits: int = 3) -> str:

@@ -11,28 +11,41 @@ set of Section 3.3::
     orpheus ls
     orpheus drop -d interaction
     orpheus optimize -d interaction --gamma 2.0
+    orpheus stats --json
 
 State persists in ``.orpheus/state.pkl`` under the working directory, so
 the in-memory engine behaves like a local repository between
-invocations.
+invocations. Every command records telemetry (spans, counters,
+latency histograms); the per-invocation snapshot accumulates in
+``.orpheus/telemetry.json`` and ``orpheus stats`` renders the history.
+Pass ``--timings`` to any command to print its span tree.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pickle
 import sys
+import tempfile
 from pathlib import Path
 
+from repro import telemetry
 from repro.core.commands import Orpheus
-from repro.core.csvio import read_csv, read_schema_file, write_csv, write_schema_file
+from repro.core.csvio import read_csv, read_schema_file
+from repro.telemetry.snapshot import Snapshot
 
 STATE_DIR = ".orpheus"
 STATE_FILE = "state.pkl"
+TELEMETRY_FILE = "telemetry.json"
 
 
 def _state_path(root: str | None = None) -> Path:
     return Path(root or ".") / STATE_DIR / STATE_FILE
+
+
+def _telemetry_path(root: str | None = None) -> Path:
+    return Path(root or ".") / STATE_DIR / TELEMETRY_FILE
 
 
 def load_state(root: str | None = None) -> Orpheus:
@@ -43,11 +56,44 @@ def load_state(root: str | None = None) -> Orpheus:
     return Orpheus()
 
 
-def save_state(orpheus: Orpheus, root: str | None = None) -> None:
-    path = _state_path(root)
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write via a temp file in the same directory + ``os.replace`` so a
+    crash mid-write can never leave a truncated file behind."""
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as handle:
-        pickle.dump(orpheus, handle)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def save_state(orpheus: Orpheus, root: str | None = None) -> None:
+    _atomic_write(_state_path(root), pickle.dumps(orpheus))
+
+
+def load_telemetry(root: str | None = None) -> Snapshot:
+    """The accumulated cross-invocation snapshot (empty when absent)."""
+    path = _telemetry_path(root)
+    if path.exists():
+        try:
+            return Snapshot.from_json(path.read_text())
+        except (ValueError, KeyError):
+            return Snapshot()  # corrupt history: start over
+    return Snapshot()
+
+
+def save_telemetry(snapshot: Snapshot, root: str | None = None) -> None:
+    _atomic_write(
+        _telemetry_path(root), snapshot.to_json(indent=None).encode()
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -57,6 +103,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--root", default=None, help="repository root (default: cwd)"
+    )
+    parser.add_argument(
+        "--timings",
+        action="store_true",
+        help="print this invocation's span tree to stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -106,12 +157,56 @@ def _build_parser() -> argparse.ArgumentParser:
     config.add_argument("name")
 
     sub.add_parser("whoami", help="print the current user")
+
+    stats = sub.add_parser(
+        "stats", help="show accumulated telemetry for this repository"
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="Prometheus text exposition format",
+    )
+    stats.add_argument(
+        "--reset", action="store_true", help="clear the recorded telemetry"
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.command == "stats":
+        return _run_stats(args)
+
+    # Each invocation records its own telemetry from a clean registry,
+    # then folds the snapshot into .orpheus/telemetry.json so metrics
+    # accumulate across processes. The enabled flag is restored so
+    # embedding programs that keep telemetry off stay unaffected.
+    was_enabled = telemetry.is_enabled()
+    telemetry.reset()
+    telemetry.enable()
+    try:
+        with telemetry.span(f"cli.{args.command}"):
+            code = _dispatch(args)
+        if code == 0:
+            save_telemetry(
+                load_telemetry(args.root).merged(telemetry.snapshot()),
+                args.root,
+            )
+        if args.timings:
+            tree = telemetry.last_span_tree()
+            if tree is not None:
+                sys.stderr.write(tree.render() + "\n")
+    finally:
+        if not was_enabled:
+            telemetry.disable()
+    return code
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     orpheus = load_state(args.root)
     out = sys.stdout
 
@@ -122,13 +217,8 @@ def main(argv: list[str] | None = None) -> int:
             )
             out.write(f"initialized CVD {args.dataset!r} at version {vid}\n")
         elif args.command == "checkout":
-            cvd = orpheus.cvd(args.dataset)
-            result = cvd.checkout(args.versions)
-            write_csv(args.file, result.columns, result.rows)
-            if args.schema:
-                write_schema_file(args.schema, cvd.schema)
-            orpheus.staging._staged[args.file] = _staged_csv(
-                args.file, args.dataset, result.parents, orpheus
+            result = orpheus.checkout_csv(
+                args.dataset, args.versions, args.file, args.schema
             )
             out.write(
                 f"checked out version(s) {args.versions} of "
@@ -141,6 +231,12 @@ def main(argv: list[str] | None = None) -> int:
                 read_schema_file(args.schema) if args.schema else cvd.schema
             )
             rows = read_csv(args.file, schema)
+            try:
+                telemetry.count(
+                    "command.commit.bytes_staged", os.path.getsize(args.file)
+                )
+            except OSError:
+                pass
             info = orpheus.staging._staged.get(args.file)
             parents = info.parents if info is not None else ()
             vid = cvd.commit(
@@ -208,15 +304,22 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def _staged_csv(path: str, dataset: str, parents, orpheus: Orpheus):
-    from repro.core.staging import StagedTable
-
-    return StagedTable(
-        table_name=path,
-        cvd_name=dataset,
-        parents=parents,
-        owner=orpheus.access.current_user or "",
-    )
+def _run_stats(args: argparse.Namespace) -> int:
+    """``orpheus stats``: render the accumulated telemetry history."""
+    if args.reset:
+        path = _telemetry_path(args.root)
+        if path.exists():
+            path.unlink()
+        sys.stdout.write("telemetry reset\n")
+        return 0
+    snapshot = load_telemetry(args.root)
+    if args.json:
+        sys.stdout.write(snapshot.to_json() + "\n")
+    elif args.prometheus:
+        sys.stdout.write(snapshot.render_prometheus())
+    else:
+        sys.stdout.write(snapshot.render_text())
+    return 0
 
 
 if __name__ == "__main__":

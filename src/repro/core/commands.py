@@ -11,9 +11,9 @@ the version manager updates the metadata on commit.
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
+from repro import telemetry
 from repro.core.access import AccessController
 from repro.core.cvd import CVD, CheckoutResult
 from repro.core.errors import CVDError, StagingError
@@ -62,18 +62,19 @@ class Orpheus:
         Returns the vid of the initial version (created only when rows
         are provided).
         """
-        if name in self._cvds:
-            raise CVDError(f"CVD {name!r} already exists")
-        cvd = CVD(self.database, name, schema, model=model)
-        self._cvds[name] = cvd
-        if rows:
-            return cvd.commit(
-                rows,
-                parents=(),
-                message=message,
-                author=self.access.current_user or "",
-            )
-        return 0
+        with telemetry.span("command.init", dataset=name, model=str(model)):
+            if name in self._cvds:
+                raise CVDError(f"CVD {name!r} already exists")
+            cvd = CVD(self.database, name, schema, model=model)
+            self._cvds[name] = cvd
+            if rows:
+                return cvd.commit(
+                    rows,
+                    parents=(),
+                    message=message,
+                    author=self.access.current_user or "",
+                )
+            return 0
 
     def init_from_csv(
         self,
@@ -143,6 +144,18 @@ class Orpheus:
                 any conflict). For manual resolution use
                 :func:`repro.core.merge.merge_manual` directly.
         """
+        with telemetry.span(
+            "command.checkout", dataset=cvd_name, strategy=merge_strategy
+        ):
+            return self._checkout(cvd_name, vids, table_name, merge_strategy)
+
+    def _checkout(
+        self,
+        cvd_name: str,
+        vids: int | Sequence[int],
+        table_name: str,
+        merge_strategy: str,
+    ) -> Table:
         self.access.check_cvd_access(cvd_name)
         cvd = self.cvd(cvd_name)
         if merge_strategy == "precedence":
@@ -176,8 +189,9 @@ class Orpheus:
             result.parents,
             owner=self.access.current_user or "",
         )
+        telemetry.count("command.checkout.rows_materialized", len(result.rows))
         for parent in result.parents:
-            cvd.versions.get(parent).checkout_time = time.time()
+            cvd.versions.get(parent).checkout_time = telemetry.now()
         return table
 
     def checkout_csv(
@@ -188,17 +202,21 @@ class Orpheus:
         schema_path: str | None = None,
     ) -> CheckoutResult:
         """``checkout [cvd] -v vids -f file.csv``."""
-        self.access.check_cvd_access(cvd_name)
-        cvd = self.cvd(cvd_name)
-        result = cvd.checkout(vids)
-        write_csv(csv_path, result.columns, result.rows)
-        if schema_path is not None:
-            write_schema_file(schema_path, cvd.schema)
-        # Track the file as derived from these versions (provenance).
-        self.staging._staged[csv_path] = _csv_staged(
-            csv_path, cvd_name, result.parents, self.access.current_user or ""
-        )
-        return result
+        with telemetry.span("command.checkout", dataset=cvd_name, target="csv"):
+            self.access.check_cvd_access(cvd_name)
+            cvd = self.cvd(cvd_name)
+            result = cvd.checkout(vids)
+            write_csv(csv_path, result.columns, result.rows)
+            if schema_path is not None:
+                write_schema_file(schema_path, cvd.schema)
+            telemetry.count(
+                "command.checkout.rows_materialized", len(result.rows)
+            )
+            # Track the file as derived from these versions (provenance).
+            self.staging._staged[csv_path] = _csv_staged(
+                csv_path, cvd_name, result.parents, self.access.current_user or ""
+            )
+            return result
 
     def commit(
         self,
@@ -208,22 +226,26 @@ class Orpheus:
         """``commit -t table -m message``: add the staged table as a new
         version of the CVD it was checked out from."""
         info = self.staging.metadata(table_name)
-        user = self.access.current_user or ""
-        table = self.staging.table(table_name, user=user or None)
-        cvd = self.cvd(info.cvd_name)
-        columns = table.schema.column_names
-        column_types = {c.name: c.dtype for c in table.schema.columns}
-        vid = cvd.commit(
-            table.rows_snapshot(),
-            parents=info.parents,
-            message=message,
-            author=user,
-            columns=columns,
-            column_types=column_types,
-            checkout_time=info.checkout_time,
-        )
-        self.staging.release(table_name)
-        return vid
+        with telemetry.span("command.commit", dataset=info.cvd_name) as current:
+            user = self.access.current_user or ""
+            table = self.staging.table(table_name, user=user or None)
+            cvd = self.cvd(info.cvd_name)
+            telemetry.count("command.commit.bytes_staged", table.storage_bytes())
+            columns = table.schema.column_names
+            column_types = {c.name: c.dtype for c in table.schema.columns}
+            vid = cvd.commit(
+                table.rows_snapshot(),
+                parents=info.parents,
+                message=message,
+                author=user,
+                columns=columns,
+                column_types=column_types,
+                checkout_time=info.checkout_time,
+            )
+            if current is not None:
+                current.set_attr("vid", vid)
+            self.staging.release(table_name)
+            return vid
 
     def commit_csv(
         self,
@@ -239,20 +261,33 @@ class Orpheus:
                 f"{csv_path!r} was not produced by checkout_csv; "
                 "use init_from_csv for new datasets"
             ) from None
-        schema = read_schema_file(schema_path)
-        rows = read_csv(csv_path, schema)
-        cvd = self.cvd(info.cvd_name)
-        vid = cvd.commit(
-            rows,
-            parents=info.parents,
-            message=message,
-            author=self.access.current_user or "",
-            columns=schema.column_names,
-            column_types={c.name: c.dtype for c in schema.columns},
-            checkout_time=info.checkout_time,
-        )
-        del self.staging._staged[csv_path]
-        return vid
+        with telemetry.span(
+            "command.commit", dataset=info.cvd_name, source="csv"
+        ) as current:
+            import os
+
+            schema = read_schema_file(schema_path)
+            rows = read_csv(csv_path, schema)
+            try:
+                telemetry.count(
+                    "command.commit.bytes_staged", os.path.getsize(csv_path)
+                )
+            except OSError:
+                pass
+            cvd = self.cvd(info.cvd_name)
+            vid = cvd.commit(
+                rows,
+                parents=info.parents,
+                message=message,
+                author=self.access.current_user or "",
+                columns=schema.column_names,
+                column_types={c.name: c.dtype for c in schema.columns},
+                checkout_time=info.checkout_time,
+            )
+            if current is not None:
+                current.set_attr("vid", vid)
+            del self.staging._staged[csv_path]
+            return vid
 
     # ------------------------------------------------------------------
     # run: version-aware SQL (Section 3.3.2)
@@ -261,14 +296,18 @@ class Orpheus:
         """Execute a version-aware SELECT (``run`` command)."""
         from repro.core.sql import run_sql
 
-        return run_sql(self._cvds, sql)
+        with telemetry.span("command.run"):
+            return run_sql(self._cvds, sql)
 
     # ------------------------------------------------------------------
     # diff and optimize
     # ------------------------------------------------------------------
     def diff(self, cvd_name: str, vid_a: int, vid_b: int):
         """Records in one version but not the other, both directions."""
-        return self.cvd(cvd_name).diff(vid_a, vid_b)
+        with telemetry.span("command.diff", dataset=cvd_name, a=vid_a, b=vid_b):
+            only_a, only_b = self.cvd(cvd_name).diff(vid_a, vid_b)
+            telemetry.count("command.diff.rows_compared", len(only_a) + len(only_b))
+            return only_a, only_b
 
     def optimize(
         self,
@@ -284,15 +323,19 @@ class Orpheus:
         """
         from repro.partition.partitioned_store import PartitionedRlistStore
 
-        cvd = self.cvd(cvd_name)
-        if not isinstance(cvd.model, PartitionedRlistStore):
-            raise CVDError(
-                "optimize requires a CVD backed by PartitionedRlistStore"
+        with telemetry.span("command.optimize", dataset=cvd_name) as current:
+            cvd = self.cvd(cvd_name)
+            if not isinstance(cvd.model, PartitionedRlistStore):
+                raise CVDError(
+                    "optimize requires a CVD backed by PartitionedRlistStore"
+                )
+            partitioning = cvd.model.optimize(
+                storage_threshold_factor=storage_threshold_factor,
+                tolerance=tolerance,
             )
-        return cvd.model.optimize(
-            storage_threshold_factor=storage_threshold_factor,
-            tolerance=tolerance,
-        )
+            if current is not None:
+                current.set_attr("partitions", partitioning.num_partitions)
+            return partitioning
 
 
 def _csv_staged(path: str, cvd_name: str, parents, owner: str):

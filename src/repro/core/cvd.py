@@ -16,9 +16,10 @@ Physical storage is delegated to a pluggable :class:`DataModel`.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Iterable, Sequence
+
+from repro import telemetry
 
 from repro.core.errors import NoSuchVersionError, PrimaryKeyViolationError
 from repro.core.metadata import AttributeRegistry, VersionManager, VersionMetadata
@@ -144,6 +145,30 @@ class CVD:
                 pass all ancestors to trade commit time for deduplication
                 of deleted-then-re-added records.
         """
+        started = telemetry.monotonic()
+        with telemetry.span("cvd.commit", dataset=self.name) as current:
+            vid = self._commit(
+                rows, parents, message, author, columns, column_types,
+                checkout_time, diff_against,
+            )
+            if current is not None:
+                current.set_attr("vid", vid)
+        telemetry.observe(
+            "cvd.commit.latency_seconds", telemetry.monotonic() - started
+        )
+        return vid
+
+    def _commit(
+        self,
+        rows: Iterable[tuple],
+        parents: Sequence[int],
+        message: str,
+        author: str,
+        columns: Sequence[str] | None,
+        column_types: dict[str, DataType] | None,
+        checkout_time: float | None,
+        diff_against: Sequence[int] | None,
+    ) -> int:
         for parent in parents:
             self.versions.get(parent)  # validate early
 
@@ -178,12 +203,18 @@ class CVD:
                 new_records[rid] = padded
             membership.add(rid)
 
+        telemetry.count("cvd.commit.rows_in", len(rows))
+        telemetry.count("cvd.commit.new_records", len(new_records))
+        telemetry.count(
+            "cvd.commit.reused_records", len(membership) - len(new_records)
+        )
         vid = self.versions.allocate_vid()
         frozen = frozenset(membership)
         parent_membership = {p: self._membership[p] for p in parents}
-        self.model.commit_version(
-            vid, tuple(parents), frozen, new_records, parent_membership
-        )
+        with telemetry.span("model.commit", model=self.model.model_name):
+            self.model.commit_version(
+                vid, tuple(parents), frozen, new_records, parent_membership
+            )
         self._membership[vid] = frozen
         attribute_ids = tuple(
             self.attributes.intern(column.name, column.dtype)
@@ -194,7 +225,7 @@ class CVD:
                 vid=vid,
                 parents=tuple(parents),
                 checkout_time=checkout_time,
-                commit_time=time.time(),
+                commit_time=telemetry.now(),
                 message=message,
                 author=author,
                 attribute_ids=attribute_ids,
@@ -310,23 +341,36 @@ class CVD:
             vids = (vids,)
         if not vids:
             raise ValueError("checkout requires at least one version id")
-        rows: list[tuple] = []
-        rid_map: dict[tuple, int] = {}
-        seen_keys: set[tuple] = set()
-        key_positions = self.schema.key_positions()
-        for vid in vids:
-            self.versions.get(vid)
-            for rid, payload in self.model.checkout_rids(vid):
-                key = (
-                    tuple(payload[i] for i in key_positions)
-                    if key_positions
-                    else (rid,)
-                )
-                if key in seen_keys:
-                    continue
-                seen_keys.add(key)
-                rows.append(payload)
-                rid_map[key] = rid
+        started = telemetry.monotonic()
+        with telemetry.span("cvd.checkout", dataset=self.name, versions=len(vids)):
+            rows: list[tuple] = []
+            rid_map: dict[tuple, int] = {}
+            seen_keys: set[tuple] = set()
+            scanned = 0
+            key_positions = self.schema.key_positions()
+            for vid in vids:
+                self.versions.get(vid)
+                with telemetry.span(
+                    "model.checkout", model=self.model.model_name, vid=vid
+                ):
+                    version_rows = self.model.checkout_rids(vid)
+                scanned += len(version_rows)
+                for rid, payload in version_rows:
+                    key = (
+                        tuple(payload[i] for i in key_positions)
+                        if key_positions
+                        else (rid,)
+                    )
+                    if key in seen_keys:
+                        continue
+                    seen_keys.add(key)
+                    rows.append(payload)
+                    rid_map[key] = rid
+            telemetry.count("cvd.checkout.rows_materialized", len(rows))
+            telemetry.count("cvd.checkout.rows_deduplicated", scanned - len(rows))
+        telemetry.observe(
+            "cvd.checkout.latency_seconds", telemetry.monotonic() - started
+        )
         return CheckoutResult(
             rows=rows,
             rid_map=rid_map,
@@ -420,7 +464,7 @@ class CVD:
                 VersionMetadata(
                     vid=commit.vid,
                     parents=commit.parents,
-                    commit_time=time.time(),
+                    commit_time=telemetry.now(),
                     message=f"generated on branch {commit.branch}",
                     record_count=len(commit.rids),
                     attribute_ids=tuple(

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro import telemetry
 from repro.core.models.base import DataModel, RecordRow
 from repro.relational.expressions import (
     ArrayAppend,
@@ -56,12 +57,15 @@ class CombinedTableModel(DataModel):
                 InSet(col("rid"), frozenset(existing)),
                 {"vlist": ArrayAppend(col("vlist"), lit(vid))},
             )
+        telemetry.count("model.combined_table.vlist_appends", len(existing))
         for rid, payload in new_records.items():
             self._table.insert((rid, [vid], *payload))
+        telemetry.count("model.combined_table.rows_inserted", len(new_records))
 
     def checkout_rids(self, vid: int) -> list[RecordRow]:
         predicate = ArrayContainedBy(lit([vid]), col("vlist"))
         rows = list(self._table.scan_where(predicate))
+        telemetry.count("model.combined_table.rows_checked_out", len(rows))
         return [(row[0], tuple(row[2 : 2 + self._arity])) for row in rows]
 
     def storage_bytes(self) -> int:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro import telemetry
 from repro.core.models.base import DataModel, RecordRow
 from repro.relational.schema import ColumnDef, Schema
 from repro.relational.table import Table
@@ -83,6 +84,8 @@ class DeltaBasedModel(DataModel):
         blank = (None,) * self._arity
         for rid in sorted(deleted):
             table.insert((rid, True, *blank))
+        telemetry.count("model.delta_based.rows_inserted", len(inserted))
+        telemetry.count("model.delta_based.tombstones_inserted", len(deleted))
         self._delta_tables[vid] = table
         self._precedent.insert((vid, base))
 
@@ -110,7 +113,9 @@ class DeltaBasedModel(DataModel):
             return []
         seen: set[int] = set()
         result: list[RecordRow] = []
-        for step in self.chain_of(vid):
+        chain = self.chain_of(vid)
+        telemetry.observe("model.delta_based.chain_length", len(chain))
+        for step in chain:
             table = self._delta_tables[step]
             width = self._arity
             for row in table.scan():

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+from repro import telemetry
 from repro.core.models.base import DataModel, RecordRow
 from repro.relational.joins import JOIN_ALGORITHMS
 from repro.relational.table import ClusterOrder, Table
@@ -79,6 +80,7 @@ class SplitByRlistModel(DataModel):
             self._data.insert((rid, *payload))
         # One tuple into the versioning table; no array rewriting.
         self._versioning.insert((vid, self._encode_rlist(membership)))
+        telemetry.count("model.split_by_rlist.rows_inserted", len(new_records))
 
     def insert_versions_bulk(
         self, versions: Iterable[tuple[int, frozenset[int]]]
@@ -105,6 +107,7 @@ class SplitByRlistModel(DataModel):
         rids = self.rlist_of(vid)
         join = JOIN_ALGORITHMS[self.join_algorithm]
         rows = join(rids, self._data, "rid")
+        telemetry.count("model.split_by_rlist.rows_checked_out", len(rows))
         width = self._arity
         return [(row[0], tuple(row[1 : 1 + width])) for row in rows]
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro import telemetry
 from repro.core.models.base import DataModel, RecordRow
 from repro.relational.expressions import (
     ArrayAppend,
@@ -68,9 +69,11 @@ class SplitByVlistModel(DataModel):
                 InSet(col("rid"), frozenset(existing)),
                 {"vlist": ArrayAppend(col("vlist"), lit(vid))},
             )
+        telemetry.count("model.split_by_vlist.vlist_appends", len(existing))
         for rid, payload in new_records.items():
             self._data.insert((rid, *payload))
             self._versioning.insert((rid, [vid]))
+        telemetry.count("model.split_by_vlist.rows_inserted", len(new_records))
         if self.vlist_index_enabled:
             # The footnote's extra commit cost: one more index write per
             # member record (charged against the shared accountant).
@@ -88,6 +91,7 @@ class SplitByVlistModel(DataModel):
             ]
         # ... JOIN data table (hash join: build on rids, probe via scan).
         rows = hash_join(rids, self._data, "rid")
+        telemetry.count("model.split_by_vlist.rows_checked_out", len(rows))
         return [(row[0], tuple(row[1 : 1 + self._arity])) for row in rows]
 
     def storage_bytes(self) -> int:

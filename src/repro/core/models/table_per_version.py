@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+from repro import telemetry
 from repro.core.models.base import DataModel, RecordRow
 from repro.relational.table import Table
 
@@ -51,15 +52,18 @@ class TablePerVersionModel(DataModel):
             if len(payload) < width:  # record predates a schema change
                 payload = payload + (None,) * (width - len(payload))
             table.insert((rid, *payload))
+        telemetry.count("model.table_per_version.rows_inserted", len(membership))
         self._tables[vid] = table
 
     def checkout_rids(self, vid: int) -> list[RecordRow]:
         table = self._tables.get(vid)
         if table is None:
             return []
-        return [
+        rows = [
             (row[0], tuple(row[1 : 1 + self._arity])) for row in table.scan()
         ]
+        telemetry.count("model.table_per_version.rows_checked_out", len(rows))
+        return rows
 
     def storage_bytes(self) -> int:
         return sum(t.storage_bytes() for t in self._tables.values())

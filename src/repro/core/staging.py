@@ -9,9 +9,9 @@ access-controller rule from Section 3.3.1.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.core.errors import StagingError
 from repro.relational.database import Database
 from repro.relational.schema import Schema
@@ -31,7 +31,9 @@ class StagedTable:
     cvd_name: str
     parents: tuple[int, ...]
     owner: str
-    checkout_time: float = field(default_factory=time.time)
+    #: Stamped by the injectable telemetry clock so tests can freeze it
+    #: and so it never runs ahead of a later commit_time.
+    checkout_time: float = field(default_factory=telemetry.now)
 
 
 class StagingArea:
@@ -56,6 +58,7 @@ class StagingArea:
         table = self.database.create_table(table_name, schema)
         for row in rows:
             table.insert(row)
+        telemetry.count("staging.rows_materialized", len(rows))
         self._staged[table_name] = StagedTable(
             table_name=table_name,
             cvd_name=cvd_name,

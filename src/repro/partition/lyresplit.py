@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Literal
 
+from repro import telemetry
 from repro.partition.version_graph import (
     Partitioning,
     VersionGraph,
@@ -62,6 +63,15 @@ def lyresplit(
     """
     if not 0.0 < delta <= 1.0:
         raise ValueError("delta must be in (0, 1]")
+    with telemetry.span("lyresplit.run", delta=round(delta, 6)):
+        return _lyresplit(graph, delta, edge_rule)
+
+
+def _lyresplit(
+    graph: VersionGraph | VersionTree,
+    delta: float,
+    edge_rule: EdgeRule,
+) -> LyreSplitResult:
     tree = graph.to_tree() if isinstance(graph, VersionGraph) else graph
     # Per-call precomputation (rebuilding these per split would make the
     # algorithm quadratic in |V| instead of the paper's O(n*levels)).
@@ -81,6 +91,7 @@ def lyresplit(
 
     while stack:
         component, severed, depth = stack.pop()
+        telemetry.count("lyresplit.components_examined")
         max_depth = max(max_depth, depth)
         members = set(component)
         num_versions, num_records, num_edges = tree.estimated_component_stats(
@@ -118,6 +129,8 @@ def lyresplit(
         stack.append((above, severed, depth + 1))
         stack.append((below, severed, depth + 1))
 
+    telemetry.count("lyresplit.levels_explored", max_depth)
+    telemetry.count("lyresplit.partitions_produced", len(groups))
     partitioning = Partitioning(groups)
     storage, checkout = partitioning.estimated_costs(tree)
     return LyreSplitResult(
@@ -230,6 +243,21 @@ def lyresplit_for_budget(
     Returns the best feasible result found; if even the single-partition
     solution exceeds γ, that minimal-storage solution is returned.
     """
+    with telemetry.span("lyresplit.budget_search", budget=storage_budget):
+        return _lyresplit_for_budget(
+            graph, storage_budget, membership, edge_rule, max_iterations,
+            tolerance,
+        )
+
+
+def _lyresplit_for_budget(
+    graph: VersionGraph | VersionTree,
+    storage_budget: float,
+    membership,
+    edge_rule: EdgeRule,
+    max_iterations: int,
+    tolerance: float,
+) -> LyreSplitResult:
     tree = graph.to_tree() if isinstance(graph, VersionGraph) else graph
     num_records_total = tree.estimated_component_stats(list(tree.nodes))[1]
     num_edges = sum(tree.nodes.values())
@@ -262,6 +290,7 @@ def lyresplit_for_budget(
 
     for _ in range(max_iterations):
         mid = (low + high) / 2
+        telemetry.count("lyresplit.search_iterations")
         result = lyresplit(tree, mid, edge_rule)
         storage = storage_of(result)
         if storage <= storage_budget:

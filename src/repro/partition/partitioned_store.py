@@ -17,10 +17,10 @@ scratch.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import telemetry
 from repro.core.models.base import DataModel, RecordRow
 from repro.core.models.split_by_rlist import SplitByRlistModel
 from repro.partition.lyresplit import lyresplit_for_budget
@@ -180,12 +180,14 @@ class PartitionedRlistStore(DataModel):
         missing = membership - self._partition_records[index]
         for rid in sorted(missing):
             partition.data_table.insert((rid, *self._payloads[rid]))
+        telemetry.count("partition.commit.rows_copied", len(missing))
         partition.versioning_table.insert((vid, sorted(membership)))
         self._partition_records[index] |= membership
         self._partition_versions[index].add(vid)
         self._partition_of[vid] = index
 
     def _new_partition(self) -> SplitByRlistModel:
+        telemetry.count("partition.partitions_opened")
         self._suffix_counter += 1
         partition = SplitByRlistModel(
             self.database,
@@ -248,19 +250,28 @@ class PartitionedRlistStore(DataModel):
         tolerance: float | None = None,
     ) -> Partitioning:
         """The ``optimize`` command: recompute and migrate unconditionally."""
-        if storage_threshold_factor is not None:
-            self.storage_threshold_factor = storage_threshold_factor
-        if tolerance is not None:
-            self.tolerance = tolerance
-        target, _cost = self.best_partitioning()
-        self.migrate_to(target)
-        return target
+        with telemetry.span("partition.optimize"):
+            if storage_threshold_factor is not None:
+                self.storage_threshold_factor = storage_threshold_factor
+            if tolerance is not None:
+                self.tolerance = tolerance
+            target, _cost = self.best_partitioning()
+            self.migrate_to(target)
+            return target
 
     # ------------------------------------------------------------------
     # Migration engine (Section 5.4)
     # ------------------------------------------------------------------
     def migrate_to(self, target: Partitioning) -> MigrationStats:
-        started = time.monotonic()
+        with telemetry.span(
+            "partition.migrate",
+            strategy=self.migration_strategy,
+            partitions=target.num_partitions,
+        ):
+            return self._migrate_to(target)
+
+    def _migrate_to(self, target: Partitioning) -> MigrationStats:
+        started = telemetry.monotonic()
         inserted = 0
         deleted = 0
         rebuilt = 0
@@ -343,9 +354,14 @@ class PartitionedRlistStore(DataModel):
             records_deleted=deleted,
             partitions_rebuilt=rebuilt,
             partitions_reused=reused,
-            wall_seconds=time.monotonic() - started,
+            wall_seconds=telemetry.monotonic() - started,
             strategy=self.migration_strategy,
         )
+        telemetry.count("partition.migration.rows_inserted", inserted)
+        telemetry.count("partition.migration.rows_deleted", deleted)
+        telemetry.count("partition.migration.partitions_rebuilt", rebuilt)
+        telemetry.count("partition.migration.partitions_reused", reused)
+        telemetry.observe("partition.migration.seconds", stats.wall_seconds)
         self.migrations.append(stats)
         return stats
 

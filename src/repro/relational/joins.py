@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, Sequence
 
+from repro import telemetry
 from repro.relational.table import Row, Table
 
 
@@ -31,6 +32,8 @@ def hash_join(
     for row in table.scan():
         if row[position] in key_set:
             matched.append(row)
+    telemetry.count("join.hash.rows_scanned", table.row_count)
+    telemetry.count("join.hash.rows_matched", len(matched))
     return matched
 
 
@@ -66,6 +69,8 @@ def merge_join(
         else:
             matched.append(table_rows[j])
             j += 1
+    telemetry.count("join.merge.rows_scanned", len(table_rows))
+    telemetry.count("join.merge.rows_matched", len(matched))
     return matched
 
 
@@ -82,8 +87,12 @@ def index_nested_loop_join(
     model checkout cost as linear in |R_k| (Section 5.5.5).
     """
     matched: list[Row] = []
+    probes = 0
     for key in keys:
+        probes += 1
         matched.extend(table.lookup(column, key))
+    telemetry.count("join.index_nested_loop.probes", probes)
+    telemetry.count("join.index_nested_loop.rows_matched", len(matched))
     return matched
 
 

@@ -13,6 +13,7 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro import telemetry
 from repro.relational.errors import RelationalError
 from repro.relational.expressions import Expression
 from repro.relational.schema import ColumnDef, Schema
@@ -98,14 +99,21 @@ class Query:
         return Schema(columns)
 
     def execute(self) -> list[Row]:
-        rows = self._filtered_rows()
+        rows = list(self._filtered_rows())
+        telemetry.count("query.rows_scanned", self.table.row_count)
+        if self.where is not None:
+            telemetry.count(
+                "query.rows_filtered", self.table.row_count - len(rows)
+            )
         if self.group_by or self.aggregates:
             result = self._grouped(rows)
+            telemetry.count("query.groups_produced", len(result))
         else:
             result = self._projected(rows)
         result = self._ordered(result)
         if self.limit is not None:
             result = result[: self.limit]
+        telemetry.count("query.rows_returned", len(result))
         return result
 
     # ------------------------------------------------------------------

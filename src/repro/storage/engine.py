@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro import telemetry
 from repro.storage.deltas import Delta, DeltaCodec
 from repro.storage.graph import ROOT, StorageGraph, StoragePlan
 from repro.storage.matrices import CostMatrices
@@ -100,9 +101,14 @@ class VersionedStore:
         self, problem: int, threshold: float | None = None, alpha: float = 2.0
     ) -> StoragePlan:
         """Compute and adopt a storage plan for a Table 7.1 problem."""
-        plan = solve(self.graph(), problem, threshold=threshold, alpha=alpha)
-        self.adopt_plan(plan)
-        return plan
+        with telemetry.span("storage.plan", problem=problem):
+            started = telemetry.monotonic()
+            plan = solve(self.graph(), problem, threshold=threshold, alpha=alpha)
+            telemetry.observe(
+                "storage.plan.solve_seconds", telemetry.monotonic() - started
+            )
+            self.adopt_plan(plan)
+            return plan
 
     def adopt_plan(self, plan: StoragePlan) -> None:
         """Materialize a plan: store full copies and deltas per the tree."""
@@ -110,6 +116,8 @@ class VersionedStore:
         self.matrices()  # ensure deltas are computed
         self._plan = plan
         self._stored.clear()
+        materialized = 0
+        delta_stored = 0
         for vid, parent in plan.parent.items():
             if parent == ROOT:
                 self._stored[vid] = StoredVersion(
@@ -118,15 +126,24 @@ class VersionedStore:
                     content=self._artifacts[vid],
                     delta=None,
                 )
+                materialized += 1
             else:
                 delta = self._deltas.get((parent, vid))
                 if delta is None:
+                    started = telemetry.monotonic()
                     delta = self.codec.diff(
                         self._artifacts[parent], self._artifacts[vid]
+                    )
+                    telemetry.observe(
+                        "storage.delta.encode_seconds",
+                        telemetry.monotonic() - started,
                     )
                 self._stored[vid] = StoredVersion(
                     vid=vid, parent=parent, content=None, delta=delta
                 )
+                delta_stored += 1
+        telemetry.count("storage.plan.versions_materialized", materialized)
+        telemetry.count("storage.plan.versions_delta_stored", delta_stored)
 
     # ------------------------------------------------------------------
     # Retrieval
@@ -136,16 +153,24 @@ class VersionedStore:
         materialized ancestor."""
         if self._plan is None:
             raise RuntimeError("no plan adopted; call plan() first")
-        chain: list[StoredVersion] = []
-        current = self._stored[vid]
-        while current.parent != ROOT:
-            chain.append(current)
-            current = self._stored[current.parent]
-        artifact = current.content
-        for stored in reversed(chain):
-            assert stored.delta is not None
-            artifact = self.codec.apply(artifact, stored.delta)
-        return artifact
+        with telemetry.span("storage.retrieve", vid=vid):
+            chain: list[StoredVersion] = []
+            current = self._stored[vid]
+            while current.parent != ROOT:
+                chain.append(current)
+                current = self._stored[current.parent]
+            telemetry.observe("storage.retrieve.chain_length", len(chain))
+            artifact = current.content
+            for stored in reversed(chain):
+                assert stored.delta is not None
+                started = telemetry.monotonic()
+                artifact = self.codec.apply(artifact, stored.delta)
+                telemetry.observe(
+                    "storage.delta.decode_seconds",
+                    telemetry.monotonic() - started,
+                )
+            telemetry.count("storage.delta.applied", len(chain))
+            return artifact
 
     def retrieval_chain_length(self, vid: int) -> int:
         if self._plan is None:

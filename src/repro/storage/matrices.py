@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from repro import telemetry
+
 
 @dataclass
 class CostMatrices:
@@ -127,11 +129,16 @@ class CostMatrices:
             delta_cost, phi_cost = codec.materialize_cost(artifact)
             matrices.set_materialization(vid, delta_cost, phi_cost)
         for source, target in pairs:
+            started = telemetry.monotonic()
             delta = codec.diff(artifacts[source], artifacts[target])
+            telemetry.observe(
+                "storage.delta.encode_seconds", telemetry.monotonic() - started
+            )
             matrices.set_delta(
                 source, target, delta.storage_cost, delta.recreation_cost
             )
             deltas[(source, target)] = delta
             if codec.symmetric:
                 deltas[(target, source)] = delta
+        telemetry.count("storage.delta.pairs_encoded", len(deltas))
         return matrices, deltas

@@ -1,0 +1,100 @@
+"""The injectable clock behind every timestamp in the system.
+
+Version metadata used to call ``time.time()`` directly, which made
+commit timestamps untestable and vulnerable to wall-clock steps (NTP
+corrections can move ``time.time()`` backwards, breaking commit-order
+invariants). All timestamp producers now go through this module:
+
+* :func:`now` — wall-clock seconds, guaranteed non-decreasing within
+  the process even if the underlying clock steps backwards;
+* :func:`monotonic` — monotonic seconds for measuring durations;
+* :func:`set_clock` — swap in a :class:`FrozenClock` (or any
+  :class:`Clock`) so tests can freeze or script time.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Time source interface: wall time plus a monotonic reference."""
+
+    def time(self) -> float:
+        raise NotImplementedError
+
+    def monotonic(self) -> float:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real clocks (the default)."""
+
+    def time(self) -> float:
+        return time.time()
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+
+class FrozenClock(Clock):
+    """A scriptable clock for tests: time moves only via :meth:`advance`.
+
+    ``monotonic`` shares the same frozen timeline, so measured durations
+    are exactly the advances performed while measuring.
+    """
+
+    def __init__(self, start: float = 1_000_000.0) -> None:
+        self._now = float(start)
+
+    def time(self) -> float:
+        return self._now
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("FrozenClock cannot move backwards")
+        self._now += seconds
+
+    def set(self, timestamp: float) -> None:
+        """Jump to an absolute time (may step backwards; :func:`now`
+        still reports non-decreasing values)."""
+        self._now = float(timestamp)
+
+
+_lock = threading.Lock()
+_clock: Clock = SystemClock()
+_last_now = float("-inf")
+
+
+def get_clock() -> Clock:
+    return _clock
+
+
+def set_clock(clock: Clock | None) -> None:
+    """Install ``clock`` as the process clock (None restores the system
+    clock). Resets the non-decreasing guard so a test's frozen epoch may
+    be earlier than the previous wall time."""
+    global _clock, _last_now
+    with _lock:
+        _clock = clock if clock is not None else SystemClock()
+        _last_now = float("-inf")
+
+
+def now() -> float:
+    """Wall-clock seconds, never less than a previously returned value."""
+    global _last_now
+    with _lock:
+        value = _clock.time()
+        if value < _last_now:
+            value = _last_now
+        _last_now = value
+        return value
+
+
+def monotonic() -> float:
+    """Monotonic seconds for duration measurements."""
+    return _clock.monotonic()

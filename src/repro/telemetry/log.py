@@ -1,0 +1,65 @@
+"""Structured-logging bridge: one JSON line per completed span.
+
+Off by default. :func:`enable` attaches the bridge; every span that
+completes afterwards is serialized to a single JSON object and emitted
+through the ``repro.telemetry`` logger (or a caller-supplied stream),
+ready for ingestion by anything that eats JSON lines::
+
+    {"event": "span", "name": "command.commit", "duration_s": 0.0042,
+     "status": "ok", "parent": "cli.commit", "attrs": {"dataset": "x"}}
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+logger = logging.getLogger("repro.telemetry")
+
+_enabled = False
+_handler: logging.Handler | None = None
+
+
+def enable(stream=None) -> None:
+    """Turn the bridge on; ``stream`` adds a raw-message handler to the
+    ``repro.telemetry`` logger (useful when logging isn't configured)."""
+    global _enabled, _handler
+    _enabled = True
+    if stream is not None:
+        _handler = logging.StreamHandler(stream)
+        _handler.setFormatter(logging.Formatter("%(message)s"))
+        logger.addHandler(_handler)
+        logger.setLevel(logging.INFO)
+        logger.propagate = False
+
+
+def disable() -> None:
+    global _enabled, _handler
+    _enabled = False
+    if _handler is not None:
+        logger.removeHandler(_handler)
+        _handler = None
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def emit(node, parent_name: str | None) -> None:
+    """Called by the span machinery on every span completion."""
+    if not _enabled:
+        return
+    payload = {
+        "event": "span",
+        "name": node.name,
+        "started_at": node.started_at,
+        "duration_s": node.duration_s,
+        "status": node.status,
+    }
+    if parent_name is not None:
+        payload["parent"] = parent_name
+    if node.attrs:
+        payload["attrs"] = node.attrs
+    if node.error:
+        payload["error"] = node.error
+    logger.info(json.dumps(payload, default=str, sort_keys=True))

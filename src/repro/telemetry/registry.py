@@ -1,0 +1,187 @@
+"""The process-global metrics registry: counters, gauges, histograms.
+
+Design constraints, in order:
+
+1. **Cheap when disabled.** Every mutator checks one boolean before
+   doing anything else; instrumentation left in hot paths (checkout
+   joins, commit inner loops) costs a single attribute load + branch
+   per call when telemetry is off.
+2. **Thread-safe when enabled.** All mutations take the registry lock.
+   The version-control layer itself is single-threaded today, but the
+   ROADMAP's scaling direction (sharding, async) must not require
+   re-plumbing the metrics layer.
+3. **Mergeable.** Snapshots of two registries (e.g. two CLI
+   invocations) combine losslessly for counters and approximately for
+   histogram percentiles (bounded reservoirs, deterministic
+   decimation — no randomness, so tests are reproducible).
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Reservoir size per histogram; beyond this, observations are
+#: decimated deterministically (keep-every-other, doubling stride).
+RESERVOIR_CAP = 2048
+
+
+class Histogram:
+    """Streaming distribution summary with a bounded value reservoir."""
+
+    __slots__ = (
+        "name", "count", "total", "min", "max", "values", "stride", "_skip"
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self.values: list[float] = []
+        self.stride = 1
+        self._skip = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._skip += 1
+        if self._skip >= self.stride:
+            self._skip = 0
+            self.values.append(value)
+            if len(self.values) >= RESERVOIR_CAP:
+                self.values = self.values[::2]
+                self.stride *= 2
+
+    def percentile(self, fraction: float) -> float | None:
+        """Nearest-rank percentile over the reservoir (None when empty)."""
+        if not self.values:
+            return None
+        ordered = sorted(self.values)
+        rank = min(len(ordered) - 1, int(fraction * len(ordered)))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        """Serializable form; ``values`` keeps the reservoir for merges."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": None if self.count == 0 else self.min,
+            "max": None if self.count == 0 else self.max,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "values": list(self.values),
+            "stride": self.stride,
+        }
+
+
+class SpanStats:
+    """Aggregate view of one span name: call count, errors, durations."""
+
+    __slots__ = ("name", "errors", "seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.errors = 0
+        self.seconds = Histogram(name)
+
+    def record(self, seconds: float, error: bool) -> None:
+        self.seconds.add(seconds)
+        if error:
+            self.errors += 1
+
+
+class Registry:
+    """A metrics registry; the process-global one lives in this module."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._spans: dict[str, SpanStats] = {}
+        #: The most recently completed *root* span tree (a SpanNode),
+        #: kept for `orpheus --timings`; not part of merged snapshots.
+        self.last_root = None
+
+    # -- mutators (each bails on the first line when disabled) ----------
+    def inc(self, name: str, amount: float = 1) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram(name)
+            histogram.add(value)
+
+    def record_span(self, name: str, seconds: float, error: bool) -> None:
+        if not self.enabled:
+            return
+        with self._lock:
+            stats = self._spans.get(name)
+            if stats is None:
+                stats = self._spans[name] = SpanStats(name)
+            stats.record(seconds, error)
+
+    def record_root(self, node) -> None:
+        if not self.enabled:
+            return
+        self.last_root = node
+
+    # -- readers --------------------------------------------------------
+    def counter_value(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def snapshot(self):
+        """Freeze the registry into a :class:`~repro.telemetry.snapshot.Snapshot`."""
+        from repro.telemetry.snapshot import Snapshot
+
+        with self._lock:
+            return Snapshot(
+                counters=dict(self._counters),
+                gauges=dict(self._gauges),
+                histograms={
+                    name: h.summary() for name, h in self._histograms.items()
+                },
+                spans={
+                    name: {
+                        "count": s.seconds.count,
+                        "errors": s.errors,
+                        "seconds": s.seconds.summary(),
+                    }
+                    for name, s in self._spans.items()
+                },
+            )
+
+    def reset(self) -> None:
+        """Drop all recorded metrics (the enabled flag is unaffected)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._spans.clear()
+            self.last_root = None
+
+
+_global = Registry()
+
+
+def get_registry() -> Registry:
+    return _global

@@ -1,0 +1,221 @@
+"""Point-in-time views of the metrics registry, in three wire formats.
+
+A :class:`Snapshot` is a plain-data object (JSON round-trippable) so the
+CLI can accumulate one per invocation in ``.orpheus/telemetry.json`` and
+``orpheus stats`` can render the merged history. Renderers:
+
+* :meth:`Snapshot.to_json` — machine-readable (``orpheus stats --json``);
+* :meth:`Snapshot.render_text` — the human ``orpheus stats`` output;
+* :meth:`Snapshot.render_prometheus` — Prometheus text exposition
+  format, for scraping a long-running embedding process.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+
+from repro.telemetry.registry import RESERVOIR_CAP
+
+
+@dataclass
+class Snapshot:
+    """Frozen registry contents.
+
+    Attributes:
+        counters: name -> monotonically accumulated value.
+        gauges: name -> last set value.
+        histograms: name -> summary dict (count/total/min/max/p50/p95
+            plus the bounded ``values`` reservoir used for merging).
+        spans: name -> {count, errors, seconds: histogram summary}.
+    """
+
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+    histograms: dict[str, dict] = field(default_factory=dict)
+    spans: dict[str, dict] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+            "spans": {k: dict(v) for k, v in self.spans.items()},
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Snapshot":
+        return cls(
+            counters=dict(data.get("counters", {})),
+            gauges=dict(data.get("gauges", {})),
+            histograms={
+                k: dict(v) for k, v in data.get("histograms", {}).items()
+            },
+            spans={k: dict(v) for k, v in data.get("spans", {}).items()},
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Snapshot":
+        return cls.from_dict(json.loads(text))
+
+    def is_empty(self) -> bool:
+        return not (self.counters or self.gauges or self.histograms or self.spans)
+
+    # ------------------------------------------------------------------
+    # Merging (counters add; gauges last-wins; histograms combine)
+    # ------------------------------------------------------------------
+    def merged(self, other: "Snapshot") -> "Snapshot":
+        """This snapshot combined with a later one."""
+        counters = dict(self.counters)
+        for name, value in other.counters.items():
+            counters[name] = counters.get(name, 0) + value
+        gauges = {**self.gauges, **other.gauges}
+        histograms = dict(self.histograms)
+        for name, summary in other.histograms.items():
+            histograms[name] = (
+                _merge_histogram(histograms[name], summary)
+                if name in histograms
+                else dict(summary)
+            )
+        spans = dict(self.spans)
+        for name, stats in other.spans.items():
+            if name in spans:
+                merged_seconds = _merge_histogram(
+                    spans[name]["seconds"], stats["seconds"]
+                )
+                spans[name] = {
+                    "count": spans[name]["count"] + stats["count"],
+                    "errors": spans[name]["errors"] + stats["errors"],
+                    "seconds": merged_seconds,
+                }
+            else:
+                spans[name] = dict(stats)
+        return Snapshot(
+            counters=counters, gauges=gauges, histograms=histograms, spans=spans
+        )
+
+    # ------------------------------------------------------------------
+    # Renderers
+    # ------------------------------------------------------------------
+    def render_text(self) -> str:
+        lines: list[str] = []
+        if self.spans:
+            lines.append("spans (count / errors / total s / p50 s / p95 s / max s)")
+            for name in sorted(self.spans):
+                s = self.spans[name]
+                h = s["seconds"]
+                lines.append(
+                    f"  {name:<40} {s['count']:>7} {s['errors']:>4}"
+                    f" {_fmt(h['total'])} {_fmt(h['p50'])}"
+                    f" {_fmt(h['p95'])} {_fmt(h['max'])}"
+                )
+        if self.counters:
+            lines.append("counters")
+            for name in sorted(self.counters):
+                lines.append(f"  {name:<52} {_fmt_num(self.counters[name])}")
+        if self.gauges:
+            lines.append("gauges")
+            for name in sorted(self.gauges):
+                lines.append(f"  {name:<52} {_fmt_num(self.gauges[name])}")
+        if self.histograms:
+            lines.append("histograms (count / total / p50 / p95 / max)")
+            for name in sorted(self.histograms):
+                h = self.histograms[name]
+                lines.append(
+                    f"  {name:<40} {h['count']:>7} {_fmt(h['total'])}"
+                    f" {_fmt(h['p50'])} {_fmt(h['p95'])} {_fmt(h['max'])}"
+                )
+        if not lines:
+            return "no telemetry recorded\n"
+        return "\n".join(lines) + "\n"
+
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition format (metric names sanitized)."""
+        lines: list[str] = []
+        for name in sorted(self.counters):
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_prom_value(self.counters[name])}")
+        for name in sorted(self.gauges):
+            metric = _prom_name(name)
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_prom_value(self.gauges[name])}")
+        for name in sorted(self.histograms):
+            lines.extend(_prom_summary(_prom_name(name), self.histograms[name]))
+        for name in sorted(self.spans):
+            stats = self.spans[name]
+            metric = _prom_name(f"span.{name}.seconds")
+            lines.extend(_prom_summary(metric, stats["seconds"]))
+            error_metric = _prom_name(f"span.{name}.errors")
+            lines.append(f"# TYPE {error_metric} counter")
+            lines.append(f"{error_metric} {stats['errors']}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _merge_histogram(first: dict, second: dict) -> dict:
+    count = first["count"] + second["count"]
+    total = first["total"] + second["total"]
+    mins = [v for v in (first["min"], second["min"]) if v is not None]
+    maxs = [v for v in (first["max"], second["max"]) if v is not None]
+    values = list(first.get("values", ())) + list(second.get("values", ()))
+    stride = max(first.get("stride", 1), second.get("stride", 1))
+    while len(values) > RESERVOIR_CAP:
+        values = values[::2]
+        stride *= 2
+    ordered = sorted(values)
+
+    def percentile(fraction: float) -> float | None:
+        if not ordered:
+            return None
+        return ordered[min(len(ordered) - 1, int(fraction * len(ordered)))]
+
+    return {
+        "count": count,
+        "total": total,
+        "min": min(mins) if mins else None,
+        "max": max(maxs) if maxs else None,
+        "p50": percentile(0.50),
+        "p95": percentile(0.95),
+        "values": values,
+        "stride": stride,
+    }
+
+
+def _prom_name(name: str) -> str:
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _prom_summary(metric: str, histogram: dict) -> list[str]:
+    lines = [f"# TYPE {metric} summary"]
+    for quantile, key in (("0.5", "p50"), ("0.95", "p95")):
+        value = histogram.get(key)
+        if value is not None:
+            lines.append(f'{metric}{{quantile="{quantile}"}} {value}')
+    lines.append(f"{metric}_sum {histogram['total']}")
+    lines.append(f"{metric}_count {histogram['count']}")
+    return lines
+
+
+def _fmt(value: float | None) -> str:
+    if value is None:
+        return "      -"
+    return f"{value:>9.4g}"
+
+
+def _fmt_num(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return f"{value:.6g}" if isinstance(value, float) else str(value)

@@ -1,0 +1,71 @@
+"""The injectable clock: freezing, scripting, and the non-decreasing
+guarantee of :func:`repro.telemetry.now`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.clock import FrozenClock, SystemClock
+
+
+class TestFrozenClock:
+    def test_time_moves_only_on_advance(self):
+        clock = FrozenClock(start=100.0)
+        telemetry.set_clock(clock)
+        assert telemetry.now() == 100.0
+        assert telemetry.now() == 100.0
+        clock.advance(2.5)
+        assert telemetry.now() == 102.5
+        assert telemetry.monotonic() == 102.5
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            FrozenClock().advance(-1)
+
+    def test_now_is_non_decreasing_when_clock_steps_back(self):
+        clock = FrozenClock(start=500.0)
+        telemetry.set_clock(clock)
+        assert telemetry.now() == 500.0
+        clock.set(100.0)  # simulated NTP step backwards
+        assert telemetry.now() == 500.0  # guard holds the line
+        clock.set(600.0)
+        assert telemetry.now() == 600.0
+
+    def test_set_clock_resets_the_guard(self):
+        telemetry.set_clock(FrozenClock(start=9_999.0))
+        telemetry.now()
+        # A new, earlier epoch is fine after re-installation.
+        telemetry.set_clock(FrozenClock(start=1.0))
+        assert telemetry.now() == 1.0
+
+    def test_set_clock_none_restores_system_clock(self):
+        telemetry.set_clock(FrozenClock())
+        telemetry.set_clock(None)
+        assert isinstance(telemetry.get_clock(), SystemClock)
+
+
+class TestClockDrivesTimestamps:
+    def test_commit_timestamps_come_from_the_clock(self):
+        from repro.core.cvd import CVD
+        from repro.relational.database import Database
+        from repro.relational.schema import ColumnDef, Schema
+        from repro.relational.types import INT
+
+        clock = FrozenClock(start=1_000.0)
+        telemetry.set_clock(clock)
+        cvd = CVD(Database(), "t", Schema([ColumnDef("a", INT)]))
+        v1 = cvd.commit([(1,)])
+        clock.advance(60.0)
+        v2 = cvd.commit([(2,)], parents=(v1,))
+        assert cvd.versions.get(v1).commit_time == 1_000.0
+        assert cvd.versions.get(v2).commit_time == 1_060.0
+
+    def test_span_durations_under_frozen_clock(self):
+        clock = FrozenClock()
+        telemetry.set_clock(clock)
+        telemetry.enable()
+        with telemetry.span("timed"):
+            clock.advance(0.75)
+        root = telemetry.last_span_tree()
+        assert root.duration_s == 0.75
