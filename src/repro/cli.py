@@ -33,6 +33,15 @@ from pathlib import Path
 from repro import telemetry
 from repro.core.commands import Orpheus
 from repro.core.csvio import read_csv, read_schema_file
+from repro.observe.doctor import run_doctor
+from repro.observe.explain import run_with_actuals
+from repro.observe.journal import (
+    MUTATING_COMMANDS,
+    Journal,
+    make_record,
+    new_trace_id,
+    verify_journal,
+)
 from repro.telemetry.snapshot import Snapshot
 
 STATE_DIR = ".orpheus"
@@ -124,20 +133,33 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     checkout.add_argument("-f", "--file", required=True)
     checkout.add_argument("-s", "--schema", default=None)
+    _add_explain(checkout)
 
     commit = sub.add_parser("commit", help="commit a checked-out CSV")
     commit.add_argument("-d", "--dataset", required=True)
     commit.add_argument("-f", "--file", required=True)
     commit.add_argument("-s", "--schema", default=None)
     commit.add_argument("-m", "--message", default="")
+    _add_explain(commit)
 
     log = sub.add_parser("log", help="show the version graph")
-    log.add_argument("-d", "--dataset", required=True)
+    log.add_argument("-d", "--dataset", default=None)
+    log.add_argument(
+        "--ops",
+        action="store_true",
+        help="show the operation journal instead of the version graph",
+    )
+    log.add_argument(
+        "--verify",
+        action="store_true",
+        help="with --ops: replay the journal against the version graph",
+    )
 
     diff = sub.add_parser("diff", help="records in one version but not another")
     diff.add_argument("-d", "--dataset", required=True)
     diff.add_argument("-a", type=int, required=True)
     diff.add_argument("-b", type=int, required=True)
+    _add_explain(diff)
 
     sub.add_parser("ls", help="list CVDs")
 
@@ -158,6 +180,13 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("whoami", help="print the current user")
 
+    doctor = sub.add_parser(
+        "doctor", help="run storage-health probes against this repository"
+    )
+    doctor.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+
     stats = sub.add_parser(
         "stats", help="show accumulated telemetry for this repository"
     )
@@ -175,6 +204,23 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_explain(subparser: argparse.ArgumentParser) -> None:
+    subparser.add_argument(
+        "--explain",
+        nargs="?",
+        const="plan",
+        choices=("plan", "analyze"),
+        default=None,
+        help="print the plan tree; 'analyze' also executes and attaches "
+        "actual rows and per-node timings",
+    )
+    subparser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --explain: emit the plan tree as JSON",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
@@ -183,62 +229,122 @@ def main(argv: list[str] | None = None) -> int:
 
     # Each invocation records its own telemetry from a clean registry,
     # then folds the snapshot into .orpheus/telemetry.json so metrics
-    # accumulate across processes. The enabled flag is restored so
-    # embedding programs that keep telemetry off stay unaffected.
+    # accumulate across processes — failures included, tagged under
+    # `commands.failed` with the span's error status keeping the latency
+    # histograms clean. The enabled flag is restored so embedding
+    # programs that keep telemetry off stay unaffected.
     was_enabled = telemetry.is_enabled()
     telemetry.reset()
     telemetry.enable()
+    trace_id = new_trace_id()
+    # `--explain` without execution neither mutates state nor journals.
+    plan_only = getattr(args, "explain", None) == "plan"
+    record = None
+    if args.command in MUTATING_COMMANDS and not plan_only:
+        record = make_record(trace_id, args.command)
+    code = 0
     try:
-        with telemetry.span(f"cli.{args.command}"):
-            code = _dispatch(args)
-        if code == 0:
-            save_telemetry(
-                load_telemetry(args.root).merged(telemetry.snapshot()),
-                args.root,
-            )
-        if args.timings:
-            tree = telemetry.last_span_tree()
+        try:
+            with telemetry.span(f"cli.{args.command}") as root:
+                if root is not None:
+                    root.set_attr("trace_id", trace_id)
+                code = _dispatch(args, record)
+        except Exception as error:  # CLI boundary: print, don't traceback
+            sys.stderr.write(f"error: {error}\n")
+            kind = type(error).__name__
+            telemetry.count("commands.failed")
+            telemetry.count(f"commands.failed.{kind}")
+            if record is not None:
+                record.status = "error"
+                record.error_type = kind
+                record.error_message = str(error)
+            code = 1
+        tree = telemetry.last_span_tree()
+        if record is not None:
             if tree is not None:
-                sys.stderr.write(tree.render() + "\n")
+                record.duration_s = tree.duration_s
+            Journal(args.root).append(record)
+        save_telemetry(
+            load_telemetry(args.root).merged(telemetry.snapshot()),
+            args.root,
+        )
+        if args.timings and tree is not None:
+            sys.stderr.write(tree.render() + "\n")
     finally:
         if not was_enabled:
             telemetry.disable()
     return code
 
 
-def _dispatch(args: argparse.Namespace) -> int:
+def _render_plan(plan, args) -> str:
+    return (plan.to_json() if args.json else plan.render()) + "\n"
+
+
+def _dispatch(args: argparse.Namespace, record=None) -> int:
+    """Execute one parsed command; raises on failure (the boundary in
+    :func:`main` turns exceptions into exit code 1, telemetry, and the
+    journal record). ``record`` is the journal entry to fill in for
+    mutating commands (None for read-only or plan-only invocations)."""
     orpheus = load_state(args.root)
     out = sys.stdout
+    if record is not None:
+        record.user = orpheus.access.current_user or ""
+        record.dataset = getattr(args, "dataset", None)
 
-    try:
-        if args.command == "init":
-            vid = orpheus.init_from_csv(
-                args.dataset, args.file, args.schema, model=args.model
+    if args.command == "init":
+        vid = orpheus.init_from_csv(
+            args.dataset, args.file, args.schema, model=args.model
+        )
+        if record is not None:
+            record.output_version = vid
+            record.rows = orpheus.cvd(args.dataset).versions.get(
+                vid
+            ).record_count
+        out.write(f"initialized CVD {args.dataset!r} at version {vid}\n")
+    elif args.command == "checkout":
+        if record is not None:
+            record.input_versions = list(args.versions)
+        plan = None
+        if args.explain:
+            plan = orpheus.cvd(args.dataset).explain_checkout(args.versions)
+        if args.explain == "plan":
+            out.write(_render_plan(plan, args))
+            return 0
+        do = lambda: orpheus.checkout_csv(
+            args.dataset, args.versions, args.file, args.schema
+        )
+        result = run_with_actuals(plan, do) if plan is not None else do()
+        if record is not None:
+            record.rows = len(result.rows)
+        if plan is not None:
+            out.write(_render_plan(plan, args))
+        out.write(
+            f"checked out version(s) {args.versions} of "
+            f"{args.dataset!r} into {args.file} "
+            f"({len(result.rows)} records)\n"
+        )
+    elif args.command == "commit":
+        cvd = orpheus.cvd(args.dataset)
+        schema = (
+            read_schema_file(args.schema) if args.schema else cvd.schema
+        )
+        rows = read_csv(args.file, schema)
+        info = orpheus.staging._staged.get(args.file)
+        parents = info.parents if info is not None else ()
+        plan = None
+        if args.explain:
+            plan = cvd.explain_commit(len(rows), parents)
+        if args.explain == "plan":
+            out.write(_render_plan(plan, args))
+            return 0
+        try:
+            telemetry.count(
+                "command.commit.bytes_staged", os.path.getsize(args.file)
             )
-            out.write(f"initialized CVD {args.dataset!r} at version {vid}\n")
-        elif args.command == "checkout":
-            result = orpheus.checkout_csv(
-                args.dataset, args.versions, args.file, args.schema
-            )
-            out.write(
-                f"checked out version(s) {args.versions} of "
-                f"{args.dataset!r} into {args.file} "
-                f"({len(result.rows)} records)\n"
-            )
-        elif args.command == "commit":
-            cvd = orpheus.cvd(args.dataset)
-            schema = (
-                read_schema_file(args.schema) if args.schema else cvd.schema
-            )
-            rows = read_csv(args.file, schema)
-            try:
-                telemetry.count(
-                    "command.commit.bytes_staged", os.path.getsize(args.file)
-                )
-            except OSError:
-                pass
-            info = orpheus.staging._staged.get(args.file)
-            parents = info.parents if info is not None else ()
+        except OSError:
+            pass
+
+        def do_commit():
             vid = cvd.commit(
                 rows,
                 parents=parents,
@@ -248,57 +354,94 @@ def _dispatch(args: argparse.Namespace) -> int:
                 column_types={c.name: c.dtype for c in schema.columns},
             )
             orpheus.staging._staged.pop(args.file, None)
-            out.write(f"committed version {vid} to {args.dataset!r}\n")
-        elif args.command == "log":
-            cvd = orpheus.cvd(args.dataset)
-            for vid in cvd.versions.vids():
-                metadata = cvd.versions.get(vid)
-                parents = ",".join(map(str, metadata.parents)) or "-"
-                out.write(
-                    f"v{vid}  parents=[{parents}]  "
-                    f"records={metadata.record_count}  "
-                    f"author={metadata.author or '-'}  "
-                    f"{metadata.message}\n"
-                )
-        elif args.command == "diff":
-            only_a, only_b = orpheus.diff(args.dataset, args.a, args.b)
-            out.write(f"records only in v{args.a}: {len(only_a)}\n")
-            for row in only_a[:20]:
-                out.write(f"  + {row}\n")
-            out.write(f"records only in v{args.b}: {len(only_b)}\n")
-            for row in only_b[:20]:
-                out.write(f"  - {row}\n")
-        elif args.command == "ls":
-            for name in orpheus.ls():
-                cvd = orpheus.cvd(name)
-                out.write(
-                    f"{name}  versions={cvd.num_versions}  "
-                    f"records={cvd.num_records}\n"
-                )
-        elif args.command == "drop":
-            orpheus.drop(args.dataset)
-            out.write(f"dropped {args.dataset!r}\n")
-        elif args.command == "optimize":
-            partitioning = orpheus.optimize(
-                args.dataset,
-                storage_threshold_factor=args.gamma,
-                tolerance=args.mu,
-            )
+            return vid
+
+        vid = (
+            run_with_actuals(plan, do_commit)
+            if plan is not None
+            else do_commit()
+        )
+        if record is not None:
+            record.input_versions = list(parents)
+            record.output_version = vid
+            record.rows = len(rows)
+        if plan is not None:
+            out.write(_render_plan(plan, args))
+        out.write(f"committed version {vid} to {args.dataset!r}\n")
+    elif args.command == "log":
+        if args.ops:
+            journal = Journal(args.root)
+            records = journal.read()
+            out.write(journal.render_text(records))
+            if args.verify:
+                divergences = verify_journal(orpheus, records)
+                if divergences:
+                    for line in divergences:
+                        out.write(f"DIVERGED: {line}\n")
+                    return 1
+                out.write("journal and version graph agree\n")
+            return 0
+        if args.dataset is None:
+            raise ValueError("log requires -d/--dataset (or --ops)")
+        cvd = orpheus.cvd(args.dataset)
+        for vid in cvd.versions.vids():
+            metadata = cvd.versions.get(vid)
+            parents = ",".join(map(str, metadata.parents)) or "-"
             out.write(
-                f"repartitioned {args.dataset!r} into "
-                f"{partitioning.num_partitions} partitions\n"
+                f"v{vid}  parents=[{parents}]  "
+                f"records={metadata.record_count}  "
+                f"author={metadata.author or '-'}  "
+                f"{metadata.message}\n"
             )
-        elif args.command == "create_user":
-            orpheus.create_user(args.name, args.email)
-            out.write(f"created user {args.name!r}\n")
-        elif args.command == "config":
-            orpheus.config(args.name)
-            out.write(f"logged in as {args.name!r}\n")
-        elif args.command == "whoami":
-            out.write(orpheus.whoami() + "\n")
-    except Exception as error:  # CLI boundary: print, don't traceback
-        sys.stderr.write(f"error: {error}\n")
-        return 1
+    elif args.command == "diff":
+        plan = None
+        if args.explain:
+            plan = orpheus.cvd(args.dataset).explain_diff(args.a, args.b)
+        if args.explain == "plan":
+            out.write(_render_plan(plan, args))
+            return 0
+        do = lambda: orpheus.diff(args.dataset, args.a, args.b)
+        only_a, only_b = run_with_actuals(plan, do) if plan is not None else do()
+        if plan is not None:
+            out.write(_render_plan(plan, args))
+        out.write(f"records only in v{args.a}: {len(only_a)}\n")
+        for row in only_a[:20]:
+            out.write(f"  + {row}\n")
+        out.write(f"records only in v{args.b}: {len(only_b)}\n")
+        for row in only_b[:20]:
+            out.write(f"  - {row}\n")
+    elif args.command == "ls":
+        for name in orpheus.ls():
+            cvd = orpheus.cvd(name)
+            out.write(
+                f"{name}  versions={cvd.num_versions}  "
+                f"records={cvd.num_records}\n"
+            )
+    elif args.command == "drop":
+        orpheus.drop(args.dataset)
+        out.write(f"dropped {args.dataset!r}\n")
+    elif args.command == "optimize":
+        partitioning = orpheus.optimize(
+            args.dataset,
+            storage_threshold_factor=args.gamma,
+            tolerance=args.mu,
+        )
+        out.write(
+            f"repartitioned {args.dataset!r} into "
+            f"{partitioning.num_partitions} partitions\n"
+        )
+    elif args.command == "doctor":
+        report = run_doctor(orpheus, args.root)
+        out.write(report.to_json() + "\n" if args.json else report.render_text())
+        return report.exit_code
+    elif args.command == "create_user":
+        orpheus.create_user(args.name, args.email)
+        out.write(f"created user {args.name!r}\n")
+    elif args.command == "config":
+        orpheus.config(args.name)
+        out.write(f"logged in as {args.name!r}\n")
+    elif args.command == "whoami":
+        out.write(orpheus.whoami() + "\n")
 
     save_state(orpheus, args.root)
     return 0
@@ -307,9 +450,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 def _run_stats(args: argparse.Namespace) -> int:
     """``orpheus stats``: render the accumulated telemetry history."""
     if args.reset:
-        path = _telemetry_path(args.root)
-        if path.exists():
-            path.unlink()
+        # Leave an empty-but-valid snapshot behind rather than deleting:
+        # scrapers and `stats --json` consumers keep a parseable file.
+        save_telemetry(Snapshot(), args.root)
         sys.stdout.write("telemetry reset\n")
         return 0
     snapshot = load_telemetry(args.root)

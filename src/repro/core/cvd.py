@@ -177,6 +177,9 @@ class CVD:
         ):
             rows = self._evolve_schema(rows, list(columns), column_types or {})
         rows = [tuple(row) for row in rows]
+        commit_span = telemetry.current_span()
+        if commit_span is not None:
+            commit_span.set_attr("rows", len(rows))
         self._check_primary_key(rows)
 
         diff_versions = parents if diff_against is None else diff_against
@@ -211,10 +214,14 @@ class CVD:
         vid = self.versions.allocate_vid()
         frozen = frozenset(membership)
         parent_membership = {p: self._membership[p] for p in parents}
-        with telemetry.span("model.commit", model=self.model.model_name):
+        with telemetry.span(
+            "model.commit", model=self.model.model_name
+        ) as model_span:
             self.model.commit_version(
                 vid, tuple(parents), frozen, new_records, parent_membership
             )
+            if model_span is not None:
+                model_span.set_attr("rows", len(new_records))
         self._membership[vid] = frozen
         attribute_ids = tuple(
             self.attributes.intern(column.name, column.dtype)
@@ -342,7 +349,9 @@ class CVD:
         if not vids:
             raise ValueError("checkout requires at least one version id")
         started = telemetry.monotonic()
-        with telemetry.span("cvd.checkout", dataset=self.name, versions=len(vids)):
+        with telemetry.span(
+            "cvd.checkout", dataset=self.name, versions=len(vids)
+        ) as checkout_span:
             rows: list[tuple] = []
             rid_map: dict[tuple, int] = {}
             seen_keys: set[tuple] = set()
@@ -352,8 +361,10 @@ class CVD:
                 self.versions.get(vid)
                 with telemetry.span(
                     "model.checkout", model=self.model.model_name, vid=vid
-                ):
+                ) as model_span:
                     version_rows = self.model.checkout_rids(vid)
+                    if model_span is not None:
+                        model_span.set_attr("rows", len(version_rows))
                 scanned += len(version_rows)
                 for rid, payload in version_rows:
                     key = (
@@ -368,6 +379,8 @@ class CVD:
                     rid_map[key] = rid
             telemetry.count("cvd.checkout.rows_materialized", len(rows))
             telemetry.count("cvd.checkout.rows_deduplicated", scanned - len(rows))
+            if checkout_span is not None:
+                checkout_span.set_attr("rows", len(rows))
         telemetry.observe(
             "cvd.checkout.latency_seconds", telemetry.monotonic() - started
         )
@@ -413,6 +426,119 @@ class CVD:
         for vid in vids:
             union |= self.membership(vid)
         return frozenset(union)
+
+    # ------------------------------------------------------------------
+    # EXPLAIN plan trees (repro.observe.explain)
+    # ------------------------------------------------------------------
+    def explain_checkout(self, vids: int | Sequence[int]):
+        """The plan tree for ``checkout(vids)``: model dispatch per vid
+        plus the primary-key precedence merge for multi-version cases."""
+        from repro.observe.explain import ExplainNode
+
+        if isinstance(vids, int):
+            vids = (vids,)
+        total_rows = 0
+        for vid in vids:
+            total_rows += self.versions.get(vid).record_count
+        node = ExplainNode(
+            op="cvd.checkout",
+            detail={
+                "dataset": self.name,
+                "versions": list(vids),
+                "model": self.model.model_name,
+            },
+            estimated_rows=total_rows,
+            span_match=("cvd.checkout", {"dataset": self.name}),
+        )
+        for vid in vids:
+            node.add(self.model.explain_checkout(vid))
+        if len(vids) > 1:
+            node.add(
+                ExplainNode(
+                    op="merge.precedence",
+                    detail={
+                        "key": list(self.schema.primary_key or ("rid",)),
+                        "order": list(vids),
+                    },
+                    estimated_rows=total_rows,
+                )
+            )
+        return node
+
+    def explain_commit(self, rows: int, parents: Sequence[int] = ()):
+        """The plan tree for committing ``rows`` rows against ``parents``."""
+        from repro.observe.explain import ExplainNode, io_cost
+
+        parent_sizes = {
+            parent: len(self._membership[parent])
+            for parent in parents
+            if parent in self._membership
+        }
+        parent_rows = sum(parent_sizes.values())
+        node = ExplainNode(
+            op="cvd.commit",
+            detail={
+                "dataset": self.name,
+                "parents": list(parents),
+                "model": self.model.model_name,
+            },
+            estimated_rows=rows,
+            span_match=("cvd.commit", {"dataset": self.name}),
+        )
+        node.add(
+            ExplainNode(
+                op="parent.diff",
+                detail={
+                    "note": "no-cross-version-diff: compare against "
+                    "parents only"
+                },
+                estimated_rows=parent_rows,
+                estimated_cost=io_cost(seq_rows=parent_rows + rows),
+            )
+        )
+        if self.schema.primary_key:
+            node.add(
+                ExplainNode(
+                    op="pk.check",
+                    detail={"key": list(self.schema.primary_key)},
+                    estimated_rows=rows,
+                    estimated_cost=io_cost(seq_rows=rows),
+                )
+            )
+        node.add(self.model.explain_commit(rows, parent_sizes))
+        return node
+
+    def explain_diff(self, vid_a: int, vid_b: int):
+        """The plan tree for ``diff(a, b)``: two membership fetches and
+        two rid-set differences."""
+        from repro.observe.explain import ExplainNode, io_cost
+
+        size_a = self.versions.get(vid_a).record_count
+        size_b = self.versions.get(vid_b).record_count
+        node = ExplainNode(
+            op="cvd.diff",
+            detail={"dataset": self.name, "a": vid_a, "b": vid_b},
+            estimated_rows=size_a + size_b,
+            span_match=("command.diff", {"dataset": self.name}),
+        )
+        for vid, size in ((vid_a, size_a), (vid_b, size_b)):
+            node.add(
+                ExplainNode(
+                    op="membership.fetch",
+                    detail={"vid": vid},
+                    estimated_rows=size,
+                    estimated_cost=io_cost(random_rows=1),
+                )
+            )
+        node.add(
+            ExplainNode(
+                op="rid_set.difference",
+                detail={"directions": 2},
+                estimated_rows=size_a + size_b,
+                estimated_cost=io_cost(seq_rows=size_a + size_b),
+            )
+        )
+        return node
 
     # ------------------------------------------------------------------
     # Bulk load from a generated history

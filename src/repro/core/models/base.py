@@ -79,6 +79,37 @@ class DataModel(abc.ABC):
     def table_names(self) -> list[str]:
         """Physical table names owned by this model."""
 
+    # ------------------------------------------------------------------
+    # EXPLAIN contributions (repro.observe.explain)
+    # ------------------------------------------------------------------
+    def explain_checkout(self, vid: int):
+        """The plan subtree describing how this model materializes
+        ``vid``. The default is a bare dispatch node; every concrete
+        model overrides with its physical access path."""
+        from repro.observe.explain import ExplainNode
+
+        return ExplainNode(
+            op=f"model.{self.model_name}.checkout",
+            detail={"vid": vid},
+            span_match=("model.checkout", {"vid": vid}),
+        )
+
+    def explain_commit(
+        self, estimated_rows: int, parent_sizes: Mapping[int, int]
+    ):
+        """The plan subtree for persisting a new version of
+        ``estimated_rows`` rows whose parents hold ``parent_sizes``
+        records each."""
+        from repro.observe.explain import ExplainNode, io_cost
+
+        return ExplainNode(
+            op=f"model.{self.model_name}.commit",
+            detail={"parents": sorted(parent_sizes)},
+            estimated_rows=estimated_rows,
+            estimated_cost=io_cost(seq_rows=estimated_rows),
+            span_match=("model.commit", {}),
+        )
+
     def alter_schema(self, new_schema: Schema) -> None:
         """Propagate a CVD schema change to the physical tables.
 

@@ -68,5 +68,63 @@ class CombinedTableModel(DataModel):
         telemetry.count("model.combined_table.rows_checked_out", len(rows))
         return [(row[0], tuple(row[2 : 2 + self._arity])) for row in rows]
 
+    def explain_checkout(self, vid: int):
+        """Full scan of the one combined table with a containment filter."""
+        from repro.observe.explain import ExplainNode, io_cost
+
+        table_rows = self._table.row_count
+        node = ExplainNode(
+            op="model.combined_table.checkout",
+            detail={"vid": vid},
+            span_match=("model.checkout", {"vid": vid}),
+        )
+        node.add(
+            ExplainNode(
+                op="vlist.containment_scan",
+                detail={
+                    "table": self._table.name,
+                    "predicate": f"ARRAY[{vid}] <@ vlist",
+                },
+                estimated_rows=table_rows,
+                estimated_cost=io_cost(seq_rows=table_rows),
+            )
+        )
+        return node
+
+    def explain_commit(self, estimated_rows, parent_sizes):
+        """The expensive path: an array-append UPDATE over every reused
+        record of the wide table (Figure 4.1(b))."""
+        from repro.observe.explain import ExplainNode, io_cost
+
+        reused = max(parent_sizes.values(), default=0)
+        new_rows = max(estimated_rows - reused, 0)
+        node = ExplainNode(
+            op="model.combined_table.commit",
+            detail={"parents": sorted(parent_sizes)},
+            estimated_rows=estimated_rows,
+            span_match=("model.commit", {}),
+        )
+        node.add(
+            ExplainNode(
+                op="vlist.append",
+                detail={
+                    "table": self._table.name,
+                    "note": "full-scan UPDATE rewriting one wide row per "
+                    "reused record",
+                },
+                estimated_rows=reused,
+                estimated_cost=io_cost(seq_rows=self._table.row_count),
+            )
+        )
+        node.add(
+            ExplainNode(
+                op="data.insert",
+                detail={"table": self._table.name},
+                estimated_rows=new_rows,
+                estimated_cost=io_cost(seq_rows=new_rows),
+            )
+        )
+        return node
+
     def storage_bytes(self) -> int:
         return self._table.storage_bytes()

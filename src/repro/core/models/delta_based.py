@@ -131,6 +131,54 @@ class DeltaBasedModel(DataModel):
                     result.append((rid, payload))
         return result
 
+    def explain_checkout(self, vid: int):
+        """Walk the base chain root-ward, scanning one delta per step."""
+        from repro.observe.explain import ExplainNode, io_cost
+
+        chain = self.chain_of(vid) if vid in self._delta_tables else []
+        node = ExplainNode(
+            op="model.delta_based.checkout",
+            detail={"vid": vid, "chain_length": len(chain)},
+            span_match=("model.checkout", {"vid": vid}),
+        )
+        for step in chain:
+            table = self._delta_tables[step]
+            node.add(
+                ExplainNode(
+                    op="delta.scan",
+                    detail={"vid": step, "table": table.name},
+                    estimated_rows=table.row_count,
+                    estimated_cost=io_cost(seq_rows=table.row_count),
+                )
+            )
+        return node
+
+    def explain_commit(self, estimated_rows, parent_sizes):
+        """Pick the closest base, store only the modifications."""
+        from repro.observe.explain import ExplainNode, io_cost
+
+        base_size = max(parent_sizes.values(), default=0)
+        delta_rows = abs(estimated_rows - base_size) or min(
+            estimated_rows, 1
+        )
+        node = ExplainNode(
+            op="model.delta_based.commit",
+            detail={"parents": sorted(parent_sizes)},
+            estimated_rows=estimated_rows,
+            span_match=("model.commit", {}),
+        )
+        node.add(
+            ExplainNode(
+                op="delta.encode",
+                detail={
+                    "note": "inserted records + tombstones vs the closest base"
+                },
+                estimated_rows=delta_rows,
+                estimated_cost=io_cost(seq_rows=delta_rows),
+            )
+        )
+        return node
+
     def _pad(self, payload: tuple) -> tuple:
         width = self._arity
         if len(payload) < width:

@@ -111,6 +111,72 @@ class SplitByRlistModel(DataModel):
         width = self._arity
         return [(row[0], tuple(row[1 : 1 + width])) for row in rows]
 
+    def explain_checkout(self, vid: int):
+        """rlist lookup (one index probe) + join against the data table."""
+        from repro.observe.explain import ExplainNode, io_cost
+
+        rids = self.rlist_of(vid)
+        data_rows = self._data.row_count
+        node = ExplainNode(
+            op="model.split_by_rlist.checkout",
+            detail={"vid": vid},
+            estimated_rows=len(rids),
+            span_match=("model.checkout", {"vid": vid}),
+        )
+        node.add(
+            ExplainNode(
+                op="rlist.lookup",
+                detail={"table": self._versioning.name, "vid": vid},
+                estimated_rows=len(rids),
+                estimated_cost=io_cost(random_rows=1),
+            )
+        )
+        if self.join_algorithm == "index_nested_loop":
+            join_cost = io_cost(random_rows=len(rids))
+        elif self.join_algorithm == "merge":
+            join_cost = io_cost(seq_rows=data_rows + len(rids))
+        else:  # hash: build over the rid list, probe the data table scan
+            join_cost = io_cost(seq_rows=data_rows)
+        node.add(
+            ExplainNode(
+                op=f"join.{self.join_algorithm}",
+                detail={"table": self._data.name, "table_rows": data_rows},
+                estimated_rows=len(rids),
+                estimated_cost=join_cost,
+            )
+        )
+        return node
+
+    def explain_commit(self, estimated_rows, parent_sizes):
+        """Insert only the new records + exactly one versioning tuple."""
+        from repro.observe.explain import ExplainNode, io_cost
+
+        reused = max(parent_sizes.values(), default=0)
+        new_rows = max(estimated_rows - reused, 0)
+        node = ExplainNode(
+            op="model.split_by_rlist.commit",
+            detail={"parents": sorted(parent_sizes)},
+            estimated_rows=estimated_rows,
+            span_match=("model.commit", {}),
+        )
+        node.add(
+            ExplainNode(
+                op="data.insert",
+                detail={"table": self._data.name, "note": "new records only"},
+                estimated_rows=new_rows,
+                estimated_cost=io_cost(seq_rows=new_rows),
+            )
+        )
+        node.add(
+            ExplainNode(
+                op="rlist.insert",
+                detail={"table": self._versioning.name},
+                estimated_rows=1,
+                estimated_cost=io_cost(seq_rows=1),
+            )
+        )
+        return node
+
     def storage_bytes(self) -> int:
         return self._data.storage_bytes() + self._versioning.storage_bytes()
 

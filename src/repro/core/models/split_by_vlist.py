@@ -94,5 +94,80 @@ class SplitByVlistModel(DataModel):
         telemetry.count("model.split_by_vlist.rows_checked_out", len(rows))
         return [(row[0], tuple(row[1 : 1 + self._arity])) for row in rows]
 
+    def explain_checkout(self, vid: int):
+        """Containment scan (or inverted-index probe) + hash join."""
+        from repro.observe.explain import ExplainNode, io_cost
+
+        versioning_rows = self._versioning.row_count
+        data_rows = self._data.row_count
+        node = ExplainNode(
+            op="model.split_by_vlist.checkout",
+            detail={"vid": vid},
+            span_match=("model.checkout", {"vid": vid}),
+        )
+        if self.vlist_index_enabled and vid in self._vlist_index:
+            matched = len(self._vlist_index[vid])
+            node.add(
+                ExplainNode(
+                    op="vlist_index.probe",
+                    detail={"vid": vid},
+                    estimated_rows=matched,
+                    estimated_cost=io_cost(random_rows=1),
+                )
+            )
+        else:
+            node.add(
+                ExplainNode(
+                    op="vlist.containment_scan",
+                    detail={
+                        "table": self._versioning.name,
+                        "predicate": f"ARRAY[{vid}] <@ vlist",
+                    },
+                    estimated_rows=versioning_rows,
+                    estimated_cost=io_cost(seq_rows=versioning_rows),
+                )
+            )
+        node.add(
+            ExplainNode(
+                op="join.hash",
+                detail={"table": self._data.name, "table_rows": data_rows},
+                estimated_cost=io_cost(seq_rows=data_rows),
+            )
+        )
+        return node
+
+    def explain_commit(self, estimated_rows, parent_sizes):
+        """Array append per reused record + insert per new record."""
+        from repro.observe.explain import ExplainNode, io_cost
+
+        reused = max(parent_sizes.values(), default=0)
+        new_rows = max(estimated_rows - reused, 0)
+        node = ExplainNode(
+            op="model.split_by_vlist.commit",
+            detail={"parents": sorted(parent_sizes)},
+            estimated_rows=estimated_rows,
+            span_match=("model.commit", {}),
+        )
+        node.add(
+            ExplainNode(
+                op="vlist.append",
+                detail={
+                    "table": self._versioning.name,
+                    "note": "rewrites one narrow array row per reused record",
+                },
+                estimated_rows=reused,
+                estimated_cost=io_cost(seq_rows=self._versioning.row_count),
+            )
+        )
+        node.add(
+            ExplainNode(
+                op="data.insert",
+                detail={"table": self._data.name},
+                estimated_rows=new_rows,
+                estimated_cost=io_cost(seq_rows=new_rows),
+            )
+        )
+        return node
+
     def storage_bytes(self) -> int:
         return self._data.storage_bytes() + self._versioning.storage_bytes()

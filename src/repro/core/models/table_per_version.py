@@ -65,6 +65,50 @@ class TablePerVersionModel(DataModel):
         telemetry.count("model.table_per_version.rows_checked_out", len(rows))
         return rows
 
+    def explain_checkout(self, vid: int):
+        """Optimal checkout: scan exactly the version's own table."""
+        from repro.observe.explain import ExplainNode, io_cost
+
+        table = self._tables.get(vid)
+        table_rows = table.row_count if table is not None else 0
+        node = ExplainNode(
+            op="model.table_per_version.checkout",
+            detail={"vid": vid},
+            estimated_rows=table_rows,
+            span_match=("model.checkout", {"vid": vid}),
+        )
+        node.add(
+            ExplainNode(
+                op="table.scan",
+                detail={
+                    "table": table.name if table is not None else "(absent)"
+                },
+                estimated_rows=table_rows,
+                estimated_cost=io_cost(seq_rows=table_rows),
+            )
+        )
+        return node
+
+    def explain_commit(self, estimated_rows, parent_sizes):
+        """The slow commit: every record of the version is re-inserted."""
+        from repro.observe.explain import ExplainNode, io_cost
+
+        node = ExplainNode(
+            op="model.table_per_version.commit",
+            detail={"parents": sorted(parent_sizes)},
+            estimated_rows=estimated_rows,
+            span_match=("model.commit", {}),
+        )
+        node.add(
+            ExplainNode(
+                op="table.create_insert",
+                detail={"note": "full materialization of the new version"},
+                estimated_rows=estimated_rows,
+                estimated_cost=io_cost(seq_rows=estimated_rows),
+            )
+        )
+        return node
+
     def storage_bytes(self) -> int:
         return sum(t.storage_bytes() for t in self._tables.values())
 

@@ -1,0 +1,51 @@
+"""repro.observe — the introspection layer over the telemetry primitives.
+
+PR 1 made the system *measurable* (spans, counters, histograms); this
+package makes it *explainable*:
+
+* :mod:`repro.observe.explain` — EXPLAIN plan/cost trees for checkout,
+  commit, diff, and VQuel queries, with an analyze mode that folds
+  actual per-node timings back in from the span tree;
+* :mod:`repro.observe.doctor` — storage-health probes (checkout-cost
+  ratio vs. the LyreSplit bound, partition imbalance, delta-chain
+  lengths, orphaned versions, stale staging, telemetry size, journal
+  integrity), each with a severity and a remediation hint;
+* :mod:`repro.observe.journal` — the append-only, trace-correlated
+  operation journal behind ``orpheus log --ops`` and replay-verify.
+"""
+
+from repro.observe.doctor import (
+    DoctorReport,
+    ProbeResult,
+    run_doctor,
+)
+from repro.observe.explain import (
+    ExplainNode,
+    attach_actuals,
+    io_cost,
+    run_with_actuals,
+)
+from repro.observe.journal import (
+    Journal,
+    MUTATING_COMMANDS,
+    OpRecord,
+    make_record,
+    new_trace_id,
+    verify_journal,
+)
+
+__all__ = [
+    "DoctorReport",
+    "ExplainNode",
+    "Journal",
+    "MUTATING_COMMANDS",
+    "OpRecord",
+    "ProbeResult",
+    "attach_actuals",
+    "io_cost",
+    "make_record",
+    "new_trace_id",
+    "run_doctor",
+    "run_with_actuals",
+    "verify_journal",
+]

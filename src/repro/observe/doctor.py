@@ -1,0 +1,455 @@
+"""``orpheus doctor`` — storage-health probes with remediation hints.
+
+Each probe inspects one aspect of a repository and returns a severity
+(``ok``/``warn``/``fail``), a one-line summary, a concrete remediation,
+and machine-readable data. The probes:
+
+* **checkout-cost ratio** — for partitioned CVDs, the live C_avg against
+  the LyreSplit optimum C*_avg; drifting past the migration tolerance µ
+  (and the (1+δ) guarantee Chapter 5 proves) means checkouts are paying
+  for records they do not need → ``orpheus optimize``.
+* **partition imbalance** — one partition holding most of the records
+  defeats the point of partitioning.
+* **delta-chain length** — delta-based models recreate a version by
+  walking its base chain; long chains make checkout O(chain).
+* **orphaned versions** — version-graph metadata and physical membership
+  must cover the same vids.
+* **stale staging** — staged checkouts whose backing file vanished or
+  that have sat uncommitted for a long time.
+* **telemetry accumulator** — ``.orpheus/telemetry.json`` growing without
+  bound or corrupt.
+* **journal integrity** — replay-verify the operation journal against
+  the version graph.
+
+``run_doctor`` executes all probes; the report's exit code is non-zero
+when any probe fails, so CI can gate on ``orpheus doctor --json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import telemetry
+
+OK = "ok"
+WARN = "warn"
+FAIL = "fail"
+
+_RANK = {OK: 0, WARN: 1, FAIL: 2}
+
+#: Delta chains longer than this warn; four times it fails.
+CHAIN_WARN = 8
+#: A partition holding more than this multiple of the mean warns.
+IMBALANCE_FACTOR = 4.0
+#: Staged checkouts older than this many seconds warn.
+STALE_STAGING_SECONDS = 7 * 24 * 3600.0
+#: Accumulated telemetry beyond this many bytes warns.
+TELEMETRY_WARN_BYTES = 4 * 1024 * 1024
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of one probe."""
+
+    probe: str
+    severity: str
+    summary: str
+    remediation: str = ""
+    data: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        record = {
+            "probe": self.probe,
+            "severity": self.severity,
+            "summary": self.summary,
+        }
+        if self.remediation:
+            record["remediation"] = self.remediation
+        if self.data:
+            record["data"] = self.data
+        return record
+
+
+@dataclass
+class DoctorReport:
+    """All probe results plus the aggregate verdict."""
+
+    results: list[ProbeResult] = field(default_factory=list)
+
+    @property
+    def severity(self) -> str:
+        worst = OK
+        for result in self.results:
+            if _RANK[result.severity] > _RANK[worst]:
+                worst = result.severity
+        return worst
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.severity == FAIL else 0
+
+    def to_dict(self) -> dict:
+        return {
+            "severity": self.severity,
+            "probes": [result.to_dict() for result in self.results],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        lines = []
+        for result in self.results:
+            lines.append(
+                f"[{result.severity.upper():<4}] {result.probe:<24} "
+                f"{result.summary}"
+            )
+            if result.remediation and result.severity != OK:
+                lines.append(f"       -> {result.remediation}")
+        lines.append(f"overall: {self.severity}")
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Probes
+# ----------------------------------------------------------------------
+def probe_checkout_cost(orpheus) -> list[ProbeResult]:
+    """Live checkout cost vs. the LyreSplit optimum, per partitioned CVD."""
+    from repro.partition.partitioned_store import PartitionedRlistStore
+
+    results: list[ProbeResult] = []
+    for name in orpheus.ls():
+        model = orpheus.cvd(name).model
+        if not isinstance(model, PartitionedRlistStore):
+            continue
+        if not model._order:
+            continue
+        current = model.current_checkout_cost()
+        _target, best = model.best_partitioning()
+        delta_bound = 1.0 + model._delta_star
+        if best <= 0:
+            continue
+        ratio = current / best
+        bound = max(delta_bound, model.tolerance)
+        if ratio > bound:
+            severity = FAIL
+        elif ratio > delta_bound:
+            severity = WARN
+        else:
+            severity = OK
+        results.append(
+            ProbeResult(
+                probe=f"checkout_cost[{name}]",
+                severity=severity,
+                summary=(
+                    f"cost ratio {ratio:.2f} vs bound "
+                    f"1+δ={delta_bound:.2f} (µ={model.tolerance:.2f})"
+                ),
+                remediation=(
+                    f"re-run `orpheus optimize -d {name}`: checkout cost "
+                    f"ratio {ratio:.2f} exceeds 1+δ={delta_bound:.2f}"
+                    if severity != OK
+                    else ""
+                ),
+                data={
+                    "dataset": name,
+                    "current_cost": current,
+                    "optimal_cost": best,
+                    "ratio": round(ratio, 4),
+                    "delta_bound": round(delta_bound, 4),
+                    "tolerance": model.tolerance,
+                },
+            )
+        )
+    if not results:
+        results.append(
+            ProbeResult(
+                probe="checkout_cost",
+                severity=OK,
+                summary="no partitioned CVDs to check",
+            )
+        )
+    return results
+
+
+def probe_partition_imbalance(orpheus) -> list[ProbeResult]:
+    from repro.partition.partitioned_store import PartitionedRlistStore
+
+    results: list[ProbeResult] = []
+    for name in orpheus.ls():
+        model = orpheus.cvd(name).model
+        if not isinstance(model, PartitionedRlistStore):
+            continue
+        sizes = [len(r) for r in model._partition_records if r]
+        if len(sizes) < 2:
+            continue
+        mean = sum(sizes) / len(sizes)
+        largest = max(sizes)
+        imbalanced = mean > 0 and largest > IMBALANCE_FACTOR * mean
+        results.append(
+            ProbeResult(
+                probe=f"partition_imbalance[{name}]",
+                severity=WARN if imbalanced else OK,
+                summary=(
+                    f"{len(sizes)} partitions, sizes "
+                    f"min={min(sizes)} mean={mean:.0f} max={largest}"
+                ),
+                remediation=(
+                    f"re-run `orpheus optimize -d {name}` to rebalance"
+                    if imbalanced
+                    else ""
+                ),
+                data={"dataset": name, "partition_sizes": sorted(sizes)},
+            )
+        )
+    if not results:
+        results.append(
+            ProbeResult(
+                probe="partition_imbalance",
+                severity=OK,
+                summary="no partitioned CVDs to check",
+            )
+        )
+    return results
+
+
+def probe_delta_chains(orpheus) -> list[ProbeResult]:
+    """Delta-chain length distribution for delta-based CVDs."""
+    from repro.core.models.delta_based import DeltaBasedModel
+
+    results: list[ProbeResult] = []
+    for name in orpheus.ls():
+        cvd = orpheus.cvd(name)
+        if not isinstance(cvd.model, DeltaBasedModel):
+            continue
+        histogram: dict[int, int] = {}
+        longest = 0
+        for vid in cvd.versions.vids():
+            length = len(cvd.model.chain_of(vid)) - 1
+            histogram[length] = histogram.get(length, 0) + 1
+            longest = max(longest, length)
+        if longest > 4 * CHAIN_WARN:
+            severity = FAIL
+        elif longest > CHAIN_WARN:
+            severity = WARN
+        else:
+            severity = OK
+        results.append(
+            ProbeResult(
+                probe=f"delta_chains[{name}]",
+                severity=severity,
+                summary=f"longest delta chain {longest} (threshold {CHAIN_WARN})",
+                remediation=(
+                    "re-commit hot versions against a nearer base, or "
+                    "migrate the CVD to split_by_rlist"
+                    if severity != OK
+                    else ""
+                ),
+                data={
+                    "dataset": name,
+                    "chain_histogram": {
+                        str(k): v for k, v in sorted(histogram.items())
+                    },
+                },
+            )
+        )
+    if not results:
+        results.append(
+            ProbeResult(
+                probe="delta_chains",
+                severity=OK,
+                summary="no delta-based CVDs to check",
+            )
+        )
+    return results
+
+
+def probe_storage_plan_chains(store) -> ProbeResult:
+    """Chain-length distribution of a Chapter-7 storage plan.
+
+    Library-level probe: takes a ``VersionedStore`` (or anything with a
+    ``plan()`` returning a :class:`~repro.storage.graph.StoragePlan`).
+    """
+    plan = store.plan() if callable(getattr(store, "plan", None)) else store
+    histogram = plan.depth_histogram()
+    longest = max(histogram, default=0)
+    if longest > 4 * CHAIN_WARN:
+        severity = FAIL
+    elif longest > CHAIN_WARN:
+        severity = WARN
+    else:
+        severity = OK
+    return ProbeResult(
+        probe="storage_plan_chains",
+        severity=severity,
+        summary=f"longest materialization chain {longest}",
+        remediation=(
+            "re-solve the storage plan with a tighter recreation bound"
+            if severity != OK
+            else ""
+        ),
+        data={"chain_histogram": {str(k): v for k, v in sorted(histogram.items())}},
+    )
+
+
+def probe_orphaned_versions(orpheus) -> list[ProbeResult]:
+    """Version-graph metadata and physical membership must agree."""
+    results: list[ProbeResult] = []
+    for name in orpheus.ls():
+        cvd = orpheus.cvd(name)
+        graph_vids = set(cvd.versions.vids())
+        member_vids = set(cvd._membership)
+        missing_physical = sorted(graph_vids - member_vids)
+        missing_metadata = sorted(member_vids - graph_vids)
+        if missing_physical or missing_metadata:
+            results.append(
+                ProbeResult(
+                    probe=f"orphaned_versions[{name}]",
+                    severity=FAIL,
+                    summary=(
+                        f"{len(missing_physical)} versions lack physical "
+                        f"membership, {len(missing_metadata)} lack metadata"
+                    ),
+                    remediation=(
+                        "state is corrupt; restore .orpheus/state.pkl from "
+                        "backup or re-init from the journal"
+                    ),
+                    data={
+                        "dataset": name,
+                        "missing_physical": missing_physical[:20],
+                        "missing_metadata": missing_metadata[:20],
+                    },
+                )
+            )
+    if not results:
+        results.append(
+            ProbeResult(
+                probe="orphaned_versions",
+                severity=OK,
+                summary="version graph and physical membership agree",
+            )
+        )
+    return results
+
+
+def probe_stale_staging(orpheus) -> ProbeResult:
+    """Staged checkouts whose file vanished or that sat too long."""
+    now = telemetry.now()
+    vanished: list[str] = []
+    stale: list[str] = []
+    for name, info in orpheus.staging._staged.items():
+        looks_like_path = name.endswith(".csv") or os.sep in name
+        if looks_like_path and not os.path.exists(name):
+            vanished.append(name)
+        elif now - info.checkout_time > STALE_STAGING_SECONDS:
+            stale.append(name)
+    if vanished:
+        severity = WARN
+        summary = f"{len(vanished)} staged file(s) no longer exist on disk"
+    elif stale:
+        severity = WARN
+        summary = f"{len(stale)} staged checkout(s) uncommitted for >7 days"
+    else:
+        severity = OK
+        summary = f"{len(orpheus.staging._staged)} staged checkout(s), all live"
+    return ProbeResult(
+        probe="stale_staging",
+        severity=severity,
+        summary=summary,
+        remediation=(
+            "commit or release the staged checkouts (they hold parent "
+            "pins for provenance)"
+            if severity != OK
+            else ""
+        ),
+        data={"vanished": vanished[:20], "stale": stale[:20]},
+    )
+
+
+def probe_telemetry_accumulator(root: str | None = None) -> ProbeResult:
+    """``.orpheus/telemetry.json`` must stay parseable and bounded."""
+    path = Path(root or ".") / ".orpheus" / "telemetry.json"
+    if not path.exists():
+        return ProbeResult(
+            probe="telemetry_accumulator",
+            severity=OK,
+            summary="no accumulated telemetry",
+        )
+    size = path.stat().st_size
+    try:
+        json.loads(path.read_text())
+        parseable = True
+    except ValueError:
+        parseable = False
+    if not parseable:
+        return ProbeResult(
+            probe="telemetry_accumulator",
+            severity=WARN,
+            summary=f"telemetry.json is corrupt ({size} bytes)",
+            remediation="run `orpheus stats --reset` to start a fresh history",
+            data={"bytes": size},
+        )
+    severity = WARN if size > TELEMETRY_WARN_BYTES else OK
+    return ProbeResult(
+        probe="telemetry_accumulator",
+        severity=severity,
+        summary=f"telemetry.json is {size} bytes",
+        remediation=(
+            "run `orpheus stats --reset` after exporting the history"
+            if severity != OK
+            else ""
+        ),
+        data={"bytes": size},
+    )
+
+
+def probe_journal(orpheus, root: str | None = None) -> ProbeResult:
+    """Replay-verify the operation journal against the version graph."""
+    from repro.observe.journal import Journal, verify_journal
+
+    journal = Journal(root)
+    records = journal.read()
+    if not records:
+        return ProbeResult(
+            probe="journal",
+            severity=OK,
+            summary="no operations journaled",
+        )
+    divergences = verify_journal(orpheus, records)
+    return ProbeResult(
+        probe="journal",
+        severity=FAIL if divergences else OK,
+        summary=(
+            f"{len(records)} records, {len(divergences)} divergence(s)"
+        ),
+        remediation=(
+            "the store was mutated outside the CLI or state was lost; "
+            "inspect `orpheus log --ops --verify`"
+            if divergences
+            else ""
+        ),
+        data={"divergences": divergences[:20]},
+    )
+
+
+# ----------------------------------------------------------------------
+def run_doctor(orpheus, root: str | None = None) -> DoctorReport:
+    """Run every probe against one repository."""
+    with telemetry.span("observe.doctor"):
+        report = DoctorReport()
+        report.results.extend(probe_checkout_cost(orpheus))
+        report.results.extend(probe_partition_imbalance(orpheus))
+        report.results.extend(probe_delta_chains(orpheus))
+        report.results.extend(probe_orphaned_versions(orpheus))
+        report.results.append(probe_stale_staging(orpheus))
+        report.results.append(probe_telemetry_accumulator(root))
+        report.results.append(probe_journal(orpheus, root))
+        telemetry.count("observe.doctor.runs")
+        telemetry.count(
+            "observe.doctor.failures",
+            sum(1 for r in report.results if r.severity == FAIL),
+        )
+        return report

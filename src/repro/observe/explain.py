@@ -1,0 +1,191 @@
+"""EXPLAIN plan trees for the version-control operations.
+
+Every layer that does real work during ``checkout``/``commit``/``diff``
+(and VQuel queries) can describe that work *before* doing it: the CVD
+contributes the top of the tree, each data model describes its physical
+access path (rlist lookup + join, containment scan, delta-chain walk,
+partition dispatch), and the relational cost conventions of
+:mod:`repro.relational.costs` supply a device-independent estimated cost
+(sequential row touches plus a 10x penalty per random access — the same
+weighted-IO scalar the Section 5.5.5 cost-model validation uses).
+
+``--explain`` renders the static plan; ``--explain=analyze`` executes the
+operation under an anchor span and folds the *actual* per-node timings
+and row counts (sourced from the telemetry span tree) back into the
+plan via :func:`attach_actuals`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro import telemetry
+from repro.relational.costs import CostSnapshot
+
+
+def io_cost(seq_rows: int = 0, random_rows: int = 0) -> float:
+    """The weighted-IO scalar for an access path, per costs.py."""
+    return CostSnapshot(
+        seq_rows=seq_rows,
+        random_rows=random_rows,
+        rows_written=0,
+        index_probes=0,
+        bytes_read=0,
+        bytes_written=0,
+    ).weighted_io()
+
+
+@dataclass
+class ExplainNode:
+    """One operator in a plan/cost tree.
+
+    Attributes:
+        op: Operator name, dotted and layer-prefixed like span names
+            (``cvd.checkout``, ``join.hash``, ``partition.dispatch``).
+        detail: Operator-specific attributes (model, vid, table names,
+            partitions touched/total, chain length, ...).
+        estimated_rows: Rows the operator expects to produce or touch.
+        estimated_cost: Weighted-IO estimate (:func:`io_cost`).
+        actual_rows: Rows actually produced (analyze mode only).
+        actual_seconds: Wall time actually spent (analyze mode only).
+        span_match: ``(span_name, attrs_subset)`` linking this node to
+            the telemetry span that times it, for
+            :func:`attach_actuals`.
+    """
+
+    op: str
+    detail: dict = field(default_factory=dict)
+    estimated_rows: int | None = None
+    estimated_cost: float | None = None
+    actual_rows: int | None = None
+    actual_seconds: float | None = None
+    span_match: tuple[str, dict] | None = None
+    children: list["ExplainNode"] = field(default_factory=list)
+
+    def add(self, child: "ExplainNode") -> "ExplainNode":
+        self.children.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    # Serialization / rendering
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        node: dict = {"op": self.op}
+        if self.detail:
+            node["detail"] = dict(self.detail)
+        if self.estimated_rows is not None:
+            node["estimated_rows"] = self.estimated_rows
+        if self.estimated_cost is not None:
+            node["estimated_cost"] = round(self.estimated_cost, 4)
+        if self.actual_rows is not None:
+            node["actual_rows"] = self.actual_rows
+        if self.actual_seconds is not None:
+            node["actual_seconds"] = self.actual_seconds
+        if self.children:
+            node["children"] = [child.to_dict() for child in self.children]
+        return node
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def render(self, indent: int = 0) -> str:
+        """The text plan tree, one operator per line."""
+        parts = [f"{'  ' * indent}{self.op}"]
+        if self.detail:
+            parts.append(
+                " ".join(f"{k}={_fmt_value(v)}" for k, v in self.detail.items())
+            )
+        estimates = []
+        if self.estimated_rows is not None:
+            estimates.append(f"rows={self.estimated_rows}")
+        if self.estimated_cost is not None:
+            estimates.append(f"cost={self.estimated_cost:.1f}")
+        if estimates:
+            parts.append(f"(est {' '.join(estimates)})")
+        actuals = []
+        if self.actual_rows is not None:
+            actuals.append(f"rows={self.actual_rows}")
+        if self.actual_seconds is not None:
+            actuals.append(f"time={self.actual_seconds:.6f}s")
+        if actuals:
+            parts.append(f"[actual {' '.join(actuals)}]")
+        lines = ["  ".join(parts)]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, op: str) -> "ExplainNode | None":
+        for node in self.walk():
+            if node.op == op:
+                return node
+        return None
+
+
+def _fmt_value(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(map(str, value)) + "]"
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Analyze mode
+# ----------------------------------------------------------------------
+def attach_actuals(plan: ExplainNode, span_root) -> None:
+    """Fold span-tree timings/rows into a plan's ``actual_*`` fields.
+
+    Each plan node declaring a ``span_match`` is paired with the first
+    unclaimed completed span whose name matches and whose attributes are
+    a superset of the node's match attributes; the span's duration and
+    its ``rows`` attribute (set by the instrumented layers) become the
+    node's actuals.
+    """
+    spans: list = []
+
+    def flatten(node) -> None:
+        spans.append(node)
+        for child in node.children:
+            flatten(child)
+
+    flatten(span_root)
+    claimed: set[int] = set()
+    for node in plan.walk():
+        if node.span_match is None:
+            continue
+        name, attrs = node.span_match
+        for index, candidate in enumerate(spans):
+            if index in claimed or candidate.name != name:
+                continue
+            if any(candidate.attrs.get(k) != v for k, v in attrs.items()):
+                continue
+            claimed.add(index)
+            node.actual_seconds = candidate.duration_s
+            rows = candidate.attrs.get("rows")
+            if rows is not None:
+                node.actual_rows = rows
+            break
+
+
+def run_with_actuals(plan: ExplainNode, operation: Callable[[], object]):
+    """Execute ``operation`` with telemetry on and attach its span tree's
+    timings to ``plan``. Returns the operation's result."""
+    was_enabled = telemetry.is_enabled()
+    telemetry.enable()
+    anchor = None
+    try:
+        with telemetry.span("explain.analyze") as anchor:
+            result = operation()
+    finally:
+        if not was_enabled:
+            telemetry.disable()
+    if anchor is not None:
+        attach_actuals(plan, anchor)
+    return result

@@ -1,0 +1,247 @@
+"""The append-only operation journal: what happened to this repository.
+
+Every mutating ``orpheus`` command (init/commit/checkout/optimize/drop)
+appends exactly one JSON line to ``.orpheus/journal/ops.jsonl`` — success
+*or* failure — carrying a trace id that is also stamped on the command's
+root telemetry span, so a journal entry, its metrics, and its span tree
+correlate. The journal is the durable "what happened" record DataHub-style
+collaborative versioning needs: who ran what, against which versions,
+producing which version, touching how many rows, and (for failures) why.
+
+``orpheus log --ops`` renders it; ``orpheus log --ops --verify`` replays
+the journal against the live version graph and reports divergence
+(journaled versions missing from the graph, parent mismatches, record
+counts drifting, datasets that should or should not exist).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import telemetry
+
+JOURNAL_DIR = "journal"
+JOURNAL_FILE = "ops.jsonl"
+
+#: CLI commands that mutate repository state and therefore journal.
+MUTATING_COMMANDS = frozenset(
+    {"init", "commit", "checkout", "optimize", "drop"}
+)
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace id for one CLI invocation."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass
+class OpRecord:
+    """One journal line. All fields JSON-scalar so lines stay greppable."""
+
+    trace_id: str
+    command: str
+    status: str  # "ok" | "error"
+    ts: float
+    user: str = ""
+    dataset: str | None = None
+    input_versions: list[int] = field(default_factory=list)
+    output_version: int | None = None
+    rows: int | None = None
+    duration_s: float | None = None
+    error_type: str | None = None
+    error_message: str | None = None
+
+    def to_dict(self) -> dict:
+        record = {
+            "trace_id": self.trace_id,
+            "command": self.command,
+            "status": self.status,
+            "ts": self.ts,
+            "user": self.user,
+        }
+        if self.dataset is not None:
+            record["dataset"] = self.dataset
+        if self.input_versions:
+            record["input_versions"] = list(self.input_versions)
+        if self.output_version is not None:
+            record["output_version"] = self.output_version
+        if self.rows is not None:
+            record["rows"] = self.rows
+        if self.duration_s is not None:
+            record["duration_s"] = self.duration_s
+        if self.error_type is not None:
+            record["error"] = {
+                "type": self.error_type,
+                "message": self.error_message or "",
+            }
+        return record
+
+
+class Journal:
+    """Reader/writer for one repository's operation journal."""
+
+    def __init__(self, root: str | None = None) -> None:
+        self.path = (
+            Path(root or ".") / ".orpheus" / JOURNAL_DIR / JOURNAL_FILE
+        )
+
+    def append(self, record: OpRecord | dict) -> None:
+        """Append one record as a single JSON line (atomic at the
+        line level: one ``write`` call of one ``\\n``-terminated line)."""
+        payload = record.to_dict() if isinstance(record, OpRecord) else record
+        line = json.dumps(payload, sort_keys=True, default=str) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def read(self) -> list[dict]:
+        """All well-formed records, oldest first. Malformed lines (e.g. a
+        torn tail write) are skipped, not fatal."""
+        if not self.path.exists():
+            return []
+        records: list[dict] = []
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def render_text(self, records: list[dict] | None = None) -> str:
+        records = self.read() if records is None else records
+        if not records:
+            return "no operations journaled\n"
+        lines = []
+        for record in records:
+            status = record.get("status", "?")
+            flag = "" if status == "ok" else " [FAILED]"
+            bits = [
+                f"{record.get('trace_id', '-'):<16}",
+                f"{record.get('command', '?'):<9}",
+            ]
+            if record.get("dataset"):
+                bits.append(f"d={record['dataset']}")
+            if record.get("input_versions"):
+                versions = ",".join(map(str, record["input_versions"]))
+                bits.append(f"in=[{versions}]")
+            if record.get("output_version") is not None:
+                bits.append(f"out=v{record['output_version']}")
+            if record.get("rows") is not None:
+                bits.append(f"rows={record['rows']}")
+            if record.get("user"):
+                bits.append(f"by={record['user']}")
+            error = record.get("error")
+            if error:
+                bits.append(f"error={error.get('type')}: {error.get('message')}")
+            lines.append("  ".join(bits) + flag)
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Replay-verify
+# ----------------------------------------------------------------------
+def verify_journal(orpheus, records: list[dict]) -> list[str]:
+    """Cross-check journal records against the live version graph.
+
+    Replays the successful dataset-mutating records to reconstruct the
+    expected state (datasets alive, versions committed with which parents
+    and row counts) and compares it against ``orpheus``. Returns a list
+    of human-readable divergence descriptions; empty means the journal
+    and the graph agree.
+    """
+    divergences: list[str] = []
+    #: dataset -> {vid -> (parents, rows)} expected from the journal.
+    expected: dict[str, dict[int, tuple[tuple[int, ...], int | None]]] = {}
+    alive: set[str] = set()
+
+    for record in records:
+        if record.get("status") != "ok":
+            continue
+        command = record.get("command")
+        dataset = record.get("dataset")
+        if dataset is None:
+            continue
+        if command == "init":
+            expected[dataset] = {}
+            alive.add(dataset)
+            vid = record.get("output_version")
+            if vid:
+                expected[dataset][vid] = ((), record.get("rows"))
+        elif command == "commit":
+            vid = record.get("output_version")
+            if vid is None:
+                divergences.append(
+                    f"journal: commit on {dataset!r} lacks output_version"
+                )
+                continue
+            parents = tuple(record.get("input_versions", ()))
+            expected.setdefault(dataset, {})[vid] = (
+                parents,
+                record.get("rows"),
+            )
+            alive.add(dataset)
+        elif command == "drop":
+            alive.discard(dataset)
+            expected.pop(dataset, None)
+
+    live = set(orpheus.ls())
+    for dataset in sorted(alive - live):
+        divergences.append(
+            f"dataset {dataset!r} journaled as live but absent from the store"
+        )
+    for dataset in sorted(alive & live):
+        cvd = orpheus.cvd(dataset)
+        graph_vids = set(cvd.versions.vids())
+        journal_vids = set(expected.get(dataset, ()))
+        for vid in sorted(journal_vids - graph_vids):
+            divergences.append(
+                f"{dataset!r}: journaled version {vid} missing from the "
+                f"version graph"
+            )
+        for vid in sorted(graph_vids - journal_vids):
+            divergences.append(
+                f"{dataset!r}: version {vid} exists in the graph but was "
+                f"never journaled"
+            )
+        for vid in sorted(journal_vids & graph_vids):
+            parents, rows = expected[dataset][vid]
+            metadata = cvd.versions.get(vid)
+            if tuple(parents) != tuple(metadata.parents):
+                divergences.append(
+                    f"{dataset!r} v{vid}: journaled parents "
+                    f"{list(parents)} != graph parents "
+                    f"{list(metadata.parents)}"
+                )
+            if rows is not None and rows != metadata.record_count:
+                divergences.append(
+                    f"{dataset!r} v{vid}: journaled {rows} rows != "
+                    f"graph record_count {metadata.record_count}"
+                )
+    return divergences
+
+
+def make_record(
+    trace_id: str,
+    command: str,
+    user: str = "",
+) -> OpRecord:
+    """A fresh record stamped with the telemetry clock, to be filled in
+    as the command executes and appended at the CLI boundary."""
+    return OpRecord(
+        trace_id=trace_id,
+        command=command,
+        status="ok",
+        ts=telemetry.now(),
+        user=user,
+    )

@@ -124,6 +124,61 @@ class PartitionedRlistStore(DataModel):
     def storage_bytes(self) -> int:
         return sum(p.storage_bytes() for p in self._partitions)
 
+    def explain_checkout(self, vid: int):
+        """Partition dispatch: a checkout touches exactly one partition."""
+        from repro.observe.explain import ExplainNode
+
+        index = self._partition_of.get(vid)
+        node = ExplainNode(
+            op="partition.dispatch",
+            detail={
+                "vid": vid,
+                "partitions_touched": 1 if index is not None else 0,
+                "partitions_total": len(self._partitions),
+                "partition": index if index is not None else "(none)",
+                "partition_versions": (
+                    len(self._partition_versions[index])
+                    if index is not None
+                    else 0
+                ),
+                "partition_records": (
+                    len(self._partition_records[index])
+                    if index is not None
+                    else 0
+                ),
+            },
+            span_match=("model.checkout", {"vid": vid}),
+        )
+        if index is not None:
+            node.add(self._partitions[index].explain_checkout(vid))
+        return node
+
+    def explain_commit(self, estimated_rows, parent_sizes):
+        """Online routing: join the closest parent's partition when the
+        overlap beats δ*·|R| and the budget allows, else open a new one."""
+        from repro.observe.explain import ExplainNode, io_cost
+
+        node = ExplainNode(
+            op="partition.route",
+            detail={
+                "partitions_total": len(self._partitions),
+                "delta_star": round(self._delta_star, 4),
+                "rule": "join parent partition if overlap > δ*·|R| "
+                "and storage budget allows",
+            },
+            estimated_rows=estimated_rows,
+            span_match=("model.commit", {}),
+        )
+        node.add(
+            ExplainNode(
+                op="partition.copy_missing",
+                detail={"note": "records absent from the target partition"},
+                estimated_rows=estimated_rows,
+                estimated_cost=io_cost(seq_rows=estimated_rows),
+            )
+        )
+        return node
+
     def drop(self) -> None:
         for partition in self._partitions:
             partition.drop()

@@ -74,25 +74,37 @@ class Histogram:
             "max": None if self.count == 0 else self.max,
             "p50": self.percentile(0.50),
             "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
             "values": list(self.values),
             "stride": self.stride,
         }
 
 
 class SpanStats:
-    """Aggregate view of one span name: call count, errors, durations."""
+    """Aggregate view of one span name: call count, errors, durations.
 
-    __slots__ = ("name", "errors", "seconds")
+    Failed spans are counted (``count``, ``errors``) and timed into the
+    separate ``failed_seconds`` histogram, so the ``seconds`` latency
+    distribution only ever describes successful operations — an aborted
+    checkout's near-zero duration must not drag p50 down.
+    """
+
+    __slots__ = ("name", "count", "errors", "seconds", "failed_seconds")
 
     def __init__(self, name: str) -> None:
         self.name = name
+        self.count = 0
         self.errors = 0
         self.seconds = Histogram(name)
+        self.failed_seconds = Histogram(name + ".failed")
 
     def record(self, seconds: float, error: bool) -> None:
-        self.seconds.add(seconds)
+        self.count += 1
         if error:
             self.errors += 1
+            self.failed_seconds.add(seconds)
+        else:
+            self.seconds.add(seconds)
 
 
 class Registry:
@@ -161,12 +173,7 @@ class Registry:
                     name: h.summary() for name, h in self._histograms.items()
                 },
                 spans={
-                    name: {
-                        "count": s.seconds.count,
-                        "errors": s.errors,
-                        "seconds": s.seconds.summary(),
-                    }
-                    for name, s in self._spans.items()
+                    name: _span_summary(s) for name, s in self._spans.items()
                 },
             )
 
@@ -178,6 +185,19 @@ class Registry:
             self._histograms.clear()
             self._spans.clear()
             self.last_root = None
+
+
+def _span_summary(stats: SpanStats) -> dict:
+    summary = {
+        "count": stats.count,
+        "errors": stats.errors,
+        "seconds": stats.seconds.summary(),
+    }
+    # Only failing invocations earn the extra histogram; old snapshots
+    # (and the common all-green case) stay compact.
+    if stats.failed_seconds.count:
+        summary["failed_seconds"] = stats.failed_seconds.summary()
+    return summary
 
 
 _global = Registry()

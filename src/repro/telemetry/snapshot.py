@@ -87,14 +87,22 @@ class Snapshot:
         spans = dict(self.spans)
         for name, stats in other.spans.items():
             if name in spans:
-                merged_seconds = _merge_histogram(
-                    spans[name]["seconds"], stats["seconds"]
-                )
-                spans[name] = {
+                merged_span = {
                     "count": spans[name]["count"] + stats["count"],
                     "errors": spans[name]["errors"] + stats["errors"],
-                    "seconds": merged_seconds,
+                    "seconds": _merge_histogram(
+                        spans[name]["seconds"], stats["seconds"]
+                    ),
                 }
+                failed_a = spans[name].get("failed_seconds")
+                failed_b = stats.get("failed_seconds")
+                if failed_a and failed_b:
+                    merged_span["failed_seconds"] = _merge_histogram(
+                        failed_a, failed_b
+                    )
+                elif failed_a or failed_b:
+                    merged_span["failed_seconds"] = dict(failed_a or failed_b)
+                spans[name] = merged_span
             else:
                 spans[name] = dict(stats)
         return Snapshot(
@@ -107,14 +115,17 @@ class Snapshot:
     def render_text(self) -> str:
         lines: list[str] = []
         if self.spans:
-            lines.append("spans (count / errors / total s / p50 s / p95 s / max s)")
+            lines.append(
+                "spans (count / errors / total s / p50 s / p95 s / p99 s / max s)"
+            )
             for name in sorted(self.spans):
                 s = self.spans[name]
                 h = s["seconds"]
                 lines.append(
                     f"  {name:<40} {s['count']:>7} {s['errors']:>4}"
-                    f" {_fmt(h['total'])} {_fmt(h['p50'])}"
-                    f" {_fmt(h['p95'])} {_fmt(h['max'])}"
+                    f" {_fmt(h['total'])} {_fmt(h.get('p50'))}"
+                    f" {_fmt(h.get('p95'))} {_fmt(h.get('p99'))}"
+                    f" {_fmt(h.get('max'))}"
                 )
         if self.counters:
             lines.append("counters")
@@ -125,12 +136,13 @@ class Snapshot:
             for name in sorted(self.gauges):
                 lines.append(f"  {name:<52} {_fmt_num(self.gauges[name])}")
         if self.histograms:
-            lines.append("histograms (count / total / p50 / p95 / max)")
+            lines.append("histograms (count / total / p50 / p95 / p99 / max)")
             for name in sorted(self.histograms):
                 h = self.histograms[name]
                 lines.append(
                     f"  {name:<40} {h['count']:>7} {_fmt(h['total'])}"
-                    f" {_fmt(h['p50'])} {_fmt(h['p95'])} {_fmt(h['max'])}"
+                    f" {_fmt(h.get('p50'))} {_fmt(h.get('p95'))}"
+                    f" {_fmt(h.get('p99'))} {_fmt(h.get('max'))}"
                 )
         if not lines:
             return "no telemetry recorded\n"
@@ -153,6 +165,13 @@ class Snapshot:
             stats = self.spans[name]
             metric = _prom_name(f"span.{name}.seconds")
             lines.extend(_prom_summary(metric, stats["seconds"]))
+            failed = stats.get("failed_seconds")
+            if failed:
+                lines.extend(
+                    _prom_summary(
+                        _prom_name(f"span.{name}.failed_seconds"), failed
+                    )
+                )
             error_metric = _prom_name(f"span.{name}.errors")
             lines.append(f"# TYPE {error_metric} counter")
             lines.append(f"{error_metric} {stats['errors']}")
@@ -183,13 +202,37 @@ def _merge_histogram(first: dict, second: dict) -> dict:
         "max": max(maxs) if maxs else None,
         "p50": percentile(0.50),
         "p95": percentile(0.95),
+        "p99": percentile(0.99),
         "values": values,
         "stride": stride,
     }
 
 
 def _prom_name(name: str) -> str:
-    return "repro_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    """A legal exposition-format metric name.
+
+    The charset is ``[a-zA-Z_:][a-zA-Z0-9_:]*``; dotted telemetry names
+    and anything else outside it collapse to underscores. The ``repro_``
+    prefix guarantees a legal first character even for names that start
+    with a digit.
+    """
+    return "repro_" + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _prom_label_name(name: str) -> str:
+    """A legal label name: ``[a-zA-Z_][a-zA-Z0-9_]*``."""
+    cleaned = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not cleaned or not (cleaned[0].isalpha() or cleaned[0] == "_"):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _prom_label_value(value: object) -> str:
+    """Escape a label value per the exposition format (backslash first)."""
+    text = str(value)
+    return (
+        text.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
 
 
 def _prom_value(value: float) -> str:
@@ -200,10 +243,13 @@ def _prom_value(value: float) -> str:
 
 def _prom_summary(metric: str, histogram: dict) -> list[str]:
     lines = [f"# TYPE {metric} summary"]
-    for quantile, key in (("0.5", "p50"), ("0.95", "p95")):
+    label = _prom_label_name("quantile")
+    for quantile, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
         value = histogram.get(key)
         if value is not None:
-            lines.append(f'{metric}{{quantile="{quantile}"}} {value}')
+            lines.append(
+                f'{metric}{{{label}="{_prom_label_value(quantile)}"}} {value}'
+            )
     lines.append(f"{metric}_sum {histogram['total']}")
     lines.append(f"{metric}_count {histogram['count']}")
     return lines

@@ -22,6 +22,7 @@ from __future__ import annotations
 import statistics
 from typing import Iterable, Sequence
 
+from repro import telemetry
 from repro.vquel import ast
 from repro.vquel.errors import VQuelEvaluationError
 from repro.vquel.model import Repository, VRecord, VRelation, VVersion
@@ -87,18 +88,28 @@ class Evaluator:
         self.declarations: dict[str, ast.PathExpr] = {}
         #: derived sets from `retrieve into`.
         self.derived: dict[str, list[DerivedEntity]] = {}
+        #: Work counters for EXPLAIN ANALYZE (repro.observe): how many
+        #: bindings the nested iterators enumerated and rows retrieved.
+        self.stats = {"bindings_enumerated": 0, "rows_produced": 0}
 
     # ------------------------------------------------------------------
     def run(self, program: ast.Program) -> QueryResult:
-        result: QueryResult | None = None
-        for statement in program.statements:
-            if isinstance(statement, ast.RangeStmt):
-                self.declarations[statement.iterator] = statement.source
-            else:
-                result = self._retrieve(statement)
-        if result is None:
-            raise VQuelEvaluationError("program has no retrieve statement")
-        return result
+        with telemetry.span("vquel.run") as run_span:
+            result: QueryResult | None = None
+            for statement in program.statements:
+                if isinstance(statement, ast.RangeStmt):
+                    self.declarations[statement.iterator] = statement.source
+                else:
+                    result = self._retrieve(statement)
+            if result is None:
+                raise VQuelEvaluationError("program has no retrieve statement")
+            telemetry.count("vquel.rows_retrieved", len(result.rows))
+            telemetry.count(
+                "vquel.bindings_enumerated", self.stats["bindings_enumerated"]
+            )
+            if run_span is not None:
+                run_span.set_attr("rows", len(result.rows))
+            return result
 
     # ------------------------------------------------------------------
     # Retrieve
@@ -144,6 +155,7 @@ class Evaluator:
                     reverse=descending,
                 )
         rows = [row for _key, row in produced]
+        self.stats["rows_produced"] += len(rows)
 
         if statement.into is not None:
             entities = [
@@ -261,6 +273,7 @@ class Evaluator:
         """Yield binding dicts for ``loop_order`` iterators, nested in
         order, on top of ``fixed`` outer bindings."""
         if not loop_order:
+            self.stats["bindings_enumerated"] += 1
             yield dict(fixed)
             return
         name = loop_order[0]

@@ -1,0 +1,146 @@
+"""EXPLAIN support for VQuel programs.
+
+Builds an :class:`~repro.observe.explain.ExplainNode` tree from the
+parsed AST without evaluating it: one ``vquel.range`` node per iterator
+declaration (with a row estimate when the source is the ``Version`` set)
+and one ``vquel.retrieve`` node per retrieve statement whose children
+are the nested-loop iterators the evaluator will actually drive (the
+top-level iterators closed under source-path dependencies). Analyze mode
+runs the program and folds actual row counts, enumerated bindings, and
+wall time back into the tree.
+"""
+
+from __future__ import annotations
+
+from repro.observe.explain import ExplainNode, io_cost, run_with_actuals
+from repro.vquel import ast
+from repro.vquel.evaluator import Evaluator
+from repro.vquel.model import Repository
+from repro.vquel.parser import parse
+
+
+def _path_text(path: ast.PathExpr) -> str:
+    parts = []
+    for segment in path.segments:
+        text = segment.name
+        inner = [str(_expr_text(a)) for a in segment.args]
+        inner += [f"{k}={_expr_text(v)}" for k, v in segment.filters]
+        if inner or segment.has_parens:
+            text += "(" + ", ".join(inner) + ")"
+        parts.append(text)
+    return ".".join(parts)
+
+
+def _expr_text(expr: ast.Expr) -> str:
+    if isinstance(expr, ast.StringLit):
+        return f'"{expr.value}"'
+    if isinstance(expr, ast.NumberLit):
+        return str(expr.value)
+    if isinstance(expr, ast.PathExpr):
+        return _path_text(expr)
+    if isinstance(expr, ast.BinOp):
+        return f"{_expr_text(expr.left)} {expr.op} {_expr_text(expr.right)}"
+    if isinstance(expr, ast.NotOp):
+        return f"not {_expr_text(expr.operand)}"
+    if isinstance(expr, ast.AggregateCall):
+        arg = _expr_text(expr.argument) if expr.argument is not None else ""
+        return f"{expr.func}({arg})"
+    if isinstance(expr, ast.FunctionCall):
+        return f"{expr.name}({', '.join(_expr_text(a) for a in expr.args)})"
+    return str(expr)
+
+
+def explain_query(
+    repository: Repository, text: str, analyze: bool = False
+) -> ExplainNode:
+    """The plan tree for a VQuel program; runs it when ``analyze``."""
+    program = parse(text)
+    evaluator = Evaluator(repository)
+    n_versions = len(list(repository.versions))
+
+    root = ExplainNode(
+        op="vquel.program",
+        detail={"statements": len(program.statements)},
+        span_match=("vquel.run", {}),
+    )
+    #: iterator -> estimated cardinality (None when data-dependent).
+    estimates: dict[str, int | None] = {}
+    retrieve_nodes: list[ExplainNode] = []
+    for statement in program.statements:
+        if isinstance(statement, ast.RangeStmt):
+            evaluator.declarations[statement.iterator] = statement.source
+            head = statement.source.segments[0]
+            estimate: int | None = None
+            if statement.source.root_name() == "Version" and not head.args:
+                # Filters prune but never grow the Version set.
+                estimate = n_versions
+            estimates[statement.iterator] = estimate
+            root.add(
+                ExplainNode(
+                    op="vquel.range",
+                    detail={
+                        "iterator": statement.iterator,
+                        "source": _path_text(statement.source),
+                    },
+                    estimated_rows=estimate,
+                )
+            )
+            continue
+
+        exprs: list[ast.Expr] = [t.expr for t in statement.targets]
+        if statement.where is not None:
+            exprs.append(statement.where)
+        exprs.extend(expr for expr, _desc in statement.sort_by)
+        loops = [
+            name
+            for name in evaluator.declarations
+            if name in evaluator._top_level_iterators(exprs)
+        ]
+        bindings: int | None = 1
+        for name in loops:
+            size = estimates.get(name)
+            bindings = None if (bindings is None or size is None) else bindings * size
+        node = ExplainNode(
+            op="vquel.retrieve",
+            detail={
+                "targets": [
+                    t.alias or _expr_text(t.expr) for t in statement.targets
+                ],
+                "unique": statement.unique,
+            },
+            estimated_rows=bindings,
+            estimated_cost=(
+                io_cost(seq_rows=bindings) if bindings is not None else None
+            ),
+        )
+        if statement.into is not None:
+            node.detail["into"] = statement.into
+        if statement.where is not None:
+            node.detail["where"] = _expr_text(statement.where)
+        for name in loops:
+            node.add(
+                ExplainNode(
+                    op="vquel.nested_loop",
+                    detail={
+                        "iterator": name,
+                        "source": _path_text(evaluator.declarations[name]),
+                    },
+                    estimated_rows=estimates.get(name),
+                )
+            )
+        root.add(node)
+        retrieve_nodes.append(node)
+        if statement.into is not None:
+            # Derived-set cardinality is data-dependent.
+            estimates[statement.into] = None
+
+    if analyze:
+        runner = Evaluator(repository)
+        result = run_with_actuals(root, lambda: runner.run(program))
+        if retrieve_nodes:
+            retrieve_nodes[-1].actual_rows = len(result.rows)
+        root.detail["bindings_enumerated"] = runner.stats[
+            "bindings_enumerated"
+        ]
+        root.detail["rows_produced"] = runner.stats["rows_produced"]
+    return root

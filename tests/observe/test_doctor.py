@@ -1,0 +1,210 @@
+"""``orpheus doctor``: probe severities, remediation hints, exit codes,
+and the CLI/CI surface (healthy store exits 0, degraded store exits 1)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.commands import Orpheus
+from repro.core.cvd import CVD
+from repro.observe.doctor import (
+    CHAIN_WARN,
+    probe_checkout_cost,
+    probe_delta_chains,
+    probe_orphaned_versions,
+    probe_stale_staging,
+    probe_storage_plan_chains,
+    probe_telemetry_accumulator,
+    run_doctor,
+)
+from repro.partition.partitioned_store import PartitionedRlistStore
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.types import INT, TEXT
+
+
+def make_orpheus(model: str = "split_by_rlist") -> Orpheus:
+    orpheus = Orpheus()
+    schema = Schema(
+        [ColumnDef("key", TEXT), ColumnDef("value", INT)],
+        primary_key=("key",),
+    )
+    orpheus.init(
+        "d", schema, [(f"k{i}", i) for i in range(20)], model=model
+    )
+    return orpheus
+
+
+def degrade(orpheus) -> None:
+    """Cram disjoint versions into one partition so the live checkout
+    cost blows past the (1+δ) bound and the migration tolerance µ."""
+    store = orpheus.cvd("d").model
+    assert isinstance(store, PartitionedRlistStore)
+    store._route_commit = lambda vid, parents, membership: 0
+    cvd = orpheus.cvd("d")
+    for j in range(3):
+        rows = [(f"g{j}_{i}", i) for i in range(20)]
+        cvd.commit(rows, message=f"disjoint {j}")
+
+
+class TestProbes:
+    def test_healthy_repository_is_all_ok(self):
+        report = run_doctor(make_orpheus())
+        assert report.severity == "ok"
+        assert report.exit_code == 0
+
+    def test_degraded_partitioning_fails_with_remediation(self):
+        orpheus = make_orpheus("partitioned_rlist")
+        degrade(orpheus)
+        results = probe_checkout_cost(orpheus)
+        assert len(results) == 1
+        assert results[0].severity == "fail"
+        assert "orpheus optimize" in results[0].remediation
+        assert results[0].data["ratio"] > results[0].data["delta_bound"]
+        report = run_doctor(orpheus)
+        assert report.exit_code == 1
+
+    def test_optimize_heals_the_degraded_store(self):
+        orpheus = make_orpheus("partitioned_rlist")
+        degrade(orpheus)
+        del orpheus.cvd("d").model._route_commit  # restore the real rule
+        orpheus.optimize("d")
+        assert probe_checkout_cost(orpheus)[0].severity == "ok"
+
+    def test_long_delta_chain_warns(self):
+        orpheus = make_orpheus("delta_based")
+        cvd = orpheus.cvd("d")
+        rows = [(f"k{i}", i) for i in range(20)]
+        vid = 1
+        for j in range(CHAIN_WARN + 2):
+            rows = rows + [(f"n{j}", 100 + j)]
+            vid = cvd.commit(rows, parents=(vid,), message=f"c{j}")
+        results = probe_delta_chains(orpheus)
+        assert results[0].severity == "warn"
+        assert "delta chain" in results[0].summary
+
+    def test_orphaned_version_fails(self):
+        orpheus = make_orpheus()
+        del orpheus.cvd("d")._membership[1]
+        results = probe_orphaned_versions(orpheus)
+        assert results[0].severity == "fail"
+        assert "restore" in results[0].remediation
+
+    def test_vanished_staging_file_warns(self, tmp_path):
+        orpheus = make_orpheus()
+        # Stage a path-like key whose backing file does not exist on disk.
+        from repro.core.staging import StagedTable
+
+        gone = str(tmp_path / "gone.csv")
+        orpheus.staging._staged[gone] = StagedTable(
+            table_name=gone, cvd_name="d", parents=(1,), owner=""
+        )
+        result = probe_stale_staging(orpheus)
+        assert result.severity == "warn"
+        assert "no longer exist" in result.summary
+
+    def test_corrupt_telemetry_accumulator_warns(self, tmp_path):
+        telemetry_dir = tmp_path / ".orpheus"
+        telemetry_dir.mkdir()
+        (telemetry_dir / "telemetry.json").write_text("{not json")
+        result = probe_telemetry_accumulator(str(tmp_path))
+        assert result.severity == "warn"
+        assert "stats --reset" in result.remediation
+
+    def test_storage_plan_chain_probe(self):
+        class FakePlan:
+            def depth_histogram(self):
+                return {1: 3, 4 * CHAIN_WARN + 1: 1}
+
+        result = probe_storage_plan_chains(FakePlan())
+        assert result.severity == "fail"
+
+
+class TestReport:
+    def test_json_shape(self):
+        report = run_doctor(make_orpheus())
+        data = json.loads(report.to_json())
+        assert data["severity"] == "ok"
+        probes = {p["probe"] for p in data["probes"]}
+        assert "journal" in probes
+        assert any(p.startswith("orphaned_versions") for p in probes)
+
+    def test_text_render_shows_remediation_on_failure(self):
+        orpheus = make_orpheus("partitioned_rlist")
+        degrade(orpheus)
+        text = run_doctor(orpheus).render_text()
+        assert "[FAIL]" in text
+        assert "->" in text
+        assert text.strip().endswith("overall: fail")
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    (tmp_path / "data.csv").write_text(
+        "key,value\n" + "".join(f"k{i},{i}\n" for i in range(20))
+    )
+    (tmp_path / "schema.csv").write_text(
+        "key,text\nvalue,integer\nprimary_key,key\n"
+    )
+    return tmp_path
+
+
+def run(workspace, *args) -> int:
+    return main(["--root", str(workspace), *args])
+
+
+class TestCliDoctor:
+    def test_healthy_repo_exits_zero(self, workspace, capsys):
+        assert run(
+            workspace,
+            "init", "-d", "d",
+            "-f", str(workspace / "data.csv"),
+            "-s", str(workspace / "schema.csv"),
+        ) == 0
+        assert run(workspace, "doctor") == 0
+        out = capsys.readouterr().out
+        assert "overall: ok" in out
+
+    def test_doctor_json_is_parseable(self, workspace, capsys):
+        assert run(
+            workspace,
+            "init", "-d", "d",
+            "-f", str(workspace / "data.csv"),
+            "-s", str(workspace / "schema.csv"),
+        ) == 0
+        capsys.readouterr()
+        assert run(workspace, "doctor", "--json") == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["severity"] == "ok"
+
+    def test_degraded_repo_exits_nonzero(self, workspace, capsys, monkeypatch):
+        assert run(
+            workspace,
+            "init", "-d", "d",
+            "-f", str(workspace / "data.csv"),
+            "-s", str(workspace / "schema.csv"),
+            "--model", "partitioned_rlist",
+        ) == 0
+        # After init partition 0 exists; route every later (disjoint)
+        # commit into it so the live checkout cost blows past µ.
+        monkeypatch.setattr(
+            PartitionedRlistStore,
+            "_route_commit",
+            lambda self, vid, parents, membership: 0,
+        )
+        for j in range(3):
+            csv = workspace / f"g{j}.csv"
+            csv.write_text(
+                "key,value\n"
+                + "".join(f"g{j}_{i},{i}\n" for i in range(20))
+            )
+            assert run(
+                workspace, "commit", "-d", "d", "-f", str(csv), "-m", "x"
+            ) == 0
+        capsys.readouterr()
+        assert run(workspace, "doctor") == 1
+        out = capsys.readouterr().out
+        assert "[FAIL]" in out
+        assert "orpheus optimize" in out

@@ -1,0 +1,279 @@
+"""EXPLAIN plan trees: per-model access paths, partition dispatch,
+analyze-mode actuals, VQuel plans, and the CLI ``--explain`` surface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.cli import main
+from repro.core.cvd import CVD
+from repro.observe.explain import (
+    ExplainNode,
+    attach_actuals,
+    io_cost,
+    run_with_actuals,
+)
+from repro.relational.database import Database
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.types import INT, TEXT
+
+
+def make_cvd(model: str) -> CVD:
+    schema = Schema(
+        [ColumnDef("key", TEXT), ColumnDef("value", INT)],
+        primary_key=("key",),
+    )
+    cvd = CVD(Database(), "d", schema, model=model)
+    v1 = cvd.commit([(f"k{i}", i) for i in range(20)], message="base")
+    rows = [(f"k{i}", i) for i in range(20)] + [("k99", 99)]
+    cvd.commit(rows, parents=(v1,), message="edit")
+    return cvd
+
+
+class TestIoCost:
+    def test_weighted_io_convention(self):
+        # Sequential touches count 1x, random touches 10x (costs.py).
+        assert io_cost(seq_rows=30) == 30.0
+        assert io_cost(random_rows=3) == 30.0
+        assert io_cost(seq_rows=5, random_rows=1) == 15.0
+
+
+class TestNode:
+    def test_render_and_json_round_trip(self):
+        root = ExplainNode(op="a", detail={"x": 1}, estimated_rows=5)
+        root.add(ExplainNode(op="b", estimated_cost=2.5))
+        text = root.render()
+        assert "a  x=1  (est rows=5)" in text
+        assert "  b  (est cost=2.5)" in text
+        data = json.loads(root.to_json())
+        assert data["op"] == "a"
+        assert data["children"][0]["estimated_cost"] == 2.5
+
+    def test_find_and_walk(self):
+        root = ExplainNode(op="a")
+        child = root.add(ExplainNode(op="b"))
+        child.add(ExplainNode(op="c"))
+        assert [n.op for n in root.walk()] == ["a", "b", "c"]
+        assert root.find("c").op == "c"
+        assert root.find("zzz") is None
+
+
+class TestModelPlans:
+    def test_split_by_rlist_lookup_plus_join(self):
+        plan = make_cvd("split_by_rlist").explain_checkout(2)
+        assert plan.op == "cvd.checkout"
+        assert plan.detail["model"] == "split_by_rlist"
+        assert plan.find("rlist.lookup") is not None
+        join = plan.find("join.hash")
+        assert join is not None
+        assert join.estimated_cost > 0
+
+    def test_delta_based_chain_children(self):
+        plan = make_cvd("delta_based").explain_checkout(2)
+        node = plan.find("model.delta_based.checkout")
+        assert node.detail["chain_length"] == 2
+        scans = [n for n in plan.walk() if n.op == "delta.scan"]
+        assert [s.detail["vid"] for s in scans] == [2, 1]
+
+    def test_table_per_version_scans_own_table(self):
+        plan = make_cvd("table_per_version").explain_checkout(2)
+        scan = plan.find("table.scan")
+        assert scan.estimated_rows == 21
+
+    def test_combined_table_containment_scan(self):
+        plan = make_cvd("combined_table").explain_checkout(1)
+        assert plan.find("vlist.containment_scan") is not None
+
+    def test_split_by_vlist_plan(self):
+        plan = make_cvd("split_by_vlist").explain_checkout(1)
+        assert plan.find("join.hash") is not None
+
+    def test_multi_version_checkout_adds_precedence_merge(self):
+        plan = make_cvd("split_by_rlist").explain_checkout([1, 2])
+        merge = plan.find("merge.precedence")
+        assert merge.detail["order"] == [1, 2]
+
+    def test_commit_plan_names_parent_diff_and_model(self):
+        cvd = make_cvd("split_by_rlist")
+        plan = cvd.explain_commit(25, parents=(2,))
+        assert plan.op == "cvd.commit"
+        assert plan.find("parent.diff") is not None
+        assert plan.find("pk.check") is not None
+        assert plan.find("model.split_by_rlist.commit") is not None
+
+    def test_diff_plan(self):
+        plan = make_cvd("split_by_rlist").explain_diff(1, 2)
+        fetches = [n for n in plan.walk() if n.op == "membership.fetch"]
+        assert len(fetches) == 2
+        assert plan.find("rid_set.difference").estimated_rows == 41
+
+
+class TestPartitionedPlan:
+    def test_dispatch_reports_partitions_touched_vs_total(self):
+        cvd = make_cvd("partitioned_rlist")
+        cvd.model.optimize()
+        plan = cvd.explain_checkout(2)
+        dispatch = plan.find("partition.dispatch")
+        assert dispatch.detail["partitions_touched"] == 1
+        assert (
+            dispatch.detail["partitions_total"]
+            == len(cvd.model._partitions)
+        )
+        # The inner per-partition plan is the split-by-rlist one.
+        assert plan.find("rlist.lookup") is not None
+
+
+class TestAnalyze:
+    def test_attach_actuals_pairs_spans_to_nodes(self):
+        telemetry.enable()
+        cvd = make_cvd("split_by_rlist")
+        plan = cvd.explain_checkout(2)
+        result = run_with_actuals(plan, lambda: cvd.checkout(2))
+        assert len(result.rows) == 21
+        assert plan.actual_seconds is not None
+        assert plan.actual_rows == 21
+        model_node = plan.find("model.split_by_rlist.checkout")
+        assert model_node.actual_seconds is not None
+        assert model_node.actual_rows == 21
+
+    def test_each_span_claimed_once(self):
+        root = ExplainNode(op="r")
+        a = root.add(ExplainNode(op="a", span_match=("s", {})))
+        b = root.add(ExplainNode(op="b", span_match=("s", {})))
+
+        class FakeSpan:
+            def __init__(self, name, dur):
+                self.name = name
+                self.duration_s = dur
+                self.attrs = {}
+                self.children = []
+
+        anchor = FakeSpan("anchor", 1.0)
+        anchor.children = [FakeSpan("s", 0.25), FakeSpan("s", 0.75)]
+        attach_actuals(root, anchor)
+        assert (a.actual_seconds, b.actual_seconds) == (0.25, 0.75)
+
+    def test_run_with_actuals_restores_disabled_telemetry(self):
+        telemetry.disable()
+        plan = ExplainNode(op="r")
+        run_with_actuals(plan, lambda: None)
+        assert not telemetry.is_enabled()
+
+
+class TestVQuelExplain:
+    def test_static_plan_estimates_version_cardinality(self, employee_repo):
+        from repro.vquel.explain import explain_query
+
+        plan = explain_query(
+            employee_repo,
+            'range of V is Version\nretrieve V.id where V.id = "v02"',
+        )
+        rng = plan.find("vquel.range")
+        assert rng.detail["iterator"] == "V"
+        assert rng.estimated_rows == 3
+        retrieve = plan.find("vquel.retrieve")
+        assert retrieve.estimated_rows == 3
+        loops = [n for n in plan.walk() if n.op == "vquel.nested_loop"]
+        assert [n.detail["iterator"] for n in loops] == ["V"]
+
+    def test_analyze_attaches_actual_rows(self, employee_repo):
+        from repro.vquel.explain import explain_query
+
+        plan = explain_query(
+            employee_repo,
+            'range of V is Version\nretrieve V.id where V.id = "v02"',
+            analyze=True,
+        )
+        assert plan.find("vquel.retrieve").actual_rows == 1
+        assert plan.detail["bindings_enumerated"] == 3
+        assert plan.actual_seconds is not None
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    (tmp_path / "data.csv").write_text(
+        "key,value\n" + "".join(f"k{i},{i}\n" for i in range(20))
+    )
+    (tmp_path / "schema.csv").write_text(
+        "key,text\nvalue,integer\nprimary_key,key\n"
+    )
+    return tmp_path
+
+
+def run(workspace, *args) -> int:
+    return main(["--root", str(workspace), *args])
+
+
+def init(workspace) -> None:
+    assert run(
+        workspace,
+        "init", "-d", "d",
+        "-f", str(workspace / "data.csv"),
+        "-s", str(workspace / "schema.csv"),
+    ) == 0
+
+
+class TestCliExplain:
+    def test_plan_only_prints_tree_without_executing(self, workspace, capsys):
+        init(workspace)
+        target = workspace / "out.csv"
+        assert run(
+            workspace, "checkout", "-d", "d", "-v", "1",
+            "-f", str(target), "--explain",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cvd.checkout" in out
+        assert "model=split_by_rlist" in out
+        assert "rlist.lookup" in out
+        assert not target.exists()  # plan only: nothing materialized
+
+    def test_analyze_executes_and_prints_actuals(self, workspace, capsys):
+        init(workspace)
+        target = workspace / "out.csv"
+        assert run(
+            workspace, "checkout", "-d", "d", "-v", "1",
+            "-f", str(target), "--explain=analyze",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[actual rows=20" in out
+        assert target.exists()
+
+    def test_json_plan_output(self, workspace, capsys):
+        init(workspace)
+        capsys.readouterr()
+        assert run(
+            workspace, "checkout", "-d", "d", "-v", "1",
+            "-f", str(workspace / "o.csv"), "--explain", "--json",
+        ) == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["op"] == "cvd.checkout"
+        assert plan["detail"]["model"] == "split_by_rlist"
+
+    def test_commit_and_diff_explain(self, workspace, capsys):
+        init(workspace)
+        work = workspace / "work.csv"
+        assert run(
+            workspace, "checkout", "-d", "d", "-v", "1", "-f", str(work)
+        ) == 0
+        with open(work, "a", newline="") as handle:
+            handle.write("k99,99\r\n")
+        assert run(
+            workspace, "commit", "-d", "d", "-f", str(work), "--explain"
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cvd.commit" in out and "parent.diff" in out
+        # Plan-only commit did not create a version.
+        assert run(
+            workspace, "commit", "-d", "d", "-f", str(work), "-m", "e"
+        ) == 0
+        capsys.readouterr()
+        assert run(
+            workspace, "diff", "-d", "d", "-a", "1", "-b", "2",
+            "--explain=analyze",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cvd.diff" in out
+        assert "records only in v2: 1" in out

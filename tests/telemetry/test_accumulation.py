@@ -1,0 +1,200 @@
+"""``.orpheus/telemetry.json`` edge cases: corrupt/truncated recovery,
+concurrent-writer atomicity, reset semantics, and the p99/Prometheus
+rendering added to histogram summaries."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro import telemetry
+from repro.cli import (
+    _telemetry_path,
+    load_telemetry,
+    main,
+    save_telemetry,
+)
+from repro.telemetry.registry import Histogram
+from repro.telemetry.snapshot import (
+    Snapshot,
+    _prom_label_name,
+    _prom_label_value,
+    _prom_name,
+)
+
+
+def run(root, *args) -> int:
+    return main(["--root", str(root), *args])
+
+
+def drive(workspace) -> None:
+    (workspace / "data.csv").write_text("key,value\nk1,1\nk2,2\n")
+    (workspace / "schema.csv").write_text(
+        "key,text\nvalue,integer\nprimary_key,key\n"
+    )
+    assert run(
+        workspace,
+        "init", "-d", "d",
+        "-f", str(workspace / "data.csv"),
+        "-s", str(workspace / "schema.csv"),
+    ) == 0
+
+
+class TestCorruptRecovery:
+    def test_corrupt_file_loads_as_empty(self, tmp_path):
+        path = _telemetry_path(str(tmp_path))
+        path.parent.mkdir(parents=True)
+        path.write_text("definitely { not json")
+        assert load_telemetry(str(tmp_path)).is_empty()
+
+    def test_truncated_file_loads_as_empty(self, tmp_path):
+        drive(tmp_path)
+        path = _telemetry_path(str(tmp_path))
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])  # torn mid-write
+        assert load_telemetry(str(tmp_path)).is_empty()
+
+    def test_next_command_rebuilds_a_valid_history(self, tmp_path):
+        drive(tmp_path)
+        path = _telemetry_path(str(tmp_path))
+        path.write_text(path.read_text()[:10])
+        assert run(tmp_path, "ls") == 0
+        data = json.loads(path.read_text())
+        assert data["spans"]["cli.ls"]["count"] == 1
+        # The corrupt prefix was discarded, not merged.
+        assert "cli.init" not in data["spans"]
+
+
+class TestConcurrentWriters:
+    def test_last_writer_wins_and_file_stays_parseable(self, tmp_path):
+        snapshots = [
+            Snapshot(counters={f"writer.{i}": float(i)}) for i in range(8)
+        ]
+        threads = [
+            threading.Thread(target=save_telemetry, args=(s, str(tmp_path)))
+            for s in snapshots
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Atomic replace: the survivor is exactly one writer's snapshot,
+        # never an interleaving of two.
+        data = json.loads(_telemetry_path(str(tmp_path)).read_text())
+        assert len(data["counters"]) == 1
+        (name,) = data["counters"]
+        assert name.startswith("writer.")
+
+
+class TestReset:
+    def test_reset_leaves_empty_but_valid_file(self, tmp_path, capsys):
+        drive(tmp_path)
+        assert run(tmp_path, "stats", "--reset") == 0
+        path = _telemetry_path(str(tmp_path))
+        assert path.exists()
+        snapshot = Snapshot.from_json(path.read_text())
+        assert snapshot.is_empty()
+        capsys.readouterr()
+        assert run(tmp_path, "stats") == 0
+        assert "no telemetry recorded" in capsys.readouterr().out
+
+    def test_accumulation_resumes_after_reset(self, tmp_path, capsys):
+        drive(tmp_path)
+        assert run(tmp_path, "stats", "--reset") == 0
+        assert run(tmp_path, "ls") == 0
+        capsys.readouterr()
+        assert run(tmp_path, "stats", "--json") == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["spans"]["cli.ls"]["count"] == 1
+
+
+class TestP99:
+    def test_histogram_summary_has_p99(self):
+        h = Histogram("x")
+        for i in range(100):
+            h.add(float(i))
+        summary = h.summary()
+        assert summary["p99"] == 99.0
+        assert summary["p50"] == 50.0
+
+    def test_merge_recomputes_p99(self):
+        a = Histogram("x")
+        b = Histogram("x")
+        for i in range(50):
+            a.add(float(i))
+        for i in range(50, 100):
+            b.add(float(i))
+        merged = Snapshot(histograms={"x": a.summary()}).merged(
+            Snapshot(histograms={"x": b.summary()})
+        )
+        assert merged.histograms["x"]["p99"] == 99.0
+
+    def test_text_render_includes_p99_column(self):
+        telemetry.enable()
+        telemetry.reset()
+        telemetry.observe("h", 1.0)
+        text = telemetry.snapshot().render_text()
+        assert "p99" in text
+
+    def test_old_summary_without_p99_still_renders(self):
+        legacy = {
+            "count": 1,
+            "total": 2.0,
+            "min": 2.0,
+            "max": 2.0,
+            "p50": 2.0,
+            "p95": 2.0,
+            "values": [2.0],
+            "stride": 1,
+        }
+        snapshot = Snapshot(
+            histograms={"h": dict(legacy)},
+            spans={"s": {"count": 1, "errors": 0, "seconds": dict(legacy)}},
+        )
+        text = snapshot.render_text()
+        assert "h" in text and "s" in text
+
+    def test_prometheus_exports_p99_quantile(self):
+        telemetry.enable()
+        telemetry.reset()
+        telemetry.observe("lat", 0.5)
+        text = telemetry.snapshot().render_prometheus()
+        assert 'repro_lat{quantile="0.99"} 0.5' in text
+
+
+class TestPrometheusHardening:
+    def test_metric_names_collapse_to_exposition_charset(self):
+        assert _prom_name("a.b-c d/e") == "repro_a_b_c_d_e"
+        assert _prom_name("0weird") == "repro_0weird"  # prefix keeps it legal
+
+    def test_label_name_sanitized(self):
+        assert _prom_label_name("a-b.c") == "a_b_c"
+        assert _prom_label_name("9lives") == "_9lives"
+        assert _prom_label_name("") == "_"
+
+    def test_label_value_escaped(self):
+        assert _prom_label_value('say "hi"\n') == r"say \"hi\"\n"
+        assert _prom_label_value("back\\slash") == r"back\\slash"
+
+    def test_hostile_metric_name_renders_cleanly(self):
+        telemetry.enable()
+        telemetry.reset()
+        telemetry.count('rows{evil="1"}\ninjected 42', 7)
+        text = telemetry.snapshot().render_prometheus()
+        for line in text.splitlines():
+            assert "\n" not in line
+            name = line.split("{")[0].split(" ")[0]
+            if name.startswith("#"):
+                continue
+            assert all(
+                c.isalnum() or c in "_:" for c in name
+            ), f"illegal metric name in {line!r}"
+
+    def test_failed_seconds_exported(self, tmp_path, capsys):
+        drive(tmp_path)
+        assert run(tmp_path, "log", "-d", "missing") == 1
+        capsys.readouterr()
+        assert run(tmp_path, "stats", "--prometheus") == 0
+        text = capsys.readouterr().out
+        assert "repro_span_cli_log_failed_seconds_count 1" in text
+        assert "repro_commands_failed 1" in text

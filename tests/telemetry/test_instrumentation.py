@@ -163,12 +163,21 @@ class TestCliStats:
         assert "command.init" in err
         assert "cvd.commit" in err
 
-    def test_failed_command_is_not_folded_into_stats(self, workspace, capsys):
+    def test_failed_command_is_folded_and_tagged(self, workspace, capsys):
         assert run(workspace, "log", "-d", "missing") == 1
         capsys.readouterr()
         assert run(workspace, "stats", "--json") == 0
         data = json.loads(capsys.readouterr().out)
-        assert "cli.log" not in data.get("spans", {})
+        # The failure is recorded, counted, and typed ...
+        assert data["counters"]["commands.failed"] == 1
+        assert data["counters"]["commands.failed.CVDError"] == 1
+        span = data["spans"]["cli.log"]
+        assert span["count"] == 1
+        assert span["errors"] == 1
+        # ... while the success-latency histogram stays clean: the failed
+        # duration lands in failed_seconds instead.
+        assert span["seconds"]["count"] == 0
+        assert span["failed_seconds"]["count"] == 1
 
     def test_cli_restores_disabled_state(self, workspace):
         telemetry.disable()
