@@ -15,17 +15,24 @@ set of Section 3.3::
 
 State persists in ``.orpheus/state.pkl`` under the working directory, so
 the in-memory engine behaves like a local repository between
-invocations. Every command records telemetry (spans, counters,
-latency histograms); the per-invocation snapshot accumulates in
-``.orpheus/telemetry.json`` and ``orpheus stats`` renders the history.
-Pass ``--timings`` to any command to print its span tree.
+invocations. Persistence is crash-safe and concurrency-safe
+(:mod:`repro.resilience`): the state file is checksummed with rotating
+backups, every invocation runs under an advisory repository lock
+(exclusive for writers, shared for readers), mutating commands bracket
+their work with write-ahead intent records, and torn operations from a
+killed process are auto-recovered on the next invocation (or explicitly
+via ``orpheus recover``).
+
+Every command records telemetry (spans, counters, latency histograms);
+the per-invocation snapshot accumulates in ``.orpheus/telemetry.json``
+and ``orpheus stats`` renders the history. Pass ``--timings`` to any
+command to print its span tree.
 """
 
 from __future__ import annotations
 
 import argparse
 import os
-import pickle
 import sys
 import tempfile
 from pathlib import Path
@@ -42,15 +49,22 @@ from repro.observe.journal import (
     new_trace_id,
     verify_journal,
 )
+from repro.resilience import failpoints
+from repro.resilience.intents import IntentLog, has_pending_intents
+from repro.resilience.lock import RepositoryLock
+from repro.resilience.recovery import run_recovery
+from repro.resilience.statestore import StateStore
 from repro.telemetry.snapshot import Snapshot
 
 STATE_DIR = ".orpheus"
 STATE_FILE = "state.pkl"
 TELEMETRY_FILE = "telemetry.json"
 
-
-def _state_path(root: str | None = None) -> Path:
-    return Path(root or ".") / STATE_DIR / STATE_FILE
+#: Commands that rewrite ``state.pkl`` (superset of the journaled
+#: MUTATING_COMMANDS: user management writes state but is not part of
+#: the dataset history). These take the exclusive repository lock;
+#: everything else reads under a shared lock.
+STATE_WRITING_COMMANDS = MUTATING_COMMANDS | {"create_user", "config"}
 
 
 def _telemetry_path(root: str | None = None) -> Path:
@@ -58,11 +72,19 @@ def _telemetry_path(root: str | None = None) -> Path:
 
 
 def load_state(root: str | None = None) -> Orpheus:
-    path = _state_path(root)
-    if path.exists():
-        with open(path, "rb") as handle:
-            return pickle.load(handle)
-    return Orpheus()
+    """Load the repository state via the transactional store.
+
+    Corrupt generations fall back to backups with a warning on stderr;
+    a missing file yields a fresh :class:`Orpheus`.
+    """
+    obj, _info = StateStore(root).load()
+    return obj if obj is not None else Orpheus()
+
+
+def save_state(orpheus: Orpheus, root: str | None = None) -> None:
+    """Durably replace the state file (checksummed container, temp +
+    fsync + rename + dir fsync, rotating ``.bak`` generations)."""
+    StateStore(root).save(orpheus)
 
 
 def _atomic_write(path: Path, data: bytes) -> None:
@@ -82,10 +104,6 @@ def _atomic_write(path: Path, data: bytes) -> None:
         except OSError:
             pass
         raise
-
-
-def save_state(orpheus: Orpheus, root: str | None = None) -> None:
-    _atomic_write(_state_path(root), pickle.dumps(orpheus))
 
 
 def load_telemetry(root: str | None = None) -> Snapshot:
@@ -187,6 +205,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable report"
     )
 
+    recover = sub.add_parser(
+        "recover",
+        help="detect and repair operations torn by a crash",
+    )
+    recover.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report what recovery would do without changing anything",
+    )
+
     stats = sub.add_parser(
         "stats", help="show accumulated telemetry for this repository"
     )
@@ -225,7 +253,12 @@ def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.command == "stats":
-        return _run_stats(args)
+        # Readers share the lock; --reset rewrites the accumulator and
+        # must serialize against invocations folding their snapshots in.
+        with RepositoryLock(
+            args.root, shared=not args.reset, command="stats"
+        ):
+            return _run_stats(args)
 
     # Each invocation records its own telemetry from a clean registry,
     # then folds the snapshot into .orpheus/telemetry.json so metrics
@@ -239,40 +272,97 @@ def main(argv: list[str] | None = None) -> int:
     trace_id = new_trace_id()
     # `--explain` without execution neither mutates state nor journals.
     plan_only = getattr(args, "explain", None) == "plan"
-    record = None
-    if args.command in MUTATING_COMMANDS and not plan_only:
-        record = make_record(trace_id, args.command)
+    mutating = args.command in MUTATING_COMMANDS and not plan_only
+    writes = (
+        args.command in STATE_WRITING_COMMANDS and not plan_only
+    ) or args.command == "recover"
+    record = make_record(trace_id, args.command) if mutating else None
     code = 0
     try:
         try:
-            with telemetry.span(f"cli.{args.command}") as root:
-                if root is not None:
-                    root.set_attr("trace_id", trace_id)
-                code = _dispatch(args, record)
+            if args.command != "recover":
+                _auto_recover(args.root)
+            with RepositoryLock(
+                args.root, shared=not writes, command=args.command
+            ):
+                code = _locked_invocation(args, record, trace_id, mutating)
         except Exception as error:  # CLI boundary: print, don't traceback
             sys.stderr.write(f"error: {error}\n")
-            kind = type(error).__name__
-            telemetry.count("commands.failed")
-            telemetry.count(f"commands.failed.{kind}")
-            if record is not None:
-                record.status = "error"
-                record.error_type = kind
-                record.error_message = str(error)
             code = 1
-        tree = telemetry.last_span_tree()
-        if record is not None:
-            if tree is not None:
-                record.duration_s = tree.duration_s
-            Journal(args.root).append(record)
-        save_telemetry(
-            load_telemetry(args.root).merged(telemetry.snapshot()),
-            args.root,
-        )
-        if args.timings and tree is not None:
-            sys.stderr.write(tree.render() + "\n")
     finally:
         if not was_enabled:
             telemetry.disable()
+    return code
+
+
+def _auto_recover(root: str | None) -> None:
+    """Repair torn operations left by a crashed process before running
+    the requested command.
+
+    The pending check is lock-free (a begin record from a *live*
+    in-flight process looks pending too), so the recovery pass
+    re-derives the pending set under the exclusive lock — once the
+    other process finishes, there is nothing to do.
+    """
+    if not has_pending_intents(root):
+        return
+    with RepositoryLock(root, shared=False, command="auto-recover"):
+        report = run_recovery(root, dry_run=False)
+    if report.actions:
+        sys.stderr.write(
+            f"warning: recovered {len(report.actions)} interrupted "
+            f"action(s) from a previous crash; see `orpheus log --ops` "
+            f"or run `orpheus recover --dry-run` for details\n"
+        )
+    for problem in report.problems:
+        sys.stderr.write(f"warning: recovery incomplete: {problem}\n")
+
+
+def _locked_invocation(
+    args: argparse.Namespace, record, trace_id: str, mutating: bool
+) -> int:
+    """One command executed under the repository lock: intent begin,
+    dispatch, journal, intent done, telemetry fold — in that order, so
+    a crash at any point is classifiable by recovery."""
+    intents = IntentLog(args.root)
+    if mutating:
+        intents.begin(
+            trace_id,
+            args.command,
+            dataset=getattr(args, "dataset", None),
+            file=getattr(args, "file", None),
+            versions=getattr(args, "versions", None),
+        )
+    code = 0
+    try:
+        with telemetry.span(f"cli.{args.command}") as root:
+            if root is not None:
+                root.set_attr("trace_id", trace_id)
+            code = _dispatch(args, record)
+    except Exception as error:  # CLI boundary: print, don't traceback
+        sys.stderr.write(f"error: {error}\n")
+        kind = type(error).__name__
+        telemetry.count("commands.failed")
+        telemetry.count(f"commands.failed.{kind}")
+        if record is not None:
+            record.status = "error"
+            record.error_type = kind
+            record.error_message = str(error)
+        code = 1
+    tree = telemetry.last_span_tree()
+    if record is not None:
+        if tree is not None:
+            record.duration_s = tree.duration_s
+        Journal(args.root).append(record)
+    if mutating:
+        intents.done(trace_id, status=record.status if record else "ok")
+    failpoints.fire("telemetry.before_save")
+    save_telemetry(
+        load_telemetry(args.root).merged(telemetry.snapshot()),
+        args.root,
+    )
+    if args.timings and tree is not None:
+        sys.stderr.write(tree.render() + "\n")
     return code
 
 
@@ -285,8 +375,14 @@ def _dispatch(args: argparse.Namespace, record=None) -> int:
     :func:`main` turns exceptions into exit code 1, telemetry, and the
     journal record). ``record`` is the journal entry to fill in for
     mutating commands (None for read-only or plan-only invocations)."""
-    orpheus = load_state(args.root)
     out = sys.stdout
+    if args.command == "recover":
+        # Recovery manages its own files and must run even when the
+        # state is too corrupt for load_state.
+        report = run_recovery(args.root, dry_run=args.dry_run)
+        out.write(report.render_text())
+        return 0 if report.clean else 1
+    orpheus = load_state(args.root)
     if record is not None:
         record.user = orpheus.access.current_user or ""
         record.dataset = getattr(args, "dataset", None)
@@ -443,7 +539,9 @@ def _dispatch(args: argparse.Namespace, record=None) -> int:
     elif args.command == "whoami":
         out.write(orpheus.whoami() + "\n")
 
-    save_state(orpheus, args.root)
+    # Readers hold only the shared lock and must not rewrite state.
+    if args.command in STATE_WRITING_COMMANDS:
+        save_state(orpheus, args.root)
     return 0
 
 

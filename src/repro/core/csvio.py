@@ -17,9 +17,12 @@ from repro.relational.types import DataType, type_by_name
 
 def write_csv(path: str | Path, columns: list[str], rows: list[tuple]) -> None:
     """Write a checkout's rows to ``path`` with a header row."""
+    from repro.resilience import failpoints
+
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(columns)
+        failpoints.fire("csv.mid_write")
         writer.writerows(rows)
 
 

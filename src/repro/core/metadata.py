@@ -110,8 +110,11 @@ class VersionManager:
     def register(self, metadata: VersionMetadata) -> None:
         if metadata.vid in self._versions:
             raise ValueError(f"version {metadata.vid} already registered")
-        for parent in metadata.parents:
-            self.get(parent).children.append(metadata.vid)
+        # Resolve every parent before linking any: a bad parent id must
+        # not leave earlier parents' children lists half-mutated.
+        parents = [self.get(parent) for parent in metadata.parents]
+        for parent in parents:
+            parent.children.append(metadata.vid)
         self._versions[metadata.vid] = metadata
         self._order.append(metadata.vid)
         # Keep the vid counter ahead of externally supplied ids.

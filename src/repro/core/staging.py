@@ -56,8 +56,14 @@ class StagingArea:
         if table_name in self._staged or self.database.has_table(table_name):
             raise StagingError(f"table {table_name!r} already exists")
         table = self.database.create_table(table_name, schema)
-        for row in rows:
-            table.insert(row)
+        try:
+            for row in rows:
+                table.insert(row)
+        except BaseException:
+            # A mid-loop insert failure must not leave an orphaned,
+            # partially-populated table the staging area does not track.
+            self.database.drop_table(table_name, missing_ok=True)
+            raise
         telemetry.count("staging.rows_materialized", len(rows))
         self._staged[table_name] = StagedTable(
             table_name=table_name,

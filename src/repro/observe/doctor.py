@@ -20,6 +20,14 @@ and machine-readable data. The probes:
   bound or corrupt.
 * **journal integrity** — replay-verify the operation journal against
   the version graph.
+* **state integrity** — checksum-verify ``state.pkl`` and every backup
+  generation; stray temp files from interrupted writes.
+* **backup freshness** — backup generations must exist (and track the
+  live file) once the repository has history.
+* **lock health** — last-holder liveness for the repository lock, and
+  stale fallback-lock detection.
+* **pending intents** — torn operations (intent begun, never completed)
+  fail the probe and point at ``orpheus recover``.
 
 ``run_doctor`` executes all probes; the report's exit code is non-zero
 when any probe fails, so CI can gate on ``orpheus doctor --json``.
@@ -406,6 +414,201 @@ def probe_telemetry_accumulator(root: str | None = None) -> ProbeResult:
     )
 
 
+def probe_state_integrity(root: str | None = None) -> ProbeResult:
+    """Checksum-verify ``state.pkl`` and every backup generation."""
+    from repro.resilience.statestore import StateStore
+
+    store = StateStore(root)
+    report = store.integrity()
+    status = report["status"]
+    stray = report["stray_temps"]
+    if status == "missing":
+        return ProbeResult(
+            probe="state_integrity",
+            severity=OK,
+            summary="no state file yet (fresh repository)",
+            data=report,
+        )
+    if status == "corrupt":
+        fallback_ok = any(b["ok"] for b in report["backups"])
+        return ProbeResult(
+            probe="state_integrity",
+            severity=WARN if fallback_ok else FAIL,
+            summary=(
+                f"state.pkl is corrupt ({report['detail']}); "
+                + (
+                    "a verified backup will serve loads"
+                    if fallback_ok
+                    else "no verified backup exists"
+                )
+            ),
+            remediation=(
+                "run `orpheus recover` (any mutating command also "
+                "rewrites state from the backup)"
+                if fallback_ok
+                else "restore .orpheus/state.pkl from an external copy "
+                "or re-init from the operation journal"
+            ),
+            data=report,
+        )
+    severity = WARN if (status == "legacy" or stray) else OK
+    bits = [f"{report['bytes']} bytes, checksum ok"]
+    if status == "legacy":
+        bits = [f"{report['bytes']} bytes, legacy pre-checksum format"]
+    if stray:
+        bits.append(f"{len(stray)} interrupted write temp(s)")
+    return ProbeResult(
+        probe="state_integrity",
+        severity=severity,
+        summary="; ".join(bits),
+        remediation=(
+            "run `orpheus recover` to clean up (legacy files upgrade on "
+            "the next mutating command)"
+            if severity != OK
+            else ""
+        ),
+        data=report,
+    )
+
+
+def probe_backup_freshness(root: str | None = None) -> ProbeResult:
+    """Backup generations must exist once the repository has history."""
+    from repro.observe.journal import Journal
+    from repro.resilience.statestore import StateStore
+
+    store = StateStore(root)
+    if not store.path.exists():
+        return ProbeResult(
+            probe="backup_freshness",
+            severity=OK,
+            summary="no state file yet, nothing to back up",
+        )
+    backups = [p for p in store.backup_paths if p.exists()]
+    ops = len(Journal(root).read())
+    if not backups:
+        severity = WARN if ops >= 2 else OK
+        return ProbeResult(
+            probe="backup_freshness",
+            severity=severity,
+            summary=(
+                f"no backup generation yet ({ops} journaled operation(s))"
+            ),
+            remediation=(
+                "backups rotate on every state save; investigate why "
+                "none exists despite repeated operations"
+                if severity != OK
+                else ""
+            ),
+            data={"ops": ops},
+        )
+    state_mtime = store.path.stat().st_mtime
+    newest = max(p.stat().st_mtime for p in backups)
+    lag = state_mtime - newest
+    stale = lag > STALE_STAGING_SECONDS
+    return ProbeResult(
+        probe="backup_freshness",
+        severity=WARN if stale else OK,
+        summary=(
+            f"{len(backups)} backup generation(s), newest "
+            f"{max(lag, 0):.0f}s behind the live state"
+        ),
+        remediation=(
+            "backups have not rotated in over a week of state writes; "
+            "check filesystem permissions on .orpheus/"
+            if stale
+            else ""
+        ),
+        data={
+            "backups": [p.name for p in backups],
+            "lag_seconds": round(lag, 1),
+        },
+    )
+
+
+def probe_lock_health(root: str | None = None) -> ProbeResult:
+    """Repository lock file state and last-holder liveness."""
+    from repro.resilience.lock import LOCK_FILE, _pid_alive, holder_info
+
+    lock_dir = Path(root or ".") / ".orpheus"
+    path = lock_dir / LOCK_FILE
+    if not path.exists():
+        return ProbeResult(
+            probe="lock_health",
+            severity=OK,
+            summary="no lock activity yet",
+        )
+    holder = holder_info(root) or {}
+    pid = int(holder.get("pid") or 0)
+    fallback = lock_dir / (LOCK_FILE + ".excl")
+    if fallback.exists():
+        fallback_holder: dict = {}
+        try:
+            fallback_holder = json.loads(fallback.read_text())
+        except (OSError, ValueError):
+            pass
+        fallback_pid = int(fallback_holder.get("pid") or 0)
+        if not _pid_alive(fallback_pid):
+            return ProbeResult(
+                probe="lock_health",
+                severity=WARN,
+                summary=(
+                    f"stale fallback lock: holder pid {fallback_pid} is dead"
+                ),
+                remediation=(
+                    f"remove {fallback} (the next lock attempt also breaks "
+                    f"it automatically)"
+                ),
+                data={"fallback_pid": fallback_pid},
+            )
+    if pid and _pid_alive(pid):
+        summary = (
+            f"last exclusive holder pid {pid} "
+            f"({holder.get('command') or '?'}) is alive"
+        )
+    else:
+        summary = "lock file present; no live holder (flock auto-released)"
+    return ProbeResult(
+        probe="lock_health",
+        severity=OK,
+        summary=summary,
+        data={"holder": holder},
+    )
+
+
+def probe_pending_intents(root: str | None = None) -> ProbeResult:
+    """Torn operations (intent begun, never completed) demand recovery."""
+    from repro.resilience.intents import IntentLog
+
+    log = IntentLog(root)
+    records = log.read()
+    pending = log.pending()
+    if pending:
+        return ProbeResult(
+            probe="pending_intents",
+            severity=FAIL,
+            summary=(
+                f"{len(pending)} torn operation(s): a process died "
+                f"mid-command"
+            ),
+            remediation="run `orpheus recover` (any command auto-recovers)",
+            data={
+                "pending": [
+                    {
+                        "trace_id": r.get("trace_id"),
+                        "command": r.get("command"),
+                        "dataset": r.get("dataset"),
+                    }
+                    for r in pending[:20]
+                ]
+            },
+        )
+    return ProbeResult(
+        probe="pending_intents",
+        severity=OK,
+        summary=f"{len(records)} intent record(s), none pending",
+    )
+
+
 def probe_journal(orpheus, root: str | None = None) -> ProbeResult:
     """Replay-verify the operation journal against the version graph."""
     from repro.observe.journal import Journal, verify_journal
@@ -447,6 +650,10 @@ def run_doctor(orpheus, root: str | None = None) -> DoctorReport:
         report.results.append(probe_stale_staging(orpheus))
         report.results.append(probe_telemetry_accumulator(root))
         report.results.append(probe_journal(orpheus, root))
+        report.results.append(probe_state_integrity(root))
+        report.results.append(probe_backup_freshness(root))
+        report.results.append(probe_lock_health(root))
+        report.results.append(probe_pending_intents(root))
         telemetry.count("observe.doctor.runs")
         telemetry.count(
             "observe.doctor.failures",

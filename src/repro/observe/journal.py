@@ -92,13 +92,17 @@ class Journal:
     def append(self, record: OpRecord | dict) -> None:
         """Append one record as a single JSON line (atomic at the
         line level: one ``write`` call of one ``\\n``-terminated line)."""
+        from repro.resilience import failpoints
+
         payload = record.to_dict() if isinstance(record, OpRecord) else record
         line = json.dumps(payload, sort_keys=True, default=str) + "\n"
+        failpoints.fire("journal.before_append")
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with open(self.path, "a", encoding="utf-8") as handle:
             handle.write(line)
             handle.flush()
             os.fsync(handle.fileno())
+        failpoints.fire("journal.after_append")
 
     def read(self) -> list[dict]:
         """All well-formed records, oldest first. Malformed lines (e.g. a
@@ -151,20 +155,18 @@ class Journal:
 # ----------------------------------------------------------------------
 # Replay-verify
 # ----------------------------------------------------------------------
-def verify_journal(orpheus, records: list[dict]) -> list[str]:
-    """Cross-check journal records against the live version graph.
+def journal_expected_state(
+    records: list[dict],
+) -> tuple[dict[str, dict[int, tuple[tuple[int, ...], int | None]]], set[str]]:
+    """Replay the successful records into the expected repository shape.
 
-    Replays the successful dataset-mutating records to reconstruct the
-    expected state (datasets alive, versions committed with which parents
-    and row counts) and compares it against ``orpheus``. Returns a list
-    of human-readable divergence descriptions; empty means the journal
-    and the graph agree.
+    Returns ``(expected, alive)``: per dataset, the versions the journal
+    says exist (with parents and row counts), and the set of datasets
+    the journal says are live. Shared by :func:`verify_journal` and the
+    crash-recovery reconciler in :mod:`repro.resilience.recovery`.
     """
-    divergences: list[str] = []
-    #: dataset -> {vid -> (parents, rows)} expected from the journal.
     expected: dict[str, dict[int, tuple[tuple[int, ...], int | None]]] = {}
     alive: set[str] = set()
-
     for record in records:
         if record.get("status") != "ok":
             continue
@@ -181,10 +183,7 @@ def verify_journal(orpheus, records: list[dict]) -> list[str]:
         elif command == "commit":
             vid = record.get("output_version")
             if vid is None:
-                divergences.append(
-                    f"journal: commit on {dataset!r} lacks output_version"
-                )
-                continue
+                continue  # malformed; verify_journal reports it
             parents = tuple(record.get("input_versions", ()))
             expected.setdefault(dataset, {})[vid] = (
                 parents,
@@ -194,6 +193,31 @@ def verify_journal(orpheus, records: list[dict]) -> list[str]:
         elif command == "drop":
             alive.discard(dataset)
             expected.pop(dataset, None)
+    return expected, alive
+
+
+def verify_journal(orpheus, records: list[dict]) -> list[str]:
+    """Cross-check journal records against the live version graph.
+
+    Replays the successful dataset-mutating records to reconstruct the
+    expected state (datasets alive, versions committed with which parents
+    and row counts) and compares it against ``orpheus``. Returns a list
+    of human-readable divergence descriptions; empty means the journal
+    and the graph agree.
+    """
+    divergences: list[str] = []
+    for record in records:
+        if (
+            record.get("status") == "ok"
+            and record.get("command") == "commit"
+            and record.get("dataset") is not None
+            and record.get("output_version") is None
+        ):
+            divergences.append(
+                f"journal: commit on {record['dataset']!r} lacks "
+                f"output_version"
+            )
+    expected, alive = journal_expected_state(records)
 
     live = set(orpheus.ls())
     for dataset in sorted(alive - live):

@@ -1,0 +1,72 @@
+"""repro.resilience — crash safety and concurrency safety for the CLI.
+
+OrpheusDB proper delegates durability and isolation to the host RDBMS;
+this bolt-on reproduction persists everything in flat files under
+``.orpheus/`` and therefore has to supply both itself. The pieces:
+
+* :mod:`repro.resilience.statestore` — checksummed, atomically-replaced
+  ``state.pkl`` with rotating backup generations and a corruption-
+  tolerant load path.
+* :mod:`repro.resilience.lock` — advisory repository lock (exclusive
+  for writers, shared for readers) with backoff, stale detection, and
+  telemetry.
+* :mod:`repro.resilience.intents` — write-ahead intent log marking the
+  begin/done window of every mutating command.
+* :mod:`repro.resilience.recovery` — classifies torn operations after a
+  crash and rolls back or reconciles them (``orpheus recover``).
+* :mod:`repro.resilience.failpoints` — deterministic crash/error/delay
+  injection (``ORPHEUS_FAILPOINTS``) proving all of the above.
+
+See ``docs/resilience.md`` for the on-disk layout and the recovery
+walkthrough.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.failpoints import (
+    CRASH_EXIT_CODE,
+    FailpointError,
+    REGISTERED,
+)
+from repro.resilience.intents import IntentLog, has_pending_intents
+from repro.resilience.lock import (
+    LockTimeoutError,
+    RepositoryLock,
+    holder_info,
+)
+from repro.resilience.statestore import (
+    LoadInfo,
+    StateCorruptionError,
+    StateStore,
+)
+
+# recovery imports repro.observe.journal, which itself fires failpoints
+# from this package — resolve those names lazily to keep the import
+# graph acyclic (observe.journal → failpoints must not re-enter here).
+_LAZY = {"RecoveryAction", "RecoveryReport", "run_recovery"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.resilience import recovery
+
+        return getattr(recovery, name)
+    raise AttributeError(name)
+
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FailpointError",
+    "IntentLog",
+    "LoadInfo",
+    "LockTimeoutError",
+    "RecoveryAction",
+    "RecoveryReport",
+    "REGISTERED",
+    "RepositoryLock",
+    "StateCorruptionError",
+    "StateStore",
+    "has_pending_intents",
+    "holder_info",
+    "run_recovery",
+]

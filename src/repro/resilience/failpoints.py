@@ -1,0 +1,166 @@
+"""Deterministic fault injection for crash-consistency testing.
+
+A *failpoint* is a named site in a durability-critical code path (state
+store, journal, intent log, CSV writer, telemetry save) where a test can
+inject a fault. Sites call :func:`fire`, which is a dict lookup + branch
+when nothing is armed, so the hooks stay in production code permanently.
+
+Three actions::
+
+    crash        os._exit(CRASH_EXIT_CODE) — simulates SIGKILL/power loss
+                 (no finally blocks, no atexit, buffers dropped)
+    error        raise FailpointError — exercises the exception paths
+    delay:SECS   sleep, then continue — widens race windows for
+                 concurrency tests
+
+Activation:
+
+* ``ORPHEUS_FAILPOINTS="statestore.after_temp_write=crash"`` in the
+  environment, parsed at import — the subprocess mode crash tests use
+  this (a real process dies at the injection point, then the next
+  invocation must auto-recover).
+* :func:`activate` / :func:`clear` for in-process tests.
+
+Multiple points separate with ``,`` or ``;``::
+
+    ORPHEUS_FAILPOINTS="journal.before_append=delay:0.2,intent.before_done=error"
+
+Every fireable site must be listed in :data:`REGISTERED`; firing or
+arming an unknown name raises, so the crash-matrix test can enumerate
+``REGISTERED`` and know it covers every injection point that exists.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+ENV_VAR = "ORPHEUS_FAILPOINTS"
+
+#: Exit code used by the ``crash`` action, distinctive so tests can tell
+#: "died at the failpoint" from ordinary failure (1) or success (0).
+CRASH_EXIT_CODE = 86
+
+#: Every injection point threaded through the codebase. The crash-matrix
+#: test iterates this set; adding a site without registering it here is
+#: an error at fire time.
+REGISTERED = frozenset(
+    {
+        # intent log (repro.resilience.intents)
+        "intent.after_begin",
+        "intent.before_done",
+        # transactional state store (repro.resilience.statestore)
+        "statestore.after_temp_write",
+        "statestore.before_replace",
+        "statestore.after_replace",
+        # operation journal (repro.observe.journal)
+        "journal.before_append",
+        "journal.after_append",
+        # CSV writer (repro.core.csvio) — torn checkout files
+        "csv.mid_write",
+        # telemetry accumulator save (repro.cli)
+        "telemetry.before_save",
+    }
+)
+
+
+class FailpointError(RuntimeError):
+    """Raised by the ``error`` action at an armed failpoint."""
+
+
+#: name -> ("crash", exit_code) | ("error", None) | ("delay", seconds)
+_active: dict[str, tuple[str, float | int | None]] = {}
+
+
+def parse_spec(spec: str) -> dict[str, tuple[str, float | int | None]]:
+    """Parse an ``ORPHEUS_FAILPOINTS`` value into an activation map."""
+    parsed: dict[str, tuple[str, float | int | None]] = {}
+    for item in spec.replace(";", ",").split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(
+                f"malformed failpoint spec {item!r}: expected name=action"
+            )
+        name, action = item.split("=", 1)
+        name = name.strip()
+        if name not in REGISTERED:
+            raise ValueError(
+                f"unknown failpoint {name!r}; registered: "
+                f"{', '.join(sorted(REGISTERED))}"
+            )
+        kind, _, arg = action.strip().partition(":")
+        if kind == "crash":
+            parsed[name] = ("crash", int(arg) if arg else CRASH_EXIT_CODE)
+        elif kind == "error":
+            parsed[name] = ("error", None)
+        elif kind == "delay":
+            parsed[name] = ("delay", float(arg) if arg else 0.05)
+        else:
+            raise ValueError(
+                f"unknown failpoint action {action!r} for {name!r}; "
+                f"have crash[:code], error, delay[:seconds]"
+            )
+    return parsed
+
+
+def configure(spec: str) -> None:
+    """Replace the active set from an env-style spec string."""
+    parsed = parse_spec(spec)
+    _active.clear()
+    _active.update(parsed)
+
+
+def activate(name: str, action: str = "error", arg: float | None = None) -> None:
+    """Arm one failpoint programmatically (in-process tests)."""
+    if name not in REGISTERED:
+        raise ValueError(f"unknown failpoint {name!r}")
+    if action == "crash":
+        _active[name] = ("crash", int(arg) if arg is not None else CRASH_EXIT_CODE)
+    elif action == "error":
+        _active[name] = ("error", None)
+    elif action == "delay":
+        _active[name] = ("delay", float(arg) if arg is not None else 0.05)
+    else:
+        raise ValueError(f"unknown failpoint action {action!r}")
+
+
+def deactivate(name: str) -> None:
+    _active.pop(name, None)
+
+
+def clear() -> None:
+    """Disarm everything."""
+    _active.clear()
+
+
+def active() -> dict[str, tuple[str, float | int | None]]:
+    return dict(_active)
+
+
+def fire(name: str) -> None:
+    """Trigger the failpoint ``name`` if armed; no-op otherwise."""
+    armed = _active.get(name)
+    if armed is None:
+        if name not in REGISTERED:
+            raise ValueError(f"fired unregistered failpoint {name!r}")
+        return
+    kind, arg = armed
+    if kind == "delay":
+        time.sleep(float(arg))
+        return
+    if kind == "error":
+        raise FailpointError(f"failpoint {name} triggered")
+    # crash: die the way SIGKILL would — no unwinding, no cleanup.
+    sys.stderr.write(f"failpoint {name}: crashing (exit {arg})\n")
+    sys.stderr.flush()
+    os._exit(int(arg))
+
+
+# Arm from the environment at import so a subprocess under test needs no
+# cooperation beyond inheriting ORPHEUS_FAILPOINTS.
+_env_spec = os.environ.get(ENV_VAR, "")
+if _env_spec:
+    configure(_env_spec)

@@ -1,0 +1,149 @@
+"""Write-ahead intent log: detect operations that died halfway.
+
+Before a mutating command touches any repository state it appends a
+``begin`` record to ``.orpheus/journal/intents.jsonl``; after the state
+save *and* the operation-journal append have both landed it appends a
+matching ``done`` record. A ``begin`` with no ``done`` therefore marks a
+*torn* operation — the process died somewhere between intent and
+completion — and :mod:`repro.resilience.recovery` uses the pair set to
+decide what to roll back or reconcile.
+
+Records are single fsynced JSON lines (same torn-tail-tolerant idiom as
+the operation journal). Completed pairs are garbage: once the file
+accumulates more than :data:`COMPACT_THRESHOLD` records it is compacted
+down to just the pending ``begin`` records via an atomic rewrite.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro import telemetry
+from repro.resilience import failpoints
+
+INTENTS_FILE = "intents.jsonl"
+JOURNAL_DIR = "journal"
+COMPACT_THRESHOLD = 256
+
+
+class IntentLog:
+    """Reader/writer for one repository's intent log."""
+
+    def __init__(self, root: str | None = None) -> None:
+        self.path = (
+            Path(root or ".") / ".orpheus" / JOURNAL_DIR / INTENTS_FILE
+        )
+
+    # ------------------------------------------------------------------
+    def begin(self, trace_id: str, command: str, **details) -> None:
+        """Durably record the intent to run ``command`` before any state
+        is touched."""
+        record = {
+            "phase": "begin",
+            "trace_id": trace_id,
+            "command": command,
+            "ts": telemetry.now(),
+        }
+        for key, value in details.items():
+            if value is not None:
+                record[key] = value
+        self._append(record)
+        failpoints.fire("intent.after_begin")
+
+    def done(self, trace_id: str, status: str = "ok") -> None:
+        """Mark the operation complete (state + journal both durable)."""
+        failpoints.fire("intent.before_done")
+        self._append(
+            {
+                "phase": "done",
+                "trace_id": trace_id,
+                "status": status,
+                "ts": telemetry.now(),
+            }
+        )
+        self.compact_if_needed()
+
+    def _append(self, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record, sort_keys=True, default=str) + "\n"
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # ------------------------------------------------------------------
+    def read(self) -> list[dict]:
+        """All well-formed records; torn tail lines are skipped."""
+        if not self.path.exists():
+            return []
+        records: list[dict] = []
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+    def pending(self) -> list[dict]:
+        """``begin`` records with no matching ``done`` — torn operations."""
+        records = self.read()
+        done = {
+            r.get("trace_id")
+            for r in records
+            if r.get("phase") == "done" and r.get("trace_id")
+        }
+        return [
+            r
+            for r in records
+            if r.get("phase") == "begin" and r.get("trace_id") not in done
+        ]
+
+    # ------------------------------------------------------------------
+    def compact_if_needed(self, threshold: int = COMPACT_THRESHOLD) -> bool:
+        records = self.read()
+        if len(records) <= threshold:
+            return False
+        self._rewrite(self.pending())
+        return True
+
+    def _rewrite(self, records: list[dict]) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.path.parent, prefix=self.path.name + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(
+                        json.dumps(record, sort_keys=True, default=str) + "\n"
+                    )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+
+def has_pending_intents(root: str | None = None) -> bool:
+    """Cheap pre-lock check: does this repository have torn operations?
+
+    A false positive (an operation currently in flight in another live
+    process) is harmless — the recovery path re-checks under the
+    exclusive lock and no-ops once the other process completes.
+    """
+    log = IntentLog(root)
+    if not log.path.exists():
+        return False
+    return bool(log.pending())

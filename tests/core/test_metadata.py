@@ -110,3 +110,23 @@ class TestAttributeRegistry:
         registry.intern("x", INT)
         latest = registry.intern("x", FLOAT)
         assert registry.ids_for_names(["x"]) == [latest]
+
+
+class TestRegisterAtomicity:
+    def test_bad_parent_leaves_no_partial_backlinks(self):
+        """A register() with one valid and one unknown parent must fail
+        without having appended the child to the valid parent."""
+        manager = VersionManager()
+        manager.register(VersionMetadata(vid=1, parents=()))
+        with pytest.raises(NoSuchVersionError):
+            manager.register(VersionMetadata(vid=2, parents=(1, 99)))
+        assert manager.children(1) == ()
+        assert 2 not in manager
+
+    def test_retry_after_bad_parent_succeeds_cleanly(self):
+        manager = VersionManager()
+        manager.register(VersionMetadata(vid=1, parents=()))
+        with pytest.raises(NoSuchVersionError):
+            manager.register(VersionMetadata(vid=2, parents=(99, 1)))
+        manager.register(VersionMetadata(vid=2, parents=(1,)))
+        assert manager.children(1) == (2,)

@@ -5,6 +5,7 @@ import pytest
 from repro.core.errors import StagingError
 from repro.core.staging import StagingArea
 from repro.relational.database import Database
+from repro.relational.errors import DuplicateKeyError
 from repro.relational.schema import ColumnDef, Schema
 from repro.relational.types import INT
 
@@ -70,3 +71,29 @@ class TestRelease:
         staging.materialize("zz", SCHEMA, [], "cvd", (), owner="a")
         staging.materialize("aa", SCHEMA, [], "cvd", (), owner="a")
         assert staging.staged_names() == ["aa", "zz"]
+
+
+class TestMaterializeAtomicity:
+    PK_SCHEMA = Schema([ColumnDef("x", INT)], primary_key=("x",))
+
+    def test_failed_insert_drops_partial_table(self, staging):
+        """A mid-loop insert failure (duplicate primary key) must not
+        leave an orphaned half-populated table behind."""
+        with pytest.raises(DuplicateKeyError):
+            staging.materialize(
+                "w", self.PK_SCHEMA, [(1,), (2,), (1,)], "cvd", (), owner="a"
+            )
+        assert not staging.database.has_table("w")
+        assert staging.staged_names() == []
+        with pytest.raises(StagingError):
+            staging.metadata("w")
+
+    def test_name_reusable_after_failure(self, staging):
+        with pytest.raises(DuplicateKeyError):
+            staging.materialize(
+                "w", self.PK_SCHEMA, [(1,), (1,)], "cvd", (), owner="a"
+            )
+        table = staging.materialize(
+            "w", self.PK_SCHEMA, [(1,), (2,)], "cvd", (), owner="a"
+        )
+        assert len(table) == 2

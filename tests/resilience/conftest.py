@@ -1,0 +1,75 @@
+"""Shared helpers for the crash-safety suite: a tiny workspace, an
+in-process CLI runner, and a subprocess runner that can arm failpoints
+via ``ORPHEUS_FAILPOINTS`` (the only way to test real process death)."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro import telemetry
+from repro.resilience import failpoints
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+#: Generous per-subprocess timeout: a hung crash test must fail, not
+#: wedge the suite (CI runs this file with its own job-level timeout).
+SUBPROCESS_TIMEOUT = 60
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    (tmp_path / "data.csv").write_text(
+        "key,value\nk1,1\nk2,2\nk3,3\n"
+    )
+    (tmp_path / "schema.csv").write_text(
+        "key,text\nvalue,integer\nprimary_key,key\n"
+    )
+    return tmp_path
+
+
+@pytest.fixture(autouse=True)
+def clean_global_state():
+    """Failpoints and the telemetry registry are process-global; leave
+    neither armed nor enabled behind."""
+    failpoints.clear()
+    yield
+    failpoints.clear()
+    telemetry.reset()
+    telemetry.disable()
+
+
+def run_inproc(root, *args) -> int:
+    """Run one CLI invocation in this process (fast path for setup and
+    post-crash verification)."""
+    from repro.cli import main
+
+    return main(["--root", str(root), *args])
+
+
+def run_cli(
+    root,
+    *args,
+    failpoints_spec: str | None = None,
+    timeout: int = SUBPROCESS_TIMEOUT,
+) -> subprocess.CompletedProcess:
+    """Run one CLI invocation as a real subprocess, optionally with
+    failpoints armed in its environment."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("ORPHEUS_FAILPOINTS", None)
+    if failpoints_spec:
+        env["ORPHEUS_FAILPOINTS"] = failpoints_spec
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli", "--root", str(root), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+        env=env,
+    )

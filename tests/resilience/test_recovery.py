@@ -1,0 +1,242 @@
+"""Torn-operation recovery: rollback, forward-reconciliation, dry runs,
+and the intent log that drives it all."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro import telemetry
+from repro.resilience.intents import IntentLog, has_pending_intents
+from repro.resilience.recovery import run_recovery
+
+from tests.resilience.conftest import run_inproc
+
+
+def ops_path(root):
+    return root / ".orpheus" / "journal" / "ops.jsonl"
+
+
+def intents_path(root):
+    return root / ".orpheus" / "journal" / "intents.jsonl"
+
+
+def build_repo(workspace):
+    rc = run_inproc(
+        workspace,
+        "init",
+        "-d", "ds",
+        "-f", str(workspace / "data.csv"),
+        "-s", str(workspace / "schema.csv"),
+    )
+    assert rc == 0
+
+
+def drop_last_line(path):
+    lines = path.read_text().splitlines()
+    path.write_text("".join(line + "\n" for line in lines[:-1]))
+    return lines[-1]
+
+
+def commit_new_version(workspace, name="co.csv"):
+    target = workspace / name
+    assert run_inproc(
+        workspace, "checkout", "-d", "ds", "-v", "1", "-f", str(target)
+    ) == 0
+    with open(target, "a") as handle:
+        handle.write("k9,9\n")
+    assert run_inproc(
+        workspace, "commit", "-d", "ds", "-f", str(target)
+    ) == 0
+
+
+class TestNothingToDo:
+    def test_clean_repo(self, workspace):
+        build_repo(workspace)
+        report = run_recovery(workspace)
+        assert report.clean
+        assert report.actions == []
+        assert "nothing to recover" in report.render_text()
+
+    def test_uninitialized_directory(self, tmp_path):
+        report = run_recovery(tmp_path)
+        assert report.clean and report.actions == []
+
+
+class TestSynthesizeCommit:
+    """Crash window: state saved, journal append never landed."""
+
+    def simulate(self, workspace):
+        build_repo(workspace)
+        commit_new_version(workspace)
+        # Un-land the two post-state effects: the ops record and the
+        # closing intent record.
+        dropped_op = json.loads(drop_last_line(ops_path(workspace)))
+        assert dropped_op["command"] == "commit"
+        dropped_intent = json.loads(drop_last_line(intents_path(workspace)))
+        assert dropped_intent["phase"] == "done"
+        return dropped_op
+
+    def test_dry_run_plans_without_mutating(self, workspace):
+        self.simulate(workspace)
+        ops_before = ops_path(workspace).read_text()
+        report = run_recovery(workspace, dry_run=True)
+        assert any(a.kind == "synthesize-journal" for a in report.actions)
+        assert "would synthesize-journal" in report.render_text()
+        assert ops_path(workspace).read_text() == ops_before
+        assert has_pending_intents(workspace)  # intent still open
+
+    def test_real_run_reconciles_forward(self, workspace):
+        dropped = self.simulate(workspace)
+        telemetry.enable()  # after simulate: each CLI run resets telemetry
+        report = run_recovery(workspace)
+        registry = telemetry.get_registry()
+        assert registry.counter_value("resilience.recover.torn_ops") == 1
+        assert (
+            registry.counter_value(
+                "resilience.recover.journal_records_synthesized"
+            )
+            == 1
+        )
+        assert report.clean, report.problems
+        synthesized = [
+            json.loads(line)
+            for line in ops_path(workspace).read_text().splitlines()
+        ][-1]
+        assert synthesized["command"] == "commit"
+        assert synthesized["output_version"] == dropped["output_version"]
+        assert synthesized["recovered"] is True
+        assert not has_pending_intents(workspace)
+        assert run_inproc(workspace, "log", "--ops", "--verify") == 0
+
+
+class TestCheckoutRollback:
+    """Crash window: checkout wrote the CSV but died before the state
+    save — the artifact must be rolled back."""
+
+    def test_torn_artifact_removed(self, workspace):
+        build_repo(workspace)
+        target = workspace / "torn.csv"
+        IntentLog(workspace).begin(
+            "t-torn", "checkout", dataset="ds", file=str(target)
+        )
+        target.write_text("key,value\nk1,1\n")  # written after the intent
+        report = run_recovery(workspace)
+        assert report.clean
+        assert any(a.kind == "rollback-artifact" for a in report.actions)
+        assert not target.exists()
+        assert not has_pending_intents(workspace)
+
+    def test_preexisting_file_survives(self, workspace):
+        """The mtime guard: a file older than the intent was not written
+        by the torn operation and must not be deleted."""
+        build_repo(workspace)
+        target = workspace / "precious.csv"
+        target.write_text("user data, not ours\n")
+        old = os.stat(target).st_mtime - 60
+        os.utime(target, (old, old))
+        IntentLog(workspace).begin(
+            "t-precious", "checkout", dataset="ds", file=str(target)
+        )
+        report = run_recovery(workspace)
+        assert report.clean
+        assert not any(a.kind == "rollback-artifact" for a in report.actions)
+        assert target.exists()
+
+    def test_staged_checkout_synthesizes_record(self, workspace):
+        """Crash window: state saved (file staged) but journal append
+        lost — reconcile forward instead of rolling back."""
+        build_repo(workspace)
+        target = workspace / "co.csv"
+        assert run_inproc(
+            workspace, "checkout", "-d", "ds", "-v", "1", "-f", str(target)
+        ) == 0
+        drop_last_line(ops_path(workspace))  # lose the checkout op record
+        drop_last_line(intents_path(workspace))  # and the intent close
+        report = run_recovery(workspace)
+        assert report.clean
+        assert any(a.kind == "synthesize-journal" for a in report.actions)
+        last = json.loads(ops_path(workspace).read_text().splitlines()[-1])
+        assert last["command"] == "checkout"
+        assert last["recovered"] is True
+        assert target.exists()  # forward reconciliation keeps the file
+
+
+class TestDropReconciliation:
+    def test_unjournaled_drop_synthesized(self, workspace):
+        build_repo(workspace)
+        assert run_inproc(workspace, "drop", "-d", "ds") == 0
+        drop_last_line(ops_path(workspace))
+        drop_last_line(intents_path(workspace))
+        report = run_recovery(workspace)
+        assert report.clean
+        last = json.loads(ops_path(workspace).read_text().splitlines()[-1])
+        assert last["command"] == "drop"
+        assert last["recovered"] is True
+        assert run_inproc(workspace, "log", "--ops", "--verify") == 0
+
+
+class TestResolveOnly:
+    def test_already_journaled_intent_closed(self, workspace):
+        build_repo(workspace)
+        commit_new_version(workspace)
+        drop_last_line(intents_path(workspace))  # lost only the `done`
+        report = run_recovery(workspace)
+        assert report.clean
+        assert any(a.kind == "resolve-intent" for a in report.actions)
+        assert not has_pending_intents(workspace)
+        assert run_inproc(workspace, "log", "--ops", "--verify") == 0
+
+    def test_optimize_intent_resolves(self, workspace):
+        build_repo(workspace)
+        IntentLog(workspace).begin("t-opt", "optimize", dataset="ds")
+        report = run_recovery(workspace)
+        assert report.clean
+        assert not has_pending_intents(workspace)
+
+
+class TestIntentLog:
+    def test_pending_pairs(self, tmp_path):
+        log = IntentLog(tmp_path)
+        log.begin("t1", "commit", dataset="ds")
+        log.begin("t2", "checkout", dataset="ds", file="f.csv")
+        log.done("t1")
+        pending = log.pending()
+        assert [p["trace_id"] for p in pending] == ["t2"]
+        assert has_pending_intents(tmp_path)
+        log.done("t2")
+        assert not has_pending_intents(tmp_path)
+
+    def test_none_details_dropped(self, tmp_path):
+        log = IntentLog(tmp_path)
+        log.begin("t1", "commit", dataset="ds", file=None)
+        assert "file" not in log.read()[0]
+
+    def test_torn_tail_line_skipped(self, tmp_path):
+        log = IntentLog(tmp_path)
+        log.begin("t1", "commit")
+        with open(log.path, "a") as handle:
+            handle.write('{"phase": "done", "trace')  # torn mid-write
+        assert [r["trace_id"] for r in log.read()] == ["t1"]
+        assert has_pending_intents(tmp_path)
+
+    def test_compaction_keeps_only_pending(self, tmp_path):
+        log = IntentLog(tmp_path)
+        for index in range(20):
+            log.begin(f"t{index}", "commit")
+            log.done(f"t{index}")
+        log.begin("t-open", "commit")
+        assert log.compact_if_needed(threshold=10)
+        records = log.read()
+        assert len(records) == 1
+        assert records[0]["trace_id"] == "t-open"
+
+    def test_done_autocompacts_past_threshold(self, tmp_path):
+        log = IntentLog(tmp_path)
+        for index in range(140):  # 280 records > COMPACT_THRESHOLD
+            log.begin(f"t{index}", "commit")
+            log.done(f"t{index}")
+        assert len(log.read()) < 280
+
+    def test_missing_file_means_no_pending(self, tmp_path):
+        assert not has_pending_intents(tmp_path)
