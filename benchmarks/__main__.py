@@ -1,0 +1,6 @@
+"""``python -m benchmarks`` — the unified benchmark runner CLI."""
+
+from benchmarks.runner import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import random
 
-from benchmarks.common import fmt, print_table, timed
+from benchmarks.common import fmt, measure, print_table
+from benchmarks.registry import quick_bench
 from repro.relational.costs import CostAccountant
 from repro.relational.joins import JOIN_ALGORITHMS
 from repro.relational.schema import ColumnDef, Schema
@@ -26,6 +27,11 @@ from repro.relational.types import INT
 
 TABLE_SIZES = [2_000, 6_000, 12_000, 20_000]
 RLIST_SIZES = [100, 1_000, 5_000]
+
+#: Grid cells are millisecond-scale, where a single wall-clock sample
+#: is noise-dominated; each cell reports the median of this many runs
+#: (plus one warmup).
+GRID_REPEATS = 3
 
 
 def make_data_table(size: int, cluster: ClusterOrder) -> Table:
@@ -55,18 +61,44 @@ def run_grid(cluster: ClusterOrder) -> list[tuple]:
                 table = tables[size]
                 rlist = sorted(rng.sample(range(1, size + 1), rlist_size))
                 table.accountant.reset()
-                _result, seconds = timed(join, rlist, table, "rid")
-                io = table.accountant.snapshot().weighted_io()
+                m = measure(
+                    join, rlist, table, "rid",
+                    repeats=GRID_REPEATS, warmup=1,
+                )
+                # Joins are read-only, so each of the warmup+measured
+                # runs contributes identical I/O; normalize to one run.
+                io = table.accountant.snapshot().weighted_io() / (
+                    GRID_REPEATS + 1
+                )
                 rows.append(
                     (
                         join_name,
                         rlist_size,
                         size,
-                        fmt(seconds * 1000, 3) + " ms",
+                        fmt(m.wall_median * 1000, 3) + " ms",
                         int(io),
                     )
                 )
     return rows
+
+
+def _quick_join_state():
+    table = make_data_table(6_000, ClusterOrder.RID)
+    rlist = sorted(random.Random(11).sample(range(1, 6_001), 500))
+    return table, rlist
+
+
+@quick_bench(
+    "fig5_7/hash_join_6k",
+    setup=_quick_join_state,
+    repeats=5,
+    counters=("join.hash.",),
+)
+def quick_hash_join(state) -> None:
+    """The checkout inner loop: hash-join a 500-rid rlist against a
+    6k-row data table."""
+    table, rlist = state
+    JOIN_ALGORITHMS["hash"](rlist, table, "rid")
 
 
 def test_fig5_7_clustered_on_rid(benchmark):

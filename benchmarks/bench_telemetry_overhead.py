@@ -15,7 +15,8 @@ import random
 import statistics
 import time
 
-from benchmarks.common import fmt, print_table
+from benchmarks.common import bench_main, fmt, print_table
+from benchmarks.registry import quick_bench
 from repro import telemetry
 from repro.core.cvd import CVD
 from repro.relational.database import Database
@@ -60,6 +61,7 @@ def commit_loop(states: list[list[tuple[int, ...]]]) -> float:
 
 
 def measure(enabled: bool, states) -> list[float]:
+    was_enabled = telemetry.is_enabled()
     if enabled:
         telemetry.enable()
     else:
@@ -73,7 +75,12 @@ def measure(enabled: bool, states) -> list[float]:
         return samples
     finally:
         telemetry.reset()
-        telemetry.enable()  # common.py default: benches run instrumented
+        # The run owner (runner / conftest / bench_main) decides whether
+        # the process is instrumented; restore whatever it chose.
+        if was_enabled:
+            telemetry.enable()
+        else:
+            telemetry.disable()
 
 
 def run() -> None:
@@ -113,6 +120,31 @@ def run() -> None:
         )
 
 
+def _quick_states() -> list[list[tuple[int, ...]]]:
+    """A 20-version slice of the overhead history for the quick tier."""
+    return generate_states()[:20]
+
+
+@quick_bench(
+    "telemetry/commit_loop_20v",
+    setup=_quick_states,
+    repeats=3,
+    counters=("cvd.commit.", "model.split_by_rlist.rows_inserted"),
+)
+def quick_commit_loop(states) -> None:
+    commit_loop(states)
+
+
+@quick_bench("telemetry/span_overhead_enabled", repeats=5, warmup=1)
+def quick_span_overhead() -> None:
+    """5k nested spans with telemetry enabled — the instrumented-mode
+    span cost the trajectory tracks across PRs."""
+    for _ in range(2_500):
+        with telemetry.span("bench.outer"):
+            with telemetry.span("bench.inner"):
+                pass
+
+
 def test_disabled_mode_is_cheap():
     """Pytest entry: the disabled no-op path must not dominate the loop.
 
@@ -128,4 +160,4 @@ def test_disabled_mode_is_cheap():
 
 
 if __name__ == "__main__":
-    run()
+    bench_main(run)

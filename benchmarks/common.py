@@ -9,7 +9,9 @@ wins, growth trends, crossovers — is what EXPERIMENTS.md records.
 from __future__ import annotations
 
 import functools
+import statistics
 import time
+from dataclasses import dataclass
 from typing import Callable
 
 from repro import telemetry
@@ -20,10 +22,13 @@ from repro.relational.database import Database
 from repro.relational.schema import ColumnDef, Schema
 from repro.relational.types import INT
 
-# Benches always run instrumented so every exported result carries the
-# system's internal metrics (rows moved, span latencies, join volumes)
-# alongside wall-clock, not instead of it.
-telemetry.enable()
+# Importing this module must NOT mutate global state: telemetry is
+# enabled explicitly by whoever owns the run — the unified runner
+# (`python -m benchmarks`), the pytest conftest in this directory, or a
+# bench's `__main__` via :func:`bench_main`. Benches still always *run*
+# instrumented so every exported result carries the system's internal
+# metrics (rows moved, span latencies, join volumes) alongside
+# wall-clock; only the side effect of `import benchmarks.common` is gone.
 
 
 @functools.lru_cache(maxsize=None)
@@ -54,11 +59,99 @@ def membership_of(history: VersionedHistory):
     return {c.vid: c.rids for c in history.commits}
 
 
+@dataclass
+class Measurement:
+    """Warmup + median-of-k measurement of one callable.
+
+    ``result`` is the return value of the last measured run. Samples
+    are parallel lists: ``wall_samples[i]`` and ``cpu_samples[i]``
+    describe the same run.
+    """
+
+    result: object
+    wall_samples: list[float]
+    cpu_samples: list[float]
+
+    @property
+    def wall_median(self) -> float:
+        return statistics.median(self.wall_samples)
+
+    @property
+    def wall_min(self) -> float:
+        return min(self.wall_samples)
+
+    @property
+    def wall_max(self) -> float:
+        return max(self.wall_samples)
+
+    @property
+    def cpu_median(self) -> float:
+        return statistics.median(self.cpu_samples)
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_s": {
+                "median": self.wall_median,
+                "min": self.wall_min,
+                "max": self.wall_max,
+                "samples": len(self.wall_samples),
+            },
+            "cpu_s": {
+                "median": self.cpu_median,
+                "min": min(self.cpu_samples),
+                "max": max(self.cpu_samples),
+            },
+        }
+
+
+def measure(
+    func: Callable,
+    *args,
+    repeats: int = 3,
+    warmup: int = 1,
+    **kwargs,
+) -> Measurement:
+    """Run ``func`` ``warmup`` untimed times, then ``repeats`` timed
+    times, recording wall and CPU seconds per run.
+
+    This is the shared measurement primitive for every bench and for
+    the unified runner: a single sample is noise-dominated at
+    laptop-scale millisecond workloads, so report medians from here
+    rather than one ``perf_counter`` delta.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(warmup):
+        func(*args, **kwargs)
+    wall_samples: list[float] = []
+    cpu_samples: list[float] = []
+    result = None
+    for _ in range(repeats):
+        cpu0 = time.process_time()
+        wall0 = time.perf_counter()
+        result = func(*args, **kwargs)
+        wall_samples.append(time.perf_counter() - wall0)
+        cpu_samples.append(time.process_time() - cpu0)
+    return Measurement(result, wall_samples, cpu_samples)
+
+
 def timed(func: Callable, *args, **kwargs) -> tuple[object, float]:
-    """(result, wall seconds)."""
-    started = time.perf_counter()
-    result = func(*args, **kwargs)
-    return result, time.perf_counter() - started
+    """(result, wall seconds) — one unwarmed sample via :func:`measure`.
+
+    Only appropriate for seconds-scale one-shot work (full history
+    replays) where repeats would be prohibitive and the signal dwarfs
+    timer noise; anything millisecond-scale should use
+    ``measure(...).wall_median`` instead.
+    """
+    m = measure(func, *args, repeats=1, warmup=0, **kwargs)
+    return m.result, m.wall_samples[0]
+
+
+def bench_main(run: Callable[[], None]) -> None:
+    """Entry point for a bench's ``__main__`` block: enables telemetry
+    for the process (the import no longer does) and runs the bench."""
+    telemetry.enable()
+    run()
 
 
 def sample_vids(history: VersionedHistory, count: int = 25) -> list[int]:
@@ -76,9 +169,12 @@ def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
 
     Every printed table lands in ``results/<slug>.csv`` so the figures
     can be re-plotted without re-running the harness, and the telemetry
-    accumulated while producing it lands in
-    ``results/<slug>.telemetry.json`` (the registry is reset afterwards,
-    so each table's snapshot covers only its own work).
+    accumulated so far lands in ``results/<slug>.telemetry.json``.
+    Printing does NOT reset the registry — the registry lifecycle
+    belongs to whoever owns the run (the unified runner resets between
+    benches; the pytest conftest resets between tests), so exporting a
+    table mid-suite can no longer silently wipe counters another
+    measurement is still accumulating.
     """
     widths = [
         max(len(str(headers[i])), max((len(str(r[i])) for r in rows), default=0))
@@ -118,14 +214,13 @@ def _export_csv(title: str, headers: list[str], rows: list[tuple]) -> None:
 
 
 def _export_telemetry(title: str) -> None:
-    """Snapshot the internal metrics behind this table, then reset so
-    the next table starts from zero."""
+    """Snapshot the internal metrics accumulated behind this table (no
+    reset — see :func:`print_table`)."""
     snapshot = telemetry.snapshot()
     if snapshot.is_empty():
         return
     path = _results_dir() / f"{_slug(title)}.telemetry.json"
     path.write_text(snapshot.to_json() + "\n")
-    telemetry.reset()
 
 
 def fmt(value: float, digits: int = 3) -> str:

@@ -1,0 +1,30 @@
+"""Pytest-side owner of the telemetry registry lifecycle for benches.
+
+Importing :mod:`benchmarks.common` no longer enables telemetry as a
+side effect; when benches run under pytest (``pytest benchmarks/...``),
+this conftest enables it for the session and resets the registry before
+each test, so every ``results/<slug>.telemetry.json`` export covers
+only the test that produced it — the same contract the unified runner
+(``python -m benchmarks``) provides per bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _bench_telemetry_session():
+    was_enabled = telemetry.is_enabled()
+    telemetry.enable()
+    yield
+    if not was_enabled:
+        telemetry.disable()
+
+
+@pytest.fixture(autouse=True)
+def _bench_telemetry_per_test():
+    telemetry.reset()
+    yield

@@ -215,6 +215,52 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report what recovery would do without changing anything",
     )
 
+    profile = sub.add_parser(
+        "profile",
+        help="run any orpheus command with resource profiling and "
+        "print its span-tree profile",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=15,
+        help="number of hot spans in the self-time table (default 15)",
+    )
+    profile.add_argument(
+        "--collapsed",
+        action="store_true",
+        help="emit folded stacks (flamegraph.pl / speedscope format) "
+        "instead of the tree",
+    )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the profiled tree and hot-span table as JSON",
+    )
+    profile.add_argument(
+        "cmd",
+        nargs=argparse.REMAINDER,
+        metavar="command",
+        help="the orpheus command to profile, e.g. "
+        "`orpheus profile checkout -d data -v 3 -f out.csv`",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the unified benchmark suite (same flags as "
+        "`python -m benchmarks`)",
+    )
+    bench.add_argument("--quick", action="store_true")
+    bench.add_argument("--filter", default=None, metavar="SUBSTR")
+    bench.add_argument("--repeats", type=int, default=None)
+    bench.add_argument("--list", action="store_true")
+    bench.add_argument("--json", action="store_true")
+    bench.add_argument("--no-write", action="store_true")
+    bench.add_argument("--check", action="store_true")
+    bench.add_argument("--warn-only", action="store_true")
+    bench.add_argument("--update-baseline", action="store_true")
+    bench.add_argument("--baseline", default=None)
+
     stats = sub.add_parser(
         "stats", help="show accumulated telemetry for this repository"
     )
@@ -252,6 +298,10 @@ def _add_explain(subparser: argparse.ArgumentParser) -> None:
 def main(argv: list[str] | None = None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
+    if args.command == "profile":
+        return _run_profile(args)
+    if args.command == "bench":
+        return _run_bench(args)
     if args.command == "stats":
         # Readers share the lock; --reset rewrites the accumulator and
         # must serialize against invocations folding their snapshots in.
@@ -543,6 +593,77 @@ def _dispatch(args: argparse.Namespace, record=None) -> int:
     if args.command in STATE_WRITING_COMMANDS:
         save_state(orpheus, args.root)
     return 0
+
+
+def _run_profile(args: argparse.Namespace) -> int:
+    """``orpheus profile <command...>``: run the command with resource
+    profiling enabled and render its span tree (self/total time, CPU,
+    peak memory)."""
+    from repro.observe.profile import (
+        collapsed_stacks,
+        profile_to_json,
+        render_report,
+    )
+
+    cmd = list(args.cmd)
+    if cmd and cmd[0] == "--":
+        cmd = cmd[1:]
+    if not cmd:
+        sys.stderr.write("error: profile needs a command to run\n")
+        return 2
+    if cmd[0] in ("profile", "bench"):
+        sys.stderr.write(f"error: cannot profile {cmd[0]!r}\n")
+        return 2
+    inner = (["--root", args.root] if args.root else []) + cmd
+    was_profiling = telemetry.is_profiling()
+    telemetry.enable_profiling()
+    try:
+        code = main(inner)
+    finally:
+        if not was_profiling:
+            telemetry.disable_profiling()
+    tree = telemetry.last_span_tree()
+    if tree is None:
+        sys.stderr.write(
+            "profile: the command recorded no span tree (nothing to show)\n"
+        )
+        return code if code != 0 else 1
+    if args.collapsed:
+        sys.stdout.write(collapsed_stacks(tree))
+    elif args.json:
+        sys.stdout.write(profile_to_json(tree, args.top) + "\n")
+    else:
+        sys.stdout.write(render_report(tree, args.top))
+    return code
+
+
+def _run_bench(args: argparse.Namespace) -> int:
+    """``orpheus bench ...``: forward to the unified benchmark runner
+    (``python -m benchmarks``), which must be importable — i.e. run
+    from a checkout of the repository."""
+    try:
+        from benchmarks.runner import main as bench_main
+    except ImportError:
+        sys.stderr.write(
+            "error: the benchmark suite is not importable; run from the "
+            "repository root (or `python -m benchmarks` with the repo "
+            "on sys.path)\n"
+        )
+        return 2
+    bench_args: list[str] = []
+    for flag in (
+        "quick", "list", "json", "no_write", "check", "warn_only",
+        "update_baseline",
+    ):
+        if getattr(args, flag):
+            bench_args.append("--" + flag.replace("_", "-"))
+    if args.filter is not None:
+        bench_args += ["--filter", args.filter]
+    if args.repeats is not None:
+        bench_args += ["--repeats", str(args.repeats)]
+    if args.baseline is not None:
+        bench_args += ["--baseline", args.baseline]
+    return bench_main(bench_args)
 
 
 def _run_stats(args: argparse.Namespace) -> int:

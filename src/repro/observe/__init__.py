@@ -11,13 +11,34 @@ package makes it *explainable*:
   lengths, orphaned versions, stale staging, telemetry size, journal
   integrity), each with a severity and a remediation hint;
 * :mod:`repro.observe.journal` — the append-only, trace-correlated
-  operation journal behind ``orpheus log --ops`` and replay-verify.
+  operation journal behind ``orpheus log --ops`` and replay-verify;
+* :mod:`repro.observe.profile` — self/total-time analysis of profiled
+  span trees (``orpheus profile``: hot-span table, folded stacks,
+  JSON);
+* :mod:`repro.observe.regress` — noise-aware benchmark regression
+  gating against ``benchmarks/baselines.json`` (``orpheus bench
+  --check`` / ``--update-baseline``).
 """
 
 from repro.observe.doctor import (
     DoctorReport,
     ProbeResult,
     run_doctor,
+)
+from repro.observe.profile import (
+    HotSpan,
+    aggregate,
+    collapsed_stacks,
+    profile_to_dict,
+    render_report,
+)
+from repro.observe.regress import (
+    BenchVerdict,
+    RegressionReport,
+    check_payload,
+    compare,
+    load_baseline,
+    write_baseline,
 )
 from repro.observe.explain import (
     ExplainNode,
@@ -35,17 +56,28 @@ from repro.observe.journal import (
 )
 
 __all__ = [
+    "BenchVerdict",
     "DoctorReport",
     "ExplainNode",
+    "HotSpan",
     "Journal",
     "MUTATING_COMMANDS",
     "OpRecord",
     "ProbeResult",
+    "RegressionReport",
+    "aggregate",
     "attach_actuals",
+    "check_payload",
+    "collapsed_stacks",
+    "compare",
     "io_cost",
+    "load_baseline",
     "make_record",
     "new_trace_id",
+    "profile_to_dict",
+    "render_report",
     "run_doctor",
     "run_with_actuals",
     "verify_journal",
+    "write_baseline",
 ]

@@ -28,6 +28,9 @@ and machine-readable data. The probes:
   stale fallback-lock detection.
 * **pending intents** — torn operations (intent begun, never completed)
   fail the probe and point at ``orpheus recover``.
+* **perf baselines** — inside a source checkout, the benchmark
+  regression baseline must exist, match the runner's schema version,
+  and cover the registered quick tier.
 
 ``run_doctor`` executes all probes; the report's exit code is non-zero
 when any probe fails, so CI can gate on ``orpheus doctor --json``.
@@ -609,6 +612,103 @@ def probe_pending_intents(root: str | None = None) -> ProbeResult:
     )
 
 
+def probe_perf_baselines(root: str | None = None) -> ProbeResult:
+    """The performance-gating baseline must exist and track the bench
+    suite.
+
+    Only meaningful inside a source checkout where the ``benchmarks``
+    package is importable; a deployed repository (the usual ``--root``)
+    reports OK/not-applicable. Warns when ``benchmarks/baselines.json``
+    is missing, schema-version mismatched, or stale relative to the
+    registered quick tier (benches with no baseline entry, or entries
+    whose bench no longer exists).
+    """
+    try:
+        from benchmarks import runner
+        from benchmarks.registry import QUICK, benches
+    except ImportError:
+        return ProbeResult(
+            probe="perf_baselines",
+            severity=OK,
+            summary="bench suite not importable here (not a source "
+            "checkout); nothing to gate",
+        )
+    from repro.observe import regress
+
+    remediation = (
+        "run `orpheus bench --quick --update-baseline` and commit "
+        "benchmarks/baselines.json"
+    )
+    baseline_path = runner.DEFAULT_BASELINE
+    try:
+        baseline = regress.load_baseline(baseline_path)
+    except (ValueError, json.JSONDecodeError) as error:
+        return ProbeResult(
+            probe="perf_baselines",
+            severity=WARN,
+            summary=f"baseline unreadable: {error}",
+            remediation=remediation,
+            data={"path": str(baseline_path)},
+        )
+    if baseline is None:
+        return ProbeResult(
+            probe="perf_baselines",
+            severity=WARN,
+            summary="no benchmark baseline: regressions in the quick "
+            "tier would ship silently",
+            remediation=remediation,
+            data={"path": str(baseline_path)},
+        )
+    if baseline.get("schema_version") != runner.BENCH_SCHEMA_VERSION:
+        return ProbeResult(
+            probe="perf_baselines",
+            severity=WARN,
+            summary=(
+                f"baseline schema_version "
+                f"{baseline.get('schema_version')!r} != runner's "
+                f"{runner.BENCH_SCHEMA_VERSION}"
+            ),
+            remediation=remediation,
+            data={"path": str(baseline_path)},
+        )
+    try:
+        runner.discover()
+    except Exception as error:  # a broken bench module is suite damage
+        return ProbeResult(
+            probe="perf_baselines",
+            severity=WARN,
+            summary=f"bench discovery failed: {error}",
+            remediation="fix the failing bench module import",
+        )
+    registered = {spec.name for spec in benches(QUICK)}
+    in_baseline = set(baseline.get("benches", {}))
+    unbaselined = sorted(registered - in_baseline)
+    orphaned = sorted(in_baseline - registered)
+    if unbaselined or orphaned:
+        return ProbeResult(
+            probe="perf_baselines",
+            severity=WARN,
+            summary=(
+                f"baseline is stale: {len(unbaselined)} bench(es) "
+                f"unbaselined, {len(orphaned)} orphaned entr(ies)"
+            ),
+            remediation=remediation,
+            data={
+                "unbaselined": unbaselined[:20],
+                "orphaned": orphaned[:20],
+            },
+        )
+    return ProbeResult(
+        probe="perf_baselines",
+        severity=OK,
+        summary=(
+            f"baseline covers all {len(registered)} quick bench(es) "
+            f"(sha {baseline.get('git_sha', '?')})"
+        ),
+        data={"benches": len(registered)},
+    )
+
+
 def probe_journal(orpheus, root: str | None = None) -> ProbeResult:
     """Replay-verify the operation journal against the version graph."""
     from repro.observe.journal import Journal, verify_journal
@@ -654,6 +754,7 @@ def run_doctor(orpheus, root: str | None = None) -> DoctorReport:
         report.results.append(probe_backup_freshness(root))
         report.results.append(probe_lock_health(root))
         report.results.append(probe_pending_intents(root))
+        report.results.append(probe_perf_baselines(root))
         telemetry.count("observe.doctor.runs")
         telemetry.count(
             "observe.doctor.failures",

@@ -1,0 +1,181 @@
+"""``orpheus profile`` — self/total analysis of a profiled span tree.
+
+Takes the root :class:`~repro.telemetry.spans.SpanNode` an invocation
+produced and renders it three ways:
+
+* :func:`render_report` — the span tree (with CPU and peak-memory
+  columns when profiling was on) followed by a top-N hot-span table
+  ranked by *self* time (time inside a span minus its children);
+* :func:`collapsed_stacks` — one ``a;b;c <value>`` line per unique
+  stack, the folded format external flamegraph tools
+  (``flamegraph.pl``, speedscope, inferno) consume directly; the value
+  is self time in microseconds;
+* :func:`profile_to_dict` — machine-readable (``--json``).
+
+Self time is clamped at zero: a parent whose children overlap it
+entirely (timer granularity) never reports negative self time. Total
+time per span name counts only top-most occurrences of that name, so
+recursive spans are not double-counted.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass
+class HotSpan:
+    """Aggregate of every occurrence of one span name."""
+
+    name: str
+    calls: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+    self_cpu_ns: int = 0
+    mem_peak_bytes: int = 0
+    profiled: bool = field(default=False)
+
+    def to_dict(self) -> dict:
+        row = {
+            "name": self.name,
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+        }
+        if self.profiled:
+            row["self_cpu_s"] = self.self_cpu_ns / 1e9
+            row["mem_peak_bytes"] = self.mem_peak_bytes
+        return row
+
+
+def _self_seconds(node) -> float:
+    duration = node.duration_s or 0.0
+    children = sum(child.duration_s or 0.0 for child in node.children)
+    return max(0.0, duration - children)
+
+
+def _self_cpu_ns(node) -> int:
+    if node.profile is None:
+        return 0
+    own = node.profile.get("cpu_ns", 0)
+    children = sum(
+        child.profile.get("cpu_ns", 0)
+        for child in node.children
+        if child.profile is not None
+    )
+    return max(0, own - children)
+
+
+def aggregate(root) -> list[HotSpan]:
+    """Per-name aggregates over the tree, ranked by self time."""
+    rows: dict[str, HotSpan] = {}
+
+    def walk(node, active: frozenset) -> None:
+        row = rows.setdefault(node.name, HotSpan(node.name))
+        row.calls += 1
+        if node.name not in active:  # top-most of a recursive chain
+            row.total_s += node.duration_s or 0.0
+        row.self_s += _self_seconds(node)
+        if node.profile is not None:
+            row.profiled = True
+            row.self_cpu_ns += _self_cpu_ns(node)
+            row.mem_peak_bytes = max(
+                row.mem_peak_bytes, node.profile.get("mem_peak_bytes", 0)
+            )
+        child_active = active | {node.name}
+        for child in node.children:
+            walk(child, child_active)
+
+    walk(root, frozenset())
+    return sorted(rows.values(), key=lambda r: r.self_s, reverse=True)
+
+
+def _fmt_bytes(value: int) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(value) < 1024 or unit == "GB":
+            return (
+                f"{value}{unit}"
+                if unit == "B"
+                else f"{value:.1f}{unit}"
+            )
+        value /= 1024
+    return f"{value:.1f}GB"
+
+
+def render_hot_table(root, top: int = 15) -> str:
+    """The top-N hot spans by self time, as a fixed-width table."""
+    rows = aggregate(root)[:top]
+    profiled = any(row.profiled for row in rows)
+    wall = root.duration_s or 0.0
+    headers = ["span", "calls", "total_s", "self_s", "self%"]
+    if profiled:
+        headers += ["cpu_s", "peak_mem"]
+    table = []
+    for row in rows:
+        pct = f"{row.self_s / wall:6.1%}" if wall > 0 else "     -"
+        line = [
+            row.name,
+            str(row.calls),
+            f"{row.total_s:.6f}",
+            f"{row.self_s:.6f}",
+            pct,
+        ]
+        if profiled:
+            line += [
+                f"{row.self_cpu_ns / 1e9:.6f}" if row.profiled else "-",
+                _fmt_bytes(row.mem_peak_bytes) if row.profiled else "-",
+            ]
+        table.append(line)
+    widths = [
+        max(len(headers[i]), max((len(r[i]) for r in table), default=0))
+        for i in range(len(headers))
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+    lines.append("-" * len(lines[0]))
+    for line in table:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def render_report(root, top: int = 15) -> str:
+    """Tree plus hot-span table — the default ``orpheus profile`` output."""
+    return (
+        root.render()
+        + "\n\nhot spans (by self time)\n"
+        + render_hot_table(root, top)
+        + "\n"
+    )
+
+
+def collapsed_stacks(root) -> str:
+    """Folded-stack output: ``name;child;... <self_us>`` per line.
+
+    Compatible with flamegraph.pl / inferno / speedscope ("folded"
+    format). Lines with zero self time are kept only if they are
+    leaves, so the totals still add up to the root duration.
+    """
+    folded: dict[str, int] = {}
+
+    def walk(node, stack: tuple) -> None:
+        stack = stack + (node.name.replace(";", "_"),)
+        self_us = int(round(_self_seconds(node) * 1e6))
+        if self_us > 0 or not node.children:
+            key = ";".join(stack)
+            folded[key] = folded.get(key, 0) + self_us
+        for child in node.children:
+            walk(child, stack)
+
+    walk(root, ())
+    return "\n".join(f"{key} {value}" for key, value in folded.items()) + "\n"
+
+
+def profile_to_dict(root, top: int = 15) -> dict:
+    return {
+        "tree": root.to_dict(),
+        "hot_spans": [row.to_dict() for row in aggregate(root)[:top]],
+    }
+
+
+def profile_to_json(root, top: int = 15, indent: int | None = 2) -> str:
+    return json.dumps(profile_to_dict(root, top), indent=indent, sort_keys=True)

@@ -32,6 +32,13 @@ from repro.telemetry.clock import (
     now,
     set_clock,
 )
+from repro.telemetry.profiling import (
+    PROFILE_ENV,
+    arm_from_env,
+    disable_profiling,
+    enable_profiling,
+    is_profiling,
+)
 from repro.telemetry.registry import Histogram, Registry, get_registry
 from repro.telemetry.snapshot import Snapshot
 from repro.telemetry.spans import (
@@ -46,18 +53,23 @@ __all__ = [
     "Clock",
     "FrozenClock",
     "Histogram",
+    "PROFILE_ENV",
     "Registry",
     "Snapshot",
     "SpanNode",
     "SystemClock",
+    "arm_from_env",
     "count",
     "current_span",
     "disable",
+    "disable_profiling",
     "enable",
+    "enable_profiling",
     "gauge",
     "get_clock",
     "get_registry",
     "is_enabled",
+    "is_profiling",
     "last_span_tree",
     "log",
     "monotonic",
@@ -68,6 +80,11 @@ __all__ = [
     "snapshot",
     "span",
 ]
+
+# ORPHEUS_PROFILE=1 arms resource profiling for the whole process the
+# moment telemetry is imported (spans still only profile while the
+# registry itself is enabled).
+arm_from_env()
 
 
 def enable() -> None:

@@ -1,0 +1,82 @@
+"""Opt-in resource profiling for telemetry spans.
+
+When profiling is enabled (``telemetry.enable_profiling()`` or the
+``ORPHEUS_PROFILE=1`` environment variable), every span additionally
+records:
+
+* ``cpu_ns`` — process CPU time spent inside the span
+  (:func:`time.process_time_ns` delta, user+system, all threads);
+* ``mem_peak_bytes`` — peak traced allocation above the span's entry
+  baseline (:mod:`tracemalloc`), correct across nested spans: a child's
+  peak is folded back into every ancestor;
+* ``mem_alloc_bytes`` — net traced bytes still allocated at span exit
+  (negative when the span released more than it allocated);
+* ``gc_collections`` — garbage-collector collection passes that ran
+  during the span.
+
+The profiling flag lives next to the registry's ``enabled`` flag and is
+only consulted *after* the enabled check, so the disabled fast path is
+untouched and the enabled-but-unprofiled path pays one attribute load
+per span. ``tracemalloc`` is started lazily on
+:func:`enable_profiling` and stopped again on :func:`disable_profiling`
+only if we started it (an embedding program's own tracing session is
+left alone).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import tracemalloc
+
+from repro.telemetry.registry import get_registry
+
+#: Environment variable that arms profiling at import time.
+PROFILE_ENV = "ORPHEUS_PROFILE"
+
+#: True when *we* started tracemalloc (so disable_profiling stops it).
+_started_tracing = False
+
+
+def enable_profiling() -> None:
+    """Attach CPU/memory/GC accounting to every subsequent span.
+
+    Implies nothing about the enabled flag: profiling only takes effect
+    while telemetry itself is enabled. Starts :mod:`tracemalloc` if no
+    one else has.
+    """
+    global _started_tracing
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+        _started_tracing = True
+    get_registry().profiling = True
+
+
+def disable_profiling() -> None:
+    """Stop attaching resource profiles to spans (and stop tracemalloc
+    if :func:`enable_profiling` was the one to start it)."""
+    global _started_tracing
+    get_registry().profiling = False
+    if _started_tracing and tracemalloc.is_tracing():
+        tracemalloc.stop()
+        _started_tracing = False
+
+
+def is_profiling() -> bool:
+    return get_registry().profiling
+
+
+def arm_from_env(environ=os.environ) -> bool:
+    """Enable profiling when ``ORPHEUS_PROFILE`` is set to a truthy
+    value (anything except '', '0', 'false', 'no'). Returns whether
+    profiling was armed. Called once at package import."""
+    value = environ.get(PROFILE_ENV, "").strip().lower()
+    if value in ("", "0", "false", "no"):
+        return False
+    enable_profiling()
+    return True
+
+
+def gc_collections() -> int:
+    """Total collection passes across all generations so far."""
+    return sum(stat["collections"] for stat in gc.get_stats())

@@ -1,0 +1,127 @@
+"""Self/total-time analysis and rendering of profiled span trees."""
+
+from __future__ import annotations
+
+import json
+
+from repro.observe.profile import (
+    aggregate,
+    collapsed_stacks,
+    profile_to_dict,
+    profile_to_json,
+    render_hot_table,
+    render_report,
+)
+from repro.telemetry.spans import SpanNode
+
+
+def node(name, duration, children=(), profile=None):
+    n = SpanNode(name, {})
+    n.duration_s = duration
+    n.children = list(children)
+    n.profile = profile
+    return n
+
+
+def sample_tree():
+    #   root 1.0
+    #     a 0.6
+    #       b 0.2
+    #     b 0.1
+    return node(
+        "root",
+        1.0,
+        [
+            node("a", 0.6, [node("b", 0.2)]),
+            node("b", 0.1),
+        ],
+    )
+
+
+def test_aggregate_self_and_total():
+    rows = {r.name: r for r in aggregate(sample_tree())}
+    assert abs(rows["root"].self_s - 0.3) < 1e-9  # 1.0 - 0.6 - 0.1
+    assert rows["root"].total_s == 1.0
+    assert abs(rows["a"].self_s - 0.4) < 1e-9
+    assert rows["b"].calls == 2
+    assert abs(rows["b"].total_s - 0.3) < 1e-9
+
+
+def test_aggregate_ranked_by_self_time():
+    rows = aggregate(sample_tree())
+    self_times = [r.self_s for r in rows]
+    assert self_times == sorted(self_times, reverse=True)
+
+
+def test_recursive_span_not_double_counted():
+    # outer "x" contains inner "x": total for x counts the outer only.
+    tree = node("x", 1.0, [node("x", 0.4)])
+    rows = {r.name: r for r in aggregate(tree)}
+    assert rows["x"].total_s == 1.0
+    assert rows["x"].calls == 2
+    assert abs(rows["x"].self_s - 1.0) < 1e-9  # 0.6 outer + 0.4 inner
+
+
+def test_negative_self_time_clamped():
+    # Children overlap the parent entirely (timer granularity).
+    tree = node("p", 0.1, [node("c", 0.2)])
+    rows = {r.name: r for r in aggregate(tree)}
+    assert rows["p"].self_s == 0.0
+
+
+def test_collapsed_stacks_format():
+    out = collapsed_stacks(sample_tree())
+    lines = dict(
+        (line.rsplit(" ", 1)[0], int(line.rsplit(" ", 1)[1]))
+        for line in out.strip().splitlines()
+    )
+    assert lines["root"] == 300_000
+    assert lines["root;a"] == 400_000
+    assert lines["root;a;b"] == 200_000
+    assert lines["root;b"] == 100_000
+    # Folded values add up to the root duration.
+    assert sum(lines.values()) == 1_000_000
+
+
+def test_collapsed_merges_identical_stacks():
+    tree = node("r", 1.0, [node("c", 0.3), node("c", 0.2)])
+    out = collapsed_stacks(tree)
+    lines = out.strip().splitlines()
+    assert sum(1 for line in lines if line.startswith("r;c ")) == 1
+    assert "r;c 500000" in lines
+
+
+def test_hot_table_without_profiles_has_no_cpu_column():
+    table = render_hot_table(sample_tree())
+    assert "cpu_s" not in table
+    assert "self%" in table
+
+
+def test_hot_table_with_profiles_has_cpu_and_mem_columns():
+    tree = node(
+        "root",
+        1.0,
+        profile={
+            "cpu_ns": 900_000_000,
+            "mem_peak_bytes": 2048,
+            "mem_alloc_bytes": 0,
+            "gc_collections": 1,
+        },
+    )
+    table = render_hot_table(tree)
+    assert "cpu_s" in table
+    assert "peak_mem" in table
+    assert "2.0KB" in table
+
+
+def test_render_report_contains_tree_and_table():
+    report = render_report(sample_tree(), top=2)
+    assert "root" in report
+    assert "hot spans (by self time)" in report
+
+
+def test_profile_json_round_trips():
+    payload = json.loads(profile_to_json(sample_tree(), top=3))
+    assert payload["tree"]["name"] == "root"
+    assert len(payload["hot_spans"]) == 3
+    assert profile_to_dict(sample_tree(), top=1)["hot_spans"][0]["name"]

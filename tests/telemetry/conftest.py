@@ -12,6 +12,7 @@ from repro import telemetry
 @pytest.fixture(autouse=True)
 def clean_telemetry():
     was_enabled = telemetry.is_enabled()
+    was_profiling = telemetry.is_profiling()
     telemetry.reset()
     telemetry.set_clock(None)
     yield
@@ -22,3 +23,7 @@ def clean_telemetry():
         telemetry.enable()
     else:
         telemetry.disable()
+    if was_profiling:
+        telemetry.enable_profiling()
+    else:
+        telemetry.disable_profiling()

@@ -1,0 +1,148 @@
+"""Resource-profiled spans: CPU, peak memory, GC, and the opt-in gate."""
+
+from __future__ import annotations
+
+import tracemalloc
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import profiling
+
+
+@pytest.fixture
+def profiled():
+    telemetry.enable()
+    telemetry.enable_profiling()
+    yield
+    telemetry.disable_profiling()
+
+
+def test_profiling_disabled_by_default():
+    telemetry.enable()
+    assert not telemetry.is_profiling()
+    with telemetry.span("plain"):
+        pass
+    assert telemetry.last_span_tree().profile is None
+
+
+def test_profile_fields_present(profiled):
+    with telemetry.span("work"):
+        data = list(range(10_000))
+        del data
+    node = telemetry.last_span_tree()
+    assert node.profile is not None
+    assert set(node.profile) == {
+        "cpu_ns",
+        "mem_peak_bytes",
+        "mem_alloc_bytes",
+        "gc_collections",
+    }
+    assert node.profile["cpu_ns"] >= 0
+    assert node.profile["gc_collections"] >= 0
+
+
+def test_peak_memory_reflects_allocation(profiled):
+    with telemetry.span("alloc"):
+        block = bytearray(4_000_000)
+        del block
+    profile = telemetry.last_span_tree().profile
+    assert profile["mem_peak_bytes"] >= 4_000_000
+    # The block was freed, so the net allocation is far below the peak.
+    assert profile["mem_alloc_bytes"] < profile["mem_peak_bytes"]
+
+
+def test_nested_peak_folds_into_parent(profiled):
+    with telemetry.span("outer"):
+        with telemetry.span("inner"):
+            block = bytearray(4_000_000)
+            del block
+    outer = telemetry.last_span_tree()
+    inner = outer.children[0]
+    assert inner.profile["mem_peak_bytes"] >= 4_000_000
+    # tracemalloc has one process-wide peak counter; the child reset it,
+    # but the parent must still see at least the child's peak.
+    assert outer.profile["mem_peak_bytes"] >= inner.profile["mem_peak_bytes"]
+
+
+def test_parent_peak_survives_child_reset(profiled):
+    """Memory peaking in the parent BEFORE a child span opens must not
+    be lost when the child resets the tracemalloc peak counter."""
+    with telemetry.span("outer"):
+        early = bytearray(6_000_000)
+        del early
+        with telemetry.span("inner"):
+            pass
+    outer = telemetry.last_span_tree()
+    assert outer.profile["mem_peak_bytes"] >= 6_000_000
+
+
+def test_cpu_time_accumulates(profiled):
+    with telemetry.span("spin"):
+        total = 0
+        for i in range(200_000):
+            total += i * i
+    assert telemetry.last_span_tree().profile["cpu_ns"] > 0
+
+
+def test_profile_in_to_dict_and_render(profiled):
+    with telemetry.span("work"):
+        pass
+    node = telemetry.last_span_tree()
+    payload = node.to_dict()
+    assert "profile" in payload
+    assert payload["profile"]["cpu_ns"] == node.profile["cpu_ns"]
+    rendered = node.render()
+    assert "cpu=" in rendered
+    assert "peak_mem=" in rendered
+
+
+def test_render_has_no_profile_columns_when_unprofiled():
+    telemetry.enable()
+    with telemetry.span("plain"):
+        pass
+    rendered = telemetry.last_span_tree().render()
+    assert "cpu=" not in rendered
+
+
+def test_disable_profiling_stops_attaching(profiled):
+    telemetry.disable_profiling()
+    with telemetry.span("after"):
+        pass
+    assert telemetry.last_span_tree().profile is None
+
+
+def test_arm_from_env_truthiness():
+    try:
+        assert not profiling.arm_from_env({})
+        assert not profiling.arm_from_env({"ORPHEUS_PROFILE": "0"})
+        assert not profiling.arm_from_env({"ORPHEUS_PROFILE": "false"})
+        assert not telemetry.is_profiling()
+        assert profiling.arm_from_env({"ORPHEUS_PROFILE": "1"})
+        assert telemetry.is_profiling()
+    finally:
+        telemetry.disable_profiling()
+
+
+def test_external_tracemalloc_session_left_running():
+    """disable_profiling must not stop a tracemalloc session it did not
+    start."""
+    already_tracing = tracemalloc.is_tracing()
+    if not already_tracing:
+        tracemalloc.start()
+    try:
+        telemetry.enable_profiling()
+        telemetry.disable_profiling()
+        assert tracemalloc.is_tracing()
+    finally:
+        if not already_tracing:
+            tracemalloc.stop()
+
+
+def test_error_spans_still_profiled(profiled):
+    with pytest.raises(RuntimeError):
+        with telemetry.span("boom"):
+            raise RuntimeError("x")
+    node = telemetry.last_span_tree()
+    assert node.status == "error"
+    assert node.profile is not None
