@@ -43,6 +43,7 @@ from repro.core.csvio import read_csv, read_schema_file
 from repro.observe.doctor import run_doctor
 from repro.observe.explain import run_with_actuals
 from repro.observe.journal import (
+    JOURNALED_COMMANDS,
     MUTATING_COMMANDS,
     Journal,
     make_record,
@@ -172,6 +173,9 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="with --ops: replay the journal against the version graph",
     )
+    log.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
 
     diff = sub.add_parser("diff", help="records in one version but not another")
     diff.add_argument("-d", "--dataset", required=True)
@@ -179,7 +183,24 @@ def _build_parser() -> argparse.ArgumentParser:
     diff.add_argument("-b", type=int, required=True)
     _add_explain(diff)
 
-    sub.add_parser("ls", help="list CVDs")
+    ls = sub.add_parser("ls", help="list CVDs")
+    ls.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    runq = sub.add_parser(
+        "run", help="execute a version-aware SQL SELECT"
+    )
+    runq.add_argument("sql", help="the query, e.g. \"SELECT * FROM d ...\"")
+    runq.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    runq.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        help="print at most this many rows (full result still computed)",
+    )
 
     drop = sub.add_parser("drop", help="drop a CVD")
     drop.add_argument("-d", "--dataset", required=True)
@@ -261,6 +282,89 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--update-baseline", action="store_true")
     bench.add_argument("--baseline", default=None)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the version-service daemon (orpheusd) over this "
+        "repository",
+    )
+    serve.add_argument(
+        "--socket",
+        default=None,
+        help="Unix socket path (default: .orpheus/service.sock)",
+    )
+    serve.add_argument(
+        "--tcp",
+        default=None,
+        metavar="HOST:PORT",
+        help="additionally listen on TCP (port 0 picks a free port)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=4, help="read worker threads"
+    )
+    serve.add_argument(
+        "--cache-mb",
+        type=float,
+        default=64.0,
+        help="materialized-version cache budget in MiB",
+    )
+    serve.add_argument(
+        "--queue-depth",
+        type=int,
+        default=8,
+        help="writer queue depth before BUSY load-shedding",
+    )
+    serve.add_argument(
+        "--read-queue-depth",
+        type=int,
+        default=64,
+        help="read queue depth before BUSY load-shedding",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=300.0,
+        help="close sessions silent for this many seconds",
+    )
+    serve.add_argument(
+        "--status",
+        action="store_true",
+        help="query a running daemon instead of starting one",
+    )
+    serve.add_argument(
+        "--stop",
+        action="store_true",
+        help="ask a running daemon to drain and exit",
+    )
+    serve.add_argument(
+        "--json", action="store_true", help="with --status: JSON output"
+    )
+
+    remote = sub.add_parser(
+        "remote",
+        help="run a command against the daemon instead of the local "
+        "state file",
+    )
+    remote.add_argument(
+        "--user",
+        default=os.environ.get("ORPHEUS_USER", ""),
+        help="session identity (default: $ORPHEUS_USER or anonymous)",
+    )
+    remote.add_argument(
+        "--socket", default=None, help="daemon socket (default: discover)"
+    )
+    remote.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw response data as JSON",
+    )
+    remote.add_argument(
+        "cmd",
+        nargs=argparse.REMAINDER,
+        metavar="command",
+        help="the command to forward, e.g. "
+        "`orpheus remote checkout -d data -v 3 -f out.csv`",
+    )
+
     stats = sub.add_parser(
         "stats", help="show accumulated telemetry for this repository"
     )
@@ -302,6 +406,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_profile(args)
     if args.command == "bench":
         return _run_bench(args)
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "remote":
+        return _run_remote(args)
     if args.command == "stats":
         # Readers share the lock; --reset rewrites the accumulator and
         # must serialize against invocations folding their snapshots in.
@@ -323,10 +431,11 @@ def main(argv: list[str] | None = None) -> int:
     # `--explain` without execution neither mutates state nor journals.
     plan_only = getattr(args, "explain", None) == "plan"
     mutating = args.command in MUTATING_COMMANDS and not plan_only
+    journaled = args.command in JOURNALED_COMMANDS and not plan_only
     writes = (
         args.command in STATE_WRITING_COMMANDS and not plan_only
     ) or args.command == "recover"
-    record = make_record(trace_id, args.command) if mutating else None
+    record = make_record(trace_id, args.command) if journaled else None
     code = 0
     try:
         try:
@@ -518,7 +627,12 @@ def _dispatch(args: argparse.Namespace, record=None) -> int:
         if args.ops:
             journal = Journal(args.root)
             records = journal.read()
-            out.write(journal.render_text(records))
+            if args.json:
+                import json as _json
+
+                out.write(_json.dumps(records, default=str) + "\n")
+            else:
+                out.write(journal.render_text(records))
             if args.verify:
                 divergences = verify_journal(orpheus, records)
                 if divergences:
@@ -529,6 +643,14 @@ def _dispatch(args: argparse.Namespace, record=None) -> int:
             return 0
         if args.dataset is None:
             raise ValueError("log requires -d/--dataset (or --ops)")
+        if args.json:
+            import json as _json
+
+            out.write(
+                _json.dumps(orpheus.log_info(args.dataset), default=str)
+                + "\n"
+            )
+            return 0
         cvd = orpheus.cvd(args.dataset)
         for vid in cvd.versions.vids():
             metadata = cvd.versions.get(vid)
@@ -540,6 +662,8 @@ def _dispatch(args: argparse.Namespace, record=None) -> int:
                 f"{metadata.message}\n"
             )
     elif args.command == "diff":
+        if record is not None:
+            record.input_versions = [args.a, args.b]
         plan = None
         if args.explain:
             plan = orpheus.cvd(args.dataset).explain_diff(args.a, args.b)
@@ -548,6 +672,8 @@ def _dispatch(args: argparse.Namespace, record=None) -> int:
             return 0
         do = lambda: orpheus.diff(args.dataset, args.a, args.b)
         only_a, only_b = run_with_actuals(plan, do) if plan is not None else do()
+        if record is not None:
+            record.rows = len(only_a) + len(only_b)
         if plan is not None:
             out.write(_render_plan(plan, args))
         out.write(f"records only in v{args.a}: {len(only_a)}\n")
@@ -556,13 +682,47 @@ def _dispatch(args: argparse.Namespace, record=None) -> int:
         out.write(f"records only in v{args.b}: {len(only_b)}\n")
         for row in only_b[:20]:
             out.write(f"  - {row}\n")
-    elif args.command == "ls":
-        for name in orpheus.ls():
-            cvd = orpheus.cvd(name)
+    elif args.command == "run":
+        result = orpheus.run(args.sql)
+        if record is not None:
+            record.rows = len(result.rows)
+        rows = result.rows
+        if args.limit is not None:
+            rows = rows[: args.limit]
+        if args.json:
+            import json as _json
+
             out.write(
-                f"{name}  versions={cvd.num_versions}  "
-                f"records={cvd.num_records}\n"
+                _json.dumps(
+                    {
+                        "columns": list(result.columns),
+                        "rows": [list(row) for row in rows],
+                        "total_rows": len(result.rows),
+                    },
+                    default=str,
+                )
+                + "\n"
             )
+        else:
+            out.write("  ".join(result.columns) + "\n")
+            for row in rows:
+                out.write("  ".join(str(value) for value in row) + "\n")
+            if args.limit is not None and len(result.rows) > args.limit:
+                out.write(
+                    f"... ({len(result.rows) - args.limit} more rows)\n"
+                )
+    elif args.command == "ls":
+        if args.json:
+            import json as _json
+
+            out.write(_json.dumps(orpheus.ls_info(), default=str) + "\n")
+        else:
+            for name in orpheus.ls():
+                cvd = orpheus.cvd(name)
+                out.write(
+                    f"{name}  versions={cvd.num_versions}  "
+                    f"records={cvd.num_records}\n"
+                )
     elif args.command == "drop":
         orpheus.drop(args.dataset)
         out.write(f"dropped {args.dataset!r}\n")
@@ -664,6 +824,320 @@ def _run_bench(args: argparse.Namespace) -> int:
     if args.baseline is not None:
         bench_args += ["--baseline", args.baseline]
     return bench_main(bench_args)
+
+
+def _parse_tcp(spec: str) -> tuple[str, int]:
+    host, _, port = spec.rpartition(":")
+    if not host:
+        raise ValueError(f"--tcp wants HOST:PORT, got {spec!r}")
+    return host, int(port)
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """``orpheus serve``: run (or query/stop) the version-service
+    daemon. ``--status`` and ``--stop`` talk to a running daemon over
+    its socket and never touch the repository lock the daemon holds."""
+    import json as _json
+    import signal
+
+    from repro.service.client import (
+        ServiceClient,
+        ServiceError,
+        ServiceUnavailableError,
+        daemon_running,
+        read_status_file,
+    )
+    from repro.service.daemon import ServiceConfig, ServiceDaemon
+
+    if args.status or args.stop:
+        if not daemon_running(args.root):
+            sys.stderr.write("orpheusd is not running here\n")
+            return 1
+        try:
+            with ServiceClient(
+                socket_path=args.socket, root=args.root
+            ) as client:
+                if args.stop:
+                    client.shutdown()
+                    sys.stdout.write("orpheusd draining\n")
+                    return 0
+                status = client.status()
+        except (ServiceError, ServiceUnavailableError) as error:
+            sys.stderr.write(f"error: {error}\n")
+            return 1
+        if args.json:
+            sys.stdout.write(_json.dumps(status, indent=2, sort_keys=True) + "\n")
+        else:
+            cache = status.get("cache", {})
+            requests = status.get("requests", {})
+            scheduler = status.get("scheduler", {})
+            sys.stdout.write(
+                f"orpheusd pid={status.get('pid')} "
+                f"uptime={status.get('uptime_s')}s "
+                f"datasets={status.get('datasets')}\n"
+                f"  socket: {status.get('socket')}\n"
+                f"  requests: {requests.get('total', 0)} total, "
+                f"{requests.get('busy', 0)} shed busy\n"
+                f"  scheduler: {scheduler.get('executed_reads', 0)} reads, "
+                f"{scheduler.get('executed_writes', 0)} writes, "
+                f"write queue {scheduler.get('write_queue_depth', 0)}/"
+                f"{scheduler.get('write_queue_capacity', 0)}\n"
+                f"  cache: {cache.get('entries', 0)} entries, "
+                f"{cache.get('bytes', 0)} bytes, "
+                f"hit rate {cache.get('hit_rate', 0.0):.0%} "
+                f"({cache.get('hits', 0)} hits / "
+                f"{cache.get('misses', 0)} misses, "
+                f"{cache.get('evictions', 0)} evicted)\n"
+                f"  sessions: "
+                f"{status.get('sessions', {}).get('active', 0)} active\n"
+            )
+        return 0
+
+    if daemon_running(args.root):
+        status = read_status_file(args.root) or {}
+        sys.stderr.write(
+            f"error: orpheusd already running (pid {status.get('pid')}); "
+            f"use `orpheus serve --status` or `orpheus remote`\n"
+        )
+        return 1
+    config = ServiceConfig(
+        root=args.root,
+        socket_path=args.socket,
+        tcp=_parse_tcp(args.tcp) if args.tcp else None,
+        workers=args.workers,
+        cache_bytes=int(args.cache_mb * 1024 * 1024),
+        read_queue_depth=args.read_queue_depth,
+        write_queue_depth=args.queue_depth,
+        idle_timeout=args.idle_timeout,
+    )
+    daemon = ServiceDaemon(config)
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: daemon.request_shutdown())
+    daemon.start()
+    listen = config.resolved_socket()
+    if config.tcp is not None:
+        listen += f" and tcp://{config.tcp[0]}:{config.tcp[1]}"
+    sys.stderr.write(f"orpheusd listening on {listen}\n")
+    daemon.serve_forever()
+    sys.stderr.write("orpheusd stopped\n")
+    return 0
+
+
+def _build_remote_parser() -> argparse.ArgumentParser:
+    """The commands ``orpheus remote`` can forward. Mirrors the local
+    grammar so muscle memory transfers: ``orpheus remote commit -d ...``."""
+    parser = argparse.ArgumentParser(
+        prog="orpheus remote", add_help=True
+    )
+    sub = parser.add_subparsers(dest="rcmd", required=True)
+
+    init = sub.add_parser("init")
+    init.add_argument("-d", "--dataset", required=True)
+    init.add_argument("-f", "--file", required=True)
+    init.add_argument("-s", "--schema", required=True)
+    init.add_argument("--model", default="split_by_rlist")
+
+    checkout = sub.add_parser("checkout")
+    checkout.add_argument("-d", "--dataset", required=True)
+    checkout.add_argument("-v", "--versions", required=True, nargs="+", type=int)
+    checkout.add_argument("-f", "--file", default=None)
+    checkout.add_argument("-s", "--schema", default=None)
+
+    commit = sub.add_parser("commit")
+    commit.add_argument("-d", "--dataset", required=True)
+    commit.add_argument("-f", "--file", required=True)
+    commit.add_argument("-s", "--schema", default=None)
+    commit.add_argument("-m", "--message", default="")
+    commit.add_argument("--parents", nargs="*", type=int, default=None)
+
+    log = sub.add_parser("log")
+    log.add_argument("-d", "--dataset", default=None)
+    log.add_argument("--ops", action="store_true")
+
+    diff = sub.add_parser("diff")
+    diff.add_argument("-d", "--dataset", required=True)
+    diff.add_argument("-a", type=int, required=True)
+    diff.add_argument("-b", type=int, required=True)
+
+    sub.add_parser("ls")
+
+    runq = sub.add_parser("run")
+    runq.add_argument("sql")
+
+    drop = sub.add_parser("drop")
+    drop.add_argument("-d", "--dataset", required=True)
+
+    optimize = sub.add_parser("optimize")
+    optimize.add_argument("-d", "--dataset", required=True)
+    optimize.add_argument("--gamma", type=float, default=2.0)
+    optimize.add_argument("--mu", type=float, default=1.5)
+
+    user = sub.add_parser("create_user")
+    user.add_argument("name")
+    user.add_argument("--email", default="")
+
+    sub.add_parser("whoami")
+    sub.add_parser("doctor")
+    sub.add_parser("status")
+    sub.add_parser("ping")
+    sub.add_parser("flush-cache")
+    sub.add_parser("shutdown")
+    return parser
+
+
+def _run_remote(args: argparse.Namespace) -> int:
+    """``orpheus remote <cmd ...>``: forward one command to the daemon.
+
+    Output mirrors the local CLI so scripts can switch between direct
+    and served execution by inserting ``remote``; ``--json`` prints the
+    raw response data instead.
+    """
+    import json as _json
+
+    from repro.service.client import (
+        ServiceBusyError,
+        ServiceClient,
+        ServiceError,
+    )
+
+    cmd = list(args.cmd)
+    if cmd and cmd[0] == "--":
+        cmd = cmd[1:]
+    if not cmd:
+        sys.stderr.write("error: remote needs a command to forward\n")
+        return 2
+    remote_args = _build_remote_parser().parse_args(cmd)
+    out = sys.stdout
+    try:
+        with ServiceClient(
+            socket_path=args.socket, root=args.root, user=args.user
+        ) as client:
+            data = _remote_dispatch(client, remote_args)
+    except ServiceBusyError as error:
+        sys.stderr.write(f"busy: {error} (retry with backoff)\n")
+        return 3
+    except ServiceError as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 1
+    if args.json:
+        out.write(_json.dumps(data, default=str, sort_keys=True) + "\n")
+        return 0
+    _render_remote(out, remote_args, data)
+    return 0
+
+
+def _remote_dispatch(client, r: argparse.Namespace) -> dict:
+    if r.rcmd == "init":
+        return client.init(r.dataset, r.file, r.schema, model=r.model)
+    if r.rcmd == "checkout":
+        return client.checkout(
+            r.dataset, r.versions, file=r.file, schema=r.schema,
+            inline=r.file is None,
+        )
+    if r.rcmd == "commit":
+        return client.commit(
+            r.dataset, r.file, message=r.message, schema=r.schema,
+            parents=r.parents,
+        )
+    if r.rcmd == "log":
+        return client.log(dataset=r.dataset, ops=r.ops)
+    if r.rcmd == "diff":
+        return client.diff(r.dataset, r.a, r.b)
+    if r.rcmd == "ls":
+        return {"datasets": client.ls()}
+    if r.rcmd == "run":
+        return client.run(r.sql)
+    if r.rcmd == "drop":
+        return client.drop(r.dataset)
+    if r.rcmd == "optimize":
+        return client.optimize(r.dataset, gamma=r.gamma, mu=r.mu)
+    if r.rcmd == "create_user":
+        return client.create_user(r.name, r.email)
+    if r.rcmd == "whoami":
+        return client.whoami()
+    if r.rcmd == "doctor":
+        return client.doctor()
+    if r.rcmd == "status":
+        return client.status()
+    if r.rcmd == "ping":
+        return {"pong": client.ping()}
+    if r.rcmd == "flush-cache":
+        return {"dropped": client.flush_cache()}
+    if r.rcmd == "shutdown":
+        client.shutdown()
+        return {"stopping": True}
+    raise AssertionError(r.rcmd)
+
+
+def _render_remote(out, r: argparse.Namespace, data: dict) -> None:
+    """Human output for remote responses, mirroring the local CLI."""
+    import json as _json
+
+    if r.rcmd == "init":
+        out.write(
+            f"initialized CVD {data['dataset']!r} at version "
+            f"{data['version']}\n"
+        )
+    elif r.rcmd == "checkout":
+        where = f"into {data['file']} " if data.get("file") else ""
+        hot = " [cached]" if data.get("cached") else ""
+        out.write(
+            f"checked out version(s) {r.versions} of {r.dataset!r} "
+            f"{where}({data['rows']} records){hot}\n"
+        )
+        if data.get("data") is not None:
+            out.write("  ".join(data["columns"]) + "\n")
+            for row in data["data"]:
+                out.write("  ".join(str(v) for v in row) + "\n")
+    elif r.rcmd == "commit":
+        out.write(f"committed version {data['version']} to {r.dataset!r}\n")
+    elif r.rcmd == "log":
+        if r.ops:
+            out.write(Journal().render_text(data.get("records", [])))
+        else:
+            for v in data.get("versions", []):
+                parents = ",".join(map(str, v["parents"])) or "-"
+                out.write(
+                    f"v{v['vid']}  parents=[{parents}]  "
+                    f"records={v['records']}  "
+                    f"author={v['author'] or '-'}  {v['message']}\n"
+                )
+    elif r.rcmd == "diff":
+        out.write(f"records only in v{r.a}: {data['only_a_count']}\n")
+        for row in data["only_a"]:
+            out.write(f"  + {tuple(row)}\n")
+        out.write(f"records only in v{r.b}: {data['only_b_count']}\n")
+        for row in data["only_b"]:
+            out.write(f"  - {tuple(row)}\n")
+    elif r.rcmd == "ls":
+        for info in data["datasets"]:
+            out.write(
+                f"{info['dataset']}  versions={info['versions']}  "
+                f"records={info['records']}\n"
+            )
+    elif r.rcmd == "run":
+        out.write("  ".join(data["columns"]) + "\n")
+        for row in data["data"]:
+            out.write("  ".join(str(v) for v in row) + "\n")
+    elif r.rcmd == "drop":
+        out.write(f"dropped {r.dataset!r}\n")
+    elif r.rcmd == "optimize":
+        out.write(
+            f"repartitioned {r.dataset!r} into "
+            f"{data['partitions']} partitions\n"
+        )
+    elif r.rcmd == "create_user":
+        out.write(f"created user {data['user']!r}\n")
+    elif r.rcmd == "whoami":
+        out.write((data.get("user") or "anonymous") + "\n")
+    elif r.rcmd in ("doctor", "status"):
+        out.write(_json.dumps(data, indent=2, sort_keys=True, default=str) + "\n")
+    elif r.rcmd == "ping":
+        out.write("pong\n" if data.get("pong") else "no reply\n")
+    elif r.rcmd == "flush-cache":
+        out.write(f"dropped {data['dropped']} cached checkouts\n")
+    elif r.rcmd == "shutdown":
+        out.write("orpheusd draining\n")
 
 
 def _run_stats(args: argparse.Namespace) -> int:

@@ -120,6 +120,48 @@ class Orpheus:
         """List all CVDs."""
         return sorted(self._cvds)
 
+    def ls_info(self) -> list[dict]:
+        """Machine-readable ``ls``: one summary dict per CVD.
+
+        Shared by ``orpheus ls --json`` and the service daemon's ``ls``
+        op, so local and remote listings agree field-for-field.
+        """
+        summaries = []
+        for name in self.ls():
+            cvd = self._cvds[name]
+            summaries.append(
+                {
+                    "dataset": name,
+                    "versions": cvd.num_versions,
+                    "records": cvd.num_records,
+                    "model": type(cvd.model).__name__,
+                }
+            )
+        return summaries
+
+    def log_info(self, name: str) -> dict:
+        """Machine-readable ``log``: the version graph of one CVD.
+
+        Shared by ``orpheus log --json`` and the daemon's ``log`` op.
+        """
+        cvd = self.cvd(name)
+        versions = []
+        for vid in cvd.versions.vids():
+            metadata = cvd.versions.get(vid)
+            versions.append(
+                {
+                    "vid": vid,
+                    "parents": list(metadata.parents),
+                    "children": list(metadata.children),
+                    "records": metadata.record_count,
+                    "author": metadata.author or "",
+                    "message": metadata.message,
+                    "commit_time": metadata.commit_time,
+                    "checkout_time": metadata.checkout_time,
+                }
+            )
+        return {"dataset": name, "versions": versions}
+
     def drop(self, name: str) -> None:
         cvd = self.cvd(name)
         cvd.model.drop()
@@ -293,11 +335,21 @@ class Orpheus:
     # run: version-aware SQL (Section 3.3.2)
     # ------------------------------------------------------------------
     def run(self, sql: str):
-        """Execute a version-aware SELECT (``run`` command)."""
+        """Execute a version-aware SELECT (``run`` command).
+
+        Instrumented like ``checkout``/``commit``: the command span
+        carries the result cardinality, and the CLI/daemon layers
+        journal the invocation, so local and remote queries are
+        uniformly observable.
+        """
         from repro.core.sql import run_sql
 
-        with telemetry.span("command.run"):
-            return run_sql(self._cvds, sql)
+        with telemetry.span("command.run") as current:
+            result = run_sql(self._cvds, sql)
+            telemetry.count("command.run.rows_returned", len(result.rows))
+            if current is not None:
+                current.set_attr("rows", len(result.rows))
+            return result
 
     # ------------------------------------------------------------------
     # diff and optimize

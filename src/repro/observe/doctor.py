@@ -709,6 +709,111 @@ def probe_perf_baselines(root: str | None = None) -> ProbeResult:
     )
 
 
+def probe_service_health(root: str | None = None) -> ProbeResult:
+    """The version-service daemon, when one claims this repository.
+
+    Reads ``.orpheus/service.json``: a live pid gets a status query over
+    the daemon's socket (queue pressure and cache hit rate surface
+    here); a dead pid means a crashed daemon left its status file (and
+    possibly socket) behind — warn and point at cleanup. No status file
+    at all is OK: serving is optional.
+    """
+    from repro.service.client import (
+        ServiceClient,
+        ServiceError,
+        _pid_alive,
+        read_status_file,
+    )
+
+    status = read_status_file(root)
+    if status is None:
+        return ProbeResult(
+            probe="service_health",
+            severity=OK,
+            summary="no daemon registered (orpheus serve not running)",
+        )
+    pid = int(status.get("pid") or 0)
+    if pid == os.getpid():
+        # We *are* the daemon (remote doctor runs on a read worker);
+        # querying our own socket would tie up a second worker — the
+        # status op already reports the live scheduler/cache numbers.
+        return ProbeResult(
+            probe="service_health",
+            severity=OK,
+            summary=f"this process is the daemon (pid {pid})",
+            data={"pid": pid, "socket": status.get("socket")},
+        )
+    if not _pid_alive(pid):
+        return ProbeResult(
+            probe="service_health",
+            severity=WARN,
+            summary=f"stale service.json: daemon pid {pid} is dead",
+            remediation=(
+                "remove .orpheus/service.json and the stale socket, then "
+                "restart with `orpheus serve` (startup also recovers any "
+                "torn operations)"
+            ),
+            data={"pid": pid, "socket": status.get("socket")},
+        )
+    try:
+        with ServiceClient(
+            socket_path=status.get("socket"), root=root
+        ) as client:
+            live = client.status()
+    except ServiceError as error:
+        return ProbeResult(
+            probe="service_health",
+            severity=WARN,
+            summary=(
+                f"daemon pid {pid} is alive but unresponsive: {error}"
+            ),
+            remediation=(
+                "the daemon may be wedged; check its stderr, then "
+                "SIGTERM it (graceful drain) and restart"
+            ),
+            data={"pid": pid, "socket": status.get("socket")},
+        )
+    scheduler = live.get("scheduler", {})
+    cache = live.get("cache", {})
+    requests = live.get("requests", {})
+    write_pressure = scheduler.get("write_queue_depth", 0) >= max(
+        1, scheduler.get("write_queue_capacity", 1)
+    )
+    shed = scheduler.get("shed_reads", 0) + scheduler.get("shed_writes", 0)
+    draining = live.get("draining", False)
+    if draining:
+        severity, note = WARN, "daemon is draining"
+    elif write_pressure:
+        severity, note = WARN, "writer queue is saturated"
+    else:
+        severity, note = OK, "daemon healthy"
+    return ProbeResult(
+        probe="service_health",
+        severity=severity,
+        summary=(
+            f"{note}: pid {pid}, uptime {live.get('uptime_s', 0):.0f}s, "
+            f"{requests.get('total', 0)} requests "
+            f"({requests.get('busy', 0)} shed busy), cache hit rate "
+            f"{cache.get('hit_rate', 0.0):.0%}"
+        ),
+        remediation=(
+            "raise `orpheus serve --queue-depth`/--workers or slow the "
+            "writers; shed requests surface as BUSY to clients"
+            if severity != OK and not draining
+            else ""
+        ),
+        data={
+            "pid": pid,
+            "uptime_s": live.get("uptime_s"),
+            "requests": requests,
+            "shed": shed,
+            "scheduler": scheduler,
+            "cache": cache,
+            "sessions": live.get("sessions", {}).get("active"),
+        },
+    )
+
+
 def probe_journal(orpheus, root: str | None = None) -> ProbeResult:
     """Replay-verify the operation journal against the version graph."""
     from repro.observe.journal import Journal, verify_journal
@@ -754,6 +859,7 @@ def run_doctor(orpheus, root: str | None = None) -> DoctorReport:
         report.results.append(probe_backup_freshness(root))
         report.results.append(probe_lock_health(root))
         report.results.append(probe_pending_intents(root))
+        report.results.append(probe_service_health(root))
         report.results.append(probe_perf_baselines(root))
         telemetry.count("observe.doctor.runs")
         telemetry.count(

@@ -32,6 +32,12 @@ MUTATING_COMMANDS = frozenset(
     {"init", "commit", "checkout", "optimize", "drop"}
 )
 
+#: Everything that journals: the mutations plus the read-only commands
+#: whose invocations matter for collaborative audit (who queried or
+#: compared what). ``diff`` and ``run`` journal but take no intent
+#: record and no exclusive lock — they cannot tear.
+JOURNALED_COMMANDS = MUTATING_COMMANDS | frozenset({"diff", "run"})
+
 
 def new_trace_id() -> str:
     """A fresh 16-hex-char trace id for one CLI invocation."""

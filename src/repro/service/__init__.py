@@ -1,0 +1,69 @@
+"""repro.service — the ``orpheusd`` concurrent version-service daemon.
+
+Everything below the CLI assumed one process per invocation: load
+``state.pkl``, mutate, save, exit, with an advisory file lock keeping
+concurrent invocations from clobbering each other. That model pays the
+full lock/load/save tax on every command and serializes *all* work —
+readers included — behind ``flock``. This package adds the serving
+layer the DataHub vision calls for: one daemon owns the repository and
+multiplexes many clients over a newline-delimited JSON protocol, so
+concurrency, caching, and backpressure become first-class subsystems:
+
+* :mod:`repro.service.protocol` — the wire format: one JSON object per
+  line, request/response envelopes, status codes (``ok`` / ``error`` /
+  ``busy`` / ``denied`` / ``shutdown``).
+* :mod:`repro.service.sessions` — handshake, authenticated user
+  identity, idle timeouts, graceful drain.
+* :mod:`repro.service.scheduler` — read-only operations fan out across
+  a worker pool under a shared lock; mutations serialize through a
+  single writer queue with per-CVD depth accounting and ``busy``
+  load-shedding under backpressure.
+* :mod:`repro.service.cache` — a byte-budgeted LRU of materialized
+  versions, invalidated per CVD on commit/optimize/drop, making
+  repeated checkouts of hot versions near-free.
+* :mod:`repro.service.daemon` — the server: owns the repository lock
+  for its lifetime, runs crash recovery at startup, journals mutations
+  through the same intent log / operation journal as the CLI, folds
+  telemetry into the repository accumulator, and drains gracefully on
+  SIGTERM.
+* :mod:`repro.service.client` — the thin client library behind
+  ``orpheus remote <cmd>``.
+
+Start it with ``orpheus serve``; inspect it with ``orpheus serve
+--status`` or the ``service_health`` doctor probe.
+"""
+
+from repro.service.cache import CacheStats, VersionCache
+from repro.service.client import (
+    ServiceBusyError,
+    ServiceClient,
+    ServiceDeniedError,
+    ServiceError,
+    daemon_running,
+    read_status_file,
+)
+from repro.service.daemon import ServiceConfig, ServiceDaemon, default_socket_path
+from repro.service.protocol import PROTOCOL_VERSION, Request, Response
+from repro.service.scheduler import QueueFullError, RequestScheduler
+from repro.service.sessions import Session, SessionManager
+
+__all__ = [
+    "CacheStats",
+    "PROTOCOL_VERSION",
+    "QueueFullError",
+    "Request",
+    "Response",
+    "RequestScheduler",
+    "ServiceBusyError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceDaemon",
+    "ServiceDeniedError",
+    "ServiceError",
+    "Session",
+    "SessionManager",
+    "VersionCache",
+    "daemon_running",
+    "default_socket_path",
+    "read_status_file",
+]

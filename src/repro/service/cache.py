@@ -1,0 +1,202 @@
+"""The materialized-version LRU cache.
+
+A checkout of a hot version does the same membership walk and row
+materialization every time; under a multi-client daemon the same few
+versions are requested over and over (the paper's workloads are
+exactly that shape: many analysts pulling the latest curated version).
+This cache keeps fully materialized checkouts — ``(columns, rows,
+parents)`` — keyed by ``(dataset, vids-tuple)`` under a byte budget:
+
+* **LRU** by access order; inserting past the budget evicts from the
+  cold end. An entry larger than the whole budget is never admitted.
+* **Per-CVD invalidation** — any mutation of a dataset (commit,
+  optimize, drop, init) drops every entry for that dataset only;
+  other datasets' hot entries survive.
+* **Counters** — hits/misses/evictions/invalidations both locally (for
+  the daemon's ``status`` payload, which must work even when telemetry
+  is disabled) and as ``service.cache.*`` telemetry counters visible in
+  ``orpheus stats``.
+
+Thread-safe: the daemon's reader pool probes it concurrently while the
+writer thread invalidates.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro import telemetry
+
+#: Default byte budget (64 MiB) — roughly a few hundred mid-sized
+#: materialized versions; ``orpheus serve --cache-mb`` overrides.
+DEFAULT_BUDGET_BYTES = 64 * 1024 * 1024
+
+
+@dataclass
+class CacheEntry:
+    """One materialized checkout."""
+
+    columns: list[str]
+    rows: list[tuple]
+    parents: tuple[int, ...]
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.size_bytes:
+            self.size_bytes = estimate_entry_bytes(self.columns, self.rows)
+
+
+@dataclass
+class CacheStats:
+    """Counters the daemon reports under ``status.cache``."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    entries: int = 0
+    bytes: int = 0
+    budget_bytes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "budget_bytes": self.budget_bytes,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+def estimate_entry_bytes(columns: Sequence[str], rows: Sequence[tuple]) -> int:
+    """Cheap size estimate: sampled row payload size x row count.
+
+    Sampling keeps admission O(1)-ish for wide versions; the estimate
+    only steers the budget, it is not an accounting invariant.
+    """
+    base = 256 + sum(sys.getsizeof(c) for c in columns)
+    if not rows:
+        return base
+    sample = rows[:: max(1, len(rows) // 32)][:32]
+    per_row = sum(
+        sys.getsizeof(row) + sum(sys.getsizeof(v) for v in row)
+        for row in sample
+    ) / len(sample)
+    return int(base + per_row * len(rows))
+
+
+class VersionCache:
+    """Byte-budgeted LRU of materialized versions with per-CVD
+    invalidation."""
+
+    def __init__(self, budget_bytes: int = DEFAULT_BUDGET_BYTES) -> None:
+        self.budget_bytes = max(0, int(budget_bytes))
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[tuple[str, tuple[int, ...]], CacheEntry]" = (
+            OrderedDict()
+        )
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(dataset: str, vids: int | Sequence[int]) -> tuple[str, tuple[int, ...]]:
+        if isinstance(vids, int):
+            vids = (vids,)
+        return (dataset, tuple(int(v) for v in vids))
+
+    def get(self, dataset: str, vids: int | Sequence[int]) -> CacheEntry | None:
+        key = self.key(dataset, vids)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                telemetry.count("service.cache.misses")
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+        telemetry.count("service.cache.hits")
+        return entry
+
+    def put(
+        self, dataset: str, vids: int | Sequence[int], entry: CacheEntry
+    ) -> bool:
+        """Admit an entry, evicting LRU entries to fit. Returns False
+        when the entry alone exceeds the whole budget (not admitted)."""
+        if entry.size_bytes > self.budget_bytes:
+            telemetry.count("service.cache.rejected_oversize")
+            return False
+        key = self.key(dataset, vids)
+        evicted = 0
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.size_bytes
+            while self._entries and self._bytes + entry.size_bytes > self.budget_bytes:
+                _, cold = self._entries.popitem(last=False)
+                self._bytes -= cold.size_bytes
+                self._evictions += 1
+                evicted += 1
+            self._entries[key] = entry
+            self._bytes += entry.size_bytes
+            telemetry.gauge("service.cache.bytes", self._bytes)
+        if evicted:
+            telemetry.count("service.cache.evictions", evicted)
+        return True
+
+    def invalidate_dataset(self, dataset: str) -> int:
+        """Drop every entry materialized from ``dataset``."""
+        with self._lock:
+            doomed = [k for k in self._entries if k[0] == dataset]
+            for key in doomed:
+                self._bytes -= self._entries.pop(key).size_bytes
+            if doomed:
+                self._invalidations += 1
+            telemetry.gauge("service.cache.bytes", self._bytes)
+        if doomed:
+            telemetry.count("service.cache.invalidated_entries", len(doomed))
+        return len(doomed)
+
+    def clear(self) -> int:
+        with self._lock:
+            count = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            telemetry.gauge("service.cache.bytes", 0)
+        return count
+
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                entries=len(self._entries),
+                bytes=self._bytes,
+                budget_bytes=self.budget_bytes,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,302 @@
+"""The thin client library behind ``orpheus remote``.
+
+Connects to a running orpheusd over its Unix socket (or TCP), performs
+the ``hello`` handshake, and exposes one method per operation. Errors
+map onto exceptions:
+
+* :class:`ServiceBusyError` — the daemon shed the request (bounded
+  queue full); the request did **not** run, retry with backoff (or use
+  :meth:`ServiceClient.request_with_retry`).
+* :class:`ServiceDeniedError` — handshake/access rejection.
+* :class:`ServiceShutdownError` — the daemon is draining.
+* :class:`ServiceError` — the command raised server-side; carries the
+  remote exception type name.
+
+Usage::
+
+    with ServiceClient(root=".", user="alice") as client:
+        client.checkout("inter", [1], file="work.csv")
+        client.commit("inter", file="work.csv", message="cleaned")
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from pathlib import Path
+from typing import Sequence
+
+from repro.service import protocol
+from repro.service.protocol import LineChannel, Response
+
+
+class ServiceError(RuntimeError):
+    """The daemon reported an error executing a request."""
+
+    def __init__(self, message: str, error_type: str | None = None) -> None:
+        super().__init__(message)
+        self.error_type = error_type
+
+
+class ServiceBusyError(ServiceError):
+    """Load-shed: the request was rejected before execution."""
+
+
+class ServiceDeniedError(ServiceError):
+    """Handshake or access-control rejection."""
+
+
+class ServiceShutdownError(ServiceError):
+    """The daemon is draining and no longer accepts commands."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """No daemon is reachable at the expected socket."""
+
+
+def read_status_file(root: str | None = None) -> dict | None:
+    """The daemon's ``.orpheus/service.json``, or None when absent."""
+    path = Path(root or ".") / ".orpheus" / "service.json"
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _pid_alive(pid: int) -> bool:
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
+
+def daemon_running(root: str | None = None) -> bool:
+    """True when service.json names a live pid."""
+    status = read_status_file(root)
+    return status is not None and _pid_alive(int(status.get("pid") or 0))
+
+
+class ServiceClient:
+    """One session against a running orpheusd."""
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        root: str | None = None,
+        tcp: tuple[str, int] | None = None,
+        user: str = "",
+        timeout: float = 30.0,
+    ) -> None:
+        self.root = root
+        self.socket_path = socket_path
+        self.tcp = tcp
+        self.user = user
+        self.timeout = timeout
+        self._channel: LineChannel | None = None
+        self._next_id = 0
+        self.session_id: int | None = None
+
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        if self._channel is not None:
+            return self
+        if self.tcp is not None:
+            sock = socket.create_connection(self.tcp, timeout=self.timeout)
+        else:
+            path = self.socket_path
+            if path is None:
+                status = read_status_file(self.root)
+                if status is None:
+                    from repro.service.daemon import default_socket_path
+
+                    path = default_socket_path(self.root)
+                else:
+                    path = status.get("socket")
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            try:
+                sock.connect(path)
+            except OSError as error:
+                sock.close()
+                raise ServiceUnavailableError(
+                    f"no orpheusd reachable at {path}: {error}; "
+                    f"start one with `orpheus serve`"
+                ) from None
+        self._channel = LineChannel(sock)
+        response = self._roundtrip(
+            {"op": "hello", "protocol": protocol.PROTOCOL_VERSION, "user": self.user}
+        )
+        self.session_id = (response.data or {}).get("session_id")
+        return self
+
+    def close(self) -> None:
+        if self._channel is not None:
+            self._channel.close()
+            self._channel = None
+            self.session_id = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def request(self, op: str, **params) -> dict:
+        """One request/response cycle; returns the response data dict."""
+        if self._channel is None:
+            self.connect()
+        payload = {"op": op}
+        payload.update(
+            {k: v for k, v in params.items() if v is not None}
+        )
+        return self._roundtrip(payload).data or {}
+
+    def request_with_retry(
+        self,
+        op: str,
+        retries: int = 5,
+        backoff: float = 0.02,
+        **params,
+    ) -> dict:
+        """Like :meth:`request`, but retries ``busy`` shed responses
+        with exponential backoff — the polite client under load."""
+        attempt = 0
+        while True:
+            try:
+                return self.request(op, **params)
+            except ServiceBusyError:
+                if attempt >= retries:
+                    raise
+                time.sleep(backoff * (2**attempt))
+                attempt += 1
+
+    def _roundtrip(self, payload: dict) -> Response:
+        self._next_id += 1
+        payload = dict(payload)
+        payload["id"] = self._next_id
+        channel = self._channel
+        if channel is None:
+            raise ServiceUnavailableError("client is not connected")
+        try:
+            channel.send(payload)
+            line = channel.recv_line()
+        except OSError as error:
+            self.close()
+            raise ServiceUnavailableError(
+                f"connection to orpheusd lost: {error}"
+            ) from None
+        if line is None:
+            self.close()
+            raise ServiceUnavailableError("orpheusd closed the connection")
+        response = protocol.decode_response(line)
+        if response.status == protocol.OK:
+            return response
+        message = response.error or response.status
+        if response.status == protocol.BUSY:
+            raise ServiceBusyError(message, response.error_type)
+        if response.status == protocol.DENIED:
+            raise ServiceDeniedError(message, response.error_type)
+        if response.status == protocol.SHUTDOWN:
+            raise ServiceShutdownError(message, response.error_type)
+        raise ServiceError(message, response.error_type)
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers, one per operation
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def status(self) -> dict:
+        return self.request("status")
+
+    def ls(self) -> list[dict]:
+        return self.request("ls")["datasets"]
+
+    def log(self, dataset: str | None = None, ops: bool = False) -> dict:
+        return self.request("log", dataset=dataset, ops=ops or None)
+
+    def checkout(
+        self,
+        dataset: str,
+        versions: Sequence[int] | int,
+        file: str | None = None,
+        schema: str | None = None,
+        inline: bool = False,
+    ) -> dict:
+        if isinstance(versions, int):
+            versions = [versions]
+        return self.request(
+            "checkout",
+            dataset=dataset,
+            versions=list(versions),
+            file=file,
+            schema=schema,
+            inline=inline or None,
+        )
+
+    def commit(
+        self,
+        dataset: str,
+        file: str,
+        message: str = "",
+        schema: str | None = None,
+        parents: Sequence[int] | None = None,
+    ) -> dict:
+        return self.request(
+            "commit",
+            dataset=dataset,
+            file=file,
+            message=message,
+            schema=schema,
+            parents=list(parents) if parents is not None else None,
+        )
+
+    def init(
+        self,
+        dataset: str,
+        file: str,
+        schema: str,
+        model: str = "split_by_rlist",
+    ) -> dict:
+        return self.request(
+            "init", dataset=dataset, file=file, schema=schema, model=model
+        )
+
+    def diff(self, dataset: str, a: int, b: int, limit: int = 20) -> dict:
+        return self.request("diff", dataset=dataset, a=a, b=b, limit=limit)
+
+    def run(self, sql: str) -> dict:
+        return self.request("run", sql=sql)
+
+    def drop(self, dataset: str) -> dict:
+        return self.request("drop", dataset=dataset)
+
+    def optimize(self, dataset: str, gamma: float = 2.0, mu: float = 1.5) -> dict:
+        return self.request("optimize", dataset=dataset, gamma=gamma, mu=mu)
+
+    def create_user(self, name: str, email: str = "") -> dict:
+        return self.request("create_user", name=name, email=email)
+
+    def whoami(self) -> dict:
+        return self.request("whoami")
+
+    def doctor(self) -> dict:
+        return self.request("doctor")
+
+    def flush_cache(self) -> int:
+        return int(self.request("flush_cache").get("dropped", 0))
+
+    def shutdown(self) -> None:
+        try:
+            self.request("shutdown")
+        except (ServiceShutdownError, ServiceUnavailableError):
+            pass

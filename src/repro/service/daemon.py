@@ -1,0 +1,783 @@
+"""``orpheusd``: the daemon behind ``orpheus serve``.
+
+One daemon process owns one repository **exclusively**: it takes the
+exclusive :class:`~repro.resilience.lock.RepositoryLock` for its whole
+lifetime (concurrent CLI invocations time out with a message naming the
+``serve`` holder — use ``orpheus remote`` instead), runs torn-operation
+recovery at startup, loads the state once, and then serves every client
+from memory. Per request the per-invocation lock/load/save tax becomes:
+
+* **reads** (checkout/diff/log/ls/SQL) — scheduled on the worker pool
+  under the in-process shared lock; checkouts are served from the
+  materialized-version cache when hot.
+* **writes** (init/commit/optimize/drop/create_user) — serialized
+  through the writer queue; each one brackets with an intent record,
+  appends to the operation journal, and durably saves state before the
+  client sees ``ok`` — the same crash-consistency contract as the CLI,
+  so ``orpheus recover`` and the doctor probes keep working unchanged.
+
+Durability note for checkouts: a file checkout's staging pin (the
+provenance parents a later commit needs) lives in daemon memory and is
+persisted by the next mutation or the graceful drain; a daemon crash
+between the two loses only the pin, never version history — the same
+artifact recovery the CLI already has cleans up the file.
+
+Shutdown (SIGTERM/SIGINT or a ``shutdown`` request): stop accepting,
+drain the scheduler, save state, fold telemetry into the repository
+accumulator (so ``orpheus stats`` sees the serving counters), remove
+the socket and status file, release the lock, exit 0.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import socket
+import sys
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import telemetry
+from repro.core.csvio import read_csv, read_schema_file, write_csv, write_schema_file
+from repro.observe.journal import Journal, make_record, new_trace_id
+from repro.resilience.intents import IntentLog, has_pending_intents
+from repro.resilience.lock import RepositoryLock
+from repro.service import protocol
+from repro.service.cache import DEFAULT_BUDGET_BYTES, CacheEntry, VersionCache
+from repro.service.protocol import LineChannel, Request, Response
+from repro.service.scheduler import (
+    DEFAULT_READ_QUEUE_DEPTH,
+    DEFAULT_WORKERS,
+    DEFAULT_WRITE_QUEUE_DEPTH,
+    QueueFullError,
+    RequestScheduler,
+    SchedulerStoppedError,
+)
+from repro.service.sessions import (
+    DEFAULT_IDLE_TIMEOUT,
+    HandshakeError,
+    SessionManager,
+)
+
+#: Status/pid file the CLI, client, and doctor probe read.
+STATUS_FILE = "service.json"
+SOCKET_FILE = "service.sock"
+
+#: Unix-domain socket paths are limited to ~108 bytes; repositories in
+#: deeply nested directories fall back to an /tmp path keyed by the
+#: repository root (recorded in service.json, so clients still find it).
+_MAX_SOCKET_PATH = 100
+
+#: How often the housekeeping thread folds telemetry into
+#: ``.orpheus/telemetry.json`` (seconds).
+FOLD_INTERVAL = 30.0
+
+
+def default_socket_path(root: str | None = None) -> str:
+    path = str(Path(root or ".").resolve() / ".orpheus" / SOCKET_FILE)
+    if len(path.encode()) <= _MAX_SOCKET_PATH:
+        return path
+    digest = hashlib.sha256(path.encode()).hexdigest()[:16]
+    return f"/tmp/orpheusd-{digest}.sock"
+
+
+def status_file_path(root: str | None = None) -> Path:
+    return Path(root or ".") / ".orpheus" / STATUS_FILE
+
+
+@dataclass
+class ServiceConfig:
+    """Everything tunable about one daemon."""
+
+    root: str | None = None
+    socket_path: str | None = None
+    tcp: tuple[str, int] | None = None
+    workers: int = DEFAULT_WORKERS
+    cache_bytes: int = DEFAULT_BUDGET_BYTES
+    read_queue_depth: int = DEFAULT_READ_QUEUE_DEPTH
+    write_queue_depth: int = DEFAULT_WRITE_QUEUE_DEPTH
+    per_cvd_depth: int | None = None
+    idle_timeout: float = DEFAULT_IDLE_TIMEOUT
+    drain_timeout: float = 30.0
+    request_timeout: float = 120.0
+    fold_interval: float = FOLD_INTERVAL
+
+    def resolved_socket(self) -> str:
+        return self.socket_path or default_socket_path(self.root)
+
+
+class ServiceDaemon:
+    """One running orpheusd instance."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.root = self.config.root
+        self.orpheus = None
+        self.cache = VersionCache(self.config.cache_bytes)
+        self.scheduler = RequestScheduler(
+            workers=self.config.workers,
+            read_queue_depth=self.config.read_queue_depth,
+            write_queue_depth=self.config.write_queue_depth,
+            per_cvd_depth=self.config.per_cvd_depth,
+        )
+        self.sessions = SessionManager(self.config.idle_timeout)
+        self.journal = Journal(self.root)
+        self.intents = IntentLog(self.root)
+        self._lock: RepositoryLock | None = None
+        self._listeners: list[socket.socket] = []
+        self._threads: list[threading.Thread] = []
+        self._channels: set[LineChannel] = set()
+        self._channels_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._stopped = threading.Event()
+        self._shutdown_mutex = threading.Lock()
+        self.started_ts: float | None = None
+        self.requests_total = 0
+        self.requests_by_op: dict[str, int] = {}
+        self.busy_responses = 0
+        self._was_telemetry_enabled = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServiceDaemon":
+        """Acquire ownership, recover, load state, bind, go."""
+        from repro.cli import load_state
+
+        self._was_telemetry_enabled = telemetry.is_enabled()
+        telemetry.reset()
+        telemetry.enable()
+        self._lock = RepositoryLock(
+            self.root, shared=False, command="serve"
+        ).acquire()
+        try:
+            if has_pending_intents(self.root):
+                from repro.resilience.recovery import run_recovery
+
+                report = run_recovery(self.root, dry_run=False)
+                if report.actions:
+                    sys.stderr.write(
+                        f"orpheusd: recovered {len(report.actions)} torn "
+                        f"operation(s) from a previous crash at startup\n"
+                    )
+            self.orpheus = load_state(self.root)
+            self._bind()
+            self.started_ts = telemetry.now()
+            self._write_status_file()
+            self.scheduler.start()
+            for listener in self._listeners:
+                thread = threading.Thread(
+                    target=self._accept_loop,
+                    args=(listener,),
+                    name="orpheusd-accept",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+            housekeeper = threading.Thread(
+                target=self._housekeeping_loop,
+                name="orpheusd-housekeeping",
+                daemon=True,
+            )
+            housekeeper.start()
+            self._threads.append(housekeeper)
+            telemetry.count("service.daemon.starts")
+        except BaseException:
+            self._release_lock()
+            raise
+        return self
+
+    def serve_forever(self) -> None:
+        """Block until a shutdown is requested, then drain."""
+        self._stop.wait()
+        self.shutdown()
+
+    def request_shutdown(self) -> None:
+        """Signal-handler-safe: ask the daemon to drain and exit."""
+        self._stop.set()
+
+    def shutdown(self) -> None:
+        """Graceful drain; idempotent and safe to race from two threads."""
+        with self._shutdown_mutex:
+            if self._stopped.is_set():
+                return
+            self._do_shutdown()
+
+    def _do_shutdown(self) -> None:
+        self._stop.set()
+        self.sessions.begin_drain()
+        for listener in self._listeners:
+            try:
+                listener.close()
+            except OSError:
+                pass
+        self._listeners.clear()
+        self.scheduler.stop(timeout=self.config.drain_timeout)
+        with self._channels_lock:
+            channels = list(self._channels)
+        for channel in channels:
+            channel.close()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        self._threads.clear()
+        if self.orpheus is not None:
+            from repro.cli import save_state
+
+            save_state(self.orpheus, self.root)
+        self._fold_telemetry(final=True)
+        socket_path = self.config.resolved_socket()
+        try:
+            os.unlink(socket_path)
+        except OSError:
+            pass
+        try:
+            status_file_path(self.root).unlink()
+        except OSError:
+            pass
+        self._release_lock()
+        if not self._was_telemetry_enabled:
+            telemetry.disable()
+        self._stopped.set()
+
+    def _release_lock(self) -> None:
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
+
+    # ------------------------------------------------------------------
+    # Sockets
+    # ------------------------------------------------------------------
+    def _bind(self) -> None:
+        socket_path = self.config.resolved_socket()
+        Path(socket_path).parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.unlink(socket_path)
+        except OSError:
+            pass
+        unix = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        unix.bind(socket_path)
+        unix.listen(64)
+        unix.settimeout(0.25)
+        self._listeners.append(unix)
+        if self.config.tcp is not None:
+            host, port = self.config.tcp
+            tcp = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            tcp.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            tcp.bind((host, port))
+            tcp.listen(64)
+            tcp.settimeout(0.25)
+            self._listeners.append(tcp)
+            # Rebind may have picked an ephemeral port; record reality.
+            self.config.tcp = tcp.getsockname()[:2]
+
+    def _accept_loop(self, listener: socket.socket) -> None:
+        while not self._stop.is_set():
+            try:
+                sock, addr = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            peer = f"{addr[0]}:{addr[1]}" if isinstance(addr, tuple) else "unix"
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(sock, peer),
+                name="orpheusd-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _housekeeping_loop(self) -> None:
+        while not self._stop.wait(self.config.fold_interval):
+            self._fold_telemetry()
+
+    def _fold_telemetry(self, final: bool = False) -> None:
+        """Merge this process's telemetry into the repository
+        accumulator and reset the registry so the next fold is a delta.
+        Keeps ``orpheus stats`` meaningful while the daemon runs."""
+        from repro.cli import load_telemetry, save_telemetry
+
+        try:
+            save_telemetry(
+                load_telemetry(self.root).merged(telemetry.snapshot()),
+                self.root,
+            )
+        except OSError:
+            if final:
+                raise
+            return
+        telemetry.reset()
+
+    # ------------------------------------------------------------------
+    # Connections and dispatch
+    # ------------------------------------------------------------------
+    def _serve_connection(self, sock: socket.socket, peer: str) -> None:
+        sock.settimeout(self.config.idle_timeout)
+        channel = LineChannel(sock)
+        with self._channels_lock:
+            self._channels.add(channel)
+        session = None
+        try:
+            session = self._handshake(channel, peer)
+            if session is None:
+                return
+            while not self._stop.is_set():
+                try:
+                    line = channel.recv_line()
+                except socket.timeout:
+                    if self.sessions.idle_expired(session):
+                        self.sessions.note_idle_close()
+                        return
+                    continue
+                except (protocol.ProtocolError, OSError):
+                    return
+                if line is None:
+                    return
+                try:
+                    request = protocol.decode_request(line)
+                except protocol.ProtocolError as error:
+                    channel.send(
+                        Response(
+                            id=0,
+                            status=protocol.ERROR,
+                            error=str(error),
+                            error_type="ProtocolError",
+                        ).to_dict()
+                    )
+                    continue
+                session.touch()
+                response = self._handle_request(session, request)
+                try:
+                    channel.send(response.to_dict())
+                except OSError:
+                    return
+                if getattr(session, "wants_shutdown", False):
+                    self.request_shutdown()
+                    return
+        finally:
+            if session is not None:
+                self.sessions.close(session)
+            with self._channels_lock:
+                self._channels.discard(channel)
+            channel.close()
+
+    def _handshake(self, channel: LineChannel, peer: str):
+        try:
+            line = channel.recv_line()
+        except (socket.timeout, protocol.ProtocolError, OSError):
+            return None
+        if line is None:
+            return None
+        request = None
+        try:
+            request = protocol.decode_request(line)
+            if request.op != "hello":
+                raise HandshakeError(
+                    f"first request must be 'hello', got {request.op!r}"
+                )
+            session = self.sessions.open(
+                request.params, self.orpheus.access._users, peer=peer
+            )
+        except (HandshakeError, protocol.ProtocolError) as error:
+            try:
+                channel.send(
+                    Response(
+                        id=request.id if request is not None else 0,
+                        status=protocol.DENIED,
+                        error=str(error),
+                        error_type=type(error).__name__,
+                    ).to_dict()
+                )
+            except OSError:
+                pass
+            return None
+        channel.send(
+            Response(
+                id=request.id,
+                status=protocol.OK,
+                data={
+                    "session_id": session.session_id,
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "server": "orpheusd",
+                    "pid": os.getpid(),
+                    "user": session.user,
+                },
+            ).to_dict()
+        )
+        return session
+
+    def _handle_request(self, session, request: Request) -> Response:
+        self.requests_total += 1
+        self.requests_by_op[request.op] = (
+            self.requests_by_op.get(request.op, 0) + 1
+        )
+        telemetry.count("service.requests")
+        telemetry.count(f"service.requests.{request.op}")
+        if self.sessions.draining and request.op != "shutdown":
+            return Response(
+                id=request.id,
+                status=protocol.SHUTDOWN,
+                error="daemon is draining",
+            )
+        try:
+            if request.op in protocol.CONTROL_OPS:
+                return self._handle_control(session, request)
+            if request.op in protocol.READ_OPS:
+                job = self.scheduler.submit_read(
+                    lambda: self._execute_read(session, request)
+                )
+            elif request.op in protocol.WRITE_OPS:
+                job = self.scheduler.submit_write(
+                    lambda: self._execute_write(session, request),
+                    dataset=request.get("dataset"),
+                )
+            else:
+                return Response(
+                    id=request.id,
+                    status=protocol.ERROR,
+                    error=f"unknown op {request.op!r}",
+                    error_type="ProtocolError",
+                )
+            data = job.wait(self.config.request_timeout)
+            return Response(id=request.id, status=protocol.OK, data=data)
+        except QueueFullError as error:
+            self.busy_responses += 1
+            telemetry.count("service.busy")
+            return Response(
+                id=request.id, status=protocol.BUSY, error=str(error)
+            )
+        except SchedulerStoppedError as error:
+            return Response(
+                id=request.id, status=protocol.SHUTDOWN, error=str(error)
+            )
+        except Exception as error:
+            return Response(
+                id=request.id,
+                status=protocol.ERROR,
+                error=str(error),
+                error_type=type(error).__name__,
+            )
+
+    def _handle_control(self, session, request: Request) -> Response:
+        if request.op == "ping":
+            return Response(
+                id=request.id, status=protocol.OK, data={"pong": True}
+            )
+        if request.op == "hello":
+            return Response(
+                id=request.id,
+                status=protocol.ERROR,
+                error="already shook hands",
+                error_type="ProtocolError",
+            )
+        if request.op == "flush_cache":
+            dropped = self.cache.clear()
+            return Response(
+                id=request.id, status=protocol.OK, data={"dropped": dropped}
+            )
+        if request.op == "shutdown":
+            # Deferred: the connection loop triggers the drain only after
+            # this acknowledgement has been flushed to the client.
+            session.wants_shutdown = True
+            return Response(
+                id=request.id, status=protocol.OK, data={"stopping": True}
+            )
+        raise AssertionError(request.op)
+
+    # ------------------------------------------------------------------
+    # Read handlers (shared lock, worker pool)
+    # ------------------------------------------------------------------
+    def _execute_read(self, session, request: Request) -> dict:
+        handler = getattr(self, f"_op_{request.op}")
+        with telemetry.span(
+            f"service.{request.op}",
+            dataset=request.get("dataset") or "",
+            user=session.user,
+        ):
+            data = handler(session, request)
+        if request.op in ("diff", "run") or (
+            request.op == "checkout" and request.get("file")
+        ):
+            self._journal_read_op(session, request, data)
+        return data
+
+    def _journal_read_op(self, session, request: Request, data: dict) -> None:
+        """Uniform observability: remote diff/run/file-checkout land in
+        the operation journal exactly like their CLI counterparts."""
+        record = make_record(new_trace_id(), request.op, user=session.user)
+        record.dataset = request.get("dataset")
+        if request.op == "checkout":
+            record.input_versions = [int(v) for v in request.get("versions", [])]
+            record.rows = data.get("rows")
+        elif request.op == "diff":
+            record.input_versions = [
+                int(request.get("a")), int(request.get("b"))
+            ]
+            record.rows = data.get("only_a_count", 0) + data.get(
+                "only_b_count", 0
+            )
+        elif request.op == "run":
+            record.rows = data.get("row_count")
+        self.journal.append(record)
+
+    def _op_status(self, session, request: Request) -> dict:
+        return self.status()
+
+    def _op_whoami(self, session, request: Request) -> dict:
+        return {"user": session.user or "", "anonymous": not session.user}
+
+    def _op_ls(self, session, request: Request) -> dict:
+        return {"datasets": self.orpheus.ls_info()}
+
+    def _op_log(self, session, request: Request) -> dict:
+        if request.get("ops"):
+            return {"records": self.journal.read()}
+        dataset = request.get("dataset")
+        if not dataset:
+            raise ValueError("log requires 'dataset' (or ops=true)")
+        return self.orpheus.log_info(dataset)
+
+    def _op_checkout(self, session, request: Request) -> dict:
+        dataset = request.get("dataset")
+        vids = [int(v) for v in request.get("versions") or ()]
+        if not dataset or not vids:
+            raise ValueError("checkout requires 'dataset' and 'versions'")
+        self.orpheus.access.check_cvd_access(dataset, user=session.user or None)
+        cvd = self.orpheus.cvd(dataset)
+        entry = self.cache.get(dataset, vids)
+        cached = entry is not None
+        if entry is None:
+            with telemetry.span("service.checkout.materialize", dataset=dataset):
+                result = cvd.checkout(vids if len(vids) > 1 else vids[0])
+            entry = CacheEntry(
+                columns=list(result.columns),
+                rows=list(result.rows),
+                parents=tuple(result.parents),
+            )
+            self.cache.put(dataset, vids, entry)
+        telemetry.count("command.checkout.rows_materialized", len(entry.rows))
+        data: dict = {
+            "rows": len(entry.rows),
+            "columns": entry.columns,
+            "parents": list(entry.parents),
+            "cached": cached,
+        }
+        file_path = request.get("file")
+        if file_path:
+            write_csv(file_path, entry.columns, entry.rows)
+            if request.get("schema"):
+                write_schema_file(request.get("schema"), cvd.schema)
+            # Provenance pin so a later commit of this file knows its
+            # parents (persisted with the next state save).
+            from repro.core.commands import _csv_staged
+
+            self.orpheus.staging._staged[file_path] = _csv_staged(
+                file_path, dataset, entry.parents, session.user
+            )
+            data["file"] = file_path
+        if request.get("inline"):
+            data["data"] = [list(row) for row in entry.rows]
+        return data
+
+    def _op_diff(self, session, request: Request) -> dict:
+        dataset = request.get("dataset")
+        vid_a, vid_b = int(request.get("a")), int(request.get("b"))
+        only_a, only_b = self.orpheus.diff(dataset, vid_a, vid_b)
+        limit = request.get("limit", 20)
+        data = {
+            "a": vid_a,
+            "b": vid_b,
+            "only_a_count": len(only_a),
+            "only_b_count": len(only_b),
+            "only_a": [list(r) for r in only_a[:limit]],
+            "only_b": [list(r) for r in only_b[:limit]],
+        }
+        return data
+
+    def _op_run(self, session, request: Request) -> dict:
+        sql = request.get("sql")
+        if not sql:
+            raise ValueError("run requires 'sql'")
+        result = self.orpheus.run(sql)
+        return {
+            "columns": list(result.columns),
+            "data": [list(row) for row in result.rows],
+            "row_count": len(result.rows),
+        }
+
+    def _op_doctor(self, session, request: Request) -> dict:
+        from repro.observe.doctor import run_doctor
+
+        return run_doctor(self.orpheus, self.root).to_dict()
+
+    # ------------------------------------------------------------------
+    # Write handlers (exclusive lock, writer thread)
+    # ------------------------------------------------------------------
+    def _execute_write(self, session, request: Request) -> dict:
+        """One mutation with the CLI's full durability bracket:
+        intent begin -> execute -> state save -> journal -> intent done,
+        then cache invalidation."""
+        from repro.cli import save_state
+
+        trace_id = new_trace_id()
+        dataset = request.get("dataset")
+        journaled = request.op in ("init", "commit", "drop", "optimize")
+        if journaled:
+            self.intents.begin(
+                trace_id,
+                request.op,
+                dataset=dataset,
+                file=request.get("file"),
+            )
+        record = (
+            make_record(trace_id, request.op, user=session.user)
+            if journaled
+            else None
+        )
+        if record is not None:
+            record.dataset = dataset
+        try:
+            with telemetry.span(
+                f"service.{request.op}",
+                dataset=dataset or "",
+                user=session.user,
+            ) as span:
+                if span is not None:
+                    span.set_attr("trace_id", trace_id)
+                handler = getattr(self, f"_op_{request.op}")
+                data = handler(session, request, record)
+            save_state(self.orpheus, self.root)
+        except Exception as error:
+            if record is not None:
+                record.status = "error"
+                record.error_type = type(error).__name__
+                record.error_message = str(error)
+                self.journal.append(record)
+            if journaled:
+                self.intents.done(trace_id, status="error")
+            raise
+        if record is not None:
+            self.journal.append(record)
+        if journaled:
+            self.intents.done(trace_id)
+        if dataset:
+            invalidated = self.cache.invalidate_dataset(dataset)
+            data.setdefault("cache_invalidated", invalidated)
+        return data
+
+    def _op_init(self, session, request: Request, record) -> dict:
+        dataset = request.get("dataset")
+        vid = self.orpheus.init_from_csv(
+            dataset,
+            request.get("file"),
+            request.get("schema"),
+            model=request.get("model", "split_by_rlist"),
+        )
+        if record is not None:
+            record.output_version = vid
+            record.rows = self.orpheus.cvd(dataset).versions.get(vid).record_count
+        return {"dataset": dataset, "version": vid}
+
+    def _op_commit(self, session, request: Request, record) -> dict:
+        dataset = request.get("dataset")
+        file_path = request.get("file")
+        if not dataset or not file_path:
+            raise ValueError("commit requires 'dataset' and 'file'")
+        cvd = self.orpheus.cvd(dataset)
+        schema = (
+            read_schema_file(request.get("schema"))
+            if request.get("schema")
+            else cvd.schema
+        )
+        rows = read_csv(file_path, schema)
+        explicit = request.get("parents")
+        if explicit is not None:
+            parents = tuple(int(p) for p in explicit)
+        else:
+            info = self.orpheus.staging._staged.get(file_path)
+            parents = tuple(info.parents) if info is not None else ()
+        vid = cvd.commit(
+            rows,
+            parents=parents,
+            message=request.get("message", ""),
+            author=session.user,
+            columns=schema.column_names,
+            column_types={c.name: c.dtype for c in schema.columns},
+        )
+        self.orpheus.staging._staged.pop(file_path, None)
+        if record is not None:
+            record.input_versions = list(parents)
+            record.output_version = vid
+            record.rows = len(rows)
+        return {"dataset": dataset, "version": vid, "rows": len(rows)}
+
+    def _op_drop(self, session, request: Request, record) -> dict:
+        dataset = request.get("dataset")
+        self.orpheus.drop(dataset)
+        return {"dataset": dataset, "dropped": True}
+
+    def _op_optimize(self, session, request: Request, record) -> dict:
+        dataset = request.get("dataset")
+        partitioning = self.orpheus.optimize(
+            dataset,
+            storage_threshold_factor=request.get("gamma", 2.0),
+            tolerance=request.get("mu", 1.5),
+        )
+        return {
+            "dataset": dataset,
+            "partitions": partitioning.num_partitions,
+        }
+
+    def _op_create_user(self, session, request: Request, record) -> dict:
+        name = request.get("name")
+        if not name:
+            raise ValueError("create_user requires 'name'")
+        self.orpheus.create_user(name, request.get("email", ""))
+        return {"user": name}
+
+    # ------------------------------------------------------------------
+    # Status
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        uptime = (
+            telemetry.now() - self.started_ts
+            if self.started_ts is not None
+            else 0.0
+        )
+        return {
+            "server": "orpheusd",
+            "pid": os.getpid(),
+            "protocol": protocol.PROTOCOL_VERSION,
+            "root": str(Path(self.root or ".").resolve()),
+            "socket": self.config.resolved_socket(),
+            "tcp": list(self.config.tcp) if self.config.tcp else None,
+            "started_ts": self.started_ts,
+            "uptime_s": round(uptime, 3),
+            "draining": self.sessions.draining,
+            "datasets": len(self.orpheus.ls()) if self.orpheus else 0,
+            "requests": {
+                "total": self.requests_total,
+                "busy": self.busy_responses,
+                "by_op": dict(sorted(self.requests_by_op.items())),
+            },
+            "scheduler": self.scheduler.status(),
+            "cache": self.cache.stats().to_dict(),
+            "sessions": self.sessions.status(),
+        }
+
+    def _write_status_file(self) -> None:
+        path = status_file_path(self.root)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "pid": os.getpid(),
+            "socket": self.config.resolved_socket(),
+            "tcp": list(self.config.tcp) if self.config.tcp else None,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "started_ts": self.started_ts,
+            "root": str(Path(self.root or ".").resolve()),
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        os.replace(tmp, path)

@@ -1,0 +1,209 @@
+"""The orpheusd wire protocol: newline-delimited JSON over a stream.
+
+One request or response per line, UTF-8, ``\\n``-terminated, no framing
+beyond the newline — greppable on the wire, trivially implementable
+from any language, and torn-tail tolerant the same way the journals
+are. A connection carries exactly one session: the first request must
+be a ``hello`` handshake carrying the protocol version and (optionally)
+a registered user identity; every later request is a command.
+
+Requests::
+
+    {"id": 3, "op": "checkout", "dataset": "inter", "versions": [1, 2]}
+
+Responses echo the id and carry a status::
+
+    {"id": 3, "status": "ok", "data": {...}}
+    {"id": 7, "status": "busy", "error": "writer queue full ..."}
+
+Statuses:
+
+* ``ok`` — the command ran; ``data`` holds its result.
+* ``error`` — the command raised; ``error`` has the message,
+  ``error_type`` the exception class name.
+* ``busy`` — load-shedding: the scheduler's queue was full. The
+  request was **not** executed; clients retry with backoff.
+* ``denied`` — handshake or access-control rejection.
+* ``shutdown`` — the daemon is draining; reconnect later.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+
+#: Bumped on incompatible wire changes; the handshake rejects mismatches.
+PROTOCOL_VERSION = 1
+
+#: A line longer than this is a protocol violation (guards the daemon
+#: against unbounded memory from a garbage or hostile peer).
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+OK = "ok"
+ERROR = "error"
+BUSY = "busy"
+DENIED = "denied"
+SHUTDOWN = "shutdown"
+
+#: Read-only operations: run concurrently on the scheduler's worker
+#: pool under the shared lock. ``checkout`` is read-only in the service
+#: model — materialization never changes version history.
+READ_OPS = frozenset(
+    {"checkout", "diff", "log", "ls", "run", "whoami", "doctor", "status"}
+)
+
+#: Mutations: serialized through the writer queue, journaled, and
+#: followed by a durable state save.
+WRITE_OPS = frozenset(
+    {"init", "commit", "drop", "optimize", "create_user"}
+)
+
+#: Session/admin operations handled outside the scheduler.
+CONTROL_OPS = frozenset({"hello", "ping", "flush_cache", "shutdown"})
+
+ALL_OPS = READ_OPS | WRITE_OPS | CONTROL_OPS
+
+
+class ProtocolError(ValueError):
+    """Malformed frame: not JSON, not an object, or oversized."""
+
+
+@dataclass
+class Request:
+    """One decoded client request."""
+
+    op: str
+    id: int = 0
+    params: dict = field(default_factory=dict)
+
+    def get(self, key: str, default=None):
+        return self.params.get(key, default)
+
+    def to_dict(self) -> dict:
+        payload = {"id": self.id, "op": self.op}
+        payload.update(self.params)
+        return payload
+
+
+@dataclass
+class Response:
+    """One server response, correlated to a request by id."""
+
+    id: int
+    status: str
+    data: dict | None = None
+    error: str | None = None
+    error_type: str | None = None
+
+    def to_dict(self) -> dict:
+        payload: dict = {"id": self.id, "status": self.status}
+        if self.data is not None:
+            payload["data"] = self.data
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.error_type is not None:
+            payload["error_type"] = self.error_type
+        return payload
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+
+def encode(payload: dict) -> bytes:
+    """One wire frame: compact JSON + newline."""
+    return (
+        json.dumps(payload, separators=(",", ":"), default=str) + "\n"
+    ).encode("utf-8")
+
+
+def decode_request(line: bytes | str) -> Request:
+    """Parse one request line; raises :class:`ProtocolError` on garbage."""
+    payload = _decode_object(line)
+    op = payload.pop("op", None)
+    if not isinstance(op, str) or not op:
+        raise ProtocolError("request lacks an 'op' field")
+    request_id = payload.pop("id", 0)
+    if not isinstance(request_id, int):
+        raise ProtocolError("request 'id' must be an integer")
+    return Request(op=op, id=request_id, params=payload)
+
+
+def decode_response(line: bytes | str) -> Response:
+    payload = _decode_object(line)
+    status = payload.get("status")
+    if not isinstance(status, str):
+        raise ProtocolError("response lacks a 'status' field")
+    return Response(
+        id=int(payload.get("id", 0)),
+        status=status,
+        data=payload.get("data"),
+        error=payload.get("error"),
+        error_type=payload.get("error_type"),
+    )
+
+
+def _decode_object(line: bytes | str) -> dict:
+    if isinstance(line, bytes):
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(f"frame exceeds {MAX_LINE_BYTES} bytes")
+        line = line.decode("utf-8", errors="replace")
+    try:
+        payload = json.loads(line)
+    except ValueError as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return payload
+
+
+class LineChannel:
+    """Blocking line-oriented reader/writer over a connected socket.
+
+    Owns a receive buffer so partial TCP segments reassemble into
+    complete frames; oversized frames abort the connection rather than
+    buffering without bound.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._buffer = bytearray()
+
+    def send(self, payload: dict) -> None:
+        self.sock.sendall(encode(payload))
+
+    def recv_line(self) -> bytes | None:
+        """The next complete line (without the newline), or None on EOF.
+
+        Raises ``socket.timeout`` if the socket has a timeout and the
+        peer goes quiet (the daemon's idle-session reaper relies on it).
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[:newline])
+                del self._buffer[: newline + 1]
+                return line
+            if len(self._buffer) > MAX_LINE_BYTES:
+                raise ProtocolError(
+                    f"peer sent more than {MAX_LINE_BYTES} bytes without "
+                    f"a newline"
+                )
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                if self._buffer:
+                    # torn tail: drop it, same policy as the journals
+                    self._buffer.clear()
+                return None
+            self._buffer.extend(chunk)
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass

@@ -198,3 +198,151 @@ class TestProfileCommand:
     def test_profile_refuses_recursion(self, workspace, capsys):
         assert run(workspace, "profile", "bench") == 2
         assert "cannot profile" in capsys.readouterr().err
+
+
+class TestJsonOutputs:
+    def _seed(self, workspace):
+        run(workspace, "create_user", "a")
+        run(workspace, "config", "a")
+        run(workspace, "init", "-d", "inter",
+            "-f", str(workspace / "data.csv"),
+            "-s", str(workspace / "schema.csv"))
+
+    def test_ls_json(self, workspace, capsys):
+        import json as _json
+
+        self._seed(workspace)
+        capsys.readouterr()
+        assert run(workspace, "ls", "--json") == 0
+        listing = _json.loads(capsys.readouterr().out)
+        assert listing == [
+            {
+                "dataset": "inter",
+                "versions": 1,
+                "records": 2,
+                "model": "SplitByRlistModel",
+            }
+        ]
+
+    def test_log_json(self, workspace, capsys):
+        import json as _json
+
+        self._seed(workspace)
+        capsys.readouterr()
+        assert run(workspace, "log", "--json", "-d", "inter") == 0
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["dataset"] == "inter"
+        (version,) = payload["versions"]
+        assert version["vid"] == 1
+        assert version["parents"] == []
+        assert version["records"] == 2
+        assert version["author"] == "a"
+
+    def test_log_ops_json(self, workspace, capsys):
+        import json as _json
+
+        self._seed(workspace)
+        capsys.readouterr()
+        assert run(workspace, "log", "--ops", "--json") == 0
+        records = _json.loads(capsys.readouterr().out)
+        assert [r["command"] for r in records] == ["init"]
+        assert records[0]["status"] == "ok"
+
+
+class TestRunCommand:
+    def _seed(self, workspace):
+        run(workspace, "init", "-d", "inter",
+            "-f", str(workspace / "data.csv"),
+            "-s", str(workspace / "schema.csv"))
+
+    def test_run_prints_rows(self, workspace, capsys):
+        self._seed(workspace)
+        capsys.readouterr()
+        assert (
+            run(
+                workspace,
+                "run",
+                "SELECT protein1 FROM VERSION 1 OF CVD inter "
+                "WHERE coexpression > 50",
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "protein1"
+        assert "ENSP3" in out
+
+    def test_run_json(self, workspace, capsys):
+        import json as _json
+
+        self._seed(workspace)
+        capsys.readouterr()
+        assert (
+            run(
+                workspace,
+                "run", "--json",
+                "SELECT * FROM VERSION 1 OF CVD inter",
+            )
+            == 0
+        )
+        payload = _json.loads(capsys.readouterr().out)
+        assert payload["total_rows"] == 2
+        assert payload["columns"] == ["protein1", "protein2", "coexpression"]
+
+    def test_run_limit_truncates_output_only(self, workspace, capsys):
+        self._seed(workspace)
+        capsys.readouterr()
+        assert (
+            run(
+                workspace,
+                "run", "--limit", "1",
+                "SELECT * FROM VERSION 1 OF CVD inter",
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "... (1 more rows)" in out
+
+
+class TestJournalUniformity:
+    """diff and run journal exactly like the mutating commands."""
+
+    def _seed(self, workspace):
+        run(workspace, "init", "-d", "inter",
+            "-f", str(workspace / "data.csv"),
+            "-s", str(workspace / "schema.csv"))
+
+    def test_diff_and_run_journal(self, workspace):
+        from repro.observe.journal import Journal
+
+        self._seed(workspace)
+        assert run(workspace, "diff", "-d", "inter", "-a", "1", "-b", "1") == 0
+        assert (
+            run(workspace, "run", "SELECT * FROM VERSION 1 OF CVD inter") == 0
+        )
+        records = Journal(str(workspace)).read()
+        assert [r["command"] for r in records] == ["init", "diff", "run"]
+        diff_record = records[1]
+        assert diff_record["input_versions"] == [1, 1]
+        assert diff_record["dataset"] == "inter"
+        assert "rows" not in diff_record or diff_record["rows"] == 0
+        run_record = records[2]
+        assert run_record["rows"] == 2
+        assert "trace_id" in run_record and "duration_s" in run_record
+
+    def test_failed_run_journals_error(self, workspace):
+        from repro.observe.journal import Journal
+
+        self._seed(workspace)
+        assert run(workspace, "run", "SELECT * FROM CVD ghost") == 1
+        records = Journal(str(workspace)).read()
+        assert records[-1]["command"] == "run"
+        assert records[-1]["status"] == "error"
+
+    def test_plain_readers_do_not_journal(self, workspace):
+        from repro.observe.journal import Journal
+
+        self._seed(workspace)
+        assert run(workspace, "ls") == 0
+        assert run(workspace, "log", "-d", "inter") == 0
+        records = Journal(str(workspace)).read()
+        assert [r["command"] for r in records] == ["init"]
