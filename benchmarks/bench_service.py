@@ -144,7 +144,12 @@ def _fixture() -> _ServiceFixture:
     return _ServiceFixture.get()
 
 
-@quick_bench("service/checkout_cold", setup=_fixture, repeats=3)
+@quick_bench(
+    "service/checkout_cold",
+    setup=_fixture,
+    repeats=3,
+    counters=("service.request.",),
+)
 def bench_checkout_cold(fx: _ServiceFixture) -> None:
     with fx.client() as client:
         client.flush_cache()
@@ -153,7 +158,12 @@ def bench_checkout_cold(fx: _ServiceFixture) -> None:
             assert data["rows"] == ROWS
 
 
-@quick_bench("service/checkout_cached", setup=_fixture, repeats=3)
+@quick_bench(
+    "service/checkout_cached",
+    setup=_fixture,
+    repeats=3,
+    counters=("service.request.",),
+)
 def bench_checkout_cached(fx: _ServiceFixture) -> None:
     with fx.client() as client:
         client.checkout(DATASET, [1], inline=True)  # ensure warm
@@ -162,7 +172,12 @@ def bench_checkout_cached(fx: _ServiceFixture) -> None:
             assert data["rows"] == ROWS
 
 
-@quick_bench("service/read_fanout", setup=_fixture, repeats=3)
+@quick_bench(
+    "service/read_fanout",
+    setup=_fixture,
+    repeats=3,
+    counters=("service.request.",),
+)
 def bench_read_fanout(fx: _ServiceFixture) -> None:
     errors: list[BaseException] = []
 
@@ -185,7 +200,12 @@ def bench_read_fanout(fx: _ServiceFixture) -> None:
         raise errors[0]
 
 
-@quick_bench("service/mixed_read_write", setup=_fixture, repeats=3)
+@quick_bench(
+    "service/mixed_read_write",
+    setup=_fixture,
+    repeats=3,
+    counters=("service.request.",),
+)
 def bench_mixed_read_write(fx: _ServiceFixture) -> None:
     errors: list[BaseException] = []
 
@@ -220,3 +240,21 @@ def bench_mixed_read_write(fx: _ServiceFixture) -> None:
         thread.join(timeout=120)
     if errors:
         raise errors[0]
+
+
+@quick_bench(
+    "service/traced_roundtrip",
+    setup=_fixture,
+    repeats=3,
+    counters=("service.request.",),
+)
+def bench_traced_roundtrip(fx: _ServiceFixture) -> None:
+    """The fully-traced request path: every response must come back
+    with its queue-wait/execute split, so this bench prices the
+    tracing overhead while proving the envelope is always present."""
+    with fx.client() as client:
+        for _ in range(CACHED_READS):
+            client.checkout(DATASET, [1], inline=True)
+            trace = client.last_trace
+            assert trace is not None and trace["status"] == "ok"
+            assert "queue_wait_s" in trace and "execute_s" in trace

@@ -326,6 +326,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="close sessions silent for this many seconds",
     )
     serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve Prometheus /metrics (and /stats, /healthz) on this "
+        "HTTP port; 0 picks a free port, recorded in service.json",
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="log requests slower than this to "
+        ".orpheus/journal/slow.jsonl (default: $ORPHEUS_SLOW_MS or 500)",
+    )
+    serve.add_argument(
         "--status",
         action="store_true",
         help="query a running daemon instead of starting one",
@@ -363,6 +379,33 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="command",
         help="the command to forward, e.g. "
         "`orpheus remote checkout -d data -v 3 -f out.csv`",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard for a running daemon (polls its stats op)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between polls (default 2)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (no screen clearing)",
+    )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="dump the raw stats payload instead of the dashboard",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help=argparse.SUPPRESS,  # bounded loop, for tests/scripts
     )
 
     stats = sub.add_parser(
@@ -410,6 +453,16 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "remote":
         return _run_remote(args)
+    if args.command == "top":
+        from repro.observe.top import run_top
+
+        return run_top(
+            root=args.root,
+            interval=args.interval,
+            iterations=args.iterations,
+            once=args.once,
+            as_json=args.json,
+        )
     if args.command == "stats":
         # Readers share the lock; --reset rewrites the accumulator and
         # must serialize against invocations folding their snapshots in.
@@ -891,6 +944,17 @@ def _run_serve(args: argparse.Namespace) -> int:
                 f"  sessions: "
                 f"{status.get('sessions', {}).get('active', 0)} active\n"
             )
+            slow = status.get("slow", {})
+            if slow.get("count"):
+                sys.stdout.write(
+                    f"  slow: {slow.get('count')} request(s) over "
+                    f"{slow.get('threshold_ms')}ms logged "
+                    f"(see `orpheus top`)\n"
+                )
+            if status.get("metrics"):
+                sys.stdout.write(
+                    f"  metrics: http://{status['metrics']}/metrics\n"
+                )
         return 0
 
     if daemon_running(args.root):
@@ -909,6 +973,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         read_queue_depth=args.read_queue_depth,
         write_queue_depth=args.queue_depth,
         idle_timeout=args.idle_timeout,
+        metrics_port=args.metrics_port,
+        slow_ms=args.slow_ms,
     )
     daemon = ServiceDaemon(config)
     for signum in (signal.SIGTERM, signal.SIGINT):
@@ -917,6 +983,8 @@ def _run_serve(args: argparse.Namespace) -> int:
     listen = config.resolved_socket()
     if config.tcp is not None:
         listen += f" and tcp://{config.tcp[0]}:{config.tcp[1]}"
+    if daemon._metrics_server is not None:
+        listen += f", metrics on http://{daemon._metrics_server.address}"
     sys.stderr.write(f"orpheusd listening on {listen}\n")
     daemon.serve_forever()
     sys.stderr.write("orpheusd stopped\n")
@@ -979,6 +1047,13 @@ def _build_remote_parser() -> argparse.ArgumentParser:
     sub.add_parser("whoami")
     sub.add_parser("doctor")
     sub.add_parser("status")
+    rstats = sub.add_parser("stats")
+    rstats.add_argument(
+        "--recent",
+        type=int,
+        default=0,
+        help="include the N newest server-side span trees",
+    )
     sub.add_parser("ping")
     sub.add_parser("flush-cache")
     sub.add_parser("shutdown")
@@ -1059,6 +1134,8 @@ def _remote_dispatch(client, r: argparse.Namespace) -> dict:
         return client.doctor()
     if r.rcmd == "status":
         return client.status()
+    if r.rcmd == "stats":
+        return client.stats(recent=r.recent)
     if r.rcmd == "ping":
         return {"pong": client.ping()}
     if r.rcmd == "flush-cache":
@@ -1130,7 +1207,7 @@ def _render_remote(out, r: argparse.Namespace, data: dict) -> None:
         out.write(f"created user {data['user']!r}\n")
     elif r.rcmd == "whoami":
         out.write((data.get("user") or "anonymous") + "\n")
-    elif r.rcmd in ("doctor", "status"):
+    elif r.rcmd in ("doctor", "status", "stats"):
         out.write(_json.dumps(data, indent=2, sort_keys=True, default=str) + "\n")
     elif r.rcmd == "ping":
         out.write("pong\n" if data.get("pong") else "no reply\n")

@@ -59,6 +59,11 @@ IMBALANCE_FACTOR = 4.0
 STALE_STAGING_SECONDS = 7 * 24 * 3600.0
 #: Accumulated telemetry beyond this many bytes warns.
 TELEMETRY_WARN_BYTES = 4 * 1024 * 1024
+#: A slow-request log holding at least this many entries warns.
+SLOW_LOG_WARN_ENTRIES = 50
+#: Env var: p99 latency budget (ms) for the slow_requests probe; the
+#: probe warns when the slow log's p99 breaches it.
+SLOW_P99_BUDGET_ENV = "ORPHEUS_SLOW_P99_BUDGET_MS"
 
 
 @dataclass
@@ -814,6 +819,76 @@ def probe_service_health(root: str | None = None) -> ProbeResult:
     )
 
 
+def probe_slow_requests(root: str | None = None) -> ProbeResult:
+    """The daemon's slow-request log must stay small and under budget.
+
+    Warns when the log has accumulated :data:`SLOW_LOG_WARN_ENTRIES`
+    outliers, or when its p99 breaches the optional latency budget in
+    ``ORPHEUS_SLOW_P99_BUDGET_MS``. No log is healthy — it only exists
+    once a daemon has seen requests past ``ORPHEUS_SLOW_MS``.
+    """
+    from repro.service.tracing import SlowLog
+
+    log = SlowLog(root)
+    stats = log.stats()
+    count = stats["count"]
+    p99_ms = stats["p99_ms"]
+    if count == 0:
+        return ProbeResult(
+            probe="slow_requests",
+            severity=OK,
+            summary="no slow requests logged",
+        )
+    budget_raw = os.environ.get(SLOW_P99_BUDGET_ENV)
+    budget_ms: float | None = None
+    if budget_raw:
+        try:
+            budget_ms = float(budget_raw)
+        except ValueError:
+            budget_ms = None
+    over_budget = (
+        budget_ms is not None and p99_ms is not None and p99_ms > budget_ms
+    )
+    growing = count >= SLOW_LOG_WARN_ENTRIES
+    if over_budget:
+        severity = WARN
+        summary = (
+            f"slow-request p99 {p99_ms:.0f}ms breaches the "
+            f"{budget_ms:.0f}ms budget ({count} logged)"
+        )
+    elif growing:
+        severity = WARN
+        summary = (
+            f"slow-request log is growing: {count} entries over "
+            f"{stats['threshold_ms']:.0f}ms"
+        )
+    else:
+        severity = OK
+        summary = (
+            f"{count} slow request(s) logged"
+            + (f", p99 {p99_ms:.0f}ms" if p99_ms is not None else "")
+        )
+    return ProbeResult(
+        probe="slow_requests",
+        severity=severity,
+        summary=summary,
+        remediation=(
+            "watch the live breakdown with `orpheus top` and profile "
+            "the hot phase with `orpheus profile`; the span trees in "
+            ".orpheus/journal/slow.jsonl name the slow phase per request"
+            if severity != OK
+            else ""
+        ),
+        data={
+            "count": count,
+            "p99_ms": p99_ms,
+            "threshold_ms": stats["threshold_ms"],
+            "budget_ms": budget_ms,
+            "path": stats["path"],
+        },
+    )
+
+
 def probe_journal(orpheus, root: str | None = None) -> ProbeResult:
     """Replay-verify the operation journal against the version graph."""
     from repro.observe.journal import Journal, verify_journal
@@ -860,6 +935,7 @@ def run_doctor(orpheus, root: str | None = None) -> DoctorReport:
         report.results.append(probe_lock_health(root))
         report.results.append(probe_pending_intents(root))
         report.results.append(probe_service_health(root))
+        report.results.append(probe_slow_requests(root))
         report.results.append(probe_perf_baselines(root))
         telemetry.count("observe.doctor.runs")
         telemetry.count(

@@ -53,6 +53,8 @@ class OpRecord:
     status: str  # "ok" | "error"
     ts: float
     user: str = ""
+    #: Daemon session that issued the command (None for CLI-local ops).
+    session_id: int | None = None
     dataset: str | None = None
     input_versions: list[int] = field(default_factory=list)
     output_version: int | None = None
@@ -69,6 +71,8 @@ class OpRecord:
             "ts": self.ts,
             "user": self.user,
         }
+        if self.session_id is not None:
+            record["session_id"] = self.session_id
         if self.dataset is not None:
             record["dataset"] = self.dataset
         if self.input_versions:
@@ -151,6 +155,8 @@ class Journal:
                 bits.append(f"rows={record['rows']}")
             if record.get("user"):
                 bits.append(f"by={record['user']}")
+            if record.get("session_id") is not None:
+                bits.append(f"sid={record['session_id']}")
             error = record.get("error")
             if error:
                 bits.append(f"error={error.get('type')}: {error.get('message')}")

@@ -30,6 +30,7 @@ from typing import Sequence
 
 from repro.service import protocol
 from repro.service.protocol import LineChannel, Response
+from repro.service.tracing import new_trace_context
 
 
 class ServiceError(RuntimeError):
@@ -103,6 +104,9 @@ class ServiceClient:
         self._channel: LineChannel | None = None
         self._next_id = 0
         self.session_id: int | None = None
+        #: The server's trace summary for the most recent response
+        #: (including BUSY sheds) — trace/span ids + phase timings.
+        self.last_trace: dict | None = None
 
     # ------------------------------------------------------------------
     def connect(self) -> "ServiceClient":
@@ -151,13 +155,20 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def request(self, op: str, **params) -> dict:
-        """One request/response cycle; returns the response data dict."""
+        """One request/response cycle; returns the response data dict.
+
+        Every command request carries a trace context; pass ``trace=``
+        explicitly to reuse one (retries do) or let this mint a fresh
+        context per call.
+        """
         if self._channel is None:
             self.connect()
         payload = {"op": op}
         payload.update(
             {k: v for k, v in params.items() if v is not None}
         )
+        if "trace" not in payload:
+            payload["trace"] = new_trace_context()
         return self._roundtrip(payload).data or {}
 
     def request_with_retry(
@@ -168,11 +179,18 @@ class ServiceClient:
         **params,
     ) -> dict:
         """Like :meth:`request`, but retries ``busy`` shed responses
-        with exponential backoff — the polite client under load."""
+        with exponential backoff — the polite client under load.
+
+        All attempts share ONE trace id (with a bumped ``attempt``
+        counter), so a retried operation stays a single trace on the
+        server side instead of fragmenting into lookalikes.
+        """
+        context = params.pop("trace", None) or new_trace_context()
         attempt = 0
         while True:
+            context["attempt"] = attempt
             try:
-                return self.request(op, **params)
+                return self.request(op, trace=context, **params)
             except ServiceBusyError:
                 if attempt >= retries:
                     raise
@@ -198,6 +216,10 @@ class ServiceClient:
             self.close()
             raise ServiceUnavailableError("orpheusd closed the connection")
         response = protocol.decode_response(line)
+        # BUSY and error responses carry a terminal trace summary too;
+        # record it before raising so callers can correlate sheds.
+        if response.trace is not None:
+            self.last_trace = response.trace
         if response.status == protocol.OK:
             return response
         message = response.error or response.status
@@ -217,6 +239,12 @@ class ServiceClient:
 
     def status(self) -> dict:
         return self.request("status")
+
+    def stats(self, recent: int = 0) -> dict:
+        """Live daemon observability: counters, latency percentiles,
+        queue depths, cache efficiency; ``recent`` > 0 adds that many
+        of the newest server-side span trees."""
+        return self.request("stats", recent=recent or None)
 
     def ls(self) -> list[dict]:
         return self.request("ls")["datasets"]

@@ -41,12 +41,14 @@ from pathlib import Path
 
 from repro import telemetry
 from repro.core.csvio import read_csv, read_schema_file, write_csv, write_schema_file
-from repro.observe.journal import Journal, make_record, new_trace_id
+from repro.observe.journal import Journal, make_record
 from repro.resilience.intents import IntentLog, has_pending_intents
 from repro.resilience.lock import RepositoryLock
 from repro.service import protocol
 from repro.service.cache import DEFAULT_BUDGET_BYTES, CacheEntry, VersionCache
+from repro.service.metrics import RECENT_CAP, ServiceMetrics
 from repro.service.protocol import LineChannel, Request, Response
+from repro.service.tracing import RequestTrace, SlowLog
 from repro.service.scheduler import (
     DEFAULT_READ_QUEUE_DEPTH,
     DEFAULT_WORKERS,
@@ -103,6 +105,14 @@ class ServiceConfig:
     drain_timeout: float = 30.0
     request_timeout: float = 120.0
     fold_interval: float = FOLD_INTERVAL
+    #: None disables the HTTP monitoring sidecar; 0 binds an ephemeral
+    #: port (recorded in service.json for scrapers to discover).
+    metrics_port: int | None = None
+    metrics_host: str = "127.0.0.1"
+    #: Slow-request threshold in ms; None reads ``ORPHEUS_SLOW_MS``.
+    slow_ms: float | None = None
+    #: Span trees kept in the in-memory recent ring for ``stats``.
+    recent_traces: int = RECENT_CAP
 
     def resolved_socket(self) -> str:
         return self.socket_path or default_socket_path(self.root)
@@ -138,6 +148,9 @@ class ServiceDaemon:
         self.requests_by_op: dict[str, int] = {}
         self.busy_responses = 0
         self._was_telemetry_enabled = False
+        self.metrics = ServiceMetrics(recent_cap=self.config.recent_traces)
+        self.slow_log = SlowLog(self.root, threshold_ms=self.config.slow_ms)
+        self._metrics_server = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -164,6 +177,15 @@ class ServiceDaemon:
                     )
             self.orpheus = load_state(self.root)
             self._bind()
+            if self.config.metrics_port is not None:
+                from repro.service.httpmon import MetricsServer
+
+                self._metrics_server = MetricsServer(
+                    self,
+                    host=self.config.metrics_host,
+                    port=self.config.metrics_port,
+                )
+                self._metrics_server.start()
             self.started_ts = telemetry.now()
             self._write_status_file()
             self.scheduler.start()
@@ -214,6 +236,12 @@ class ServiceDaemon:
             except OSError:
                 pass
         self._listeners.clear()
+        if self._metrics_server is not None:
+            try:
+                self._metrics_server.stop()
+            except Exception:
+                pass
+            self._metrics_server = None
         self.scheduler.stop(timeout=self.config.drain_timeout)
         with self._channels_lock:
             channels = list(self._channels)
@@ -348,10 +376,19 @@ class ServiceDaemon:
                     )
                     continue
                 session.touch()
-                response = self._handle_request(session, request)
+                rtrace = RequestTrace.from_request(request, session)
+                response = self._handle_request(session, request, rtrace)
+                send_failed = False
                 try:
                     channel.send(response.to_dict())
                 except OSError:
+                    send_failed = True
+                # The serialize phase closes only once the bytes are on
+                # the wire (or the send failed); finalize regardless so
+                # even a request whose client vanished leaves a span.
+                rtrace.mark_sent()
+                self._finalize_request(rtrace)
+                if send_failed:
                     return
                 if getattr(session, "wants_shutdown", False):
                     self.request_shutdown()
@@ -408,7 +445,20 @@ class ServiceDaemon:
         )
         return session
 
-    def _handle_request(self, session, request: Request) -> Response:
+    def _handle_request(
+        self, session, request: Request, rtrace: RequestTrace
+    ) -> Response:
+        response = self._dispatch_request(session, request, rtrace)
+        rtrace.finish(
+            "ok" if response.ok else response.status,
+            response.error_type,
+        )
+        response.trace = rtrace.wire_trace()
+        return response
+
+    def _dispatch_request(
+        self, session, request: Request, rtrace: RequestTrace
+    ) -> Response:
         self.requests_total += 1
         self.requests_by_op[request.op] = (
             self.requests_by_op.get(request.op, 0) + 1
@@ -423,30 +473,47 @@ class ServiceDaemon:
             )
         try:
             if request.op in protocol.CONTROL_OPS:
-                return self._handle_control(session, request)
+                # Control ops run inline: admission and queue wait are
+                # zero by construction, execution is the handler.
+                rtrace.mark_admitted()
+                rtrace.mark_started()
+                try:
+                    return self._handle_control(session, request)
+                finally:
+                    rtrace.mark_executed()
             if request.op in protocol.READ_OPS:
                 job = self.scheduler.submit_read(
-                    lambda: self._execute_read(session, request)
+                    lambda: self._execute_read(session, request, rtrace)
                 )
             elif request.op in protocol.WRITE_OPS:
                 job = self.scheduler.submit_write(
-                    lambda: self._execute_write(session, request),
+                    lambda: self._execute_write(session, request, rtrace),
                     dataset=request.get("dataset"),
                 )
             else:
+                rtrace.mark_admitted()
                 return Response(
                     id=request.id,
                     status=protocol.ERROR,
                     error=f"unknown op {request.op!r}",
                     error_type="ProtocolError",
                 )
+            # The job's own submission stamp avoids a race with a worker
+            # that started before this thread resumed.
+            rtrace.t_admitted = job.submitted_at
             data = job.wait(self.config.request_timeout)
             return Response(id=request.id, status=protocol.OK, data=data)
         except QueueFullError as error:
+            # Shed before it ever queued: admission is the terminal
+            # phase of this trace, and the client still gets the ids.
+            rtrace.mark_admitted()
             self.busy_responses += 1
             telemetry.count("service.busy")
             return Response(
-                id=request.id, status=protocol.BUSY, error=str(error)
+                id=request.id,
+                status=protocol.BUSY,
+                error=str(error),
+                error_type="QueueFullError",
             )
         except SchedulerStoppedError as error:
             return Response(
@@ -472,6 +539,17 @@ class ServiceDaemon:
                 error="already shook hands",
                 error_type="ProtocolError",
             )
+        if request.op == "stats":
+            recent = request.get("recent") or 0
+            try:
+                recent = max(0, int(recent))
+            except (TypeError, ValueError):
+                recent = 0
+            return Response(
+                id=request.id,
+                status=protocol.OK,
+                data=self.stats_payload(recent=recent),
+            )
         if request.op == "flush_cache":
             dropped = self.cache.clear()
             return Response(
@@ -489,24 +567,44 @@ class ServiceDaemon:
     # ------------------------------------------------------------------
     # Read handlers (shared lock, worker pool)
     # ------------------------------------------------------------------
-    def _execute_read(self, session, request: Request) -> dict:
+    def _execute_read(
+        self, session, request: Request, rtrace: RequestTrace
+    ) -> dict:
+        rtrace.mark_started()
         handler = getattr(self, f"_op_{request.op}")
-        with telemetry.span(
+        span_ctx = telemetry.span(
             f"service.{request.op}",
             dataset=request.get("dataset") or "",
             user=session.user,
-        ):
-            data = handler(session, request)
+            trace_id=rtrace.trace_id,
+        )
+        try:
+            with span_ctx:
+                data = handler(session, request)
+        finally:
+            # Graft the worker's live span subtree (cache lookup,
+            # materialization, ...) under the request's execute phase.
+            rtrace.exec_node = getattr(span_ctx, "node", None)
+            rtrace.mark_executed()
+        if request.op == "checkout":
+            rtrace.cached = bool(data.get("cached"))
         if request.op in ("diff", "run") or (
             request.op == "checkout" and request.get("file")
         ):
-            self._journal_read_op(session, request, data)
+            self._journal_read_op(session, request, data, rtrace)
         return data
 
-    def _journal_read_op(self, session, request: Request, data: dict) -> None:
+    def _journal_read_op(
+        self, session, request: Request, data: dict, rtrace: RequestTrace
+    ) -> None:
         """Uniform observability: remote diff/run/file-checkout land in
-        the operation journal exactly like their CLI counterparts."""
-        record = make_record(new_trace_id(), request.op, user=session.user)
+        the operation journal exactly like their CLI counterparts —
+        under the *client's* trace id, so `orpheus log --ops`
+        correlates remote work end to end."""
+        record = make_record(
+            rtrace.trace_id, request.op, user=session.user
+        )
+        record.session_id = rtrace.session_id
         record.dataset = request.get("dataset")
         if request.op == "checkout":
             record.input_versions = [int(v) for v in request.get("versions", [])]
@@ -546,8 +644,13 @@ class ServiceDaemon:
             raise ValueError("checkout requires 'dataset' and 'versions'")
         self.orpheus.access.check_cvd_access(dataset, user=session.user or None)
         cvd = self.orpheus.cvd(dataset)
-        entry = self.cache.get(dataset, vids)
-        cached = entry is not None
+        with telemetry.span(
+            "service.checkout.cache_lookup", dataset=dataset
+        ) as lookup:
+            entry = self.cache.get(dataset, vids)
+            cached = entry is not None
+            if lookup is not None:
+                lookup.set_attr("hit", cached)
         if entry is None:
             with telemetry.span("service.checkout.materialize", dataset=dataset):
                 result = cvd.checkout(vids if len(vids) > 1 else vids[0])
@@ -615,13 +718,18 @@ class ServiceDaemon:
     # ------------------------------------------------------------------
     # Write handlers (exclusive lock, writer thread)
     # ------------------------------------------------------------------
-    def _execute_write(self, session, request: Request) -> dict:
+    def _execute_write(
+        self, session, request: Request, rtrace: RequestTrace
+    ) -> dict:
         """One mutation with the CLI's full durability bracket:
         intent begin -> execute -> state save -> journal -> intent done,
-        then cache invalidation."""
+        then cache invalidation. The journal record and intent carry
+        the *client's* trace id (and session id) so remote mutations
+        correlate end to end."""
         from repro.cli import save_state
 
-        trace_id = new_trace_id()
+        rtrace.mark_started()
+        trace_id = rtrace.trace_id
         dataset = request.get("dataset")
         journaled = request.op in ("init", "commit", "drop", "optimize")
         if journaled:
@@ -637,35 +745,42 @@ class ServiceDaemon:
             else None
         )
         if record is not None:
+            record.session_id = rtrace.session_id
             record.dataset = dataset
+        span_ctx = telemetry.span(
+            f"service.{request.op}",
+            dataset=dataset or "",
+            user=session.user,
+            trace_id=trace_id,
+        )
         try:
-            with telemetry.span(
-                f"service.{request.op}",
-                dataset=dataset or "",
-                user=session.user,
-            ) as span:
-                if span is not None:
-                    span.set_attr("trace_id", trace_id)
-                handler = getattr(self, f"_op_{request.op}")
-                data = handler(session, request, record)
-            save_state(self.orpheus, self.root)
-        except Exception as error:
+            try:
+                with span_ctx as span:
+                    if span is not None:
+                        span.set_attr("trace_id", trace_id)
+                    handler = getattr(self, f"_op_{request.op}")
+                    data = handler(session, request, record)
+                save_state(self.orpheus, self.root)
+            except Exception as error:
+                if record is not None:
+                    record.status = "error"
+                    record.error_type = type(error).__name__
+                    record.error_message = str(error)
+                    self.journal.append(record)
+                if journaled:
+                    self.intents.done(trace_id, status="error")
+                raise
             if record is not None:
-                record.status = "error"
-                record.error_type = type(error).__name__
-                record.error_message = str(error)
                 self.journal.append(record)
             if journaled:
-                self.intents.done(trace_id, status="error")
-            raise
-        if record is not None:
-            self.journal.append(record)
-        if journaled:
-            self.intents.done(trace_id)
-        if dataset:
-            invalidated = self.cache.invalidate_dataset(dataset)
-            data.setdefault("cache_invalidated", invalidated)
-        return data
+                self.intents.done(trace_id)
+            if dataset:
+                invalidated = self.cache.invalidate_dataset(dataset)
+                data.setdefault("cache_invalidated", invalidated)
+            return data
+        finally:
+            rtrace.exec_node = getattr(span_ctx, "node", None)
+            rtrace.mark_executed()
 
     def _op_init(self, session, request: Request, record) -> dict:
         dataset = request.get("dataset")
@@ -738,6 +853,71 @@ class ServiceDaemon:
         return {"user": name}
 
     # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def _finalize_request(self, rtrace: RequestTrace) -> None:
+        """Fold one finished request into every observability surface:
+        metrics rollups, slow log, and the fold-file counters the bench
+        runner reads for the queue-wait/exec split."""
+        try:
+            slow = self.slow_log.consider(rtrace)
+        except Exception:
+            slow = False  # a full disk must not kill the connection
+        self.metrics.record(rtrace, slow=slow)
+        telemetry.count("service.request.count")
+        for name, value in rtrace.phase_seconds().items():
+            telemetry.count(f"service.request.{name}_seconds_total", value)
+        telemetry.count(
+            "service.request.total_seconds_total", rtrace.total_s
+        )
+
+    def stats_payload(self, recent: int = 0) -> dict:
+        """The ``stats`` op response: daemon-lifetime request metrics
+        plus live scheduler/cache/session state."""
+        payload = self.metrics.to_dict(recent=recent)
+        payload["server"] = {
+            "pid": os.getpid(),
+            "started_ts": self.started_ts,
+            "draining": self.sessions.draining,
+        }
+        payload["scheduler"] = self.scheduler.status()
+        payload["cache"] = self.cache.stats().to_dict()
+        payload["sessions"] = self.sessions.status()
+        payload["slow"] = self.slow_log.stats()
+        return payload
+
+    def render_metrics(self) -> str:
+        """Prometheus exposition for the ``/metrics`` endpoint."""
+        scheduler = self.scheduler.status()
+        cache = self.cache.stats().to_dict()
+        sessions = self.sessions.status()
+        return self.metrics.render_prometheus(
+            extra_counters={
+                "cache_hits_total": cache.get("hits", 0),
+                "cache_misses_total": cache.get("misses", 0),
+                "cache_evictions_total": cache.get("evictions", 0),
+                "cache_invalidations_total": cache.get("invalidations", 0),
+                "scheduler_shed_reads_total": scheduler.get("shed_reads", 0),
+                "scheduler_shed_writes_total": scheduler.get(
+                    "shed_writes", 0
+                ),
+                "sessions_opened_total": sessions.get("total_opened", 0),
+            },
+            extra_gauges={
+                "read_queue_depth": scheduler.get("read_queue_depth", 0),
+                "write_queue_depth": scheduler.get("write_queue_depth", 0),
+                "cache_entries": cache.get("entries", 0),
+                "cache_bytes": cache.get("bytes", 0),
+                "sessions_active": sessions.get("active", 0),
+                "draining": 1 if self.sessions.draining else 0,
+            },
+        )
+
+    @property
+    def draining(self) -> bool:
+        return self.sessions.draining
+
+    # ------------------------------------------------------------------
     # Status
     # ------------------------------------------------------------------
     def status(self) -> dict:
@@ -765,6 +945,12 @@ class ServiceDaemon:
             "scheduler": self.scheduler.status(),
             "cache": self.cache.stats().to_dict(),
             "sessions": self.sessions.status(),
+            "metrics": (
+                self._metrics_server.address
+                if self._metrics_server is not None
+                else None
+            ),
+            "slow": self.slow_log.stats(),
         }
 
     def _write_status_file(self) -> None:
@@ -777,6 +963,11 @@ class ServiceDaemon:
             "protocol": protocol.PROTOCOL_VERSION,
             "started_ts": self.started_ts,
             "root": str(Path(self.root or ".").resolve()),
+            "metrics": (
+                self._metrics_server.address
+                if self._metrics_server is not None
+                else None
+            ),
         }
         tmp = path.with_name(path.name + ".tmp")
         tmp.write_text(json.dumps(payload, indent=2, sort_keys=True))

@@ -1,0 +1,282 @@
+"""Daemon-lifetime service metrics: the data behind the `stats` op.
+
+The daemon periodically folds the process-global telemetry registry
+into ``.orpheus/telemetry.json`` and *resets* it, which makes the
+registry a rolling delta — fine for the fold file, useless for a
+Prometheus scraper that needs monotonic counters or for ``orpheus top``
+which wants daemon-lifetime aggregates. :class:`ServiceMetrics` is the
+complement: it accumulates every finished :class:`RequestTrace` for the
+daemon's whole lifetime, independent of the telemetry enabled flag and
+its fold/reset cycle.
+
+It keeps, under one lock:
+
+* global request/error/BUSY totals;
+* per-op latency and per-phase (admission/queue-wait/execute/serialize)
+  histograms with p50/p95/p99;
+* per-session and per-dataset (CVD) rollups;
+* a bounded ring of recent span trees, so ``stats {"recent": n}`` can
+  hand back whole traces without a log file round-trip.
+
+Rendering reuses the telemetry layer's exposition-format helpers so the
+``/metrics`` endpoint and ``orpheus stats --prometheus`` agree on
+escaping rules; service families are prefixed ``orpheusd_`` to keep
+them distinct from the folded ``repro_*`` telemetry families.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections import deque
+
+from repro import telemetry
+from repro.telemetry.registry import Histogram
+from repro.telemetry.snapshot import _prom_label_value, _prom_value
+
+from repro.service.tracing import PHASES, RequestTrace
+
+#: Span trees kept in the in-memory recent ring.
+RECENT_CAP = 64
+
+
+def _hist_summary(histogram: Histogram) -> dict:
+    """Compact JSON summary (no reservoir) for stats payloads."""
+    if histogram.count == 0:
+        return {"count": 0}
+    return {
+        "count": histogram.count,
+        "total_s": round(histogram.total, 6),
+        "min_s": round(histogram.min, 6),
+        "max_s": round(histogram.max, 6),
+        "p50_s": _round(histogram.percentile(0.50)),
+        "p95_s": _round(histogram.percentile(0.95)),
+        "p99_s": _round(histogram.percentile(0.99)),
+    }
+
+
+def _round(value: float | None) -> float | None:
+    return None if value is None else round(value, 6)
+
+
+class _OpStats:
+    """Per-operation rollup: outcome counts + phase distributions."""
+
+    __slots__ = ("count", "errors", "busy", "latency", "phases")
+
+    def __init__(self, op: str) -> None:
+        self.count = 0
+        self.errors = 0
+        self.busy = 0
+        self.latency = Histogram(op)
+        self.phases = {name: Histogram(f"{op}.{name}") for name in PHASES}
+
+    def record(self, rtrace: RequestTrace) -> None:
+        self.count += 1
+        if rtrace.status == "busy":
+            self.busy += 1
+        elif rtrace.status not in ("ok", "shutdown"):
+            self.errors += 1
+        self.latency.add(rtrace.total_s)
+        for name, value in rtrace.phase_seconds().items():
+            self.phases[name].add(value)
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "errors": self.errors,
+            "busy": self.busy,
+            "latency": _hist_summary(self.latency),
+            "phases": {
+                name: _hist_summary(h)
+                for name, h in self.phases.items()
+                if h.count
+            },
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe daemon-lifetime aggregation of request traces."""
+
+    def __init__(self, recent_cap: int = RECENT_CAP) -> None:
+        self._lock = threading.Lock()
+        self.started_ts = telemetry.now()
+        self.requests_total = 0
+        self.errors_total = 0
+        self.busy_total = 0
+        self.slow_total = 0
+        self.by_op: dict[str, _OpStats] = {}
+        self.by_session: dict[int, dict] = {}
+        self.by_dataset: dict[str, dict] = {}
+        self.recent: deque = deque(maxlen=max(1, recent_cap))
+
+    def record(self, rtrace: RequestTrace, slow: bool = False) -> None:
+        """Fold one finished request into every rollup."""
+        tree = rtrace.to_span_tree()
+        with self._lock:
+            self.requests_total += 1
+            if rtrace.status == "busy":
+                self.busy_total += 1
+            elif rtrace.status not in ("ok", "shutdown"):
+                self.errors_total += 1
+            if slow:
+                self.slow_total += 1
+            op_stats = self.by_op.get(rtrace.op)
+            if op_stats is None:
+                op_stats = self.by_op[rtrace.op] = _OpStats(rtrace.op)
+            op_stats.record(rtrace)
+            if rtrace.session_id is not None:
+                self._roll(
+                    self.by_session, rtrace.session_id, rtrace,
+                    user=rtrace.user,
+                )
+            if rtrace.dataset:
+                self._roll(self.by_dataset, rtrace.dataset, rtrace)
+            self.recent.append(tree)
+
+    def _roll(self, table: dict, key, rtrace: RequestTrace, **extra) -> None:
+        entry = table.get(key)
+        if entry is None:
+            entry = table[key] = {
+                "count": 0, "errors": 0, "busy": 0, "total_s": 0.0,
+            }
+            entry.update(extra)
+        entry["count"] += 1
+        if rtrace.status == "busy":
+            entry["busy"] += 1
+        elif rtrace.status not in ("ok", "shutdown"):
+            entry["errors"] += 1
+        entry["total_s"] = round(entry["total_s"] + rtrace.total_s, 6)
+        entry["last_op"] = rtrace.op
+        entry["last_ts"] = rtrace.started_ts
+
+    # ------------------------------------------------------------------
+    # Readers
+    # ------------------------------------------------------------------
+    def to_dict(self, recent: int = 0) -> dict:
+        """The ``stats`` op payload (request up to ``recent`` traces)."""
+        with self._lock:
+            payload = {
+                "started_ts": self.started_ts,
+                "uptime_s": round(
+                    max(0.0, telemetry.now() - self.started_ts), 3
+                ),
+                "requests": {
+                    "total": self.requests_total,
+                    "errors": self.errors_total,
+                    "busy": self.busy_total,
+                    "slow": self.slow_total,
+                },
+                "by_op": {
+                    op: stats.to_dict()
+                    for op, stats in sorted(self.by_op.items())
+                },
+                "by_session": {
+                    str(sid): dict(entry)
+                    for sid, entry in sorted(self.by_session.items())
+                },
+                "by_dataset": {
+                    name: dict(entry)
+                    for name, entry in sorted(self.by_dataset.items())
+                },
+            }
+            if recent > 0:
+                payload["recent"] = list(self.recent)[-recent:]
+            return payload
+
+    def render_prometheus(
+        self,
+        extra_counters: dict[str, float] | None = None,
+        extra_gauges: dict[str, float] | None = None,
+    ) -> str:
+        """Exposition-format text for the ``/metrics`` endpoint.
+
+        ``extra_counters``/``extra_gauges`` let the daemon fold in
+        cache and scheduler state (monotonic for its lifetime) without
+        this module knowing their shape.
+        """
+        with self._lock:
+            lines: list[str] = []
+            _counter(lines, "orpheusd_requests_total", self.requests_total)
+            _counter(lines, "orpheusd_errors_total", self.errors_total)
+            _counter(lines, "orpheusd_busy_total", self.busy_total)
+            _counter(
+                lines, "orpheusd_slow_requests_total", self.slow_total
+            )
+            for name, value in sorted((extra_counters or {}).items()):
+                _counter(lines, _family(name), value)
+            for name, value in sorted((extra_gauges or {}).items()):
+                _gauge(lines, _family(name), value)
+
+            ops = sorted(self.by_op.items())
+            if ops:
+                lines.append("# TYPE orpheusd_op_requests_total counter")
+                for op, stats in ops:
+                    lines.append(
+                        f'orpheusd_op_requests_total{{op="'
+                        f'{_prom_label_value(op)}"}} {stats.count}'
+                    )
+                lines.append("# TYPE orpheusd_op_errors_total counter")
+                for op, stats in ops:
+                    lines.append(
+                        f'orpheusd_op_errors_total{{op="'
+                        f'{_prom_label_value(op)}"}} {stats.errors}'
+                    )
+                lines.append("# TYPE orpheusd_request_seconds summary")
+                for op, stats in ops:
+                    lines.extend(
+                        _labeled_summary(
+                            "orpheusd_request_seconds",
+                            {"op": op},
+                            stats.latency,
+                        )
+                    )
+                lines.append("# TYPE orpheusd_phase_seconds summary")
+                for op, stats in ops:
+                    for phase in PHASES:
+                        histogram = stats.phases[phase]
+                        if histogram.count:
+                            lines.extend(
+                                _labeled_summary(
+                                    "orpheusd_phase_seconds",
+                                    {"op": op, "phase": phase},
+                                    histogram,
+                                )
+                            )
+            return "\n".join(lines) + "\n"
+
+
+def _family(name: str) -> str:
+    """A legal ``orpheusd_*`` family name from a dotted stats key."""
+    return "orpheusd_" + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+
+
+def _counter(lines: list[str], family: str, value: float) -> None:
+    lines.append(f"# TYPE {family} counter")
+    lines.append(f"{family} {_prom_value(float(value))}")
+
+
+def _gauge(lines: list[str], family: str, value: float) -> None:
+    lines.append(f"# TYPE {family} gauge")
+    lines.append(f"{family} {_prom_value(float(value))}")
+
+
+def _labeled_summary(
+    family: str, labels: dict[str, str], histogram: Histogram
+) -> list[str]:
+    """Summary sample lines for one labeled series (no TYPE header —
+    the caller declares the family type once)."""
+    base = ",".join(
+        f'{name}="{_prom_label_value(value)}"'
+        for name, value in labels.items()
+    )
+    lines = []
+    for quantile, fraction in (("0.5", 0.50), ("0.95", 0.95), ("0.99", 0.99)):
+        value = histogram.percentile(fraction)
+        if value is not None:
+            lines.append(
+                f'{family}{{{base},quantile="{quantile}"}} {value}'
+            )
+    lines.append(f"{family}_sum{{{base}}} {histogram.total}")
+    lines.append(f"{family}_count{{{base}}} {histogram.count}")
+    return lines

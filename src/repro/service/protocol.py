@@ -9,11 +9,22 @@ a registered user identity; every later request is a command.
 
 Requests::
 
-    {"id": 3, "op": "checkout", "dataset": "inter", "versions": [1, 2]}
+    {"id": 3, "op": "checkout", "dataset": "inter", "versions": [1, 2],
+     "trace": {"trace_id": "9f2c64b01a77d3e8",
+               "parent_span_id": "41ab09c2f1d6b573", "attempt": 0}}
 
-Responses echo the id and carry a status::
+The optional ``trace`` object is a W3C-style trace context: the daemon
+adopts its ``trace_id`` for the server-side span tree and every journal
+record the request produces, so one id follows the operation end to
+end. Retries of a shed request re-send the same context with a bumped
+``attempt``.
 
-    {"id": 3, "status": "ok", "data": {...}}
+Responses echo the id, carry a status, and (for scheduled operations)
+a ``trace`` summary with the request's span ids and phase timings::
+
+    {"id": 3, "status": "ok", "data": {...},
+     "trace": {"trace_id": "9f2c64b01a77d3e8", "span_id": "c01d...",
+               "queue_wait_s": 0.0002, "execute_s": 0.0131}}
     {"id": 7, "status": "busy", "error": "writer queue full ..."}
 
 Statuses:
@@ -59,8 +70,10 @@ WRITE_OPS = frozenset(
     {"init", "commit", "drop", "optimize", "create_user"}
 )
 
-#: Session/admin operations handled outside the scheduler.
-CONTROL_OPS = frozenset({"hello", "ping", "flush_cache", "shutdown"})
+#: Session/admin operations handled outside the scheduler. ``stats``
+#: reads the daemon's in-memory observability state only — no
+#: repository access — so it stays live even when the queues are full.
+CONTROL_OPS = frozenset({"hello", "ping", "stats", "flush_cache", "shutdown"})
 
 ALL_OPS = READ_OPS | WRITE_OPS | CONTROL_OPS
 
@@ -95,6 +108,8 @@ class Response:
     data: dict | None = None
     error: str | None = None
     error_type: str | None = None
+    #: Server-side trace summary (trace/span ids + phase timings).
+    trace: dict | None = None
 
     def to_dict(self) -> dict:
         payload: dict = {"id": self.id, "status": self.status}
@@ -104,6 +119,8 @@ class Response:
             payload["error"] = self.error
         if self.error_type is not None:
             payload["error_type"] = self.error_type
+        if self.trace is not None:
+            payload["trace"] = self.trace
         return payload
 
     @property
@@ -135,12 +152,14 @@ def decode_response(line: bytes | str) -> Response:
     status = payload.get("status")
     if not isinstance(status, str):
         raise ProtocolError("response lacks a 'status' field")
+    trace = payload.get("trace")
     return Response(
         id=int(payload.get("id", 0)),
         status=status,
         data=payload.get("data"),
         error=payload.get("error"),
         error_type=payload.get("error_type"),
+        trace=trace if isinstance(trace, dict) else None,
     )
 
 

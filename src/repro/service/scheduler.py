@@ -116,14 +116,25 @@ class Job:
     _done: threading.Event = field(default_factory=threading.Event)
     result: object = None
     error: BaseException | None = None
+    #: Queue-wait accounting: stamped at submission and again when a
+    #: worker picks the job up (monotonic clock; None until each event).
+    submitted_at: float | None = None
+    started_at: float | None = None
 
     def run(self) -> None:
+        self.started_at = telemetry.monotonic()
         try:
             self.result = self.fn()
         except BaseException as error:  # delivered to the waiter
             self.error = error
         finally:
             self._done.set()
+
+    @property
+    def queue_wait_s(self) -> float | None:
+        if self.submitted_at is None or self.started_at is None:
+            return None
+        return max(0.0, self.started_at - self.submitted_at)
 
     def cancel(self, error: BaseException) -> None:
         self.error = error
@@ -226,7 +237,7 @@ class RequestScheduler:
         self._threads.append(writer)
 
     def submit_read(self, fn: Callable[[], object]) -> Job:
-        job = Job(fn=fn, kind="read")
+        job = Job(fn=fn, kind="read", submitted_at=telemetry.monotonic())
         try:
             self._reads.put(job)
         except QueueFullError:
@@ -253,7 +264,10 @@ class RequestScheduler:
                     f"writer queue full for dataset {dataset!r} "
                     f"({self.per_cvd_depth} pending); retry"
                 )
-            job = Job(fn=fn, kind="write", dataset=dataset)
+            job = Job(
+                fn=fn, kind="write", dataset=dataset,
+                submitted_at=telemetry.monotonic(),
+            )
             try:
                 self._writes.put(job)
             except QueueFullError:
