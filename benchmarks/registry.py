@@ -33,6 +33,12 @@ from typing import Callable
 #: The quick tier: small-scale, CI-runnable in well under a minute each.
 QUICK = "quick"
 
+#: The service-scale tier: multi-client load ramps against a live
+#: daemon (tens of simulated clients, seconds per step). Deliberately
+#: NOT part of the quick tier: run it with
+#: ``orpheus bench --tier service-scale``.
+SERVICE_SCALE = "service-scale"
+
 
 @dataclass(frozen=True)
 class BenchSpec:

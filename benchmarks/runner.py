@@ -114,6 +114,11 @@ def run_spec(spec: registry.BenchSpec, repeats: int | None = None) -> dict:
         record["max_rss_kb"] = rss
     if counters:
         record["counters"] = counters
+    # A bench returning a dict is reporting structured results beyond
+    # wall time (e.g. the service-scale ramp's per-step shed rate and
+    # p99); carry it into BENCH_<sha>.json verbatim.
+    if isinstance(m.result, dict):
+        record["extra"] = m.result
     record["tags"] = list(spec.tags)
     return record
 
@@ -181,7 +186,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="run the quick tier (currently the only tier; the default)",
+        help="run the quick tier (the default)",
+    )
+    parser.add_argument(
+        "--tier",
+        default=None,
+        metavar="TAG",
+        help="run the benches carrying this tier tag instead of the "
+        f"quick tier (e.g. {registry.SERVICE_SCALE})",
     )
     parser.add_argument(
         "--filter",
@@ -239,8 +251,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     discover()
+    tier = args.tier if args.tier is not None else registry.QUICK
     if args.list:
-        for spec in registry.benches(registry.QUICK, args.filter):
+        for spec in registry.benches(tier, args.filter):
             sys.stdout.write(
                 f"{spec.name}  repeats={spec.repeats} "
                 f"warmup={spec.warmup} tags={','.join(spec.tags)}\n"
@@ -248,9 +261,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     echo = lambda msg: sys.stderr.write(msg + "\n")
-    payload = run_benches(
-        registry.QUICK, args.filter, args.repeats, echo=echo
-    )
+    payload = run_benches(tier, args.filter, args.repeats, echo=echo)
     if not payload["benches"]:
         sys.stderr.write("no benches matched\n")
         return 2

@@ -272,6 +272,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "`python -m benchmarks`)",
     )
     bench.add_argument("--quick", action="store_true")
+    bench.add_argument(
+        "--tier",
+        default=None,
+        metavar="TAG",
+        help="run the benches carrying this tier tag instead of the "
+        "quick tier (e.g. service-scale)",
+    )
     bench.add_argument("--filter", default=None, metavar="SUBSTR")
     bench.add_argument("--repeats", type=int, default=None)
     bench.add_argument("--list", action="store_true")
@@ -342,6 +349,28 @@ def _build_parser() -> argparse.ArgumentParser:
         ".orpheus/journal/slow.jsonl (default: $ORPHEUS_SLOW_MS or 500)",
     )
     serve.add_argument(
+        "--flight-sample",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fraction of requests the flight recorder keeps, 0..1 "
+        "(default: $ORPHEUS_FLIGHT_SAMPLE or 1.0; 0 disables)",
+    )
+    serve.add_argument(
+        "--flight-segment-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="rotate flight-recorder segments at this size (default 4)",
+    )
+    serve.add_argument(
+        "--flight-segments",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep at most N flight segments on disk (default 8)",
+    )
+    serve.add_argument(
         "--status",
         action="store_true",
         help="query a running daemon instead of starting one",
@@ -408,6 +437,61 @@ def _build_parser() -> argparse.ArgumentParser:
         help=argparse.SUPPRESS,  # bounded loop, for tests/scripts
     )
 
+    replay = sub.add_parser(
+        "replay",
+        help="re-issue a recorded flight against the running daemon "
+        "and compare latency/shed/cache behaviour",
+    )
+    replay.add_argument(
+        "flight_dir",
+        nargs="?",
+        default=None,
+        metavar="FLIGHT_DIR",
+        help="flight-recorder directory "
+        "(default: .orpheus/journal/flight)",
+    )
+    replay.add_argument(
+        "--speedup",
+        type=float,
+        default=1.0,
+        metavar="X",
+        help="compress recorded inter-arrival times by this factor "
+        "(default 1 = real time)",
+    )
+    replay.add_argument(
+        "--user",
+        default=os.environ.get("ORPHEUS_USER", ""),
+        help="session identity for the replay connections",
+    )
+    replay.add_argument(
+        "--socket", default=None, help="daemon socket (default: discover)"
+    )
+    replay.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the comparison report as JSON",
+    )
+    replay.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero when replayed p95 drifts past the budget "
+        "or op counts fail to reproduce the recording",
+    )
+    replay.add_argument(
+        "--budget-pct",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help="with --check: relative p95 drift budget (default 50)",
+    )
+    replay.add_argument(
+        "--budget-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="with --check: absolute p95 drift floor (default 5)",
+    )
+
     stats = sub.add_parser(
         "stats", help="show accumulated telemetry for this repository"
     )
@@ -453,6 +537,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.command == "remote":
         return _run_remote(args)
+    if args.command == "replay":
+        return _run_replay(args)
     if args.command == "top":
         from repro.observe.top import run_top
 
@@ -870,6 +956,8 @@ def _run_bench(args: argparse.Namespace) -> int:
     ):
         if getattr(args, flag):
             bench_args.append("--" + flag.replace("_", "-"))
+    if args.tier is not None:
+        bench_args += ["--tier", args.tier]
     if args.filter is not None:
         bench_args += ["--filter", args.filter]
     if args.repeats is not None:
@@ -877,6 +965,71 @@ def _run_bench(args: argparse.Namespace) -> int:
     if args.baseline is not None:
         bench_args += ["--baseline", args.baseline]
     return bench_main(bench_args)
+
+
+def _run_replay(args: argparse.Namespace) -> int:
+    """``orpheus replay``: re-issue a recorded flight against the live
+    daemon and print (or gate on) the recorded-vs-replayed report."""
+    from repro.service.client import daemon_running
+    from repro.service.recorder import flight_dir_path
+    from repro.service.replay import (
+        DEFAULT_BUDGET_MS,
+        DEFAULT_BUDGET_PCT,
+        check_report,
+        render_report_text,
+        run_replay,
+        write_report_json,
+    )
+
+    flight_dir = args.flight_dir or str(flight_dir_path(args.root))
+    if not os.path.isdir(flight_dir):
+        sys.stderr.write(
+            f"error: no flight directory at {flight_dir} — start the "
+            "daemon with flight recording on (`orpheus serve`) and run "
+            "a workload first\n"
+        )
+        return 1
+    if args.socket is None and not daemon_running(args.root):
+        sys.stderr.write(
+            "error: orpheusd is not running here; start it with "
+            "`orpheus serve` before replaying\n"
+        )
+        return 1
+    try:
+        report = run_replay(
+            flight_dir,
+            root=args.root,
+            socket_path=args.socket,
+            user=args.user,
+            speedup=args.speedup,
+        )
+    except Exception as error:
+        sys.stderr.write(f"error: {error}\n")
+        return 1
+    if args.json:
+        sys.stdout.write(write_report_json(report) + "\n")
+    else:
+        sys.stdout.write(render_report_text(report))
+    if args.check:
+        violations = check_report(
+            report,
+            budget_pct=(
+                args.budget_pct
+                if args.budget_pct is not None
+                else DEFAULT_BUDGET_PCT
+            ),
+            budget_ms=(
+                args.budget_ms
+                if args.budget_ms is not None
+                else DEFAULT_BUDGET_MS
+            ),
+        )
+        for violation in violations:
+            sys.stderr.write(f"replay check: {violation}\n")
+        if violations:
+            return 3
+        sys.stderr.write("replay check: ok\n")
+    return 0
 
 
 def _parse_tcp(spec: str) -> tuple[str, int]:
@@ -951,6 +1104,18 @@ def _run_serve(args: argparse.Namespace) -> int:
                     f"{slow.get('threshold_ms')}ms logged "
                     f"(see `orpheus top`)\n"
                 )
+            flight = status.get("flight", {})
+            if flight:
+                if flight.get("enabled"):
+                    sys.stdout.write(
+                        f"  flight: recording at sample "
+                        f"{flight.get('sample', 0.0):g}, "
+                        f"{flight.get('segments', 0)} segment(s), "
+                        f"{flight.get('bytes', 0)} bytes "
+                        f"(replay with `orpheus replay`)\n"
+                    )
+                else:
+                    sys.stdout.write("  flight: recording disabled\n")
             if status.get("metrics"):
                 sys.stdout.write(
                     f"  metrics: http://{status['metrics']}/metrics\n"
@@ -975,6 +1140,17 @@ def _run_serve(args: argparse.Namespace) -> int:
         idle_timeout=args.idle_timeout,
         metrics_port=args.metrics_port,
         slow_ms=args.slow_ms,
+        flight_sample=args.flight_sample,
+        flight_segment_bytes=(
+            int(args.flight_segment_mb * 1024 * 1024)
+            if args.flight_segment_mb is not None
+            else ServiceConfig.flight_segment_bytes
+        ),
+        flight_max_segments=(
+            args.flight_segments
+            if args.flight_segments is not None
+            else ServiceConfig.flight_max_segments
+        ),
     )
     daemon = ServiceDaemon(config)
     for signum in (signal.SIGTERM, signal.SIGINT):

@@ -65,6 +65,11 @@ SLOW_LOG_WARN_ENTRIES = 50
 #: probe warns when the slow log's p99 breaches it.
 SLOW_P99_BUDGET_ENV = "ORPHEUS_SLOW_P99_BUDGET_MS"
 
+#: Flight-recorder on-disk budget before the doctor warns (override
+#: via the environment; rotation should keep well under this).
+FLIGHT_BUDGET_BYTES = 64 * 1024 * 1024
+FLIGHT_BUDGET_ENV = "ORPHEUS_FLIGHT_BUDGET_BYTES"
+
 
 @dataclass
 class ProbeResult:
@@ -889,6 +894,77 @@ def probe_slow_requests(root: str | None = None) -> ProbeResult:
     )
 
 
+def probe_flight_recorder(root: str | None = None) -> ProbeResult:
+    """Flight segments must stay within their byte budget and end
+    cleanly.
+
+    Warns when the recorder's on-disk footprint exceeds
+    ``ORPHEUS_FLIGHT_BUDGET_BYTES`` (default 64 MiB) — rotation is
+    misconfigured or pruning is failing — or when the newest segment
+    has a torn tail while no daemon is running, meaning the last
+    daemon died mid-write and the final records of the capture are
+    lost to `orpheus replay`.
+    """
+    from repro.service.client import daemon_running
+    from repro.service.recorder import flight_dir_path, flight_dir_status
+
+    flight_dir = flight_dir_path(root)
+    status = flight_dir_status(flight_dir)
+    if not status["segments"]:
+        return ProbeResult(
+            probe="flight_recorder",
+            severity=OK,
+            summary="no flight segments recorded",
+        )
+    budget_raw = os.environ.get(FLIGHT_BUDGET_ENV)
+    try:
+        budget = int(budget_raw) if budget_raw else FLIGHT_BUDGET_BYTES
+    except ValueError:
+        budget = FLIGHT_BUDGET_BYTES
+    over_budget = status["bytes"] > budget
+    # A torn tail is expected while a daemon is appending; it only
+    # signals data loss once nothing is writing.
+    torn = status["newest_torn"] and not daemon_running(root)
+    if over_budget:
+        severity = WARN
+        summary = (
+            f"flight segments use {status['bytes']} bytes "
+            f"(budget {budget})"
+        )
+    elif torn:
+        severity = WARN
+        summary = (
+            "newest flight segment has a torn tail and no daemon is "
+            "writing — the last capture lost its final records"
+        )
+    else:
+        severity = OK
+        summary = (
+            f"{status['segments']} flight segment(s), "
+            f"{status['bytes']} bytes"
+        )
+    return ProbeResult(
+        probe="flight_recorder",
+        severity=severity,
+        summary=summary,
+        remediation=(
+            "tune rotation with `orpheus serve --flight-segment-mb/"
+            "--flight-segments` (or dial sampling down with "
+            "--flight-sample); torn tails are tolerated by "
+            "`orpheus replay`, which skips the unparseable final line"
+            if severity != OK
+            else ""
+        ),
+        data={
+            "segments": status["segments"],
+            "bytes": status["bytes"],
+            "budget_bytes": budget,
+            "newest_torn": status["newest_torn"],
+            "path": str(flight_dir),
+        },
+    )
+
+
 def probe_journal(orpheus, root: str | None = None) -> ProbeResult:
     """Replay-verify the operation journal against the version graph."""
     from repro.observe.journal import Journal, verify_journal
@@ -936,6 +1012,7 @@ def run_doctor(orpheus, root: str | None = None) -> DoctorReport:
         report.results.append(probe_pending_intents(root))
         report.results.append(probe_service_health(root))
         report.results.append(probe_slow_requests(root))
+        report.results.append(probe_flight_recorder(root))
         report.results.append(probe_perf_baselines(root))
         telemetry.count("observe.doctor.runs")
         telemetry.count(

@@ -44,11 +44,32 @@ def _rate(current: int, previous: int, interval: float) -> str:
     return f"{max(0, current - previous) / interval:.1f}/s"
 
 
+def detect_restart(prev: dict | None, stats: dict) -> bool:
+    """True when ``stats`` comes from a different daemon incarnation
+    than ``prev`` — the boot id changed, or the monotonic request total
+    went backwards (an older daemon without boot ids restarted). Rates
+    computed across a restart are garbage; the caller must discard
+    ``prev`` so the dashboard restarts its deltas from zero."""
+    if not prev:
+        return False
+    prev_boot = prev.get("server", {}).get("boot_id")
+    boot = stats.get("server", {}).get("boot_id")
+    if prev_boot and boot and prev_boot != boot:
+        return True
+    prev_total = prev.get("requests", {}).get("total", 0)
+    return stats.get("requests", {}).get("total", 0) < prev_total
+
+
 def render_frame(
-    stats: dict, prev: dict | None = None, interval: float = 2.0
+    stats: dict,
+    prev: dict | None = None,
+    interval: float = 2.0,
+    restarted: bool = False,
 ) -> str:
     """One dashboard frame from a ``stats`` payload (and the previous
-    poll's payload, for rates)."""
+    poll's payload, for rates). ``restarted=True`` flags that the
+    daemon was restarted since the last poll (pass ``prev=None`` with
+    it — the old counters no longer relate to these)."""
     prev = prev or {}
     server = stats.get("server", {})
     requests = stats.get("requests", {})
@@ -63,6 +84,7 @@ def render_frame(
             f"orpheusd pid {server.get('pid', '?')} · "
             f"uptime {stats.get('uptime_s', 0):.0f}s · "
             f"{'DRAINING' if server.get('draining') else 'serving'}"
+            + (" · RESTARTED (rates reset)" if restarted else "")
         ),
         (
             f"requests {requests.get('total', 0)} "
@@ -150,34 +172,73 @@ def run_top(
     as_json: bool = False,
     stream=None,
 ) -> int:
-    """Poll ``stats`` and repaint; returns a CLI exit code."""
+    """Poll ``stats`` and repaint; returns a CLI exit code.
+
+    Survives a daemon restart mid-session: a failed poll after at
+    least one success drops the connection and retries next interval,
+    and a counter reset (new boot id, or the monotonic request total
+    going backwards) discards the previous sample so rates restart
+    from zero instead of rendering garbage deltas."""
     from repro.service.client import ServiceClient, ServiceError
 
     stream = stream if stream is not None else sys.stdout
     interval = max(0.1, interval)
     prev: dict | None = None
     count = 0
+    client: ServiceClient | None = None
+    connected_once = False
+
+    def _drop_client() -> None:
+        nonlocal client
+        if client is not None:
+            try:
+                client.close()
+            except Exception:
+                pass
+            client = None
+
     try:
-        with ServiceClient(root=root) as client:
-            while True:
+        while True:
+            try:
+                if client is None:
+                    client = ServiceClient(root=root).connect()
                 stats = client.stats()
-                if as_json:
-                    stream.write(
-                        json.dumps(stats, indent=2, sort_keys=True) + "\n"
-                    )
-                else:
-                    frame = render_frame(stats, prev, interval)
-                    if not once:
-                        stream.write("\x1b[2J\x1b[H")  # clear + home
-                    stream.write(frame)
-                stream.flush()
-                prev = stats
+            except (ServiceError, OSError) as error:
+                _drop_client()
                 count += 1
-                if once or (iterations is not None and count >= iterations):
-                    return 0
+                out_of_polls = once or (
+                    iterations is not None and count >= iterations
+                )
+                if not connected_once or out_of_polls:
+                    sys.stderr.write(f"orpheus top: {error}\n")
+                    return 1
+                # The daemon is likely restarting; forget the old
+                # counters and keep polling.
+                prev = None
                 time.sleep(interval)
+                continue
+            connected_once = True
+            restarted = detect_restart(prev, stats)
+            if restarted:
+                prev = None
+            if as_json:
+                stream.write(
+                    json.dumps(stats, indent=2, sort_keys=True) + "\n"
+                )
+            else:
+                frame = render_frame(
+                    stats, prev, interval, restarted=restarted
+                )
+                if not once:
+                    stream.write("\x1b[2J\x1b[H")  # clear + home
+                stream.write(frame)
+            stream.flush()
+            prev = stats
+            count += 1
+            if once or (iterations is not None and count >= iterations):
+                return 0
+            time.sleep(interval)
     except KeyboardInterrupt:
         return 0
-    except ServiceError as error:
-        sys.stderr.write(f"orpheus top: {error}\n")
-        return 1
+    finally:
+        _drop_client()

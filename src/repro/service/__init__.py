@@ -28,6 +28,12 @@ concurrency, caching, and backpressure become first-class subsystems:
   SIGTERM.
 * :mod:`repro.service.client` — the thin client library behind
   ``orpheus remote <cmd>``.
+* :mod:`repro.service.recorder` — the always-on, bounded workload
+  flight recorder behind ``.orpheus/journal/flight/``.
+* :mod:`repro.service.replay` — trace-driven replay of a recorded
+  flight (``orpheus replay``) with a recorded-vs-replayed report.
+* :mod:`repro.service.loadgen` — the open-loop Zipf-skewed synthetic
+  load generator behind ``orpheus bench --tier service-scale``.
 
 Start it with ``orpheus serve``; inspect it with ``orpheus serve
 --status`` or the ``service_health`` doctor probe.
@@ -43,12 +49,17 @@ from repro.service.client import (
     read_status_file,
 )
 from repro.service.daemon import ServiceConfig, ServiceDaemon, default_socket_path
+from repro.service.loadgen import LoadConfig, run_load
 from repro.service.protocol import PROTOCOL_VERSION, Request, Response
+from repro.service.recorder import FlightRecorder, read_flight
+from repro.service.replay import run_replay
 from repro.service.scheduler import QueueFullError, RequestScheduler
 from repro.service.sessions import Session, SessionManager
 
 __all__ = [
     "CacheStats",
+    "FlightRecorder",
+    "LoadConfig",
     "PROTOCOL_VERSION",
     "QueueFullError",
     "Request",
@@ -65,5 +76,8 @@ __all__ = [
     "VersionCache",
     "daemon_running",
     "default_socket_path",
+    "read_flight",
     "read_status_file",
+    "run_load",
+    "run_replay",
 ]

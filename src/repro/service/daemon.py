@@ -48,6 +48,12 @@ from repro.service import protocol
 from repro.service.cache import DEFAULT_BUDGET_BYTES, CacheEntry, VersionCache
 from repro.service.metrics import RECENT_CAP, ServiceMetrics
 from repro.service.protocol import LineChannel, Request, Response
+from repro.service.recorder import (
+    DEFAULT_MAX_SEGMENTS,
+    DEFAULT_SEGMENT_BYTES,
+    FlightRecorder,
+    new_boot_id,
+)
 from repro.service.tracing import RequestTrace, SlowLog
 from repro.service.scheduler import (
     DEFAULT_READ_QUEUE_DEPTH,
@@ -113,6 +119,11 @@ class ServiceConfig:
     slow_ms: float | None = None
     #: Span trees kept in the in-memory recent ring for ``stats``.
     recent_traces: int = RECENT_CAP
+    #: Flight-recorder sample fraction; None reads
+    #: ``ORPHEUS_FLIGHT_SAMPLE`` (default 1.0 — always on), 0 disables.
+    flight_sample: float | None = None
+    flight_segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    flight_max_segments: int = DEFAULT_MAX_SEGMENTS
 
     def resolved_socket(self) -> str:
         return self.socket_path or default_socket_path(self.root)
@@ -150,6 +161,17 @@ class ServiceDaemon:
         self._was_telemetry_enabled = False
         self.metrics = ServiceMetrics(recent_cap=self.config.recent_traces)
         self.slow_log = SlowLog(self.root, threshold_ms=self.config.slow_ms)
+        #: One serving epoch: fresh per start, stamped on every flight
+        #: segment and status payload so readers (and `orpheus top`)
+        #: can tell a restart from a counter glitch.
+        self.boot_id = new_boot_id()
+        self.recorder = FlightRecorder(
+            self.root,
+            sample=self.config.flight_sample,
+            segment_bytes=self.config.flight_segment_bytes,
+            max_segments=self.config.flight_max_segments,
+            boot_id=self.boot_id,
+        )
         self._metrics_server = None
 
     # ------------------------------------------------------------------
@@ -254,6 +276,7 @@ class ServiceDaemon:
             from repro.cli import save_state
 
             save_state(self.orpheus, self.root)
+        self.recorder.close()
         self._fold_telemetry(final=True)
         socket_path = self.config.resolved_socket()
         try:
@@ -387,7 +410,7 @@ class ServiceDaemon:
                 # the wire (or the send failed); finalize regardless so
                 # even a request whose client vanished leaves a span.
                 rtrace.mark_sent()
-                self._finalize_request(rtrace)
+                self._finalize_request(rtrace, request)
                 if send_failed:
                     return
                 if getattr(session, "wants_shutdown", False):
@@ -439,6 +462,7 @@ class ServiceDaemon:
                     "protocol": protocol.PROTOCOL_VERSION,
                     "server": "orpheusd",
                     "pid": os.getpid(),
+                    "boot_id": self.boot_id,
                     "user": session.user,
                 },
             ).to_dict()
@@ -855,14 +879,21 @@ class ServiceDaemon:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def _finalize_request(self, rtrace: RequestTrace) -> None:
+    def _finalize_request(
+        self, rtrace: RequestTrace, request: Request
+    ) -> None:
         """Fold one finished request into every observability surface:
-        metrics rollups, slow log, and the fold-file counters the bench
-        runner reads for the queue-wait/exec split."""
+        metrics rollups, the flight recorder, slow log, and the
+        fold-file counters the bench runner reads for the
+        queue-wait/exec split."""
         try:
             slow = self.slow_log.consider(rtrace)
         except Exception:
             slow = False  # a full disk must not kill the connection
+        try:
+            self.recorder.record(rtrace, request)
+        except Exception:
+            pass  # same contract: recording never kills the connection
         self.metrics.record(rtrace, slow=slow)
         telemetry.count("service.request.count")
         for name, value in rtrace.phase_seconds().items():
@@ -877,6 +908,7 @@ class ServiceDaemon:
         payload = self.metrics.to_dict(recent=recent)
         payload["server"] = {
             "pid": os.getpid(),
+            "boot_id": self.boot_id,
             "started_ts": self.started_ts,
             "draining": self.sessions.draining,
         }
@@ -884,6 +916,7 @@ class ServiceDaemon:
         payload["cache"] = self.cache.stats().to_dict()
         payload["sessions"] = self.sessions.status()
         payload["slow"] = self.slow_log.stats()
+        payload["flight"] = self.recorder.status()
         return payload
 
     def render_metrics(self) -> str:
@@ -929,6 +962,7 @@ class ServiceDaemon:
         return {
             "server": "orpheusd",
             "pid": os.getpid(),
+            "boot_id": self.boot_id,
             "protocol": protocol.PROTOCOL_VERSION,
             "root": str(Path(self.root or ".").resolve()),
             "socket": self.config.resolved_socket(),
@@ -951,6 +985,7 @@ class ServiceDaemon:
                 else None
             ),
             "slow": self.slow_log.stats(),
+            "flight": self.recorder.status(),
         }
 
     def _write_status_file(self) -> None:
@@ -958,6 +993,7 @@ class ServiceDaemon:
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "pid": os.getpid(),
+            "boot_id": self.boot_id,
             "socket": self.config.resolved_socket(),
             "tcp": list(self.config.tcp) if self.config.tcp else None,
             "protocol": protocol.PROTOCOL_VERSION,

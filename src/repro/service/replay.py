@@ -1,0 +1,490 @@
+"""Trace-driven workload replay: re-run a recorded flight against a
+live daemon and compare.
+
+``orpheus replay <flight-dir>`` loads the segments the flight recorder
+captured, re-issues every recorded request through
+:class:`~repro.service.client.ServiceClient` — one client connection
+per recorded session, preserving the recorded inter-arrival times (or
+compressing them uniformly with ``--speedup``) — and emits a
+recorded-vs-replayed comparison report:
+
+* per-op request counts and latency percentiles (p50/p95/p99 of the
+  server-side admission + queue-wait + execute time, the same phase
+  split on both sides so the comparison is apples-to-apples);
+* BUSY-shed delta — did the replayed daemon shed more or less than the
+  recorded one under the same offered load?
+* cache-hit delta for checkouts — is the materialized-version cache
+  pulling its weight the same way?
+
+Replay is *open-loop*: requests fire on the recorded schedule whether
+or not earlier ones completed, and a shed request is **not** retried —
+the shed itself is the signal being measured. ``hello`` and
+``shutdown`` are never re-issued (a recorded shutdown must not kill
+the daemon being measured); everything else replays verbatim, so
+file-based operations (commit, file checkouts) expect their files
+where the recording left them.
+
+``--check`` turns the report into a gate: exit non-zero when any op's
+replayed p95 drifts past the latency budget (relative ``--budget-pct``
+AND absolute ``--budget-ms`` floor, mirroring the bench regression
+gate's noise rule), or when the replayed op counts fail to reproduce
+the recording.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.service.recorder import FLIGHT_SCHEMA_VERSION, read_flight
+
+#: Bumped on incompatible report-shape changes; consumers (CI, tests)
+#: key on it.
+REPLAY_SCHEMA_VERSION = 1
+REPLAY_KIND = "orpheus-replay"
+
+#: Never re-issued: session plumbing and daemon lifecycle.
+SKIP_OPS = frozenset({"hello", "shutdown"})
+
+#: Phase names summed into the compared duration. ``serialize`` is
+#: excluded: the recorder measures it after the bytes hit the wire,
+#: but a replaying client's response trace cannot carry it.
+COMPARE_PHASES = ("admission", "queue_wait", "execute")
+
+#: Default drift budget: replayed p95 may exceed recorded p95 by this
+#: much relatively AND absolutely before ``--check`` fails.
+DEFAULT_BUDGET_PCT = 50.0
+DEFAULT_BUDGET_MS = 5.0
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float | None:
+    if not sorted_values:
+        return None
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def _summary(durations: list[float]) -> dict:
+    """count + p50/p95/p99 of one duration population."""
+    ordered = sorted(durations)
+    return {
+        "count": len(ordered),
+        "p50_s": _round(_percentile(ordered, 0.50)),
+        "p95_s": _round(_percentile(ordered, 0.95)),
+        "p99_s": _round(_percentile(ordered, 0.99)),
+    }
+
+
+def _round(value: float | None) -> float | None:
+    return None if value is None else round(value, 6)
+
+
+def record_duration_s(record: dict) -> float:
+    """The compared duration of one recorded request."""
+    phases = record.get("phases")
+    if isinstance(phases, dict):
+        total = sum(
+            float(phases[name])
+            for name in COMPARE_PHASES
+            if isinstance(phases.get(name), (int, float))
+        )
+        if total > 0.0:
+            return total
+    value = record.get("total_s")
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+@dataclass
+class ReplayedRequest:
+    """The outcome of re-issuing one recorded request."""
+
+    op: str
+    dataset: str | None
+    status: str  # "ok" | "busy" | "error"
+    duration_s: float
+    wall_s: float
+    cached: bool | None = None
+    error: str | None = None
+
+
+@dataclass
+class Workload:
+    """A loaded flight directory, ready to replay."""
+
+    records: list[dict]
+    headers: list[dict] = field(default_factory=list)
+    torn_segments: list[str] = field(default_factory=list)
+    skipped: int = 0
+
+    @property
+    def warnings(self) -> list[str]:
+        notes = []
+        for header in self.headers:
+            if header.get("schema") != FLIGHT_SCHEMA_VERSION:
+                notes.append(
+                    f"segment schema {header.get('schema')!r} != "
+                    f"{FLIGHT_SCHEMA_VERSION} (boot {header.get('boot_id')})"
+                )
+        for name in self.torn_segments:
+            notes.append(f"torn tail skipped in {name}")
+        return notes
+
+
+def load_workload(flight_dir) -> Workload:
+    """Read a flight directory into arrival order, dropping the ops
+    that must not replay."""
+    flight = read_flight(flight_dir)
+    replayable = []
+    skipped = 0
+    for record in flight["records"]:
+        if record.get("op") in SKIP_OPS or not record.get("op"):
+            skipped += 1
+            continue
+        replayable.append(record)
+    replayable.sort(key=lambda r: float(r.get("ts") or 0.0))
+    return Workload(
+        records=replayable,
+        headers=flight["headers"],
+        torn_segments=flight["torn_segments"],
+        skipped=skipped,
+    )
+
+
+# ----------------------------------------------------------------------
+# Replay engine
+# ----------------------------------------------------------------------
+class _SessionPlayer(threading.Thread):
+    """One recorded session replayed over one client connection."""
+
+    def __init__(
+        self,
+        records: list[dict],
+        start_at: float,
+        base_ts: float,
+        speedup: float,
+        client_factory,
+    ) -> None:
+        super().__init__(daemon=True)
+        self.records = records
+        self.start_at = start_at
+        self.base_ts = base_ts
+        self.speedup = speedup
+        self.client_factory = client_factory
+        self.outcomes: list[ReplayedRequest] = []
+        self.fatal: str | None = None
+
+    def run(self) -> None:
+        from repro.service.client import (
+            ServiceBusyError,
+            ServiceError,
+            ServiceUnavailableError,
+        )
+
+        try:
+            client = self.client_factory()
+        except Exception as error:
+            self.fatal = f"connect failed: {error}"
+            return
+        try:
+            for record in self.records:
+                offset = (
+                    float(record.get("ts") or self.base_ts) - self.base_ts
+                ) / self.speedup
+                delay = self.start_at + offset - time.monotonic()
+                if delay > 0:
+                    time.sleep(delay)
+                params = record.get("params")
+                params = dict(params) if isinstance(params, dict) else {}
+                status, cached, error = "ok", None, None
+                wall0 = time.monotonic()
+                try:
+                    data = client.request(record["op"], **params)
+                    if isinstance(data.get("cached"), bool):
+                        cached = data["cached"]
+                except ServiceBusyError:
+                    status = "busy"
+                except ServiceUnavailableError as exc:
+                    self.fatal = str(exc)
+                    return
+                except ServiceError as exc:
+                    status, error = "error", str(exc)
+                wall = time.monotonic() - wall0
+                trace = client.last_trace or {}
+                duration = sum(
+                    float(trace[key])
+                    for key in (
+                        "admission_s", "queue_wait_s", "execute_s",
+                    )
+                    if isinstance(trace.get(key), (int, float))
+                )
+                self.outcomes.append(
+                    ReplayedRequest(
+                        op=record["op"],
+                        dataset=record.get("dataset"),
+                        status=status,
+                        duration_s=duration if duration > 0.0 else wall,
+                        wall_s=wall,
+                        cached=cached,
+                        error=error,
+                    )
+                )
+        finally:
+            try:
+                client.close()
+            except Exception:
+                pass
+
+
+def run_replay(
+    flight_dir,
+    root: str | None = None,
+    socket_path: str | None = None,
+    user: str = "",
+    speedup: float = 1.0,
+    timeout: float = 60.0,
+) -> dict:
+    """Replay one flight directory and return the comparison report."""
+    from repro.service.client import ServiceClient
+
+    workload = load_workload(flight_dir)
+    if not workload.records:
+        return build_report(workload, [], speedup, flight_dir, wall_s=0.0)
+    speedup = max(1e-6, float(speedup))
+    base_ts = float(workload.records[0].get("ts") or 0.0)
+
+    sessions: dict[object, list[dict]] = {}
+    for record in workload.records:
+        sessions.setdefault(record.get("session"), []).append(record)
+
+    def client_factory() -> ServiceClient:
+        return ServiceClient(
+            socket_path=socket_path, root=root, user=user, timeout=timeout
+        ).connect()
+
+    start_at = time.monotonic() + 0.05
+    players = [
+        _SessionPlayer(records, start_at, base_ts, speedup, client_factory)
+        for _session, records in sorted(
+            sessions.items(), key=lambda item: str(item[0])
+        )
+    ]
+    wall0 = time.monotonic()
+    for player in players:
+        player.start()
+    for player in players:
+        player.join()
+    wall = time.monotonic() - wall0
+
+    outcomes: list[ReplayedRequest] = []
+    fatal: list[str] = []
+    for player in players:
+        outcomes.extend(player.outcomes)
+        if player.fatal:
+            fatal.append(player.fatal)
+    report = build_report(
+        workload, outcomes, speedup, flight_dir, wall_s=wall
+    )
+    if fatal:
+        report["warnings"] = report.get("warnings", []) + fatal
+    return report
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+def build_report(
+    workload: Workload,
+    outcomes: list[ReplayedRequest],
+    speedup: float,
+    flight_dir,
+    wall_s: float,
+) -> dict:
+    """The recorded-vs-replayed comparison payload. Schema version
+    :data:`REPLAY_SCHEMA_VERSION`; tests pin the key set."""
+    recorded = workload.records
+
+    rec_by_op: dict[str, list[float]] = {}
+    rep_by_op: dict[str, list[float]] = {}
+    rec_datasets: dict[str, int] = {}
+    rep_datasets: dict[str, int] = {}
+    rec_busy = rep_busy = rep_errors = 0
+    rec_hits = rec_lookups = rep_hits = rep_lookups = 0
+
+    for record in recorded:
+        rec_by_op.setdefault(record["op"], []).append(
+            record_duration_s(record)
+        )
+        if record.get("dataset"):
+            dataset = record["dataset"]
+            rec_datasets[dataset] = rec_datasets.get(dataset, 0) + 1
+        if record.get("status") == "busy":
+            rec_busy += 1
+        if isinstance(record.get("cached"), bool):
+            rec_lookups += 1
+            rec_hits += 1 if record["cached"] else 0
+
+    for outcome in outcomes:
+        rep_by_op.setdefault(outcome.op, []).append(outcome.duration_s)
+        if outcome.dataset:
+            rep_datasets[outcome.dataset] = (
+                rep_datasets.get(outcome.dataset, 0) + 1
+            )
+        if outcome.status == "busy":
+            rep_busy += 1
+        elif outcome.status == "error":
+            rep_errors += 1
+        if outcome.cached is not None:
+            rep_lookups += 1
+            rep_hits += 1 if outcome.cached else 0
+
+    per_op = {}
+    for op in sorted(set(rec_by_op) | set(rep_by_op)):
+        rec_summary = _summary(rec_by_op.get(op, []))
+        rep_summary = _summary(rep_by_op.get(op, []))
+        entry = {"recorded": rec_summary, "replayed": rep_summary}
+        rec_p95, rep_p95 = rec_summary["p95_s"], rep_summary["p95_s"]
+        if rec_p95 and rep_p95 is not None:
+            entry["drift_p95_s"] = round(rep_p95 - rec_p95, 6)
+            entry["drift_p95_pct"] = round(
+                (rep_p95 - rec_p95) / rec_p95 * 100.0, 2
+            )
+        per_op[op] = entry
+
+    rec_hit_rate = rec_hits / rec_lookups if rec_lookups else None
+    rep_hit_rate = rep_hits / rep_lookups if rep_lookups else None
+    report = {
+        "kind": REPLAY_KIND,
+        "schema_version": REPLAY_SCHEMA_VERSION,
+        "flight_dir": str(flight_dir),
+        "speedup": speedup,
+        "recorded": {
+            "requests": len(recorded),
+            "skipped": workload.skipped,
+            "busy": rec_busy,
+            "datasets": dict(sorted(rec_datasets.items())),
+            "cache": {
+                "lookups": rec_lookups,
+                "hits": rec_hits,
+                "hit_rate": _round(rec_hit_rate),
+            },
+        },
+        "replayed": {
+            "requests": len(outcomes),
+            "busy": rep_busy,
+            "errors": rep_errors,
+            "wall_s": round(wall_s, 6),
+            "datasets": dict(sorted(rep_datasets.items())),
+            "cache": {
+                "lookups": rep_lookups,
+                "hits": rep_hits,
+                "hit_rate": _round(rep_hit_rate),
+            },
+        },
+        "per_op": per_op,
+        "busy_delta": rep_busy - rec_busy,
+        "cache_hit_delta": (
+            _round(rep_hit_rate - rec_hit_rate)
+            if rec_hit_rate is not None and rep_hit_rate is not None
+            else None
+        ),
+        "match": {
+            "requests": len(outcomes) == len(recorded),
+            "ops": {
+                op: len(rep_by_op.get(op, [])) == len(rec_by_op.get(op, []))
+                for op in sorted(rec_by_op)
+            },
+            "datasets": rep_datasets == rec_datasets,
+        },
+    }
+    warnings = workload.warnings
+    if warnings:
+        report["warnings"] = warnings
+    return report
+
+
+def check_report(
+    report: dict,
+    budget_pct: float = DEFAULT_BUDGET_PCT,
+    budget_ms: float = DEFAULT_BUDGET_MS,
+) -> list[str]:
+    """Gate violations for ``--check``: empty means pass.
+
+    A drift must breach the relative budget AND the absolute floor —
+    the same noise rule as the bench regression gate, so microsecond
+    jitter on a fast op cannot fail CI.
+    """
+    violations = []
+    if not report["match"]["requests"]:
+        violations.append(
+            f"replayed {report['replayed']['requests']} of "
+            f"{report['recorded']['requests']} recorded requests"
+        )
+    for op, ok in report["match"]["ops"].items():
+        if not ok:
+            violations.append(f"op {op!r}: replayed count != recorded")
+    for op, entry in report["per_op"].items():
+        drift_s = entry.get("drift_p95_s")
+        drift_pct = entry.get("drift_p95_pct")
+        if drift_s is None or drift_pct is None:
+            continue
+        if drift_pct > budget_pct and drift_s * 1000.0 > budget_ms:
+            violations.append(
+                f"op {op!r}: replayed p95 drifted +{drift_pct:.1f}% "
+                f"(+{drift_s * 1000.0:.2f}ms) past the "
+                f"{budget_pct:.0f}%/{budget_ms:.0f}ms budget"
+            )
+    return violations
+
+
+def render_report_text(report: dict) -> str:
+    """Human rendering of the comparison report."""
+    recorded, replayed = report["recorded"], report["replayed"]
+    lines = [
+        (
+            f"replayed {replayed['requests']}/{recorded['requests']} "
+            f"recorded request(s) at {report['speedup']:g}x "
+            f"in {replayed['wall_s']:.2f}s"
+        ),
+        (
+            f"busy: recorded {recorded['busy']}, replayed "
+            f"{replayed['busy']} (delta {report['busy_delta']:+d}) · "
+            f"errors {replayed['errors']}"
+        ),
+    ]
+    rec_rate = recorded["cache"]["hit_rate"]
+    rep_rate = replayed["cache"]["hit_rate"]
+    if rec_rate is not None or rep_rate is not None:
+        fmt = lambda rate: "-" if rate is None else f"{rate:.0%}"
+        lines.append(
+            f"cache hit rate: recorded {fmt(rec_rate)}, replayed "
+            f"{fmt(rep_rate)}"
+        )
+    lines.append("")
+    lines.append(
+        f"{'op':<12} {'n(rec)':>7} {'n(rep)':>7} {'p95(rec)':>10} "
+        f"{'p95(rep)':>10} {'drift':>8}"
+    )
+    for op, entry in report["per_op"].items():
+        rec, rep = entry["recorded"], entry["replayed"]
+        drift = entry.get("drift_p95_pct")
+        lines.append(
+            f"{op:<12} {rec['count']:>7} {rep['count']:>7} "
+            f"{_fmt_ms(rec['p95_s']):>10} {_fmt_ms(rep['p95_s']):>10} "
+            f"{('%+.0f%%' % drift) if drift is not None else '-':>8}"
+        )
+    for warning in report.get("warnings", []):
+        lines.append(f"warning: {warning}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_ms(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    ms = seconds * 1000.0
+    return f"{ms / 1000.0:.2f}s" if ms >= 1000 else f"{ms:.2f}ms"
+
+
+def write_report_json(report: dict) -> str:
+    return json.dumps(report, indent=2, sort_keys=True, default=str)

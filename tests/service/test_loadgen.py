@@ -1,0 +1,174 @@
+"""Load generator units: Zipf popularity skew, open-loop accounting,
+and a small live ramp against an in-process daemon."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.service.loadgen import (
+    LoadConfig,
+    Outcome,
+    StepStats,
+    cumulative,
+    pick,
+    run_load,
+    zipf_weights,
+)
+from tests.service.conftest import seed_dataset
+
+
+# ----------------------------------------------------------------------
+# Zipf popularity
+# ----------------------------------------------------------------------
+def test_zipf_weights_normalized_and_rank_ordered():
+    weights = zipf_weights(10, 1.1)
+    assert len(weights) == 10
+    assert sum(weights) == pytest.approx(1.0)
+    assert weights == sorted(weights, reverse=True)
+    assert weights[0] > 3 * weights[9]  # rank 1 dwarfs rank 10
+
+
+def test_zipf_skew_increases_with_s():
+    flat = zipf_weights(10, 0.5)[0]
+    skewed = zipf_weights(10, 2.0)[0]
+    assert skewed > flat
+    assert zipf_weights(10, 0.0) == pytest.approx([0.1] * 10)
+
+
+def test_zipf_empty_and_single():
+    assert zipf_weights(0, 1.1) == []
+    assert zipf_weights(1, 1.1) == [1.0]
+
+
+def test_pick_follows_popularity():
+    rng = random.Random(7)
+    cdf = cumulative(zipf_weights(5, 1.1))
+    counts = [0] * 5
+    for _ in range(5000):
+        counts[pick(rng, cdf)] += 1
+    assert sum(counts) == 5000
+    # The hot dataset takes the plurality and the ordering holds
+    # (allowing sampling noise between adjacent cold ranks).
+    assert counts[0] > counts[1] > counts[4]
+    assert counts[0] / 5000 == pytest.approx(
+        zipf_weights(5, 1.1)[0], abs=0.05
+    )
+
+
+def test_cumulative_ends_at_one():
+    cdf = cumulative(zipf_weights(7, 1.3))
+    assert cdf[-1] == 1.0
+    assert all(a <= b for a, b in zip(cdf, cdf[1:]))
+
+
+# ----------------------------------------------------------------------
+# Shed-rate accounting
+# ----------------------------------------------------------------------
+def _outcome(status: str, wall: float = 0.01, cached=None) -> Outcome:
+    return Outcome(
+        op="checkout", status=status, wall_s=wall, dataset="d",
+        cached=cached,
+    )
+
+
+def test_step_summary_shed_rate_and_goodput():
+    stats = StepStats(clients=4, planned=40)
+    stats.duration_s = 2.0
+    stats.outcomes = (
+        [_outcome("ok", 0.01, cached=True)] * 30
+        + [_outcome("busy")] * 8
+        + [_outcome("error")] * 2
+    )
+    summary = stats.summary()
+    assert summary["offered"] == 40
+    assert summary["issued"] == 40
+    assert summary["ok"] == 30
+    assert summary["busy"] == 8
+    assert summary["errors"] == 2
+    assert summary["shed_rate"] == pytest.approx(0.2)  # 8/40 issued
+    assert summary["goodput_rps"] == pytest.approx(15.0)  # 30 ok / 2s
+    assert summary["cache_hit_rate"] == 1.0
+
+
+def test_step_summary_latency_only_counts_successes():
+    stats = StepStats(clients=1, planned=4)
+    stats.duration_s = 1.0
+    stats.outcomes = [
+        _outcome("ok", 0.010),
+        _outcome("ok", 0.020),
+        _outcome("busy", 9.0),  # shed wall time must not pollute p99
+        _outcome("error", 9.0),
+    ]
+    summary = stats.summary()
+    assert summary["p99_s"] <= 0.020
+    assert summary["p50_s"] >= 0.010
+
+
+def test_step_summary_empty():
+    stats = StepStats(clients=2, planned=10)
+    summary = stats.summary()
+    assert summary["issued"] == 0
+    assert summary["shed_rate"] == 0.0
+    assert summary["p50_s"] is None
+    assert summary["cache_hit_rate"] is None
+
+
+# ----------------------------------------------------------------------
+# Live ramp (small: the scale run lives in the bench tier)
+# ----------------------------------------------------------------------
+def test_run_load_ramp_against_daemon(workspace, daemon_factory):
+    seed_dataset(workspace, "hot")
+    seed_dataset(workspace, "cold")
+    with daemon_factory() as handle:
+        report = run_load(
+            LoadConfig(
+                datasets=["hot", "cold"],
+                versions=1,
+                ramp=(2, 4),
+                step_seconds=0.4,
+                client_rps=10.0,
+                read_ratio=1.0,  # read-only: no write file needed
+                root=str(workspace),
+                socket_path=handle.daemon.config.resolved_socket(),
+            )
+        )
+    assert report["kind"] == "orpheus-loadgen"
+    assert [step["clients"] for step in report["steps"]] == [2, 4]
+    assert report["writes_enabled"] is False
+    assert report["max_clients"] == 4
+    for step in report["steps"]:
+        assert step["issued"] > 0
+        assert step["ok"] + step["busy"] + step["errors"] == step["issued"]
+        assert step["issued"] <= step["offered"]
+        assert 0.0 <= step["shed_rate"] <= 1.0
+    # Zipf skew must show up in traffic: the hot dataset dominates.
+    assert report["peak_shed_rate"] >= 0.0
+
+
+def test_run_load_mixed_writes(workspace, daemon_factory):
+    seed_dataset(workspace, "hot")
+    seed_dataset(workspace, "churn")
+    with daemon_factory() as handle:
+        report = run_load(
+            LoadConfig(
+                datasets=["hot"],
+                versions=1,
+                ramp=(3,),
+                step_seconds=0.4,
+                client_rps=10.0,
+                read_ratio=0.5,
+                write_dataset="churn",
+                write_file=str(workspace / "data.csv"),
+                root=str(workspace),
+                socket_path=handle.daemon.config.resolved_socket(),
+                seed=99,
+            )
+        )
+    assert report["writes_enabled"] is True
+    step = report["steps"][0]
+    assert step["ok"] > 0
+    # Busy sheds are a legitimate outcome under a serialized writer
+    # queue — they must be accounted, not lost.
+    assert step["ok"] + step["busy"] + step["errors"] == step["issued"]

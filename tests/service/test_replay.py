@@ -1,0 +1,273 @@
+"""Trace-driven replay: a recorded workload re-issued against a live
+daemon must reproduce the recording's shape exactly, and the report's
+recorded-vs-replayed schema must stay stable for CI consumers."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.service.recorder import flight_dir_path, read_flight
+from repro.service.replay import (
+    REPLAY_SCHEMA_VERSION,
+    build_report,
+    check_report,
+    load_workload,
+    record_duration_s,
+    render_report_text,
+    run_replay,
+)
+from tests.service.conftest import seed_dataset
+
+#: The exact top-level key set of the comparison report. Adding a key
+#: here is fine (append it); removing or renaming one must bump
+#: REPLAY_SCHEMA_VERSION — CI parses this payload.
+REPORT_KEYS = {
+    "kind", "schema_version", "flight_dir", "speedup",
+    "recorded", "replayed", "per_op",
+    "busy_delta", "cache_hit_delta", "match",
+}
+SIDE_KEYS = {"count", "p50_s", "p95_s", "p99_s"}
+
+
+def _record_workload(workspace, daemon_factory, clients: int = 4) -> str:
+    """Seed two datasets and record a mixed multi-client workload;
+    returns the flight directory."""
+    seed_dataset(workspace, "alpha")
+    seed_dataset(workspace, "beta")
+    with daemon_factory() as handle:
+
+        def reader(n: int) -> None:
+            with handle.client() as client:
+                for i in range(3):
+                    client.checkout(
+                        "alpha" if (n + i) % 2 else "beta", [1],
+                        inline=True,
+                    )
+                client.request("ls")
+
+        threads = [
+            threading.Thread(target=reader, args=(n,))
+            for n in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        with handle.client() as client:
+            client.commit(
+                "alpha", file=str(workspace / "data.csv"),
+                message="recorded", parents=[1],
+            )
+    return str(flight_dir_path(str(workspace)))
+
+
+def test_replay_reproduces_op_counts_and_datasets(
+    workspace, daemon_factory
+):
+    flight_dir = _record_workload(workspace, daemon_factory)
+    recorded = read_flight(flight_dir)["records"]
+    assert len(recorded) == 4 * 4 + 1  # 3 checkouts + ls per client + commit
+
+    with daemon_factory() as handle:
+        report = run_replay(
+            flight_dir,
+            root=str(workspace),
+            socket_path=handle.daemon.config.resolved_socket(),
+            speedup=20.0,
+        )
+
+    assert report["match"]["requests"] is True
+    assert report["match"]["datasets"] is True
+    assert all(report["match"]["ops"].values())
+    assert report["recorded"]["requests"] == len(recorded)
+    assert report["replayed"]["requests"] == len(recorded)
+    assert report["per_op"]["checkout"]["recorded"]["count"] == 12
+    assert report["per_op"]["checkout"]["replayed"]["count"] == 12
+    assert report["per_op"]["ls"]["replayed"]["count"] == 4
+    assert report["per_op"]["commit"]["replayed"]["count"] == 1
+    assert report["recorded"]["datasets"] == report["replayed"]["datasets"]
+    assert report["replayed"]["errors"] == 0
+
+
+def test_report_schema_stable(workspace, daemon_factory):
+    flight_dir = _record_workload(workspace, daemon_factory, clients=1)
+    with daemon_factory() as handle:
+        report = run_replay(
+            flight_dir,
+            root=str(workspace),
+            socket_path=handle.daemon.config.resolved_socket(),
+            speedup=50.0,
+        )
+    assert report["kind"] == "orpheus-replay"
+    assert report["schema_version"] == REPLAY_SCHEMA_VERSION
+    assert REPORT_KEYS <= set(report)
+    for side in ("recorded", "replayed"):
+        for entry in report["per_op"].values():
+            assert SIDE_KEYS <= set(entry[side])
+    for side_key in ("busy", "datasets", "cache", "requests"):
+        assert side_key in report["recorded"]
+        assert side_key in report["replayed"]
+    json.dumps(report)  # the whole payload must be JSON-serializable
+    text = render_report_text(report)
+    assert "replayed" in text and "checkout" in text
+
+
+def test_load_workload_skips_shutdown_and_sorts(tmp_path):
+    from repro.service.recorder import FlightRecorder
+
+    recorder = FlightRecorder(root=str(tmp_path), sample=1.0)
+    for index, (ts, op) in enumerate(
+        [(30.0, "ls"), (10.0, "checkout"), (20.0, "shutdown")]
+    ):
+        recorder.append(
+            {
+                "kind": "request", "ts": ts, "op": op,
+                "trace": f"t{index}", "params": {},
+                "status": "ok", "total_s": 0.001,
+            }
+        )
+    recorder.close()
+    workload = load_workload(flight_dir_path(str(tmp_path)))
+    assert [r["op"] for r in workload.records] == ["checkout", "ls"]
+    assert workload.skipped == 1
+
+
+def test_record_duration_prefers_phase_sum():
+    assert record_duration_s(
+        {
+            "phases": {
+                "admission": 0.001, "queue_wait": 0.002,
+                "execute": 0.003, "serialize": 5.0,
+            },
+            "total_s": 9.0,
+        }
+    ) == pytest.approx(0.006)
+    assert record_duration_s({"total_s": 0.5}) == 0.5
+    assert record_duration_s({}) == 0.0
+
+
+def _mini_report(rec_p95: float, rep_p95: float) -> dict:
+    from repro.service.replay import Workload
+
+    records = [
+        {
+            "op": "checkout", "ts": float(i), "status": "ok",
+            "dataset": "d", "params": {},
+            "phases": {"execute": rec_p95}, "total_s": rec_p95,
+        }
+        for i in range(4)
+    ]
+    from repro.service.replay import ReplayedRequest
+
+    outcomes = [
+        ReplayedRequest(
+            op="checkout", dataset="d", status="ok",
+            duration_s=rep_p95, wall_s=rep_p95,
+        )
+        for _ in range(4)
+    ]
+    return build_report(
+        Workload(records=records), outcomes, 1.0, "dir", wall_s=1.0
+    )
+
+
+def test_check_passes_within_budget():
+    report = _mini_report(rec_p95=0.010, rep_p95=0.011)
+    assert check_report(report, budget_pct=50.0, budget_ms=5.0) == []
+
+
+def test_check_fails_past_drift_budget():
+    report = _mini_report(rec_p95=0.010, rep_p95=0.050)
+    violations = check_report(report, budget_pct=50.0, budget_ms=5.0)
+    assert len(violations) == 1 and "drifted" in violations[0]
+
+
+def test_check_absolute_floor_tolerates_fast_op_jitter():
+    # +300% relative but only +3ms absolute: under the 5ms floor.
+    report = _mini_report(rec_p95=0.001, rep_p95=0.004)
+    assert check_report(report, budget_pct=50.0, budget_ms=5.0) == []
+
+
+def test_check_fails_on_count_mismatch():
+    from repro.service.replay import ReplayedRequest, Workload
+
+    records = [
+        {
+            "op": "ls", "ts": 1.0, "status": "ok", "params": {},
+            "total_s": 0.001,
+        }
+    ] * 2
+    report = build_report(
+        Workload(records=records),
+        [ReplayedRequest(op="ls", dataset=None, status="ok",
+                         duration_s=0.001, wall_s=0.001)],
+        1.0, "dir", wall_s=0.1,
+    )
+    violations = check_report(report)
+    assert any("replayed 1 of 2" in v for v in violations)
+    assert any("'ls'" in v for v in violations)
+
+
+def test_busy_delta_counts_replay_sheds():
+    from repro.service.replay import ReplayedRequest, Workload
+
+    records = [
+        {
+            "op": "commit", "ts": float(i), "status": "ok",
+            "params": {}, "total_s": 0.01,
+        }
+        for i in range(3)
+    ]
+    outcomes = [
+        ReplayedRequest(op="commit", dataset=None, status=status,
+                        duration_s=0.01, wall_s=0.01)
+        for status in ("ok", "busy", "busy")
+    ]
+    report = build_report(
+        Workload(records=records), outcomes, 1.0, "dir", wall_s=0.1
+    )
+    assert report["recorded"]["busy"] == 0
+    assert report["replayed"]["busy"] == 2
+    assert report["busy_delta"] == 2
+
+
+def test_replay_cli_json_and_check(workspace, daemon_factory, capsys):
+    from repro.cli import main
+
+    flight_dir = _record_workload(workspace, daemon_factory, clients=2)
+    capsys.readouterr()  # drop the init banners from seeding
+    with daemon_factory():
+        code = main(
+            [
+                "--root", str(workspace),
+                "replay", flight_dir,
+                "--speedup", "50", "--json", "--check",
+                "--budget-pct", "100000", "--budget-ms", "100000",
+            ]
+        )
+    captured = capsys.readouterr()
+    assert code == 0, captured.err
+    report = json.loads(captured.out)
+    assert report["kind"] == "orpheus-replay"
+    assert report["match"]["requests"] is True
+    assert "replay check: ok" in captured.err
+
+
+def test_replay_cli_requires_daemon(workspace, daemon_factory, capsys):
+    from repro.cli import main
+
+    flight_dir = _record_workload(workspace, daemon_factory, clients=1)
+    code = main(["--root", str(workspace), "replay", flight_dir])
+    assert code == 1
+    assert "not running" in capsys.readouterr().err
+
+
+def test_replay_cli_missing_flight_dir(tmp_path, capsys):
+    from repro.cli import main
+
+    code = main(["--root", str(tmp_path), "replay"])
+    assert code == 1
+    assert "no flight directory" in capsys.readouterr().err
