@@ -1097,6 +1097,38 @@ def _run_serve(args: argparse.Namespace) -> int:
                 f"  sessions: "
                 f"{status.get('sessions', {}).get('active', 0)} active\n"
             )
+            degrade = status.get("degrade", {})
+            if degrade.get("degraded"):
+                sys.stdout.write(
+                    f"  DEGRADED (read-only): "
+                    f"{degrade.get('cause') or 'unknown'} — writes are "
+                    f"refused until a state save succeeds\n"
+                )
+            quarantine = status.get("quarantine", {})
+            if quarantine.get("quarantined"):
+                sys.stdout.write(
+                    f"  quarantine: {quarantine.get('quarantined')} "
+                    f"poisoned digest(s), "
+                    f"{quarantine.get('refused_total', 0)} refusal(s) "
+                    f"(clear with `orpheus remote -- flush-quarantine`)\n"
+                )
+            failures = {
+                key: requests.get(key, 0)
+                for key in (
+                    "worker_errors",
+                    "deadline_exceeded",
+                    "deadline_shed",
+                    "degraded_refused",
+                )
+            }
+            if any(failures.values()):
+                sys.stdout.write(
+                    f"  failures: {failures['worker_errors']} worker "
+                    f"error(s), {failures['deadline_exceeded']} deadline "
+                    f"refusal(s), {failures['deadline_shed']} deadline "
+                    f"shed(s), {failures['degraded_refused']} degraded "
+                    f"refusal(s)\n"
+                )
             slow = status.get("slow", {})
             if slow.get("count"):
                 sys.stdout.write(
@@ -1232,6 +1264,7 @@ def _build_remote_parser() -> argparse.ArgumentParser:
     )
     sub.add_parser("ping")
     sub.add_parser("flush-cache")
+    sub.add_parser("flush-quarantine")
     sub.add_parser("shutdown")
     return parser
 
@@ -1316,6 +1349,8 @@ def _remote_dispatch(client, r: argparse.Namespace) -> dict:
         return {"pong": client.ping()}
     if r.rcmd == "flush-cache":
         return {"dropped": client.flush_cache()}
+    if r.rcmd == "flush-quarantine":
+        return {"dropped": client.flush_quarantine()}
     if r.rcmd == "shutdown":
         client.shutdown()
         return {"stopping": True}
@@ -1389,6 +1424,10 @@ def _render_remote(out, r: argparse.Namespace, data: dict) -> None:
         out.write("pong\n" if data.get("pong") else "no reply\n")
     elif r.rcmd == "flush-cache":
         out.write(f"dropped {data['dropped']} cached checkouts\n")
+    elif r.rcmd == "flush-quarantine":
+        out.write(
+            f"cleared {data['dropped']} quarantined request digest(s)\n"
+        )
     elif r.rcmd == "shutdown":
         out.write("orpheusd draining\n")
 

@@ -28,6 +28,9 @@ and machine-readable data. The probes:
   stale fallback-lock detection.
 * **pending intents** — torn operations (intent begun, never completed)
   fail the probe and point at ``orpheus recover``.
+* **service faults** — a running daemon's fault-tolerance posture:
+  degraded read-only mode, quarantined poison requests, and
+  worker-error / deadline-shed rates against the fault budget.
 * **perf baselines** — inside a source checkout, the benchmark
   regression baseline must exist, match the runner's schema version,
   and cover the registered quick tier.
@@ -69,6 +72,12 @@ SLOW_P99_BUDGET_ENV = "ORPHEUS_SLOW_P99_BUDGET_MS"
 #: via the environment; rotation should keep well under this).
 FLIGHT_BUDGET_BYTES = 64 * 1024 * 1024
 FLIGHT_BUDGET_ENV = "ORPHEUS_FLIGHT_BUDGET_BYTES"
+
+#: Fault budget for the service_faults probe: worker errors or deadline
+#: sheds above this percentage of total requests warn. Override via the
+#: environment (e.g. a chaos CI job that *expects* a high fault rate).
+FAULT_BUDGET_PCT = 1.0
+FAULT_BUDGET_ENV = "ORPHEUS_FAULT_BUDGET_PCT"
 
 
 @dataclass
@@ -824,6 +833,148 @@ def probe_service_health(root: str | None = None) -> ProbeResult:
     )
 
 
+def probe_service_faults(root: str | None = None) -> ProbeResult:
+    """Fault-tolerance posture of a running daemon.
+
+    Queries the daemon's status for the degraded/quarantine machinery
+    added by the service fault-injection work: warns when the daemon is
+    in degraded read-only mode (writes are bouncing), when poisoned
+    requests sit quarantined, or when the worker-error / deadline-shed
+    rate exceeds the fault budget (``ORPHEUS_FAULT_BUDGET_PCT`` percent
+    of total requests, default 1%). No daemon — or a daemon we cannot
+    reach — is OK here; liveness is ``service_health``'s job.
+    """
+    from repro.service.client import (
+        ServiceClient,
+        ServiceError,
+        _pid_alive,
+        read_status_file,
+    )
+
+    status = read_status_file(root)
+    if status is None:
+        return ProbeResult(
+            probe="service_faults",
+            severity=OK,
+            summary="no daemon registered (nothing to degrade)",
+        )
+    pid = int(status.get("pid") or 0)
+    if pid == os.getpid():
+        # Remote doctor runs on a read worker inside the daemon; the
+        # status op already reports the degrade/quarantine numbers.
+        return ProbeResult(
+            probe="service_faults",
+            severity=OK,
+            summary=f"this process is the daemon (pid {pid})",
+            data={"pid": pid},
+        )
+    if not _pid_alive(pid):
+        return ProbeResult(
+            probe="service_faults",
+            severity=OK,
+            summary=f"daemon pid {pid} is dead (see service_health)",
+            data={"pid": pid},
+        )
+    try:
+        with ServiceClient(
+            socket_path=status.get("socket"), root=root
+        ) as client:
+            live = client.status()
+    except ServiceError:
+        return ProbeResult(
+            probe="service_faults",
+            severity=OK,
+            summary=(
+                f"daemon pid {pid} unreachable (see service_health)"
+            ),
+            data={"pid": pid},
+        )
+    requests = live.get("requests", {})
+    degrade = requests.get("degrade", {}) or live.get("degrade", {})
+    quarantine = (
+        requests.get("quarantine", {}) or live.get("quarantine", {})
+    )
+    total = max(1, int(requests.get("total", 0) or 0))
+    worker_errors = int(requests.get("worker_errors", 0) or 0)
+    deadline_exceeded = int(
+        requests.get("deadline_exceeded", 0) or 0
+    ) + int(requests.get("deadline_shed", 0) or 0)
+    budget_raw = os.environ.get(FAULT_BUDGET_ENV)
+    try:
+        budget_pct = float(budget_raw) if budget_raw else FAULT_BUDGET_PCT
+    except ValueError:
+        budget_pct = FAULT_BUDGET_PCT
+    worker_pct = 100.0 * worker_errors / total
+    deadline_pct = 100.0 * deadline_exceeded / total
+    quarantined = int(quarantine.get("quarantined", 0) or 0)
+    problems: list[str] = []
+    remediation: list[str] = []
+    if degrade.get("degraded"):
+        cause = degrade.get("cause") or "unknown"
+        problems.append(f"degraded read-only mode ({cause})")
+        remediation.append(
+            "fix the storage fault behind the failing saves (disk "
+            "full? permissions?); the daemon probes a save each "
+            "housekeeping tick and exits degraded mode on success"
+        )
+    if quarantined:
+        problems.append(f"{quarantined} request digest(s) quarantined")
+        remediation.append(
+            "inspect the quarantine entries in `orpheus serve "
+            "--status`, fix or stop the offending request, then "
+            "`orpheus remote -- flush-quarantine`"
+        )
+    if worker_pct > budget_pct:
+        problems.append(
+            f"worker-error rate {worker_pct:.1f}% exceeds the "
+            f"{budget_pct:.1f}% budget"
+        )
+        remediation.append(
+            "check the daemon stderr and the journal for the failing "
+            "op; repeated crashers quarantine automatically"
+        )
+    if deadline_pct > budget_pct:
+        problems.append(
+            f"deadline-shed rate {deadline_pct:.1f}% exceeds the "
+            f"{budget_pct:.1f}% budget"
+        )
+        remediation.append(
+            "the queue is slow, not full: raise client deadlines "
+            "(ORPHEUS_CLIENT_DEADLINE_MS), add workers, or shed load"
+        )
+    data = {
+        "pid": pid,
+        "total": requests.get("total", 0),
+        "worker_errors": worker_errors,
+        "deadline_exceeded": deadline_exceeded,
+        "budget_pct": budget_pct,
+        "degrade": degrade,
+        "quarantine": {
+            key: value
+            for key, value in quarantine.items()
+            if key != "entries"
+        },
+    }
+    if problems:
+        return ProbeResult(
+            probe="service_faults",
+            severity=WARN,
+            summary="; ".join(problems),
+            remediation="; ".join(remediation),
+            data=data,
+        )
+    return ProbeResult(
+        probe="service_faults",
+        severity=OK,
+        summary=(
+            f"daemon pid {pid} healthy: {worker_errors} worker "
+            f"error(s), {deadline_exceeded} deadline shed(s), "
+            f"quarantine empty"
+        ),
+        data=data,
+    )
+
+
 def probe_slow_requests(root: str | None = None) -> ProbeResult:
     """The daemon's slow-request log must stay small and under budget.
 
@@ -1011,6 +1162,7 @@ def run_doctor(orpheus, root: str | None = None) -> DoctorReport:
         report.results.append(probe_lock_health(root))
         report.results.append(probe_pending_intents(root))
         report.results.append(probe_service_health(root))
+        report.results.append(probe_service_faults(root))
         report.results.append(probe_slow_requests(root))
         report.results.append(probe_flight_recorder(root))
         report.results.append(probe_perf_baselines(root))

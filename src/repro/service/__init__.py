@@ -34,21 +34,40 @@ concurrency, caching, and backpressure become first-class subsystems:
   flight (``orpheus replay``) with a recorded-vs-replayed report.
 * :mod:`repro.service.loadgen` — the open-loop Zipf-skewed synthetic
   load generator behind ``orpheus bench --tier service-scale``.
+* :mod:`repro.service.faults` — chaos fault injection for the serving
+  layer (``ORPHEUS_SERVICE_FAILPOINTS``): connection resets, torn
+  frames, worker exceptions, failing saves, cache corruption.
+* :mod:`repro.service.degrade` — graceful degradation: degraded
+  read-only mode on repeated save failures, and the poison-request
+  quarantine for requests that crash workers.
 
 Start it with ``orpheus serve``; inspect it with ``orpheus serve
---status`` or the ``service_health`` doctor probe.
+--status`` or the ``service_health``/``service_faults`` doctor probes.
 """
 
 from repro.service.cache import CacheStats, VersionCache
 from repro.service.client import (
+    CircuitBreaker,
+    CircuitOpenError,
     ServiceBusyError,
     ServiceClient,
+    ServiceDeadlineError,
+    ServiceDegradedError,
     ServiceDeniedError,
     ServiceError,
+    ServiceInternalError,
+    ServiceUnavailableError,
     daemon_running,
     read_status_file,
 )
 from repro.service.daemon import ServiceConfig, ServiceDaemon, default_socket_path
+from repro.service.degrade import (
+    DegradeController,
+    DegradedError,
+    Quarantine,
+    QuarantinedRequestError,
+)
+from repro.service.faults import InjectedFaultError
 from repro.service.loadgen import LoadConfig, run_load
 from repro.service.protocol import PROTOCOL_VERSION, Request, Response
 from repro.service.recorder import FlightRecorder, read_flight
@@ -58,9 +77,16 @@ from repro.service.sessions import Session, SessionManager
 
 __all__ = [
     "CacheStats",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DegradeController",
+    "DegradedError",
     "FlightRecorder",
+    "InjectedFaultError",
     "LoadConfig",
     "PROTOCOL_VERSION",
+    "Quarantine",
+    "QuarantinedRequestError",
     "QueueFullError",
     "Request",
     "Response",
@@ -69,8 +95,12 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceDaemon",
+    "ServiceDeadlineError",
+    "ServiceDegradedError",
     "ServiceDeniedError",
     "ServiceError",
+    "ServiceInternalError",
+    "ServiceUnavailableError",
     "Session",
     "SessionManager",
     "VersionCache",

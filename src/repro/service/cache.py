@@ -44,10 +44,21 @@ class CacheEntry:
     rows: list[tuple]
     parents: tuple[int, ...]
     size_bytes: int = 0
+    #: Row count sealed at admission; :meth:`verify` compares against
+    #: it so an entry mutated after admission (a bug, or the
+    #: ``cache.corrupt_entry`` chaos fault) is caught at read time
+    #: instead of being served as version history.
+    sealed_rows: int = -1
 
     def __post_init__(self) -> None:
         if not self.size_bytes:
             self.size_bytes = estimate_entry_bytes(self.columns, self.rows)
+        if self.sealed_rows < 0:
+            self.sealed_rows = len(self.rows)
+
+    def verify(self) -> bool:
+        """True when the entry still matches its admission-time seal."""
+        return len(self.rows) == self.sealed_rows
 
 
 @dataclass
@@ -171,6 +182,17 @@ class VersionCache:
         if doomed:
             telemetry.count("service.cache.invalidated_entries", len(doomed))
         return len(doomed)
+
+    def drop(self, dataset: str, vids: int | Sequence[int]) -> bool:
+        """Evict one specific entry (corruption containment path)."""
+        key = self.key(dataset, vids)
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return False
+            self._bytes -= entry.size_bytes
+            telemetry.gauge("service.cache.bytes", self._bytes)
+        return True
 
     def clear(self) -> int:
         with self._lock:

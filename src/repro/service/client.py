@@ -9,8 +9,26 @@ map onto exceptions:
   :meth:`ServiceClient.request_with_retry`).
 * :class:`ServiceDeniedError` — handshake/access rejection.
 * :class:`ServiceShutdownError` — the daemon is draining.
+* :class:`ServiceDeadlineError` — the propagated ``deadline_ms``
+  expired (server-side shed, or the client's retry budget ran out).
+* :class:`ServiceDegradedError` — the daemon is in degraded read-only
+  mode; the mutation was refused, reads still work.
+* :class:`ServiceInternalError` — the daemon failed internally
+  (``error_kind: internal``); the request itself may be fine.
 * :class:`ServiceError` — the command raised server-side; carries the
   remote exception type name.
+* :class:`CircuitOpenError` — this *client's* circuit breaker is open
+  after repeated connect/timeout failures; no connection was attempted.
+
+Fault tolerance built in: every client owns a :class:`CircuitBreaker`
+that opens after ``failure_threshold`` consecutive transport failures
+(connect refused, timeouts, lost connections), fails fast while open,
+and probes half-open on a jittered exponential recovery schedule — so
+a thousand clients hammering a dead daemon back off instead of
+retrying in lockstep. A total latency budget (``deadline_ms`` or
+``ORPHEUS_CLIENT_DEADLINE_MS``) is stamped into every request's trace
+context for server-side shedding and bounds the *total* elapsed time
+of :meth:`ServiceClient.request_with_retry`, not just each backoff.
 
 Usage::
 
@@ -23,6 +41,7 @@ from __future__ import annotations
 
 import json
 import os
+import random
 import socket
 import time
 from pathlib import Path
@@ -32,13 +51,26 @@ from repro.service import protocol
 from repro.service.protocol import LineChannel, Response
 from repro.service.tracing import new_trace_context
 
+#: Env var: default total latency budget (ms) per logical operation,
+#: propagated in the trace context and enforced across retries.
+CLIENT_DEADLINE_ENV = "ORPHEUS_CLIENT_DEADLINE_MS"
+
+#: Backoff sleeps (retry loop and breaker recovery) never exceed this.
+BACKOFF_CAP_S = 2.0
+
 
 class ServiceError(RuntimeError):
     """The daemon reported an error executing a request."""
 
-    def __init__(self, message: str, error_type: str | None = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        error_type: str | None = None,
+        error_kind: str | None = None,
+    ) -> None:
         super().__init__(message)
         self.error_type = error_type
+        self.error_kind = error_kind
 
 
 class ServiceBusyError(ServiceError):
@@ -55,6 +87,137 @@ class ServiceShutdownError(ServiceError):
 
 class ServiceUnavailableError(ServiceError):
     """No daemon is reachable at the expected socket."""
+
+
+class ServiceDeadlineError(ServiceError):
+    """The operation's latency budget expired (shed server-side, or
+    the client's retry budget ran out before an answer)."""
+
+
+class ServiceDegradedError(ServiceError):
+    """The daemon is degraded read-only: writes refused, reads flow."""
+
+
+class ServiceInternalError(ServiceError):
+    """The daemon failed internally executing the request
+    (``error_kind: internal``) — the request itself may be valid."""
+
+
+class CircuitOpenError(ServiceUnavailableError):
+    """Failing fast: this client's breaker is open after repeated
+    transport failures; no connection was attempted."""
+
+
+def jittered_backoff(
+    base: float,
+    attempt: int,
+    cap: float = BACKOFF_CAP_S,
+    rng: random.Random | None = None,
+) -> float:
+    """Exponential backoff with full jitter, shared by the retry loop
+    and the breaker's recovery schedule (uniform over (0, delay] — a
+    fleet of clients desynchronizes instead of thundering back)."""
+    delay = min(cap, base * (2 ** attempt))
+    roll = (rng or random).random()
+    return delay * max(0.05, roll)
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker for one client's transport.
+
+    States: ``closed`` (normal), ``open`` (failing fast until a
+    jittered recovery delay passes), ``half_open`` (one probe request
+    allowed through; its outcome closes or re-opens the circuit).
+    ``clock``/``rng`` are injectable so the state machine is unit
+    testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_s: float = 0.1,
+        max_recovery_s: float = BACKOFF_CAP_S,
+        clock=time.monotonic,
+        rng: random.Random | None = None,
+    ) -> None:
+        self.failure_threshold = max(1, failure_threshold)
+        self.recovery_s = recovery_s
+        self.max_recovery_s = max_recovery_s
+        self._clock = clock
+        self._rng = rng or random.Random()
+        self.state = "closed"
+        self.consecutive_failures = 0
+        #: How many times the circuit opened without an intervening
+        #: success — drives the exponential recovery delay.
+        self.open_streak = 0
+        self.opened_total = 0
+        self._open_until = 0.0
+
+    def allow(self) -> bool:
+        """May a request proceed now? Transitions open→half_open when
+        the recovery delay has passed (the caller becomes the probe)."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self._clock() >= self._open_until:
+                self.state = "half_open"
+                return True
+            return False
+        # half_open: exactly one probe at a time; a second caller
+        # arriving before the probe resolves fails fast.
+        return False
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.open_streak = 0
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state == "half_open"
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = "open"
+        self.open_streak += 1
+        self.opened_total += 1
+        delay = jittered_backoff(
+            self.recovery_s,
+            self.open_streak - 1,
+            cap=self.max_recovery_s,
+            rng=self._rng,
+        )
+        self._open_until = self._clock() + delay
+
+    def remaining_s(self) -> float:
+        """Seconds until an open circuit half-opens (0 when not open)."""
+        if self.state != "open":
+            return 0.0
+        return max(0.0, self._open_until - self._clock())
+
+    def status(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "opened_total": self.opened_total,
+            "recovery_in_s": round(self.remaining_s(), 4),
+        }
+
+
+def client_deadline_ms() -> float | None:
+    """The env-configured default total latency budget, if any."""
+    raw = os.environ.get(CLIENT_DEADLINE_ENV)
+    if not raw:
+        return None
+    try:
+        value = float(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
 
 
 def read_status_file(root: str | None = None) -> dict | None:
@@ -95,51 +258,94 @@ class ServiceClient:
         tcp: tuple[str, int] | None = None,
         user: str = "",
         timeout: float = 30.0,
+        deadline_ms: float | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.root = root
         self.socket_path = socket_path
         self.tcp = tcp
         self.user = user
         self.timeout = timeout
+        #: Total latency budget per logical operation, stamped into the
+        #: trace context for server-side shedding and bounding the
+        #: retry loop. None (and no env override) = no budget.
+        self.deadline_ms = (
+            deadline_ms if deadline_ms is not None else client_deadline_ms()
+        )
+        self.breaker = breaker or CircuitBreaker()
         self._channel: LineChannel | None = None
         self._next_id = 0
         self.session_id: int | None = None
         #: The server's trace summary for the most recent response
-        #: (including BUSY sheds) — trace/span ids + phase timings.
+        #: (including BUSY sheds) — trace/span ids + phase timings,
+        #: plus this client's breaker state under ``"breaker"``.
         self.last_trace: dict | None = None
 
     # ------------------------------------------------------------------
     def connect(self) -> "ServiceClient":
         if self._channel is not None:
             return self
-        if self.tcp is not None:
-            sock = socket.create_connection(self.tcp, timeout=self.timeout)
-        else:
-            path = self.socket_path
-            if path is None:
-                status = read_status_file(self.root)
-                if status is None:
-                    from repro.service.daemon import default_socket_path
-
-                    path = default_socket_path(self.root)
-                else:
-                    path = status.get("socket")
-            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-            sock.settimeout(self.timeout)
-            try:
-                sock.connect(path)
-            except OSError as error:
-                sock.close()
-                raise ServiceUnavailableError(
-                    f"no orpheusd reachable at {path}: {error}; "
-                    f"start one with `orpheus serve`"
-                ) from None
+        if not self.breaker.allow():
+            raise CircuitOpenError(
+                f"circuit breaker open after "
+                f"{self.breaker.consecutive_failures} consecutive "
+                f"transport failure(s); retrying in "
+                f"{self.breaker.remaining_s():.2f}s"
+            )
+        try:
+            sock = self._connect_socket()
+        except ServiceUnavailableError:
+            self.breaker.record_failure()
+            raise
         self._channel = LineChannel(sock)
-        response = self._roundtrip(
-            {"op": "hello", "protocol": protocol.PROTOCOL_VERSION, "user": self.user}
-        )
+        try:
+            response = self._roundtrip(
+                {
+                    "op": "hello",
+                    "protocol": protocol.PROTOCOL_VERSION,
+                    "user": self.user,
+                }
+            )
+        except ServiceUnavailableError:
+            # _roundtrip already closed the channel and fed the breaker.
+            raise
+        except BaseException:
+            # A refused handshake (denied, protocol garbage) must not
+            # leak the socket fd: the session never opened, so the
+            # connection has no further use.
+            self.close()
+            raise
         self.session_id = (response.data or {}).get("session_id")
         return self
+
+    def _connect_socket(self) -> socket.socket:
+        if self.tcp is not None:
+            try:
+                return socket.create_connection(self.tcp, timeout=self.timeout)
+            except OSError as error:
+                raise ServiceUnavailableError(
+                    f"no orpheusd reachable at {self.tcp}: {error}"
+                ) from None
+        path = self.socket_path
+        if path is None:
+            status = read_status_file(self.root)
+            if status is None:
+                from repro.service.daemon import default_socket_path
+
+                path = default_socket_path(self.root)
+            else:
+                path = status.get("socket")
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        try:
+            sock.connect(path)
+        except OSError as error:
+            sock.close()
+            raise ServiceUnavailableError(
+                f"no orpheusd reachable at {path}: {error}; "
+                f"start one with `orpheus serve`"
+            ) from None
+        return sock
 
     def close(self) -> None:
         if self._channel is not None:
@@ -168,7 +374,9 @@ class ServiceClient:
             {k: v for k, v in params.items() if v is not None}
         )
         if "trace" not in payload:
-            payload["trace"] = new_trace_context()
+            payload["trace"] = new_trace_context(
+                deadline_ms=self.deadline_ms
+            )
         return self._roundtrip(payload).data or {}
 
     def request_with_retry(
@@ -179,22 +387,52 @@ class ServiceClient:
         **params,
     ) -> dict:
         """Like :meth:`request`, but retries ``busy`` shed responses
-        with exponential backoff — the polite client under load.
+        with jittered exponential backoff — the polite client under
+        load.
 
         All attempts share ONE trace id (with a bumped ``attempt``
         counter), so a retried operation stays a single trace on the
-        server side instead of fragmenting into lookalikes.
+        server side instead of fragmenting into lookalikes. The
+        client's ``deadline_ms`` bounds the **total elapsed time**
+        across all attempts — each retry re-stamps the *remaining*
+        budget into the trace context, and when backing off again
+        would blow the budget the loop raises
+        :class:`ServiceDeadlineError` instead of sleeping past it.
         """
-        context = params.pop("trace", None) or new_trace_context()
+        t0 = time.monotonic()
+        budget_s = (
+            self.deadline_ms / 1000.0 if self.deadline_ms else None
+        )
+        context = params.pop("trace", None) or new_trace_context(
+            deadline_ms=self.deadline_ms
+        )
         attempt = 0
         while True:
             context["attempt"] = attempt
+            if budget_s is not None:
+                remaining = budget_s - (time.monotonic() - t0)
+                if remaining <= 0:
+                    raise ServiceDeadlineError(
+                        f"{op}: total retry budget of "
+                        f"{self.deadline_ms:.0f}ms exhausted after "
+                        f"{attempt} attempt(s)"
+                    )
+                context["deadline_ms"] = remaining * 1000.0
             try:
                 return self.request(op, trace=context, **params)
             except ServiceBusyError:
                 if attempt >= retries:
                     raise
-                time.sleep(backoff * (2**attempt))
+                sleep_s = jittered_backoff(backoff, attempt)
+                if budget_s is not None:
+                    remaining = budget_s - (time.monotonic() - t0)
+                    if sleep_s >= remaining:
+                        raise ServiceDeadlineError(
+                            f"{op}: backing off again would exceed the "
+                            f"{self.deadline_ms:.0f}ms total budget "
+                            f"(attempt {attempt + 1})"
+                        ) from None
+                time.sleep(sleep_s)
                 attempt += 1
 
     def _roundtrip(self, payload: dict) -> Response:
@@ -207,29 +445,58 @@ class ServiceClient:
         try:
             channel.send(payload)
             line = channel.recv_line()
+        except socket.timeout:
+            self.close()
+            self.breaker.record_failure()
+            raise ServiceUnavailableError(
+                f"orpheusd did not answer within {self.timeout}s"
+            ) from None
         except OSError as error:
             self.close()
+            self.breaker.record_failure()
             raise ServiceUnavailableError(
                 f"connection to orpheusd lost: {error}"
             ) from None
         if line is None:
             self.close()
+            self.breaker.record_failure()
             raise ServiceUnavailableError("orpheusd closed the connection")
-        response = protocol.decode_response(line)
+        try:
+            response = protocol.decode_response(line)
+        except protocol.ProtocolError as error:
+            # A garbage-speaking peer: the connection is unusable and
+            # must not leak — close before surfacing.
+            self.close()
+            self.breaker.record_failure()
+            raise ServiceUnavailableError(
+                f"orpheusd sent an undecodable frame: {error}"
+            ) from None
+        # Any decoded response — including BUSY and errors — proves the
+        # transport works; only connect/timeout/transport failures feed
+        # the breaker.
+        self.breaker.record_success()
         # BUSY and error responses carry a terminal trace summary too;
         # record it before raising so callers can correlate sheds.
         if response.trace is not None:
-            self.last_trace = response.trace
+            self.last_trace = dict(response.trace)
+            self.last_trace["breaker"] = self.breaker.status()
         if response.status == protocol.OK:
             return response
         message = response.error or response.status
+        kind = response.error_kind
         if response.status == protocol.BUSY:
-            raise ServiceBusyError(message, response.error_type)
+            raise ServiceBusyError(message, response.error_type, kind)
         if response.status == protocol.DENIED:
-            raise ServiceDeniedError(message, response.error_type)
+            raise ServiceDeniedError(message, response.error_type, kind)
         if response.status == protocol.SHUTDOWN:
-            raise ServiceShutdownError(message, response.error_type)
-        raise ServiceError(message, response.error_type)
+            raise ServiceShutdownError(message, response.error_type, kind)
+        if response.status == protocol.DEADLINE_EXCEEDED:
+            raise ServiceDeadlineError(message, response.error_type, kind)
+        if response.status == protocol.DEGRADED:
+            raise ServiceDegradedError(message, response.error_type, kind)
+        if kind == "internal":
+            raise ServiceInternalError(message, response.error_type, kind)
+        raise ServiceError(message, response.error_type, kind)
 
     # ------------------------------------------------------------------
     # Convenience wrappers, one per operation
@@ -322,6 +589,11 @@ class ServiceClient:
 
     def flush_cache(self) -> int:
         return int(self.request("flush_cache").get("dropped", 0))
+
+    def flush_quarantine(self) -> int:
+        """Clear the daemon's crash quarantine; returns how many
+        request digests were un-quarantined."""
+        return int(self.request("flush_quarantine").get("dropped", 0))
 
     def shutdown(self) -> None:
         try:

@@ -41,17 +41,25 @@ from pathlib import Path
 
 from repro import telemetry
 from repro.core.csvio import read_csv, read_schema_file, write_csv, write_schema_file
+from repro.core.errors import CVDError
 from repro.observe.journal import Journal, make_record
 from repro.resilience.intents import IntentLog, has_pending_intents
 from repro.resilience.lock import RepositoryLock
-from repro.service import protocol
+from repro.service import faults, protocol
 from repro.service.cache import DEFAULT_BUDGET_BYTES, CacheEntry, VersionCache
+from repro.service.degrade import (
+    DegradeController,
+    DegradedError,
+    Quarantine,
+    QuarantinedRequestError,
+)
 from repro.service.metrics import RECENT_CAP, ServiceMetrics
 from repro.service.protocol import LineChannel, Request, Response
 from repro.service.recorder import (
     DEFAULT_MAX_SEGMENTS,
     DEFAULT_SEGMENT_BYTES,
     FlightRecorder,
+    args_digest,
     new_boot_id,
 )
 from repro.service.tracing import RequestTrace, SlowLog
@@ -59,6 +67,7 @@ from repro.service.scheduler import (
     DEFAULT_READ_QUEUE_DEPTH,
     DEFAULT_WORKERS,
     DEFAULT_WRITE_QUEUE_DEPTH,
+    DeadlineExceededError,
     QueueFullError,
     RequestScheduler,
     SchedulerStoppedError,
@@ -81,6 +90,19 @@ _MAX_SOCKET_PATH = 100
 #: How often the housekeeping thread folds telemetry into
 #: ``.orpheus/telemetry.json`` (seconds).
 FOLD_INTERVAL = 30.0
+
+#: Exceptions the *request* caused (bad version id, missing file, a
+#: malformed argument): answered with ``error_kind: user`` and never
+#: counted as worker crashes. Everything else is an internal failure —
+#: contained, counted, and quarantine-tracked.
+_USER_ERRORS = (
+    CVDError,
+    ValueError,
+    KeyError,
+    TypeError,
+    FileNotFoundError,
+    PermissionError,
+)
 
 
 def default_socket_path(root: str | None = None) -> str:
@@ -158,6 +180,13 @@ class ServiceDaemon:
         self.requests_total = 0
         self.requests_by_op: dict[str, int] = {}
         self.busy_responses = 0
+        #: Fault-tolerance surfaces: degraded read-only mode, the
+        #: poison-request quarantine, and lifetime failure counters.
+        self.degrade = DegradeController()
+        self.quarantine = Quarantine()
+        self.worker_errors_total = 0
+        self.deadline_exceeded_total = 0
+        self.degraded_refused_total = 0
         self._was_telemetry_enabled = False
         self.metrics = ServiceMetrics(recent_cap=self.config.recent_traces)
         self.slow_log = SlowLog(self.root, threshold_ms=self.config.slow_ms)
@@ -273,9 +302,13 @@ class ServiceDaemon:
             thread.join(timeout=2.0)
         self._threads.clear()
         if self.orpheus is not None:
-            from repro.cli import save_state
-
-            save_state(self.orpheus, self.root)
+            try:
+                self._save_state_guarded()
+            except Exception:
+                # Best-effort on the way out: a still-failing save must
+                # not block socket/lock cleanup (the state on disk is
+                # the last durable one; nothing acked depends on this).
+                pass
         self.recorder.close()
         self._fold_telemetry(final=True)
         socket_path = self.config.resolved_socket()
@@ -343,6 +376,22 @@ class ServiceDaemon:
     def _housekeeping_loop(self) -> None:
         while not self._stop.wait(self.config.fold_interval):
             self._fold_telemetry()
+            self._probe_degraded()
+
+    def _probe_degraded(self) -> None:
+        """While degraded, periodically probe the save path; the first
+        success auto-exits read-only mode. Writes are refused while
+        degraded, so without this probe nothing would ever retry the
+        save and the daemon could never heal."""
+        if not self.degrade.degraded:
+            return
+        with self.scheduler.lock.write_locked():
+            if not self.degrade.degraded:
+                return
+            try:
+                self._save_state_guarded()
+            except Exception:
+                return  # still degraded; the next interval retries
 
     def _fold_telemetry(self, final: bool = False) -> None:
         """Merge this process's telemetry into the repository
@@ -398,14 +447,47 @@ class ServiceDaemon:
                         ).to_dict()
                     )
                     continue
+                try:
+                    kind = faults.take("conn.after_recv")
+                except faults.InjectedFaultError as error:
+                    channel.send(
+                        Response(
+                            id=request.id,
+                            status=protocol.ERROR,
+                            error=str(error),
+                            error_type="InjectedFaultError",
+                            error_kind="internal",
+                        ).to_dict()
+                    )
+                    continue
+                if kind in ("reset", "torn"):
+                    # Connection-level fault after the request arrived:
+                    # the client sees a reset, never a torn response.
+                    channel.abort()
+                    return
                 session.touch()
                 rtrace = RequestTrace.from_request(request, session)
                 response = self._handle_request(session, request, rtrace)
+                if response.status not in (protocol.OK, protocol.SHUTDOWN):
+                    session.errors += 1
                 send_failed = False
                 try:
-                    channel.send(response.to_dict())
-                except OSError:
+                    kind = faults.take("conn.before_send")
+                except faults.InjectedFaultError:
+                    # The 'error' action at the send site behaves like a
+                    # failed write: drop the connection, keep the daemon.
+                    kind = "reset"
+                if kind == "reset":
+                    channel.abort()
                     send_failed = True
+                elif kind == "torn":
+                    channel.send_torn(response.to_dict())
+                    send_failed = True
+                else:
+                    try:
+                        channel.send(response.to_dict())
+                    except OSError:
+                        send_failed = True
                 # The serialize phase closes only once the bytes are on
                 # the wire (or the send failed); finalize regardless so
                 # even a request whose client vanished leaves a span.
@@ -476,6 +558,7 @@ class ServiceDaemon:
         rtrace.finish(
             "ok" if response.ok else response.status,
             response.error_type,
+            error_kind=response.error_kind,
         )
         response.trace = rtrace.wire_trace()
         return response
@@ -505,14 +588,28 @@ class ServiceDaemon:
                     return self._handle_control(session, request)
                 finally:
                     rtrace.mark_executed()
+            # One digest per scheduled request: the quarantine keys on
+            # it, the flight recorder reuses it.
+            rtrace.digest = args_digest(request.op, request.params)
+            if rtrace.expired():
+                # Dead on arrival: the client's budget expired before
+                # admission (e.g. burned by earlier busy retries).
+                rtrace.mark_admitted()
+                return self._deadline_response(request, "at admission")
+            self.quarantine.check(rtrace.digest, request.op)
             if request.op in protocol.READ_OPS:
                 job = self.scheduler.submit_read(
-                    lambda: self._execute_read(session, request, rtrace)
+                    lambda: self._execute_read(session, request, rtrace),
+                    deadline=rtrace.deadline_at,
                 )
             elif request.op in protocol.WRITE_OPS:
+                # Degraded read-only mode refuses mutations up front —
+                # before they occupy writer-queue capacity.
+                self.degrade.check_writable()
                 job = self.scheduler.submit_write(
                     lambda: self._execute_write(session, request, rtrace),
                     dataset=request.get("dataset"),
+                    deadline=rtrace.deadline_at,
                 )
             else:
                 rtrace.mark_admitted()
@@ -521,6 +618,7 @@ class ServiceDaemon:
                     status=protocol.ERROR,
                     error=f"unknown op {request.op!r}",
                     error_type="ProtocolError",
+                    error_kind="user",
                 )
             # The job's own submission stamp avoids a race with a worker
             # that started before this thread resumed.
@@ -543,13 +641,61 @@ class ServiceDaemon:
             return Response(
                 id=request.id, status=protocol.SHUTDOWN, error=str(error)
             )
-        except Exception as error:
+        except DeadlineExceededError as error:
+            return self._deadline_response(request, str(error))
+        except DegradedError as error:
+            rtrace.mark_admitted()
+            self.degraded_refused_total += 1
+            telemetry.count("service.request.degraded_refused")
+            return Response(
+                id=request.id,
+                status=protocol.DEGRADED,
+                error=str(error),
+                error_type="DegradedError",
+            )
+        except QuarantinedRequestError as error:
+            rtrace.mark_admitted()
             return Response(
                 id=request.id,
                 status=protocol.ERROR,
                 error=str(error),
-                error_type=type(error).__name__,
+                error_type="QuarantinedRequestError",
+                error_kind="user",
             )
+        except Exception as error:
+            return self._error_response(request, rtrace, error)
+
+    def _deadline_response(self, request: Request, where: str) -> Response:
+        self.deadline_exceeded_total += 1
+        telemetry.count("service.request.deadline_exceeded")
+        return Response(
+            id=request.id,
+            status=protocol.DEADLINE_EXCEEDED,
+            error=f"deadline exceeded: {where}",
+            error_type="DeadlineExceededError",
+        )
+
+    def _error_response(
+        self, request: Request, rtrace: RequestTrace, error: BaseException
+    ) -> Response:
+        """Classify a worker exception: user errors answer the client
+        and stop there; internal errors additionally count as worker
+        crashes, feed the quarantine, and are flagged on the wire so
+        clients know the server — not the request — failed. Either way
+        the daemon survives."""
+        kind = "user" if isinstance(error, _USER_ERRORS) else "internal"
+        if kind == "internal":
+            self.worker_errors_total += 1
+            telemetry.count("service.request.worker_errors")
+            if rtrace.digest:
+                self.quarantine.note_crash(rtrace.digest, request.op, error)
+        return Response(
+            id=request.id,
+            status=protocol.ERROR,
+            error=str(error),
+            error_type=type(error).__name__,
+            error_kind=kind,
+        )
 
     def _handle_control(self, session, request: Request) -> Response:
         if request.op == "ping":
@@ -579,6 +725,11 @@ class ServiceDaemon:
             return Response(
                 id=request.id, status=protocol.OK, data={"dropped": dropped}
             )
+        if request.op == "flush_quarantine":
+            dropped = self.quarantine.flush()
+            return Response(
+                id=request.id, status=protocol.OK, data={"dropped": dropped}
+            )
         if request.op == "shutdown":
             # Deferred: the connection loop triggers the drain only after
             # this acknowledgement has been flushed to the client.
@@ -595,6 +746,7 @@ class ServiceDaemon:
         self, session, request: Request, rtrace: RequestTrace
     ) -> dict:
         rtrace.mark_started()
+        faults.take("worker.before_execute")
         handler = getattr(self, f"_op_{request.op}")
         span_ctx = telemetry.span(
             f"service.{request.op}",
@@ -605,6 +757,7 @@ class ServiceDaemon:
         try:
             with span_ctx:
                 data = handler(session, request)
+                faults.take("worker.mid_execute")
         finally:
             # Graft the worker's live span subtree (cache lookup,
             # materialization, ...) under the request's execute phase.
@@ -672,6 +825,16 @@ class ServiceDaemon:
             "service.checkout.cache_lookup", dataset=dataset
         ) as lookup:
             entry = self.cache.get(dataset, vids)
+            if entry is not None:
+                if faults.take("cache.corrupt_entry") == "corrupt":
+                    entry.rows.append(("__corrupt__",))
+                if not entry.verify():
+                    # Integrity seal mismatch: contain the rot — drop
+                    # the entry and rematerialize from version storage
+                    # rather than serving corrupted history.
+                    self.cache.drop(dataset, vids)
+                    telemetry.count("service.cache.corruption_detected")
+                    entry = None
             cached = entry is not None
             if lookup is not None:
                 lookup.set_attr("hit", cached)
@@ -740,6 +903,42 @@ class ServiceDaemon:
         return run_doctor(self.orpheus, self.root).to_dict()
 
     # ------------------------------------------------------------------
+    # State persistence (guarded by the degrade controller)
+    # ------------------------------------------------------------------
+    def _save_state_guarded(self) -> None:
+        """One durable state save, feeding the degrade controller: a
+        failure (including the ``state.before_save`` chaos site) counts
+        toward the degraded-mode threshold, a success resets it — and,
+        when degraded, flips the daemon back to read-write."""
+        from repro.cli import save_state
+
+        try:
+            faults.take("state.before_save")
+            save_state(self.orpheus, self.root)
+        except Exception as error:
+            self.degrade.record_save_failure(error)
+            raise
+        self.degrade.record_save_success()
+
+    def _reload_state(self, dataset: str | None = None) -> None:
+        """Re-anchor in-memory state to the last durable save (called
+        with the exclusive writer lock already held). Cached entries
+        for the touched dataset go with it — they may describe
+        in-memory versions that just ceased to exist."""
+        from repro.cli import load_state
+
+        try:
+            self.orpheus = load_state(self.root)
+        except Exception:
+            # Disk worse than memory (e.g. the volume is gone): keep
+            # serving reads from memory rather than dying here.
+            telemetry.count("service.state.reload_failures")
+            return
+        telemetry.count("service.state.reloads")
+        if dataset:
+            self.cache.invalidate_dataset(dataset)
+
+    # ------------------------------------------------------------------
     # Write handlers (exclusive lock, writer thread)
     # ------------------------------------------------------------------
     def _execute_write(
@@ -750,9 +949,8 @@ class ServiceDaemon:
         then cache invalidation. The journal record and intent carry
         the *client's* trace id (and session id) so remote mutations
         correlate end to end."""
-        from repro.cli import save_state
-
         rtrace.mark_started()
+        faults.take("worker.before_execute")
         trace_id = rtrace.trace_id
         dataset = request.get("dataset")
         journaled = request.op in ("init", "commit", "drop", "optimize")
@@ -784,7 +982,8 @@ class ServiceDaemon:
                         span.set_attr("trace_id", trace_id)
                     handler = getattr(self, f"_op_{request.op}")
                     data = handler(session, request, record)
-                save_state(self.orpheus, self.root)
+                    faults.take("worker.mid_execute")
+                self._save_state_guarded()
             except Exception as error:
                 if record is not None:
                     record.status = "error"
@@ -793,6 +992,15 @@ class ServiceDaemon:
                     self.journal.append(record)
                 if journaled:
                     self.intents.done(trace_id, status="error")
+                if not isinstance(error, _USER_ERRORS):
+                    # Internal failure (worker crash mid-mutation, or a
+                    # save that left memory ahead of disk): re-anchor
+                    # the in-memory state to the last durable save so a
+                    # NACKed mutation can never be observed by later
+                    # reads or built on by later commits. User errors
+                    # skip this — their handlers failed before mutating,
+                    # and a reload would drop live staging pins.
+                    self._reload_state(dataset)
                 raise
             if record is not None:
                 self.journal.append(record)
@@ -917,7 +1125,19 @@ class ServiceDaemon:
         payload["sessions"] = self.sessions.status()
         payload["slow"] = self.slow_log.stats()
         payload["flight"] = self.recorder.status()
+        payload["degrade"] = self.degrade.status()
+        payload["quarantine"] = self.quarantine.status()
+        payload["faults"] = faults.stats()
+        payload["failures"] = self.failure_counters()
         return payload
+
+    def failure_counters(self) -> dict:
+        return {
+            "worker_errors": self.worker_errors_total,
+            "deadline_exceeded": self.deadline_exceeded_total,
+            "deadline_shed": self.scheduler.deadline_shed,
+            "degraded_refused": self.degraded_refused_total,
+        }
 
     def render_metrics(self) -> str:
         """Prometheus exposition for the ``/metrics`` endpoint."""
@@ -934,7 +1154,14 @@ class ServiceDaemon:
                 "scheduler_shed_writes_total": scheduler.get(
                     "shed_writes", 0
                 ),
+                "scheduler_deadline_shed_total": scheduler.get(
+                    "deadline_shed", 0
+                ),
                 "sessions_opened_total": sessions.get("total_opened", 0),
+                "worker_errors_total": self.worker_errors_total,
+                "deadline_exceeded_total": self.deadline_exceeded_total,
+                "degraded_refused_total": self.degraded_refused_total,
+                "degraded_entries_total": self.degrade.entries_total,
             },
             extra_gauges={
                 "read_queue_depth": scheduler.get("read_queue_depth", 0),
@@ -943,6 +1170,10 @@ class ServiceDaemon:
                 "cache_bytes": cache.get("bytes", 0),
                 "sessions_active": sessions.get("active", 0),
                 "draining": 1 if self.sessions.draining else 0,
+                "degraded": 1 if self.degrade.degraded else 0,
+                "quarantined_digests": self.quarantine.status()[
+                    "quarantined"
+                ],
             },
         )
 
@@ -975,10 +1206,14 @@ class ServiceDaemon:
                 "total": self.requests_total,
                 "busy": self.busy_responses,
                 "by_op": dict(sorted(self.requests_by_op.items())),
+                **self.failure_counters(),
             },
             "scheduler": self.scheduler.status(),
             "cache": self.cache.stats().to_dict(),
             "sessions": self.sessions.status(),
+            "degrade": self.degrade.status(),
+            "quarantine": self.quarantine.status(),
+            "faults": faults.stats(),
             "metrics": (
                 self._metrics_server.address
                 if self._metrics_server is not None

@@ -1,0 +1,253 @@
+"""Service-layer fault injection for chaos-testing orpheusd.
+
+PR 3's :mod:`repro.resilience.failpoints` proves the *storage* layer
+survives crashes; this module extends the same discipline up into the
+serving layer, where the failure modes are different: connections
+reset mid-response, frames tear, workers raise halfway through an
+execute, state saves hang or fail, cached entries rot. Each of those
+has a named injection *site* in the daemon's request path, armed via
+``ORPHEUS_SERVICE_FAILPOINTS`` (mirroring the PR 3 API) so a chaos
+test can drive a real subprocess daemon into every fault and assert
+the containment story: the daemon stays up, every client gets a typed
+error, and no acknowledged update is ever lost.
+
+Spec grammar (comma/semicolon separated)::
+
+    ORPHEUS_SERVICE_FAILPOINTS="worker.mid_execute=error@2,state.before_save=delay:0.2"
+
+Each entry is ``site=action[:arg][@count]``:
+
+* ``error`` — raise :class:`InjectedFaultError` at the site (a worker
+  exception, a failing save, ...).
+* ``delay[:seconds]`` — sleep, then continue (slow saves, slow
+  workers, widened race windows).
+* ``crash[:code]`` — ``os._exit``, simulating SIGKILL mid-request
+  (PR 3 semantics; the storage bracket must recover on restart).
+* ``reset`` — connection sites only: hard-close the socket (RST) so
+  the peer sees a reset instead of a response.
+* ``torn`` — connection sites only: send half the response frame,
+  then close — the torn-frame case the protocol's newline framing
+  must tolerate.
+* ``corrupt`` — cache site only: mutate the cached entry in place so
+  the daemon's integrity check must catch it.
+* ``@count`` — fire at most ``count`` times, then disarm. This is
+  what makes auto-recovery testable: ``state.before_save=error@3``
+  fails three saves and then heals, so degraded mode must both enter
+  *and* exit.
+
+Sites call :func:`take`, which is one dict lookup when nothing is
+armed — the hooks stay in production code permanently, and ``orpheus
+bench --tier service-scale`` gates on the disarmed overhead.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import threading
+import time
+from dataclasses import dataclass
+
+from repro import telemetry
+
+ENV_VAR = "ORPHEUS_SERVICE_FAILPOINTS"
+
+#: Exit code for the ``crash`` action (same as the PR 3 framework, so
+#: subprocess tests tell "died at the fault" from ordinary failure).
+CRASH_EXIT_CODE = 86
+
+#: Every service-layer injection site. The chaos matrix iterates this
+#: set; firing or arming an unknown name raises, so coverage of every
+#: site that exists is checkable.
+REGISTERED = frozenset(
+    {
+        # connection path (repro.service.daemon._serve_connection)
+        "conn.after_recv",    # request decoded, before dispatch
+        "conn.before_send",   # response built, before the bytes go out
+        # worker path (repro.service.daemon._execute_read/_execute_write)
+        "worker.before_execute",   # picked up by a worker, handler not yet run
+        "worker.mid_execute",      # handler ran, result not yet durable/returned
+        # state persistence (repro.service.daemon._save_state_guarded)
+        "state.before_save",
+        # materialized-version cache (repro.service.daemon._op_checkout)
+        "cache.corrupt_entry",
+    }
+)
+
+#: Actions only meaningful at connection sites — :func:`take` returns
+#: them to the call site instead of acting itself.
+_SITE_ACTIONS = frozenset({"reset", "torn", "corrupt"})
+_GENERIC_ACTIONS = frozenset({"error", "delay", "crash"})
+
+
+class InjectedFaultError(RuntimeError):
+    """Raised by the ``error`` action at an armed service fault site."""
+
+
+@dataclass
+class _Armed:
+    """One armed site: what to do and how many firings remain."""
+
+    kind: str
+    arg: float | int | None = None
+    remaining: int | None = None  # None = unlimited
+
+
+_lock = threading.Lock()
+_active: dict[str, _Armed] = {}
+#: Lifetime fired-count per site (survives disarm; reset via clear()).
+_fired: dict[str, int] = {}
+
+
+def parse_spec(spec: str) -> dict[str, _Armed]:
+    """Parse an ``ORPHEUS_SERVICE_FAILPOINTS`` value."""
+    parsed: dict[str, _Armed] = {}
+    for item in spec.replace(";", ",").split(","):
+        item = item.strip()
+        if not item:
+            continue
+        if "=" not in item:
+            raise ValueError(
+                f"malformed service failpoint {item!r}: "
+                f"expected site=action[:arg][@count]"
+            )
+        name, action = item.split("=", 1)
+        name = name.strip()
+        if name not in REGISTERED:
+            raise ValueError(
+                f"unknown service failpoint {name!r}; registered: "
+                f"{', '.join(sorted(REGISTERED))}"
+            )
+        action = action.strip()
+        remaining: int | None = None
+        if "@" in action:
+            action, _, count = action.rpartition("@")
+            remaining = int(count)
+            if remaining <= 0:
+                raise ValueError(
+                    f"failpoint count for {name!r} must be positive"
+                )
+        kind, _, arg = action.partition(":")
+        if kind == "crash":
+            parsed[name] = _Armed(
+                "crash", int(arg) if arg else CRASH_EXIT_CODE, remaining
+            )
+        elif kind == "delay":
+            parsed[name] = _Armed(
+                "delay", float(arg) if arg else 0.05, remaining
+            )
+        elif kind == "error":
+            parsed[name] = _Armed("error", None, remaining)
+        elif kind in _SITE_ACTIONS:
+            parsed[name] = _Armed(kind, None, remaining)
+        else:
+            raise ValueError(
+                f"unknown fault action {action!r} for {name!r}; have "
+                f"error, delay[:seconds], crash[:code], reset, torn, "
+                f"corrupt (suffix @N to limit firings)"
+            )
+    return parsed
+
+
+def configure(spec: str) -> None:
+    """Replace the active set from an env-style spec string."""
+    parsed = parse_spec(spec)
+    with _lock:
+        _active.clear()
+        _active.update(parsed)
+
+
+def activate(
+    name: str,
+    action: str = "error",
+    arg: float | int | None = None,
+    count: int | None = None,
+) -> None:
+    """Arm one site programmatically (in-process tests)."""
+    if name not in REGISTERED:
+        raise ValueError(f"unknown service failpoint {name!r}")
+    if action not in _GENERIC_ACTIONS | _SITE_ACTIONS:
+        raise ValueError(f"unknown fault action {action!r}")
+    if action == "crash" and arg is None:
+        arg = CRASH_EXIT_CODE
+    if action == "delay" and arg is None:
+        arg = 0.05
+    with _lock:
+        _active[name] = _Armed(action, arg, count)
+
+
+def deactivate(name: str) -> None:
+    with _lock:
+        _active.pop(name, None)
+
+
+def clear() -> None:
+    """Disarm everything and reset the fired counters."""
+    with _lock:
+        _active.clear()
+        _fired.clear()
+
+
+def active() -> dict[str, _Armed]:
+    with _lock:
+        return dict(_active)
+
+
+def stats() -> dict:
+    """Armed sites + lifetime fired counts, for ``stats`` payloads."""
+    with _lock:
+        return {
+            "armed": {
+                name: armed.kind
+                + (f":{armed.arg}" if armed.arg is not None else "")
+                + (f"@{armed.remaining}" if armed.remaining is not None else "")
+                for name, armed in sorted(_active.items())
+            },
+            "fired": dict(sorted(_fired.items())),
+            "fired_total": sum(_fired.values()),
+        }
+
+
+def take(name: str) -> str | None:
+    """Trigger the site ``name`` if armed.
+
+    Generic actions happen here: ``delay`` sleeps, ``error`` raises
+    :class:`InjectedFaultError`, ``crash`` exits the process the way
+    SIGKILL would. Site-specific actions (``reset``/``torn``/
+    ``corrupt``) are returned for the call site to act on; callers
+    that cannot act on them ignore the return value. Returns None
+    when the site is not armed — one dict lookup, no lock.
+    """
+    if name not in _active:
+        if name not in REGISTERED:
+            raise ValueError(f"fired unregistered service failpoint {name!r}")
+        return None
+    with _lock:
+        armed = _active.get(name)
+        if armed is None:
+            return None
+        if armed.remaining is not None:
+            armed.remaining -= 1
+            if armed.remaining <= 0:
+                _active.pop(name, None)
+        _fired[name] = _fired.get(name, 0) + 1
+    telemetry.count("service.faults.fired")
+    telemetry.count(f"service.faults.fired.{name}")
+    if armed.kind == "delay":
+        time.sleep(float(armed.arg))
+        return None
+    if armed.kind == "error":
+        raise InjectedFaultError(f"service failpoint {name} triggered")
+    if armed.kind == "crash":
+        # Die the way SIGKILL would — no unwinding, no cleanup.
+        sys.stderr.write(f"service failpoint {name}: crashing (exit {armed.arg})\n")
+        sys.stderr.flush()
+        os._exit(int(armed.arg))
+    return armed.kind
+
+
+# Arm from the environment at import, so a subprocess daemon under
+# test needs no cooperation beyond inheriting the variable.
+_env_spec = os.environ.get(ENV_VAR, "")
+if _env_spec:
+    configure(_env_spec)

@@ -8,7 +8,10 @@ without speaking the orpheus wire protocol:
   counters and per-op latency summaries from :class:`ServiceMetrics`,
   plus cache/scheduler state);
 * ``GET /stats``  — the same JSON payload as the ``stats`` protocol op;
-* ``GET /healthz`` — 200 ``ok`` while serving, 503 while draining.
+* ``GET /healthz`` — 200 ``ok`` while serving, 200 ``degraded: <cause>``
+  while in degraded read-only mode (reads still flow, so the daemon is
+  *up* — load balancers keep it; the body tells operators why writes
+  bounce), 503 while draining.
 
 Port 0 binds an ephemeral port; the daemon records the real one in
 ``.orpheus/service.json`` so scrapers (and CI) can discover it. The
@@ -74,9 +77,18 @@ def _make_handler(daemon):
                     code = 200
                 elif path == "/healthz":
                     draining = bool(getattr(daemon, "draining", False))
-                    body = (b"draining" if draining else b"ok") + b"\n"
+                    degrade = getattr(daemon, "degrade", None)
+                    if draining:
+                        body, code = b"draining\n", 503
+                    elif degrade is not None and degrade.degraded:
+                        cause = degrade.cause or "unknown"
+                        body, code = (
+                            f"degraded: {cause}\n".encode("utf-8"),
+                            200,
+                        )
+                    else:
+                        body, code = b"ok\n", 200
                     ctype = "text/plain; charset=utf-8"
-                    code = 503 if draining else 200
                 else:
                     body = b"not found\n"
                     ctype = "text/plain; charset=utf-8"

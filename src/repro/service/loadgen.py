@@ -87,6 +87,10 @@ class LoadConfig:
     socket_path: str | None = None
     user: str = ""
     timeout: float = 30.0
+    #: Per-request latency budget propagated in the trace context; the
+    #: daemon sheds expired requests with ``deadline_exceeded``, which
+    #: the step accounting reports separately from busy sheds.
+    deadline_ms: float | None = None
     seed: int = 1234
 
 
@@ -95,7 +99,7 @@ class Outcome:
     """One issued request, as the accounting sees it."""
 
     op: str
-    status: str  # "ok" | "busy" | "error"
+    status: str  # "ok" | "busy" | "deadline_exceeded" | "error"
     wall_s: float
     dataset: str | None = None
     cached: bool | None = None
@@ -113,6 +117,12 @@ class StepStats:
     def summary(self) -> dict:
         ok = [o for o in self.outcomes if o.status == "ok"]
         busy = sum(1 for o in self.outcomes if o.status == "busy")
+        # Deadline sheds are counted apart from busy: busy means the
+        # queue was full, deadline_exceeded means the queue was slow —
+        # different capacity stories, different remediations.
+        deadline = sum(
+            1 for o in self.outcomes if o.status == "deadline_exceeded"
+        )
         errors = sum(1 for o in self.outcomes if o.status == "error")
         issued = len(self.outcomes)
         latencies = sorted(o.wall_s for o in ok)
@@ -124,6 +134,7 @@ class StepStats:
             "issued": issued,
             "ok": len(ok),
             "busy": busy,
+            "deadline_exceeded": deadline,
             "errors": errors,
             # Shed rate is busy-over-issued: the fraction of requests
             # that reached the daemon and were turned away.
@@ -172,6 +183,7 @@ class _LoadClient(threading.Thread):
         from repro.service.client import (
             ServiceBusyError,
             ServiceClient,
+            ServiceDeadlineError,
             ServiceError,
             ServiceUnavailableError,
         )
@@ -183,6 +195,7 @@ class _LoadClient(threading.Thread):
                 root=config.root,
                 user=config.user,
                 timeout=config.timeout,
+                deadline_ms=config.deadline_ms,
             ).connect()
         except Exception:
             return  # daemon gone: the step's issued count shows it
@@ -230,6 +243,9 @@ class _LoadClient(threading.Thread):
                         )
                 except ServiceBusyError:
                     status = "busy"
+                except ServiceDeadlineError:
+                    # Must precede ServiceError: it is a subclass.
+                    status = "deadline_exceeded"
                 except ServiceUnavailableError:
                     return
                 except ServiceError:
@@ -300,5 +316,9 @@ def run_load(config: LoadConfig) -> dict:
     report["peak_p99_s"] = max(peaks) if peaks else None
     report["peak_shed_rate"] = (
         max(s["shed_rate"] for s in steps) if steps else 0.0
+    )
+    report["deadline_ms"] = config.deadline_ms
+    report["total_deadline_exceeded"] = sum(
+        s["deadline_exceeded"] for s in steps
     )
     return report

@@ -62,12 +62,17 @@ def _round(value: float | None) -> float | None:
 class _OpStats:
     """Per-operation rollup: outcome counts + phase distributions."""
 
-    __slots__ = ("count", "errors", "busy", "latency", "phases")
+    __slots__ = (
+        "count", "errors", "busy", "deadline", "degraded",
+        "latency", "phases",
+    )
 
     def __init__(self, op: str) -> None:
         self.count = 0
         self.errors = 0
         self.busy = 0
+        self.deadline = 0
+        self.degraded = 0
         self.latency = Histogram(op)
         self.phases = {name: Histogram(f"{op}.{name}") for name in PHASES}
 
@@ -75,6 +80,10 @@ class _OpStats:
         self.count += 1
         if rtrace.status == "busy":
             self.busy += 1
+        elif rtrace.status == "deadline_exceeded":
+            self.deadline += 1
+        elif rtrace.status == "degraded":
+            self.degraded += 1
         elif rtrace.status not in ("ok", "shutdown"):
             self.errors += 1
         self.latency.add(rtrace.total_s)
@@ -86,6 +95,8 @@ class _OpStats:
             "count": self.count,
             "errors": self.errors,
             "busy": self.busy,
+            "deadline_exceeded": self.deadline,
+            "degraded": self.degraded,
             "latency": _hist_summary(self.latency),
             "phases": {
                 name: _hist_summary(h)
@@ -104,6 +115,11 @@ class ServiceMetrics:
         self.requests_total = 0
         self.errors_total = 0
         self.busy_total = 0
+        #: Deadline sheds and degraded-mode refusals are *load policy*,
+        #: not failures — they get their own counters so an error-rate
+        #: alert never fires because clients ran polite budgets.
+        self.deadline_total = 0
+        self.degraded_total = 0
         self.slow_total = 0
         self.by_op: dict[str, _OpStats] = {}
         self.by_session: dict[int, dict] = {}
@@ -117,6 +133,10 @@ class ServiceMetrics:
             self.requests_total += 1
             if rtrace.status == "busy":
                 self.busy_total += 1
+            elif rtrace.status == "deadline_exceeded":
+                self.deadline_total += 1
+            elif rtrace.status == "degraded":
+                self.degraded_total += 1
             elif rtrace.status not in ("ok", "shutdown"):
                 self.errors_total += 1
             if slow:
@@ -165,6 +185,8 @@ class ServiceMetrics:
                     "total": self.requests_total,
                     "errors": self.errors_total,
                     "busy": self.busy_total,
+                    "deadline_exceeded": self.deadline_total,
+                    "degraded": self.degraded_total,
                     "slow": self.slow_total,
                 },
                 "by_op": {
@@ -200,6 +222,16 @@ class ServiceMetrics:
             _counter(lines, "orpheusd_requests_total", self.requests_total)
             _counter(lines, "orpheusd_errors_total", self.errors_total)
             _counter(lines, "orpheusd_busy_total", self.busy_total)
+            _counter(
+                lines,
+                "orpheusd_deadline_exceeded_responses_total",
+                self.deadline_total,
+            )
+            _counter(
+                lines,
+                "orpheusd_degraded_responses_total",
+                self.degraded_total,
+            )
             _counter(
                 lines, "orpheusd_slow_requests_total", self.slow_total
             )

@@ -36,12 +36,24 @@ Statuses:
   request was **not** executed; clients retry with backoff.
 * ``denied`` — handshake or access-control rejection.
 * ``shutdown`` — the daemon is draining; reconnect later.
+* ``deadline_exceeded`` — the request's propagated ``deadline_ms``
+  expired before execution; the daemon shed it without running it
+  (answering late would be work the client already gave up on).
+* ``degraded`` — the daemon is in degraded read-only mode (state
+  saves are failing); the mutation was refused up front, reads still
+  flow.
+
+Error responses additionally carry ``error_kind``: ``"user"`` for
+errors the request caused (bad version id, unknown dataset — fix the
+request), ``"internal"`` for errors in the daemon (a worker crashed
+mid-execute — the request may be fine, the server is not).
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import struct
 from dataclasses import dataclass, field
 
 #: Bumped on incompatible wire changes; the handshake rejects mismatches.
@@ -56,6 +68,8 @@ ERROR = "error"
 BUSY = "busy"
 DENIED = "denied"
 SHUTDOWN = "shutdown"
+DEADLINE_EXCEEDED = "deadline_exceeded"
+DEGRADED = "degraded"
 
 #: Read-only operations: run concurrently on the scheduler's worker
 #: pool under the shared lock. ``checkout`` is read-only in the service
@@ -73,7 +87,9 @@ WRITE_OPS = frozenset(
 #: Session/admin operations handled outside the scheduler. ``stats``
 #: reads the daemon's in-memory observability state only — no
 #: repository access — so it stays live even when the queues are full.
-CONTROL_OPS = frozenset({"hello", "ping", "stats", "flush_cache", "shutdown"})
+CONTROL_OPS = frozenset(
+    {"hello", "ping", "stats", "flush_cache", "flush_quarantine", "shutdown"}
+)
 
 ALL_OPS = READ_OPS | WRITE_OPS | CONTROL_OPS
 
@@ -108,6 +124,8 @@ class Response:
     data: dict | None = None
     error: str | None = None
     error_type: str | None = None
+    #: "user" (fix the request) vs "internal" (the server failed).
+    error_kind: str | None = None
     #: Server-side trace summary (trace/span ids + phase timings).
     trace: dict | None = None
 
@@ -119,6 +137,8 @@ class Response:
             payload["error"] = self.error
         if self.error_type is not None:
             payload["error_type"] = self.error_type
+        if self.error_kind is not None:
+            payload["error_kind"] = self.error_kind
         if self.trace is not None:
             payload["trace"] = self.trace
         return payload
@@ -159,6 +179,7 @@ def decode_response(line: bytes | str) -> Response:
         data=payload.get("data"),
         error=payload.get("error"),
         error_type=payload.get("error_type"),
+        error_kind=payload.get("error_kind"),
         trace=trace if isinstance(trace, dict) else None,
     )
 
@@ -191,6 +212,36 @@ class LineChannel:
 
     def send(self, payload: dict) -> None:
         self.sock.sendall(encode(payload))
+
+    def send_torn(self, payload: dict) -> None:
+        """Chaos-testing only: send roughly half the frame, then close.
+
+        Simulates a server dying mid-write; the peer must treat the
+        unterminated partial line as EOF (the torn-tail drop in
+        :meth:`recv_line`), never parse it as a response.
+        """
+        data = encode(payload)
+        try:
+            self.sock.sendall(data[: max(1, len(data) // 2)])
+        except OSError:
+            pass
+        self.close()
+
+    def abort(self) -> None:
+        """Hard-close with RST (SO_LINGER 0) — the peer sees a
+        connection reset instead of a clean EOF. Chaos-testing only."""
+        try:
+            self.sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
 
     def recv_line(self) -> bytes | None:
         """The next complete line (without the newline), or None on EOF.

@@ -114,6 +114,20 @@ def args_digest(op: str, params: dict) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
+def request_outcome(status: str, error_kind: str | None) -> str | None:
+    """The fault-outcome tag a record carries (None for the ordinary
+    ok/busy/error-by-the-user cases): ``deadline_exceeded``,
+    ``degraded``, or ``worker_error``. Replay comparison reports count
+    these so a chaos capture replays apples-to-apples."""
+    if status == "deadline_exceeded":
+        return "deadline_exceeded"
+    if status == "degraded":
+        return "degraded"
+    if status == "error" and error_kind == "internal":
+        return "worker_error"
+    return None
+
+
 def _trace_keep(trace_id: str, sample: float) -> bool:
     """Deterministic per-trace sampling: one logical operation (all its
     BUSY retries share a trace id) is kept or dropped as a unit."""
@@ -177,11 +191,19 @@ class FlightRecorder:
             "ts": rtrace.started_ts,
             "op": rtrace.op,
             "trace": rtrace.trace_id,
-            "digest": args_digest(rtrace.op, request.params),
+            # The daemon stamps the digest at dispatch (quarantine keys
+            # on it); recompute only for requests that never got there.
+            "digest": getattr(rtrace, "digest", None)
+            or args_digest(rtrace.op, request.params),
             "params": params,
             "status": rtrace.status,
             "total_s": round(rtrace.total_s, 6),
         }
+        outcome = request_outcome(
+            rtrace.status, getattr(rtrace, "error_kind", None)
+        )
+        if outcome is not None:
+            entry["outcome"] = outcome
         if rtrace.dataset:
             entry["dataset"] = rtrace.dataset
         if rtrace.session_id is not None:
@@ -194,6 +216,8 @@ class FlightRecorder:
             entry["cached"] = rtrace.cached
         if rtrace.error_type:
             entry["error_type"] = rtrace.error_type
+        if getattr(rtrace, "error_kind", None):
+            entry["error_kind"] = rtrace.error_kind
         phases = {
             name: round(value, 6)
             for name, value in rtrace.phase_seconds().items()

@@ -38,7 +38,11 @@ import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.service.recorder import FLIGHT_SCHEMA_VERSION, read_flight
+from repro.service.recorder import (
+    FLIGHT_SCHEMA_VERSION,
+    read_flight,
+    request_outcome,
+)
 
 #: Bumped on incompatible report-shape changes; consumers (CI, tests)
 #: key on it.
@@ -57,6 +61,10 @@ COMPARE_PHASES = ("admission", "queue_wait", "execute")
 #: much relatively AND absolutely before ``--check`` fails.
 DEFAULT_BUDGET_PCT = 50.0
 DEFAULT_BUDGET_MS = 5.0
+
+#: Fault outcomes compared recorded-vs-replayed (a chaos capture must
+#: replay its failure mix, not just its latencies).
+FAULT_OUTCOMES = ("deadline_exceeded", "degraded", "worker_error")
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float | None:
@@ -102,7 +110,9 @@ class ReplayedRequest:
 
     op: str
     dataset: str | None
-    status: str  # "ok" | "busy" | "error"
+    #: "ok" | "busy" | "error" | "deadline_exceeded" | "degraded" |
+    #: "worker_error"
+    status: str
     duration_s: float
     wall_s: float
     cached: bool | None = None
@@ -178,7 +188,10 @@ class _SessionPlayer(threading.Thread):
     def run(self) -> None:
         from repro.service.client import (
             ServiceBusyError,
+            ServiceDeadlineError,
+            ServiceDegradedError,
             ServiceError,
+            ServiceInternalError,
             ServiceUnavailableError,
         )
 
@@ -208,6 +221,12 @@ class _SessionPlayer(threading.Thread):
                 except ServiceUnavailableError as exc:
                     self.fatal = str(exc)
                     return
+                except ServiceDeadlineError as exc:
+                    status, error = "deadline_exceeded", str(exc)
+                except ServiceDegradedError as exc:
+                    status, error = "degraded", str(exc)
+                except ServiceInternalError as exc:
+                    status, error = "worker_error", str(exc)
                 except ServiceError as exc:
                     status, error = "error", str(exc)
                 wall = time.monotonic() - wall0
@@ -311,6 +330,8 @@ def build_report(
     rep_datasets: dict[str, int] = {}
     rec_busy = rep_busy = rep_errors = 0
     rec_hits = rec_lookups = rep_hits = rep_lookups = 0
+    rec_faults = {name: 0 for name in FAULT_OUTCOMES}
+    rep_faults = {name: 0 for name in FAULT_OUTCOMES}
 
     for record in recorded:
         rec_by_op.setdefault(record["op"], []).append(
@@ -321,6 +342,11 @@ def build_report(
             rec_datasets[dataset] = rec_datasets.get(dataset, 0) + 1
         if record.get("status") == "busy":
             rec_busy += 1
+        fault = record.get("outcome") or request_outcome(
+            str(record.get("status") or ""), record.get("error_kind")
+        )
+        if fault in rec_faults:
+            rec_faults[fault] += 1
         if isinstance(record.get("cached"), bool):
             rec_lookups += 1
             rec_hits += 1 if record["cached"] else 0
@@ -333,6 +359,8 @@ def build_report(
             )
         if outcome.status == "busy":
             rep_busy += 1
+        elif outcome.status in rep_faults:
+            rep_faults[outcome.status] += 1
         elif outcome.status == "error":
             rep_errors += 1
         if outcome.cached is not None:
@@ -383,6 +411,14 @@ def build_report(
             },
         },
         "per_op": per_op,
+        "faults": {
+            "recorded": rec_faults,
+            "replayed": rep_faults,
+            "delta": {
+                name: rep_faults[name] - rec_faults[name]
+                for name in FAULT_OUTCOMES
+            },
+        },
         "busy_delta": rep_busy - rec_busy,
         "cache_hit_delta": (
             _round(rep_hit_rate - rec_hit_rate)
@@ -453,6 +489,17 @@ def render_report_text(report: dict) -> str:
             f"errors {replayed['errors']}"
         ),
     ]
+    faults = report.get("faults")
+    if faults and (
+        any(faults["recorded"].values()) or any(faults["replayed"].values())
+    ):
+        parts = [
+            f"{name}: recorded {faults['recorded'][name]}, replayed "
+            f"{faults['replayed'][name]}"
+            for name in FAULT_OUTCOMES
+            if faults["recorded"][name] or faults["replayed"][name]
+        ]
+        lines.append("fault outcomes — " + " · ".join(parts))
     rec_rate = recorded["cache"]["hit_rate"]
     rep_rate = replayed["cache"]["hit_rate"]
     if rec_rate is not None or rep_rate is not None:

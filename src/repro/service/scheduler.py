@@ -44,6 +44,16 @@ class SchedulerStoppedError(RuntimeError):
     """Submission after the scheduler began draining."""
 
 
+class DeadlineExceededError(RuntimeError):
+    """The request's propagated deadline expired before execution.
+
+    Raised to the waiting connection thread when a worker pulls a job
+    off the queue and finds its deadline already past — the client gave
+    up on the answer, so running the handler would be pure waste (and
+    under a backlog, waste that delays every request behind it).
+    """
+
+
 class ReadWriteLock:
     """Shared/exclusive lock, writer-preferring.
 
@@ -113,6 +123,9 @@ class Job:
     fn: Callable[[], object]
     kind: str  # "read" | "write"
     dataset: str | None = None
+    #: Absolute monotonic instant after which the job must be shed
+    #: instead of run (None = no deadline).
+    deadline: float | None = None
     _done: threading.Event = field(default_factory=threading.Event)
     result: object = None
     error: BaseException | None = None
@@ -120,6 +133,11 @@ class Job:
     #: worker picks the job up (monotonic clock; None until each event).
     submitted_at: float | None = None
     started_at: float | None = None
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (telemetry.monotonic() if now is None else now) > self.deadline
 
     def run(self) -> None:
         self.started_at = telemetry.monotonic()
@@ -216,6 +234,8 @@ class RequestScheduler:
         self.shed_writes = 0
         self.executed_reads = 0
         self.executed_writes = 0
+        #: Jobs whose deadline expired while queued (shed pre-execute).
+        self.deadline_shed = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -236,8 +256,13 @@ class RequestScheduler:
         writer.start()
         self._threads.append(writer)
 
-    def submit_read(self, fn: Callable[[], object]) -> Job:
-        job = Job(fn=fn, kind="read", submitted_at=telemetry.monotonic())
+    def submit_read(
+        self, fn: Callable[[], object], deadline: float | None = None
+    ) -> Job:
+        job = Job(
+            fn=fn, kind="read", deadline=deadline,
+            submitted_at=telemetry.monotonic(),
+        )
         try:
             self._reads.put(job)
         except QueueFullError:
@@ -250,7 +275,10 @@ class RequestScheduler:
         return job
 
     def submit_write(
-        self, fn: Callable[[], object], dataset: str | None = None
+        self,
+        fn: Callable[[], object],
+        dataset: str | None = None,
+        deadline: float | None = None,
     ) -> Job:
         key = dataset or ""
         with self._pending_lock:
@@ -265,7 +293,7 @@ class RequestScheduler:
                     f"({self.per_cvd_depth} pending); retry"
                 )
             job = Job(
-                fn=fn, kind="write", dataset=dataset,
+                fn=fn, kind="write", dataset=dataset, deadline=deadline,
                 submitted_at=telemetry.monotonic(),
             )
             try:
@@ -283,11 +311,30 @@ class RequestScheduler:
         return job
 
     # ------------------------------------------------------------------
+    def _shed_expired(self, job: Job) -> bool:
+        """Cancel a job whose deadline passed while it queued. The
+        execute-phase boundary check: a worker never starts work the
+        client has already abandoned."""
+        if not job.expired():
+            return False
+        self.deadline_shed += 1
+        telemetry.count("service.scheduler.deadline_shed")
+        job.cancel(
+            DeadlineExceededError(
+                f"deadline expired after "
+                f"{0.0 if job.queue_wait_s is None else job.queue_wait_s:.3f}s"
+                f" in the {job.kind} queue"
+            )
+        )
+        return True
+
     def _read_loop(self) -> None:
         while True:
             job = self._reads.get()
             if job is None:
                 return
+            if self._shed_expired(job):
+                continue
             with self.lock.read_locked():
                 job.run()
             self.executed_reads += 1
@@ -297,9 +344,12 @@ class RequestScheduler:
             job = self._writes.get()
             if job is None:
                 return
-            with self.lock.write_locked():
-                job.run()
-            self.executed_writes += 1
+            if not self._shed_expired(job):
+                with self.lock.write_locked():
+                    job.run()
+                self.executed_writes += 1
+            # Per-CVD depth is released whether the job ran or was
+            # deadline-shed — a leak here would BUSY the dataset forever.
             with self._pending_lock:
                 key = job.dataset or ""
                 remaining = self._pending_per_cvd.get(key, 1) - 1
@@ -334,4 +384,5 @@ class RequestScheduler:
             "executed_writes": self.executed_writes,
             "shed_reads": self.shed_reads,
             "shed_writes": self.shed_writes,
+            "deadline_shed": self.deadline_shed,
         }

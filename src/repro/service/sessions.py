@@ -47,6 +47,9 @@ class Session:
     created_ts: float = field(default_factory=telemetry.now)
     last_active_ts: float = field(default_factory=telemetry.now)
     requests: int = 0
+    #: Requests this session answered with a non-ok status (busy sheds,
+    #: errors, deadline/degraded refusals) — a per-client failure lens.
+    errors: int = 0
     closed: bool = False
 
     def touch(self) -> None:
@@ -61,6 +64,7 @@ class Session:
             "created_ts": self.created_ts,
             "last_active_ts": self.last_active_ts,
             "requests": self.requests,
+            "errors": self.errors,
         }
 
 

@@ -66,13 +66,23 @@ def new_span_id() -> str:
     return uuid.uuid4().hex[:16]
 
 
-def new_trace_context(attempt: int = 0) -> dict:
-    """A client-side trace context for one logical request."""
-    return {
+def new_trace_context(
+    attempt: int = 0, deadline_ms: float | None = None
+) -> dict:
+    """A client-side trace context for one logical request.
+
+    ``deadline_ms`` propagates the client's total latency budget: the
+    daemon sheds the request with ``deadline_exceeded`` instead of
+    executing work whose answer the client has already abandoned.
+    """
+    context = {
         "trace_id": new_trace_id(),
         "parent_span_id": new_span_id(),
         "attempt": attempt,
     }
+    if deadline_ms is not None and deadline_ms > 0:
+        context["deadline_ms"] = float(deadline_ms)
+    return context
 
 
 class RequestTrace:
@@ -86,7 +96,8 @@ class RequestTrace:
     __slots__ = (
         "op", "trace_id", "parent_span_id", "span_id", "attempt",
         "session_id", "user", "dataset", "remote_trace",
-        "status", "error_type", "cached",
+        "status", "error_type", "error_kind", "cached", "digest",
+        "deadline_ms", "deadline_at",
         "started_ts", "t0", "t_admitted", "t_started", "t_executed",
         "t_sent", "exec_node",
     )
@@ -110,10 +121,25 @@ class RequestTrace:
         self.dataset = dataset
         self.status = "ok"
         self.error_type: str | None = None
+        #: "user" vs "internal" classification of a failed request.
+        self.error_kind: str | None = None
         #: Cache verdict for checkouts ("hit" | "miss"), else None.
         self.cached: bool | None = None
+        #: Normalized-params digest, stamped by the daemon at dispatch
+        #: (quarantine + flight recorder share one computation).
+        self.digest: str | None = None
         self.started_ts = telemetry.now()
         self.t0 = telemetry.monotonic()
+        #: Propagated latency budget: ``deadline_ms`` is what the
+        #: client sent; ``deadline_at`` is the absolute monotonic
+        #: instant it expires, anchored at decode time (t0) — the
+        #: closest server-side proxy for the client's send time.
+        self.deadline_ms: float | None = None
+        self.deadline_at: float | None = None
+        raw_deadline = trace.get("deadline_ms")
+        if isinstance(raw_deadline, (int, float)) and raw_deadline > 0:
+            self.deadline_ms = float(raw_deadline)
+            self.deadline_at = self.t0 + self.deadline_ms / 1000.0
         self.t_admitted: float | None = None
         self.t_started: float | None = None
         self.t_executed: float | None = None
@@ -143,9 +169,21 @@ class RequestTrace:
     def mark_sent(self) -> None:
         self.t_sent = telemetry.monotonic()
 
-    def finish(self, status: str, error_type: str | None = None) -> None:
+    def finish(
+        self,
+        status: str,
+        error_type: str | None = None,
+        error_kind: str | None = None,
+    ) -> None:
         self.status = status
         self.error_type = error_type
+        self.error_kind = error_kind
+
+    def expired(self, now: float | None = None) -> bool:
+        """True once the propagated deadline has passed."""
+        if self.deadline_at is None:
+            return False
+        return (telemetry.monotonic() if now is None else now) > self.deadline_at
 
     # -- derived phase durations ----------------------------------------
     def _delta(self, a: float | None, b: float | None) -> float | None:
@@ -199,6 +237,8 @@ class RequestTrace:
             summary["parent_span_id"] = self.parent_span_id
         if self.attempt:
             summary["attempt"] = self.attempt
+        if self.deadline_ms is not None:
+            summary["deadline_ms"] = self.deadline_ms
         for name, value in self.phase_seconds().items():
             if name != "serialize":  # measured only after the send
                 summary[f"{name}_s"] = round(value, 6)
@@ -235,6 +275,10 @@ class RequestTrace:
             tree["cached"] = self.cached
         if self.error_type:
             tree["error_type"] = self.error_type
+        if self.error_kind:
+            tree["error_kind"] = self.error_kind
+        if self.deadline_ms is not None:
+            tree["deadline_ms"] = self.deadline_ms
         if children:
             tree["children"] = children
         return tree

@@ -1,0 +1,150 @@
+"""Client-side fault tolerance units: the circuit-breaker state
+machine (driven by an injected clock, no sleeping), the shared
+jittered-backoff schedule, and the env-configured deadline budget."""
+
+import random
+
+import pytest
+
+from repro.service.client import (
+    CLIENT_DEADLINE_ENV,
+    CircuitBreaker,
+    client_deadline_ms,
+    jittered_backoff,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_breaker(threshold=3, recovery_s=1.0):
+    clock = FakeClock()
+    breaker = CircuitBreaker(
+        failure_threshold=threshold,
+        recovery_s=recovery_s,
+        clock=clock,
+        rng=random.Random(42),
+    )
+    return breaker, clock
+
+
+class TestCircuitBreaker:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker, _ = make_breaker(threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_threshold_failures_open_the_circuit(self):
+        breaker, _ = make_breaker(threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.remaining_s() > 0
+
+    def test_open_half_opens_after_recovery_delay(self):
+        breaker, clock = make_breaker(threshold=1)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(breaker.max_recovery_s + 0.01)
+        assert breaker.allow()  # this caller becomes the probe
+        assert breaker.state == "half_open"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker, clock = make_breaker(threshold=1)
+        breaker.record_failure()
+        clock.advance(breaker.max_recovery_s + 0.01)
+        assert breaker.allow()
+        # a second caller while the probe is in flight fails fast
+        assert not breaker.allow()
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(threshold=1)
+        breaker.record_failure()
+        clock.advance(breaker.max_recovery_s + 0.01)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.consecutive_failures == 0
+        assert breaker.open_streak == 0
+
+    def test_probe_failure_reopens_immediately(self):
+        breaker, clock = make_breaker(threshold=5)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.advance(breaker.max_recovery_s + 0.01)
+        assert breaker.allow()
+        # one failure in half_open re-trips regardless of threshold
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.opened_total == 2
+
+    def test_recovery_delay_grows_with_open_streak(self):
+        breaker, clock = make_breaker(threshold=1, recovery_s=0.5)
+        delays = []
+        for _ in range(3):
+            breaker.record_failure()
+            delays.append(breaker.remaining_s())
+            clock.advance(breaker.max_recovery_s + 0.01)
+            assert breaker.allow()
+        # jitter makes exact comparison flaky, but every delay must be
+        # positive and bounded by the cap
+        assert all(0 < d <= breaker.max_recovery_s for d in delays)
+        assert breaker.open_streak == 3
+
+    def test_status_surface(self):
+        breaker, _ = make_breaker(threshold=2)
+        breaker.record_failure()
+        status = breaker.status()
+        assert status["state"] == "closed"
+        assert status["consecutive_failures"] == 1
+        assert status["failure_threshold"] == 2
+        assert status["opened_total"] == 0
+
+
+class TestJitteredBackoff:
+    def test_grows_exponentially_up_to_cap(self):
+        rng = random.Random(7)
+        for attempt in range(10):
+            delay = jittered_backoff(0.1, attempt, cap=2.0, rng=rng)
+            assert 0 < delay <= 2.0
+
+    def test_jitter_never_collapses_to_zero(self):
+        class ZeroRng:
+            def random(self):
+                return 0.0
+
+        assert jittered_backoff(1.0, 0, rng=ZeroRng()) == pytest.approx(
+            1.0 * 0.05
+        )
+
+
+class TestClientDeadlineEnv:
+    def test_unset_means_no_budget(self, monkeypatch):
+        monkeypatch.delenv(CLIENT_DEADLINE_ENV, raising=False)
+        assert client_deadline_ms() is None
+
+    def test_value_parsed(self, monkeypatch):
+        monkeypatch.setenv(CLIENT_DEADLINE_ENV, "1500")
+        assert client_deadline_ms() == 1500.0
+
+    def test_garbage_and_nonpositive_ignored(self, monkeypatch):
+        monkeypatch.setenv(CLIENT_DEADLINE_ENV, "soon")
+        assert client_deadline_ms() is None
+        monkeypatch.setenv(CLIENT_DEADLINE_ENV, "-5")
+        assert client_deadline_ms() is None

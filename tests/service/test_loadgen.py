@@ -172,3 +172,47 @@ def test_run_load_mixed_writes(workspace, daemon_factory):
     # Busy sheds are a legitimate outcome under a serialized writer
     # queue — they must be accounted, not lost.
     assert step["ok"] + step["busy"] + step["errors"] == step["issued"]
+
+
+# ----------------------------------------------------------------------
+# Deadline accounting
+# ----------------------------------------------------------------------
+def test_step_stats_counts_deadline_sheds_apart_from_busy():
+    stats = StepStats(clients=2, planned=6)
+    stats.outcomes = [
+        Outcome(op="checkout", status="ok", wall_s=0.01),
+        Outcome(op="commit", status="busy", wall_s=0.01),
+        Outcome(op="commit", status="deadline_exceeded", wall_s=0.01),
+        Outcome(op="commit", status="deadline_exceeded", wall_s=0.01),
+        Outcome(op="commit", status="error", wall_s=0.01),
+    ]
+    stats.duration_s = 1.0
+    summary = stats.summary()
+    assert summary["deadline_exceeded"] == 2
+    assert summary["busy"] == 1
+    assert summary["errors"] == 1
+    # shed_rate is the *busy* story only; deadline has its own column
+    assert summary["shed_rate"] == pytest.approx(1 / 5)
+
+
+def test_run_load_report_carries_the_deadline_budget(
+    workspace, daemon_factory
+):
+    seed_dataset(workspace)
+    with daemon_factory(workers=2) as handle:
+        report = run_load(
+            LoadConfig(
+                datasets=["inter"],
+                ramp=(2,),
+                step_seconds=0.3,
+                client_rps=10.0,
+                read_ratio=1.0,
+                root=str(workspace),
+                socket_path=handle.daemon.config.resolved_socket(),
+                deadline_ms=5000,
+                seed=7,
+            )
+        )
+    assert report["deadline_ms"] == 5000
+    assert report["total_deadline_exceeded"] >= 0
+    assert all("deadline_exceeded" in s for s in report["steps"])

@@ -65,6 +65,7 @@ class TestServiceMetrics:
         payload = metrics.to_dict(recent=8)
         assert payload["requests"] == {
             "total": 4, "errors": 1, "busy": 1, "slow": 1,
+            "deadline_exceeded": 0, "degraded": 0,
         }
         checkout = payload["by_op"]["checkout"]
         assert checkout["count"] == 3
@@ -369,3 +370,39 @@ class TestTopDashboard:
         payload = json.loads(capsys.readouterr().out)
         assert payload["requests"]["total"] >= 1
         assert "scheduler" in payload
+
+
+class TestFaultOutcomeCounters:
+    """Deadline sheds and degraded refusals are load policy, not
+    failures: they get dedicated counters and never inflate errors."""
+
+    def test_deadline_and_degraded_never_count_as_errors(self):
+        metrics = ServiceMetrics()
+        metrics.record(make_trace())
+        metrics.record(make_trace(
+            op="commit", status="deadline_exceeded",
+            error_type="DeadlineExceededError",
+        ))
+        metrics.record(make_trace(
+            op="commit", status="degraded", error_type="DegradedError",
+        ))
+        payload = metrics.to_dict()
+        requests = payload["requests"]
+        assert requests["errors"] == 0
+        assert requests["deadline_exceeded"] == 1
+        assert requests["degraded"] == 1
+        commit = payload["by_op"]["commit"]
+        assert commit["deadline_exceeded"] == 1
+        assert commit["degraded"] == 1
+        assert commit["errors"] == 0
+
+    def test_prometheus_exposes_fault_outcome_families(self):
+        metrics = ServiceMetrics()
+        metrics.record(make_trace(status="deadline_exceeded",
+                                  error_type="DeadlineExceededError"))
+        metrics.record(make_trace(op="commit", status="degraded",
+                                  error_type="DegradedError"))
+        text = metrics.render_prometheus()
+        assert "orpheusd_deadline_exceeded_responses_total 1" in text
+        assert "orpheusd_degraded_responses_total 1" in text
+        assert "orpheusd_errors_total 0" in text

@@ -284,3 +284,52 @@ def test_flight_sample_env_clamped(monkeypatch):
     assert mod.flight_sample() == 0.0
     monkeypatch.setenv(mod.SAMPLE_ENV, "not-a-number")
     assert mod.flight_sample() == mod.DEFAULT_SAMPLE
+
+
+# ----------------------------------------------------------------------
+# Fault outcomes in flight records
+# ----------------------------------------------------------------------
+def test_request_outcome_mapping():
+    from repro.service.recorder import request_outcome
+
+    assert request_outcome("deadline_exceeded", None) == "deadline_exceeded"
+    assert request_outcome("degraded", None) == "degraded"
+    assert request_outcome("error", "internal") == "worker_error"
+    # ordinary cases carry no fault tag
+    assert request_outcome("ok", None) is None
+    assert request_outcome("busy", None) is None
+    assert request_outcome("error", "user") is None
+
+
+def test_record_stamps_outcome_and_error_kind(tmp_path):
+    from types import SimpleNamespace
+
+    from repro.service.tracing import RequestTrace
+
+    recorder = FlightRecorder(root=str(tmp_path), sample=1.0)
+    rtrace = RequestTrace("commit", dataset="inter")
+    rtrace.digest = "e" * 16
+    rtrace.finish("error", "InjectedFaultError", "internal")
+    recorder.record(
+        rtrace,
+        SimpleNamespace(params={"dataset": "inter", "file": "w.csv"}),
+    )
+    healthy = RequestTrace("checkout", dataset="inter")
+    healthy.digest = "f" * 16
+    recorder.record(
+        healthy, SimpleNamespace(params={"dataset": "inter"})
+    )
+    recorder.close()
+
+    flight = read_flight(flight_dir_path(str(tmp_path)))
+    records = [
+        r for r in flight["records"] if r.get("kind") == "request"
+    ]
+    assert len(records) == 2
+    crashed = next(r for r in records if r["op"] == "commit")
+    assert crashed["outcome"] == "worker_error"
+    assert crashed["error_kind"] == "internal"
+    assert crashed["digest"] == "e" * 16  # dispatch digest reused
+    clean = next(r for r in records if r["op"] == "checkout")
+    assert "outcome" not in clean
+    assert "error_kind" not in clean

@@ -271,3 +271,71 @@ def test_replay_cli_missing_flight_dir(tmp_path, capsys):
     code = main(["--root", str(tmp_path), "replay"])
     assert code == 1
     assert "no flight directory" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Fault-outcome comparison (chaos captures replay their failure mix)
+# ----------------------------------------------------------------------
+def test_report_counts_fault_outcomes_both_sides():
+    from repro.service.replay import (
+        FAULT_OUTCOMES,
+        ReplayedRequest,
+        Workload,
+        render_report_text,
+    )
+
+    records = [
+        {"op": "commit", "ts": 1.0, "status": "error",
+         "error_kind": "internal", "outcome": "worker_error",
+         "params": {}, "total_s": 0.01},
+        # legacy capture without the outcome tag: derived from
+        # status + error_kind
+        {"op": "commit", "ts": 2.0, "status": "deadline_exceeded",
+         "params": {}, "total_s": 0.01},
+        {"op": "commit", "ts": 3.0, "status": "ok",
+         "params": {}, "total_s": 0.01},
+    ]
+    outcomes = [
+        ReplayedRequest(op="commit", dataset=None, status="degraded",
+                        duration_s=0.01, wall_s=0.01),
+        ReplayedRequest(op="commit", dataset=None, status="worker_error",
+                        duration_s=0.01, wall_s=0.01),
+        ReplayedRequest(op="commit", dataset=None, status="ok",
+                        duration_s=0.01, wall_s=0.01),
+    ]
+    report = build_report(
+        Workload(records=records), outcomes, 1.0, "dir", wall_s=0.1
+    )
+    faults = report["faults"]
+    assert set(faults["recorded"]) == set(FAULT_OUTCOMES)
+    assert faults["recorded"]["worker_error"] == 1
+    assert faults["recorded"]["deadline_exceeded"] == 1
+    assert faults["replayed"]["degraded"] == 1
+    assert faults["replayed"]["worker_error"] == 1
+    assert faults["delta"]["deadline_exceeded"] == -1
+    assert faults["delta"]["degraded"] == 1
+    # fault statuses are not double-counted as plain errors
+    assert report["replayed"]["errors"] == 0
+    assert "fault outcomes" in render_report_text(report)
+
+
+def test_fault_free_report_omits_fault_line():
+    from repro.service.replay import (
+        ReplayedRequest,
+        Workload,
+        render_report_text,
+    )
+
+    records = [
+        {"op": "ls", "ts": 1.0, "status": "ok", "params": {},
+         "total_s": 0.001}
+    ]
+    outcomes = [
+        ReplayedRequest(op="ls", dataset=None, status="ok",
+                        duration_s=0.001, wall_s=0.001)
+    ]
+    report = build_report(
+        Workload(records=records), outcomes, 1.0, "dir", wall_s=0.1
+    )
+    assert not any(report["faults"]["recorded"].values())
+    assert "fault outcomes" not in render_report_text(report)
