@@ -60,7 +60,7 @@ def _quick_history():
     "fig4_1/commit_rlist_xs",
     setup=_quick_history,
     repeats=3,
-    counters=("cvd.commit.", "model.split_by_rlist.rows_inserted"),
+    counters=("cvd.commit.", "model.split_by_rlist.rows_inserted", "storage.io."),
 )
 def quick_commit_rlist(history) -> None:
     """Replay the SCI_XS history into a split-by-rlist CVD — the hot
@@ -78,7 +78,7 @@ def _quick_checkout_state():
     "fig4_1/checkout_rlist_xs",
     setup=_quick_checkout_state,
     repeats=5,
-    counters=("model.split_by_rlist.rows_checked_out",),
+    counters=("model.split_by_rlist.rows_checked_out", "storage.io."),
 )
 def quick_checkout_rlist(state) -> None:
     """Materialize 10 sampled versions — the panel (c) checkout path."""

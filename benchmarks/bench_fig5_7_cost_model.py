@@ -92,7 +92,7 @@ def _quick_join_state():
     "fig5_7/hash_join_6k",
     setup=_quick_join_state,
     repeats=5,
-    counters=("join.hash.",),
+    counters=("join.hash.", "storage.io."),
 )
 def quick_hash_join(state) -> None:
     """The checkout inner loop: hash-join a 500-rid rlist against a

@@ -148,7 +148,7 @@ def _fixture() -> _ServiceFixture:
     "service/checkout_cold",
     setup=_fixture,
     repeats=3,
-    counters=("service.request.",),
+    counters=("service.request.", "storage.io."),
 )
 def bench_checkout_cold(fx: _ServiceFixture) -> None:
     with fx.client() as client:
@@ -162,7 +162,7 @@ def bench_checkout_cold(fx: _ServiceFixture) -> None:
     "service/checkout_cached",
     setup=_fixture,
     repeats=3,
-    counters=("service.request.",),
+    counters=("service.request.", "storage.io."),
 )
 def bench_checkout_cached(fx: _ServiceFixture) -> None:
     with fx.client() as client:
@@ -176,7 +176,7 @@ def bench_checkout_cached(fx: _ServiceFixture) -> None:
     "service/read_fanout",
     setup=_fixture,
     repeats=3,
-    counters=("service.request.",),
+    counters=("service.request.", "storage.io."),
 )
 def bench_read_fanout(fx: _ServiceFixture) -> None:
     errors: list[BaseException] = []
@@ -204,7 +204,7 @@ def bench_read_fanout(fx: _ServiceFixture) -> None:
     "service/mixed_read_write",
     setup=_fixture,
     repeats=3,
-    counters=("service.request.",),
+    counters=("service.request.", "storage.io."),
 )
 def bench_mixed_read_write(fx: _ServiceFixture) -> None:
     errors: list[BaseException] = []
@@ -246,7 +246,7 @@ def bench_mixed_read_write(fx: _ServiceFixture) -> None:
     "service/traced_roundtrip",
     setup=_fixture,
     repeats=3,
-    counters=("service.request.",),
+    counters=("service.request.", "storage.io."),
 )
 def bench_traced_roundtrip(fx: _ServiceFixture) -> None:
     """The fully-traced request path: every response must come back

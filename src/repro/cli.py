@@ -492,6 +492,30 @@ def _build_parser() -> argparse.ArgumentParser:
         help="with --check: absolute p95 drift floor (default 5)",
     )
 
+    heat = sub.add_parser(
+        "heat",
+        help="storage access observatory: hot/cold partitions and "
+        "versions, I/O amplification, and the partition advisor",
+    )
+    heat.add_argument(
+        "-d", "--dataset", default=None, help="restrict to one dataset"
+    )
+    heat.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="rows per hot/cold table (default 10)",
+    )
+    heat.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    heat.add_argument(
+        "--from-flight",
+        action="store_true",
+        help="rebuild the heat model offline from the flight recorder "
+        "and the ops journal instead of reading heat.json",
+    )
+
     stats = sub.add_parser(
         "stats", help="show accumulated telemetry for this repository"
     )
@@ -556,6 +580,11 @@ def main(argv: list[str] | None = None) -> int:
             args.root, shared=not args.reset, command="stats"
         ):
             return _run_stats(args)
+    if args.command == "heat":
+        # Pure reader: renders the persisted heat model (or mines one
+        # offline) without folding telemetry of its own.
+        with RepositoryLock(args.root, shared=True, command="heat"):
+            return _run_heat(args)
 
     # Each invocation records its own telemetry from a clean registry,
     # then folds the snapshot into .orpheus/telemetry.json so metrics
@@ -654,6 +683,7 @@ def _locked_invocation(
         Journal(args.root).append(record)
     if mutating:
         intents.done(trace_id, status=record.status if record else "ok")
+    _fold_heat_cli(args, record)
     failpoints.fire("telemetry.before_save")
     save_telemetry(
         load_telemetry(args.root).merged(telemetry.snapshot()),
@@ -662,6 +692,46 @@ def _locked_invocation(
     if args.timings and tree is not None:
         sys.stderr.write(tree.render() + "\n")
     return code
+
+
+def _fold_heat_cli(args: argparse.Namespace, record) -> None:
+    """Fold one successful journaled dataset access into the persisted
+    heat model (``.orpheus/telemetry/heat.json``), using this
+    invocation's ``storage.io.*`` counters as the scan footprint. Runs
+    under the invocation's repository lock; never fatal."""
+    if record is None or record.status != "ok" or not record.dataset:
+        return
+    try:
+        from repro.observe.heat import HeatAccountant, build_event
+
+        registry = telemetry.get_registry()
+        # The "requested version": what the command produced (commit/
+        # init) or what it asked for (checkout/diff) — same rule as the
+        # daemon's stamping, so live and mined events agree.
+        if record.output_version is not None:
+            versions = [record.output_version]
+        else:
+            versions = list(record.input_versions or ())
+        event = build_event(
+            getattr(args, "_orpheus", None),
+            ts=record.ts,
+            command=record.command,
+            dataset=record.dataset,
+            versions=versions,
+            rows_returned=record.rows or 0,
+            rows_scanned=registry.counter_value("storage.io.seq_rows")
+            + registry.counter_value("storage.io.random_rows"),
+            bytes_scanned=registry.counter_value("storage.io.bytes_read"),
+            rows_written=registry.counter_value("storage.io.rows_written"),
+            bytes_written=registry.counter_value(
+                "storage.io.bytes_written"
+            ),
+        )
+        heat = HeatAccountant.load(args.root)
+        heat.record(event)
+        heat.save(args.root)
+    except Exception as error:
+        sys.stderr.write(f"warning: heat accounting skipped: {error}\n")
 
 
 def _render_plan(plan, args) -> str:
@@ -681,6 +751,9 @@ def _dispatch(args: argparse.Namespace, record=None) -> int:
         out.write(report.render_text())
         return 0 if report.clean else 1
     orpheus = load_state(args.root)
+    #: The heat fold in _locked_invocation resolves models/partitions
+    #: against the same state this command ran on.
+    args._orpheus = orpheus
     if record is not None:
         record.user = orpheus.access.current_user or ""
         record.dataset = getattr(args, "dataset", None)
@@ -1447,6 +1520,136 @@ def _run_stats(args: argparse.Namespace) -> int:
         sys.stdout.write(snapshot.render_prometheus())
     else:
         sys.stdout.write(snapshot.render_text())
+    return 0
+
+
+def _run_heat(args: argparse.Namespace) -> int:
+    """``orpheus heat``: the storage access observatory report.
+
+    Hot/cold rankings come from the persisted EWMA model (or, with
+    ``--from-flight``, from re-mining the flight recorder + ops
+    journal); amplification and the advisor join that heat with the
+    live page cost model.
+    """
+    import json as _json
+
+    from repro.observe.amplification import (
+        amplification_report,
+        bound_comparison,
+    )
+    from repro.observe.heat import HeatAccountant, advise, mine
+
+    try:
+        orpheus = load_state(args.root)
+    except FileNotFoundError:
+        sys.stderr.write("error: not an orpheus repository\n")
+        return 2
+    if args.from_flight:
+        heat = mine(args.root, orpheus)
+    else:
+        heat = HeatAccountant.load(args.root)
+    now = telemetry.now()
+    top = max(1, args.top)
+
+    def _table(table: dict, reverse: bool) -> list[dict]:
+        rows = []
+        for key, entry, decayed in heat.ranked(table, now, reverse=reverse):
+            if args.dataset and not (
+                key == args.dataset or key.startswith(args.dataset + ":")
+            ):
+                continue
+            rows.append(
+                {
+                    "key": key,
+                    "heat": round(decayed, 4),
+                    "touches": entry["touches"],
+                    "rows_scanned": entry["rows_scanned"],
+                    "bytes_scanned": entry["bytes_scanned"],
+                }
+            )
+            if len(rows) >= top:
+                break
+        return rows
+
+    cold = heat.cold_fraction(orpheus, now)
+    report = {
+        "schema_version": 1,
+        "source": "flight" if args.from_flight else "live",
+        "half_life_s": heat.half_life_s,
+        "events_total": heat.events_total,
+        "hot_datasets": _table(heat.datasets, reverse=True),
+        "hot_partitions": _table(heat.partitions, reverse=True),
+        "hot_versions": _table(heat.versions, reverse=True),
+        "cold_partitions": _table(heat.partitions, reverse=False),
+        "cold_fraction": None if cold is None else round(cold, 4),
+        "amplification": amplification_report(heat),
+        "bound": bound_comparison(orpheus, heat),
+        "advisor": advise(orpheus, heat, now),
+    }
+    if args.json:
+        sys.stdout.write(
+            _json.dumps(report, indent=2, sort_keys=True, default=str) + "\n"
+        )
+        return 0
+    out = sys.stdout
+    out.write(
+        f"heat model: {report['events_total']} events, "
+        f"half-life {report['half_life_s']:g}s, "
+        f"source={report['source']}\n"
+    )
+    if cold is not None:
+        out.write(f"cold fraction: {cold:.1%} of versions\n")
+    for title, rows in (
+        ("hot datasets", report["hot_datasets"]),
+        ("hot partitions", report["hot_partitions"]),
+        ("hot versions", report["hot_versions"]),
+        ("cold partitions", report["cold_partitions"]),
+    ):
+        if not rows:
+            continue
+        out.write(f"\n{title}:\n")
+        for row in rows:
+            out.write(
+                f"  {row['key']:<24} heat={row['heat']:<10g} "
+                f"touches={row['touches']:<6} "
+                f"rows_scanned={row['rows_scanned']}\n"
+            )
+    if report["amplification"]:
+        out.write("\namplification (per model, per command):\n")
+        for model, commands in report["amplification"].items():
+            for command, factors in commands.items():
+                ramp = factors["read_amplification"]
+                wamp = factors["write_amplification"]
+                out.write(
+                    f"  {model:<20} {command:<10} "
+                    f"read={'-' if ramp is None else ramp} "
+                    f"write={'-' if wamp is None else wamp} "
+                    f"({factors['events']} events)\n"
+                )
+    if report["bound"]:
+        out.write("\ncheckout-cost bound:\n")
+        for row in report["bound"]:
+            bound = row.get("bound_rows_per_checkout")
+            status = row.get("within_bound")
+            out.write(
+                f"  {row['dataset']:<24} model={row['model']} "
+                f"observed={row['observed_rows_per_checkout']} "
+                f"bound={'-' if bound is None else bound} "
+                f"within={'-' if status is None else status}\n"
+            )
+    if report["advisor"]:
+        out.write("\nadvisor:\n")
+        for rec in report["advisor"]:
+            out.write(
+                f"  #{rec['rank']} {rec['kind']:<12} {rec['dataset']:<24} "
+                f"delta={rec['estimated_checkout_cost_delta']:g} "
+                f"{rec['reason']}\n"
+            )
+    if not heat.events_total:
+        out.write(
+            "no access events recorded yet -- run some commands (or "
+            "`orpheus heat --from-flight` against a recorded workload)\n"
+        )
     return 0
 
 

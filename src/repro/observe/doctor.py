@@ -31,6 +31,12 @@ and machine-readable data. The probes:
 * **service faults** — a running daemon's fault-tolerance posture:
   degraded read-only mode, quarantined poison requests, and
   worker-error / deadline-shed rates against the fault budget.
+* **heat skew** — decayed partition heat from the access observatory
+  (:mod:`repro.observe.heat`): one partition soaking up most of a
+  dataset's heat means the static split no longer matches the
+  workload → see the ``orpheus heat`` advisor.
+* **I/O amplification** — observed checkout rows-scanned over
+  rows-requested per data model against ``ORPHEUS_AMP_BUDGET``.
 * **perf baselines** — inside a source checkout, the benchmark
   regression baseline must exist, match the runner's schema version,
   and cover the registered quick tier.
@@ -1145,6 +1151,134 @@ def probe_journal(orpheus, root: str | None = None) -> ProbeResult:
     )
 
 
+def probe_heat_skew(orpheus, root: str | None = None) -> ProbeResult:
+    """Partition heat concentration from the access observatory.
+
+    A partitioned layout only pays off when the workload spreads across
+    partitions; one partition soaking up most of the decayed heat means
+    the static split no longer matches the access pattern. Skew is the
+    hottest partition's heat over the per-dataset mean; breaching
+    ``ORPHEUS_HEAT_SKEW_FACTOR`` warns and points at the advisor.
+    """
+    from repro.observe.heat import (
+        HEAT_SKEW_ENV,
+        HEAT_SKEW_FACTOR,
+        HeatAccountant,
+    )
+
+    try:
+        factor = float(os.environ.get(HEAT_SKEW_ENV, HEAT_SKEW_FACTOR))
+    except ValueError:
+        factor = HEAT_SKEW_FACTOR
+    heat = HeatAccountant.load(root)
+    if not heat.events_total or not heat.partitions:
+        return ProbeResult(
+            probe="heat_skew",
+            severity=OK,
+            summary="no heat recorded",
+        )
+    now = telemetry.now()
+    by_dataset: dict[str, list[float]] = {}
+    for key, entry in heat.partitions.items():
+        dataset, _, _part = key.rpartition(":")
+        by_dataset.setdefault(dataset, []).append(
+            heat.current_heat(entry, now)
+        )
+    skews: dict[str, float] = {}
+    for dataset, heats in by_dataset.items():
+        if len(heats) < 2:
+            continue  # one partition: skew is undefined, not a finding
+        mean = sum(heats) / len(heats)
+        if mean > 0:
+            skews[dataset] = round(max(heats) / mean, 3)
+    cold = heat.cold_fraction(orpheus, now)
+    data = {
+        "skew_factor_budget": factor,
+        "skew_by_dataset": skews,
+        "cold_fraction": None if cold is None else round(cold, 4),
+    }
+    worst = max(skews.values(), default=0.0)
+    if worst > factor:
+        hot = max(skews, key=skews.get)
+        return ProbeResult(
+            probe="heat_skew",
+            severity=WARN,
+            summary=(
+                f"partition heat skew {worst:.1f}x on {hot!r} "
+                f"(budget {factor:g}x)"
+            ),
+            remediation=(
+                "the workload concentrates on few partitions; see "
+                "`orpheus heat` advisor and consider `orpheus optimize`"
+            ),
+            data=data,
+        )
+    return ProbeResult(
+        probe="heat_skew",
+        severity=OK,
+        summary=(
+            f"heat spread ok across {len(by_dataset)} dataset(s) "
+            f"(worst skew {worst:.1f}x, budget {factor:g}x)"
+        ),
+        data=data,
+    )
+
+
+def probe_io_amplification(orpheus, root: str | None = None) -> ProbeResult:
+    """Observed checkout read amplification vs. ``ORPHEUS_AMP_BUDGET``.
+
+    Rows scanned per requested row, per data model, from the heat
+    model's samples. Above the budget warns; above four times the
+    budget fails — checkouts are paying for almost nothing but waste.
+    """
+    from repro.observe.amplification import amplification_report
+    from repro.observe.heat import HeatAccountant, amp_budget
+
+    heat = HeatAccountant.load(root)
+    report = amplification_report(heat)
+    amps = {
+        model: commands["checkout"]["read_amplification"]
+        for model, commands in report.items()
+        if commands.get("checkout", {}).get("read_amplification")
+        is not None
+    }
+    if not amps:
+        return ProbeResult(
+            probe="io_amplification",
+            severity=OK,
+            summary="no checkouts observed",
+        )
+    budget = amp_budget()
+    worst_model = max(amps, key=amps.get)
+    worst = amps[worst_model]
+    data = {"amp_budget": budget, "checkout_read_amplification": amps}
+    if worst > budget:
+        severity = FAIL if worst > 4 * budget else WARN
+        return ProbeResult(
+            probe="io_amplification",
+            severity=severity,
+            summary=(
+                f"checkout reads {worst:.1f}x the requested rows on "
+                f"{worst_model} (budget {budget:g}x)"
+            ),
+            remediation=(
+                "the layout scans far more than it returns; see "
+                "`orpheus heat` for the amplification table and the "
+                "advisor's migration recommendation"
+            ),
+            data=data,
+        )
+    return ProbeResult(
+        probe="io_amplification",
+        severity=OK,
+        summary=(
+            f"worst checkout read amplification {worst:.2f}x "
+            f"({worst_model}, budget {budget:g}x)"
+        ),
+        data=data,
+    )
+
+
 # ----------------------------------------------------------------------
 def run_doctor(orpheus, root: str | None = None) -> DoctorReport:
     """Run every probe against one repository."""
@@ -1165,6 +1299,8 @@ def run_doctor(orpheus, root: str | None = None) -> DoctorReport:
         report.results.append(probe_service_faults(root))
         report.results.append(probe_slow_requests(root))
         report.results.append(probe_flight_recorder(root))
+        report.results.append(probe_heat_skew(orpheus, root))
+        report.results.append(probe_io_amplification(orpheus, root))
         report.results.append(probe_perf_baselines(root))
         telemetry.count("observe.doctor.runs")
         telemetry.count(

@@ -4,7 +4,9 @@ Polls the daemon's ``stats`` protocol op and renders per-op throughput
 (rates are deltas between consecutive polls), latency percentiles with
 the queue-wait/execute split, queue depths, cache efficiency, and the
 busiest sessions — the glanceable answer to "what is the daemon doing
-right now", without log spelunking.
+right now", without log spelunking. When the daemon has folded access
+events, a heat section shows per-dataset decayed heat, partition
+touches, scan volume, and checkout read amplification.
 
 ``run_top`` is test-friendly: ``once=True`` prints a single frame with
 no screen clearing, ``as_json=True`` dumps the raw stats payload, and
@@ -136,6 +138,40 @@ def render_frame(
             f"{_fmt_ms(phases.get('execute', {}).get('p95_s')):>9} "
             f"{op_stats.get('busy', 0):>5}"
         )
+    heat = stats.get("heat", {})
+    by_dataset = stats.get("by_dataset", {})
+    touched = {
+        name: entry
+        for name, entry in by_dataset.items()
+        if entry.get("heat") is not None
+        or entry.get("partition_touches")
+    }
+    if heat.get("events_total") or touched:
+        lines.append("")
+        lines.append(
+            f"heat    {heat.get('events_total', 0)} events · "
+            f"{heat.get('partition_touches_total', 0)} partition touches · "
+            f"scanned {_fmt_bytes(heat.get('bytes_scanned_total', 0))} · "
+            f"half-life {heat.get('half_life_s', 0):g}s"
+        )
+    if touched:
+        lines.append(
+            f"{'dataset':<16} {'heat':>8} {'touches':>8} {'scan-rows':>10}"
+            f" {'scan-bytes':>11} {'read-amp':>9}"
+        )
+        hottest = sorted(
+            touched.items(),
+            key=lambda item: -(item[1].get("heat") or 0.0),
+        )[:10]
+        for name, entry in hottest:
+            amp = entry.get("read_amplification")
+            lines.append(
+                f"{name:<16} {entry.get('heat') or 0.0:>8.2f} "
+                f"{entry.get('partition_touches', 0):>8} "
+                f"{entry.get('rows_scanned', 0):>10} "
+                f"{_fmt_bytes(entry.get('bytes_scanned', 0)):>11} "
+                f"{'-' if amp is None else f'{amp:.2f}x':>9}"
+            )
     by_session = stats.get("by_session", {})
     if by_session:
         lines.append("")

@@ -6,11 +6,20 @@ its work to a :class:`CostAccountant`: rows scanned sequentially, rows
 fetched by random access, rows written, index probes, and bytes touched.
 Benchmarks report both wall-clock and these counters; the counters are what
 make the Figure 5.7 cost-model validation deterministic.
+
+Every charge is mirrored into the process telemetry registry under the
+``storage.io.*`` counter family, so the accumulated
+``.orpheus/telemetry.json`` (and therefore ``orpheus stats``) carries
+*lifetime* I/O totals across invocations — not just the per-EXPLAIN
+snapshots a single command sees. While telemetry is disabled (the
+default for embedding programs) the mirror costs one branch per charge.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro import telemetry
 
 
 @dataclass(frozen=True)
@@ -58,17 +67,27 @@ class CostAccountant:
     def charge_seq_scan(self, rows: int, row_bytes: int = 0) -> None:
         self.seq_rows += rows
         self.bytes_read += row_bytes
+        telemetry.count("storage.io.seq_rows", rows)
+        if row_bytes:
+            telemetry.count("storage.io.bytes_read", row_bytes)
 
     def charge_random_read(self, rows: int = 1, row_bytes: int = 0) -> None:
         self.random_rows += rows
         self.bytes_read += row_bytes
+        telemetry.count("storage.io.random_rows", rows)
+        if row_bytes:
+            telemetry.count("storage.io.bytes_read", row_bytes)
 
     def charge_write(self, rows: int, row_bytes: int = 0) -> None:
         self.rows_written += rows
         self.bytes_written += row_bytes
+        telemetry.count("storage.io.rows_written", rows)
+        if row_bytes:
+            telemetry.count("storage.io.bytes_written", row_bytes)
 
     def charge_index_probe(self, probes: int = 1) -> None:
         self.index_probes += probes
+        telemetry.count("storage.io.index_probes", probes)
 
     def snapshot(self) -> CostSnapshot:
         return CostSnapshot(

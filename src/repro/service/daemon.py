@@ -42,6 +42,7 @@ from pathlib import Path
 from repro import telemetry
 from repro.core.csvio import read_csv, read_schema_file, write_csv, write_schema_file
 from repro.core.errors import CVDError
+from repro.observe.heat import HeatAccountant, build_event
 from repro.observe.journal import Journal, make_record
 from repro.resilience.intents import IntentLog, has_pending_intents
 from repro.resilience.lock import RepositoryLock
@@ -201,6 +202,10 @@ class ServiceDaemon:
             max_segments=self.config.flight_max_segments,
             boot_id=self.boot_id,
         )
+        #: The storage access observatory: reloaded under the lock at
+        #: start, folded per request, persisted with every telemetry
+        #: fold and at drain.
+        self.heat = HeatAccountant()
         self._metrics_server = None
 
     # ------------------------------------------------------------------
@@ -227,6 +232,7 @@ class ServiceDaemon:
                         f"operation(s) from a previous crash at startup\n"
                     )
             self.orpheus = load_state(self.root)
+            self.heat = HeatAccountant.load(self.root)
             self._bind()
             if self.config.metrics_port is not None:
                 from repro.service.httpmon import MetricsServer
@@ -399,6 +405,11 @@ class ServiceDaemon:
         Keeps ``orpheus stats`` meaningful while the daemon runs."""
         from repro.cli import load_telemetry, save_telemetry
 
+        try:
+            self.heat.save(self.root)
+        except OSError:
+            if final:
+                raise
         try:
             save_telemetry(
                 load_telemetry(self.root).merged(telemetry.snapshot()),
@@ -754,6 +765,7 @@ class ServiceDaemon:
             user=session.user,
             trace_id=rtrace.trace_id,
         )
+        before = self._cost_snapshot()
         try:
             with span_ctx:
                 data = handler(session, request)
@@ -763,13 +775,51 @@ class ServiceDaemon:
             # materialization, ...) under the request's execute phase.
             rtrace.exec_node = getattr(span_ctx, "node", None)
             rtrace.mark_executed()
+            self._stamp_io(rtrace, before)
         if request.op == "checkout":
             rtrace.cached = bool(data.get("cached"))
+            rtrace.rows_returned = int(data.get("rows") or 0)
+            rtrace.version_ids = tuple(
+                int(v) for v in request.get("versions") or ()
+            )
+        elif request.op == "diff":
+            rtrace.rows_returned = int(
+                data.get("only_a_count", 0) + data.get("only_b_count", 0)
+            )
+            rtrace.version_ids = tuple(
+                int(v)
+                for v in (request.get("a"), request.get("b"))
+                if v is not None
+            )
+        elif request.op == "run":
+            rtrace.rows_returned = int(data.get("row_count") or 0)
         if request.op in ("diff", "run") or (
             request.op == "checkout" and request.get("file")
         ):
             self._journal_read_op(session, request, data, rtrace)
         return data
+
+    def _cost_snapshot(self):
+        """The shared accountant's counters before a handler runs (None
+        when no state is loaded yet)."""
+        if self.orpheus is None:
+            return None
+        return self.orpheus.database.accountant.snapshot()
+
+    def _stamp_io(self, rtrace: RequestTrace, before) -> None:
+        """Stamp the handler's storage-access delta onto the trace.
+
+        Concurrent readers share one accountant, so under a busy worker
+        pool a delta can include a neighbor's rows — the stamps are a
+        workload-accounting signal, not an exactness proof; totals
+        across the workload are exact.
+        """
+        if before is None or self.orpheus is None:
+            return
+        delta = self.orpheus.database.accountant.snapshot() - before
+        rtrace.rows_scanned = delta.seq_rows + delta.random_rows
+        rtrace.bytes_scanned = delta.bytes_read
+        rtrace.rows_written = delta.rows_written
 
     def _journal_read_op(
         self, session, request: Request, data: dict, rtrace: RequestTrace
@@ -975,6 +1025,7 @@ class ServiceDaemon:
             user=session.user,
             trace_id=trace_id,
         )
+        before = self._cost_snapshot()
         try:
             try:
                 with span_ctx as span:
@@ -1004,6 +1055,10 @@ class ServiceDaemon:
                 raise
             if record is not None:
                 self.journal.append(record)
+                if record.output_version is not None:
+                    rtrace.version_ids = (record.output_version,)
+                if record.rows is not None:
+                    rtrace.rows_returned = record.rows
             if journaled:
                 self.intents.done(trace_id)
             if dataset:
@@ -1013,6 +1068,7 @@ class ServiceDaemon:
         finally:
             rtrace.exec_node = getattr(span_ctx, "node", None)
             rtrace.mark_executed()
+            self._stamp_io(rtrace, before)
 
     def _op_init(self, session, request: Request, record) -> dict:
         dataset = request.get("dataset")
@@ -1103,12 +1159,56 @@ class ServiceDaemon:
         except Exception:
             pass  # same contract: recording never kills the connection
         self.metrics.record(rtrace, slow=slow)
+        self._fold_heat(rtrace)
         telemetry.count("service.request.count")
         for name, value in rtrace.phase_seconds().items():
             telemetry.count(f"service.request.{name}_seconds_total", value)
         telemetry.count(
             "service.request.total_seconds_total", rtrace.total_s
         )
+
+    def _fold_heat(self, rtrace: RequestTrace) -> None:
+        """Fold a successful dataset access into the heat model and the
+        per-dataset I/O rollups (never fatal to the connection)."""
+        if rtrace.status != "ok" or not rtrace.dataset:
+            return
+        try:
+            event = build_event(
+                self.orpheus,
+                ts=rtrace.started_ts,
+                command=rtrace.op,
+                dataset=rtrace.dataset,
+                versions=rtrace.version_ids or (),
+                rows_returned=rtrace.rows_returned or 0,
+                rows_scanned=rtrace.rows_scanned or 0,
+                bytes_scanned=rtrace.bytes_scanned or 0,
+                rows_written=rtrace.rows_written or 0,
+            )
+            self.heat.record(event)
+            entry = self.heat.datasets.get(rtrace.dataset)
+            sample = self.heat.samples.get(f"{event.model}|checkout")
+            self.metrics.record_io(
+                rtrace.dataset,
+                rows_scanned=event.rows_scanned,
+                bytes_scanned=event.bytes_scanned,
+                rows_written=event.rows_written,
+                partition_touches=len(event.partitions),
+                heat=(
+                    self.heat.current_heat(entry, rtrace.started_ts)
+                    if entry
+                    else None
+                ),
+                read_amplification=(
+                    sample["rows_scanned"] / sample["rows_requested"]
+                    if sample and sample["rows_requested"] > 0
+                    else None
+                ),
+            )
+            telemetry.count(
+                "service.heat.partition_touches", len(event.partitions)
+            )
+        except Exception:
+            telemetry.count("service.heat.fold_errors")
 
     def stats_payload(self, recent: int = 0) -> dict:
         """The ``stats`` op response: daemon-lifetime request metrics
@@ -1129,7 +1229,42 @@ class ServiceDaemon:
         payload["quarantine"] = self.quarantine.status()
         payload["faults"] = faults.stats()
         payload["failures"] = self.failure_counters()
+        payload["heat"] = self.heat_summary()
         return payload
+
+    def heat_summary(self, top: int = 5) -> dict:
+        """The inline heat rollup for ``stats``: hottest datasets and
+        partitions plus daemon-lifetime scan totals."""
+        now = telemetry.now()
+        return {
+            "half_life_s": self.heat.half_life_s,
+            "events_total": self.heat.events_total,
+            "rows_scanned_total": self.metrics.rows_scanned_total,
+            "bytes_scanned_total": self.metrics.bytes_scanned_total,
+            "partition_touches_total": (
+                self.metrics.partition_touches_total
+            ),
+            "hot_datasets": [
+                {
+                    "dataset": key,
+                    "heat": round(heat, 4),
+                    "touches": entry["touches"],
+                }
+                for key, entry, heat in self.heat.ranked(
+                    self.heat.datasets, now
+                )[:top]
+            ],
+            "hot_partitions": [
+                {
+                    "partition": key,
+                    "heat": round(heat, 4),
+                    "touches": entry["touches"],
+                }
+                for key, entry, heat in self.heat.ranked(
+                    self.heat.partitions, now
+                )[:top]
+            ],
+        }
 
     def failure_counters(self) -> dict:
         return {
@@ -1162,6 +1297,11 @@ class ServiceDaemon:
                 "deadline_exceeded_total": self.deadline_exceeded_total,
                 "degraded_refused_total": self.degraded_refused_total,
                 "degraded_entries_total": self.degrade.entries_total,
+                "partition_touch_total": (
+                    self.metrics.partition_touches_total
+                ),
+                "scanned_rows_total": self.metrics.rows_scanned_total,
+                "scanned_bytes_total": self.metrics.bytes_scanned_total,
             },
             extra_gauges={
                 "read_queue_depth": scheduler.get("read_queue_depth", 0),

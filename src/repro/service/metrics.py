@@ -121,6 +121,13 @@ class ServiceMetrics:
         self.deadline_total = 0
         self.degraded_total = 0
         self.slow_total = 0
+        #: Storage-access totals (from the per-request cost-accountant
+        #: stamps) — the Prometheus sidecar's
+        #: ``orpheusd_scanned_bytes_total`` / ``_partition_touch_total``.
+        self.rows_scanned_total = 0
+        self.bytes_scanned_total = 0
+        self.rows_written_total = 0
+        self.partition_touches_total = 0
         self.by_op: dict[str, _OpStats] = {}
         self.by_session: dict[int, dict] = {}
         self.by_dataset: dict[str, dict] = {}
@@ -153,6 +160,48 @@ class ServiceMetrics:
             if rtrace.dataset:
                 self._roll(self.by_dataset, rtrace.dataset, rtrace)
             self.recent.append(tree)
+
+    def record_io(
+        self,
+        dataset: str | None,
+        rows_scanned: int = 0,
+        bytes_scanned: int = 0,
+        rows_written: int = 0,
+        partition_touches: int = 0,
+        heat: float | None = None,
+        read_amplification: float | None = None,
+    ) -> None:
+        """Fold one request's storage-access footprint: daemon-lifetime
+        totals plus the per-dataset heat/amplification rollup the
+        ``stats`` op and ``orpheus top`` render."""
+        with self._lock:
+            self.rows_scanned_total += rows_scanned
+            self.bytes_scanned_total += bytes_scanned
+            self.rows_written_total += rows_written
+            self.partition_touches_total += partition_touches
+            if not dataset:
+                return
+            entry = self.by_dataset.get(dataset)
+            if entry is None:
+                entry = self.by_dataset[dataset] = {
+                    "count": 0, "errors": 0, "busy": 0, "total_s": 0.0,
+                }
+            entry["rows_scanned"] = (
+                entry.get("rows_scanned", 0) + rows_scanned
+            )
+            entry["bytes_scanned"] = (
+                entry.get("bytes_scanned", 0) + bytes_scanned
+            )
+            entry["rows_written"] = (
+                entry.get("rows_written", 0) + rows_written
+            )
+            entry["partition_touches"] = (
+                entry.get("partition_touches", 0) + partition_touches
+            )
+            if heat is not None:
+                entry["heat"] = round(heat, 4)
+            if read_amplification is not None:
+                entry["read_amplification"] = round(read_amplification, 4)
 
     def _roll(self, table: dict, key, rtrace: RequestTrace, **extra) -> None:
         entry = table.get(key)

@@ -218,6 +218,19 @@ class FlightRecorder:
             entry["error_type"] = rtrace.error_type
         if getattr(rtrace, "error_kind", None):
             entry["error_kind"] = rtrace.error_kind
+        # Storage-access stamps (additive; absent on requests that
+        # never executed): enough for `orpheus heat --from-flight` to
+        # rebuild the heat model and for replay's I/O-drift section.
+        if getattr(rtrace, "rows_scanned", None) is not None:
+            entry["rows_scanned"] = rtrace.rows_scanned
+        if getattr(rtrace, "bytes_scanned", None) is not None:
+            entry["bytes_scanned"] = rtrace.bytes_scanned
+        if getattr(rtrace, "rows_written", None) is not None:
+            entry["rows_written"] = rtrace.rows_written
+        if getattr(rtrace, "rows_returned", None) is not None:
+            entry["rows_returned"] = rtrace.rows_returned
+        if getattr(rtrace, "version_ids", None):
+            entry["versions"] = list(rtrace.version_ids)
         phases = {
             name: round(value, 6)
             for name, value in rtrace.phase_seconds().items()

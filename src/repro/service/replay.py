@@ -117,6 +117,10 @@ class ReplayedRequest:
     wall_s: float
     cached: bool | None = None
     error: str | None = None
+    #: Server-side storage-access stamps from the response trace
+    #: (None when the daemon predates them or the request never ran).
+    rows_scanned: int | None = None
+    bytes_scanned: int | None = None
 
 
 @dataclass
@@ -247,6 +251,20 @@ class _SessionPlayer(threading.Thread):
                         wall_s=wall,
                         cached=cached,
                         error=error,
+                        rows_scanned=(
+                            int(trace["rows_scanned"])
+                            if isinstance(
+                                trace.get("rows_scanned"), (int, float)
+                            )
+                            else None
+                        ),
+                        bytes_scanned=(
+                            int(trace["bytes_scanned"])
+                            if isinstance(
+                                trace.get("bytes_scanned"), (int, float)
+                            )
+                            else None
+                        ),
                     )
                 )
         finally:
@@ -332,10 +350,30 @@ def build_report(
     rec_hits = rec_lookups = rep_hits = rep_lookups = 0
     rec_faults = {name: 0 for name in FAULT_OUTCOMES}
     rep_faults = {name: 0 for name in FAULT_OUTCOMES}
+    rec_io_by_op: dict[str, dict] = {}
+    rep_io_by_op: dict[str, dict] = {}
+
+    def _fold_io(table: dict, op: str, rows, nbytes) -> None:
+        if rows is None and nbytes is None:
+            return
+        entry = table.setdefault(
+            op, {"stamped": 0, "rows_scanned": 0, "bytes_scanned": 0}
+        )
+        entry["stamped"] += 1
+        entry["rows_scanned"] += int(rows or 0)
+        entry["bytes_scanned"] += int(nbytes or 0)
 
     for record in recorded:
         rec_by_op.setdefault(record["op"], []).append(
             record_duration_s(record)
+        )
+        rows = record.get("rows_scanned")
+        nbytes = record.get("bytes_scanned")
+        _fold_io(
+            rec_io_by_op,
+            record["op"],
+            rows if isinstance(rows, (int, float)) else None,
+            nbytes if isinstance(nbytes, (int, float)) else None,
         )
         if record.get("dataset"):
             dataset = record["dataset"]
@@ -366,6 +404,10 @@ def build_report(
         if outcome.cached is not None:
             rep_lookups += 1
             rep_hits += 1 if outcome.cached else 0
+        _fold_io(
+            rep_io_by_op, outcome.op, outcome.rows_scanned,
+            outcome.bytes_scanned,
+        )
 
     per_op = {}
     for op in sorted(set(rec_by_op) | set(rep_by_op)):
@@ -378,6 +420,23 @@ def build_report(
             entry["drift_p95_pct"] = round(
                 (rep_p95 - rec_p95) / rec_p95 * 100.0, 2
             )
+        rec_io = rec_io_by_op.get(op)
+        rep_io = rep_io_by_op.get(op)
+        if rec_io or rep_io:
+            io_entry: dict = {
+                "recorded": rec_io
+                or {"stamped": 0, "rows_scanned": 0, "bytes_scanned": 0},
+                "replayed": rep_io
+                or {"stamped": 0, "rows_scanned": 0, "bytes_scanned": 0},
+            }
+            rec_rows = io_entry["recorded"]["rows_scanned"]
+            rep_rows = io_entry["replayed"]["rows_scanned"]
+            io_entry["rows_drift"] = rep_rows - rec_rows
+            if rec_rows:
+                io_entry["rows_drift_pct"] = round(
+                    (rep_rows - rec_rows) / rec_rows * 100.0, 2
+                )
+            entry["io"] = io_entry
         per_op[op] = entry
 
     rec_hit_rate = rec_hits / rec_lookups if rec_lookups else None
@@ -419,6 +478,7 @@ def build_report(
                 for name in FAULT_OUTCOMES
             },
         },
+        "io_drift": _io_drift_summary(rec_io_by_op, rep_io_by_op),
         "busy_delta": rep_busy - rec_busy,
         "cache_hit_delta": (
             _round(rep_hit_rate - rec_hit_rate)
@@ -438,6 +498,38 @@ def build_report(
     if warnings:
         report["warnings"] = warnings
     return report
+
+
+def _io_drift_summary(rec_io_by_op: dict, rep_io_by_op: dict) -> dict:
+    """The report's I/O-drift section: total rows/bytes scanned on the
+    recorded vs. replayed side (summed over stamped requests). A drift
+    here with matched request counts means the *storage layout or cache
+    behavior* changed between capture and replay — the I/O analogue of
+    latency drift."""
+    def _totals(table: dict) -> dict:
+        return {
+            "stamped": sum(e["stamped"] for e in table.values()),
+            "rows_scanned": sum(e["rows_scanned"] for e in table.values()),
+            "bytes_scanned": sum(
+                e["bytes_scanned"] for e in table.values()
+            ),
+        }
+
+    recorded = _totals(rec_io_by_op)
+    replayed = _totals(rep_io_by_op)
+    summary = {
+        "recorded": recorded,
+        "replayed": replayed,
+        "rows_drift": replayed["rows_scanned"] - recorded["rows_scanned"],
+        "bytes_drift": (
+            replayed["bytes_scanned"] - recorded["bytes_scanned"]
+        ),
+    }
+    if recorded["rows_scanned"]:
+        summary["rows_drift_pct"] = round(
+            summary["rows_drift"] / recorded["rows_scanned"] * 100.0, 2
+        )
+    return summary
 
 
 def check_report(
@@ -521,6 +613,29 @@ def render_report_text(report: dict) -> str:
             f"{_fmt_ms(rec['p95_s']):>10} {_fmt_ms(rep['p95_s']):>10} "
             f"{('%+.0f%%' % drift) if drift is not None else '-':>8}"
         )
+    io_drift = report.get("io_drift")
+    if io_drift and (
+        io_drift["recorded"]["stamped"] or io_drift["replayed"]["stamped"]
+    ):
+        lines.append("")
+        pct = io_drift.get("rows_drift_pct")
+        lines.append(
+            f"I/O drift: rows scanned recorded "
+            f"{io_drift['recorded']['rows_scanned']}, replayed "
+            f"{io_drift['replayed']['rows_scanned']} "
+            f"({io_drift['rows_drift']:+d}"
+            + (f", {pct:+.1f}%" if pct is not None else "")
+            + f") · bytes {io_drift['bytes_drift']:+d}"
+        )
+        for op, entry in report["per_op"].items():
+            io_entry = entry.get("io")
+            if not io_entry:
+                continue
+            lines.append(
+                f"  {op:<12} rows {io_entry['recorded']['rows_scanned']:>8}"
+                f" -> {io_entry['replayed']['rows_scanned']:>8} "
+                f"({io_entry['rows_drift']:+d})"
+            )
     for warning in report.get("warnings", []):
         lines.append(f"warning: {warning}")
     return "\n".join(lines) + "\n"

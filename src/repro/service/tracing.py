@@ -100,6 +100,8 @@ class RequestTrace:
         "deadline_ms", "deadline_at",
         "started_ts", "t0", "t_admitted", "t_started", "t_executed",
         "t_sent", "exec_node",
+        "rows_scanned", "bytes_scanned", "rows_written", "rows_returned",
+        "version_ids",
     )
 
     def __init__(self, op: str, session=None, trace: dict | None = None,
@@ -146,6 +148,17 @@ class RequestTrace:
         self.t_sent: float | None = None
         #: The completed telemetry SpanNode of the handler, if any.
         self.exec_node = None
+        #: Storage-access footprint, stamped from cost-accountant
+        #: deltas around the handler (None = never executed / not a
+        #: dataset access). Feeds the flight recorder and the heat
+        #: model.
+        self.rows_scanned: int | None = None
+        self.bytes_scanned: int | None = None
+        self.rows_written: int | None = None
+        self.rows_returned: int | None = None
+        #: Version ids the request resolved to (commit stamps its
+        #: output vid here — the params only carry the parents).
+        self.version_ids: tuple[int, ...] | None = None
 
     @classmethod
     def from_request(cls, request, session) -> "RequestTrace":
@@ -239,6 +252,10 @@ class RequestTrace:
             summary["attempt"] = self.attempt
         if self.deadline_ms is not None:
             summary["deadline_ms"] = self.deadline_ms
+        if self.rows_scanned is not None:
+            summary["rows_scanned"] = self.rows_scanned
+        if self.bytes_scanned is not None:
+            summary["bytes_scanned"] = self.bytes_scanned
         for name, value in self.phase_seconds().items():
             if name != "serialize":  # measured only after the send
                 summary[f"{name}_s"] = round(value, 6)
