@@ -1,0 +1,216 @@
+"""Paged-layout storage benches: cold/warm checkout and the
+before/after read-amplification story.
+
+The paged layout's pitch is that a checkout reads only the pages of
+the partitions the version maps to, while the legacy pickle layout
+must read (and unpickle) the entire repository state first. These
+benches price that difference per data model:
+
+* ``storage/checkout_cold_paged`` / ``..._paged_partitioned`` — fresh
+  process image: empty buffer pool, lazy skeleton load, then one
+  checkout of the latest version. The exported ``storage.io.*``
+  counters are the physical read footprint: ``state_bytes_read`` (the
+  skeleton container) plus ``page_bytes_read`` (only the faulted
+  segments).
+* ``storage/checkout_warm_paged`` — same checkout with the buffer pool
+  warm: faults become pool hits; the remaining cost is the skeleton
+  load and decode.
+* ``storage/checkout_cold_pickle`` / ``..._pickle_partitioned`` — the
+  "before" picture: the identical repository in the legacy layout,
+  where ``state_bytes_read`` is the whole state file regardless of
+  what the checkout touches.
+
+Read amplification per data model = bytes read ÷ bytes returned;
+compare the paged and pickle variants of the same model in
+``BENCH_<sha>.json``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import pickle
+import random
+import shutil
+import tempfile
+
+from benchmarks.registry import quick_bench
+from repro import telemetry
+from repro.core.commands import Orpheus
+from repro.pagestore.bufferpool import get_pool, reset_pool
+from repro.pagestore.store import paged_save
+from repro.relational.schema import ColumnDef, Schema
+from repro.relational.types import INT, TEXT
+from repro.resilience.statestore import StateStore
+
+DATASET = "bench"
+ROWS = 1500
+VERSIONS = 6
+
+SCHEMA = Schema(
+    [ColumnDef("key", TEXT), ColumnDef("value", INT)],
+    primary_key=("key",),
+)
+
+
+def _version_rows(version: int) -> list[tuple]:
+    """Version ``v`` keeps most of v1's rows and swaps a deterministic
+    5% — the collaborative-edit shape the page store write-back sees."""
+    rng = random.Random(4200 + version)
+    rows = {f"k{i}": i for i in range(ROWS)}
+    for _ in range((version - 1) * ROWS // 20):
+        rows[f"k{rng.randrange(ROWS)}"] = rng.randrange(10_000)
+    return sorted(rows.items())
+
+
+def _build(model: str) -> Orpheus:
+    orpheus = Orpheus()
+    orpheus.create_user("bench")
+    orpheus.config("bench")
+    vid = orpheus.init(DATASET, SCHEMA, _version_rows(1), model=model)
+    for version in range(2, VERSIONS + 1):
+        vid = orpheus.cvd(DATASET).commit(
+            _version_rows(version),
+            parents=(vid,),
+            message=f"v{version}",
+            author="bench",
+        )
+    return orpheus
+
+
+class _Fixture:
+    """One repository per (data model, layout), built once."""
+
+    _instance: "_Fixture | None" = None
+
+    @classmethod
+    def get(cls) -> "_Fixture":
+        if cls._instance is None:
+            cls._instance = cls()
+        return cls._instance
+
+    def __init__(self) -> None:
+        self.base = tempfile.mkdtemp(prefix="orpheus-bench-pagestore-")
+        atexit.register(shutil.rmtree, self.base, ignore_errors=True)
+        self.roots: dict[tuple[str, str], str] = {}
+        for model in ("split_by_rlist", "partitioned_rlist"):
+            orpheus = _build(model)
+            paged = f"{self.base}/{model}-paged"
+            paged_save(StateStore(paged), orpheus)
+            legacy = f"{self.base}/{model}-pickle"
+            StateStore(legacy).save_bytes(pickle.dumps(orpheus))
+            self.roots[(model, "paged")] = paged
+            self.roots[(model, "pickle")] = legacy
+
+    def checkout(self, model: str, layout: str) -> None:
+        obj, info = StateStore(self.roots[(model, layout)]).load(warn=None)
+        assert info.paged == (layout == "paged")
+        result = obj.cvd(DATASET).checkout(VERSIONS)
+        assert len(result.rows) == ROWS
+
+
+def _fixture() -> _Fixture:
+    return _Fixture.get()
+
+
+def _warm_fixture() -> _Fixture:
+    fx = _Fixture.get()
+    reset_pool()
+    fx.checkout("split_by_rlist", "paged")  # prime the pool
+    return fx
+
+
+COUNTERS = ("storage.io.", "pagestore.")
+
+
+@quick_bench(
+    "storage/checkout_cold_paged",
+    setup=_fixture,
+    repeats=3,
+    counters=COUNTERS,
+)
+def bench_checkout_cold_paged(fx: _Fixture) -> None:
+    reset_pool()
+    fx.checkout("split_by_rlist", "paged")
+
+
+@quick_bench(
+    "storage/checkout_warm_paged",
+    setup=_warm_fixture,
+    repeats=3,
+    counters=COUNTERS,
+)
+def bench_checkout_warm_paged(fx: _Fixture) -> None:
+    fx.checkout("split_by_rlist", "paged")
+
+
+@quick_bench(
+    "storage/checkout_cold_paged_partitioned",
+    setup=_fixture,
+    repeats=3,
+    counters=COUNTERS,
+)
+def bench_checkout_cold_paged_partitioned(fx: _Fixture) -> None:
+    reset_pool()
+    fx.checkout("partitioned_rlist", "paged")
+
+
+@quick_bench(
+    "storage/checkout_cold_pickle",
+    setup=_fixture,
+    repeats=3,
+    counters=COUNTERS,
+)
+def bench_checkout_cold_pickle(fx: _Fixture) -> None:
+    fx.checkout("split_by_rlist", "pickle")
+
+
+@quick_bench(
+    "storage/checkout_cold_pickle_partitioned",
+    setup=_fixture,
+    repeats=3,
+    counters=COUNTERS,
+)
+def bench_checkout_cold_pickle_partitioned(fx: _Fixture) -> None:
+    fx.checkout("partitioned_rlist", "pickle")
+
+
+# ----------------------------------------------------------------------
+# Pytest-visible assertions on the read-amplification story
+# ----------------------------------------------------------------------
+def _read_footprint(fn) -> dict[str, float]:
+    telemetry.reset()
+    fn()
+    registry = telemetry.get_registry()
+    return {
+        "state": registry.counter_value("storage.io.state_bytes_read"),
+        "pages": registry.counter_value("storage.io.page_bytes_read"),
+    }
+
+
+def test_paged_checkout_reads_less_than_pickle():
+    """Before/after: a paged cold checkout's physical reads (skeleton +
+    faulted pages) must undercut the pickle layout's whole-state read,
+    for both data models."""
+    fx = _fixture()
+    for model in ("split_by_rlist", "partitioned_rlist"):
+        reset_pool()
+        paged = _read_footprint(lambda: fx.checkout(model, "paged"))
+        legacy = _read_footprint(lambda: fx.checkout(model, "pickle"))
+        assert legacy["pages"] == 0
+        assert paged["pages"] > 0, "paged checkout must fault pages"
+        paged_total = paged["state"] + paged["pages"]
+        assert paged_total < legacy["state"], (
+            f"{model}: paged read {paged_total} >= pickle {legacy['state']}"
+        )
+
+
+def test_warm_pool_serves_checkout_without_faults():
+    fx = _fixture()
+    reset_pool()
+    fx.checkout("split_by_rlist", "paged")
+    pool = get_pool()
+    faults_cold = pool.faults
+    assert faults_cold > 0
+    fx.checkout("split_by_rlist", "paged")
+    assert pool.faults == faults_cold, "warm checkout must not fault"
+    assert pool.hits > 0

@@ -236,6 +236,23 @@ def _build_parser() -> argparse.ArgumentParser:
         help="report what recovery would do without changing anything",
     )
 
+    migrate = sub.add_parser(
+        "migrate-state",
+        help="convert the repository between the pickle and paged "
+        "(out-of-core) state layouts in place",
+    )
+    migrate.add_argument(
+        "--to",
+        choices=("paged", "pickle"),
+        default="paged",
+        help="target layout (default: paged)",
+    )
+    migrate.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="report the planned conversion without changing anything",
+    )
+
     profile = sub.add_parser(
         "profile",
         help="run any orpheus command with resource profiling and "
@@ -601,8 +618,10 @@ def main(argv: list[str] | None = None) -> int:
     mutating = args.command in MUTATING_COMMANDS and not plan_only
     journaled = args.command in JOURNALED_COMMANDS and not plan_only
     writes = (
-        args.command in STATE_WRITING_COMMANDS and not plan_only
-    ) or args.command == "recover"
+        (args.command in STATE_WRITING_COMMANDS and not plan_only)
+        or args.command == "recover"
+        or args.command == "migrate-state"
+    )
     record = make_record(trace_id, args.command) if journaled else None
     code = 0
     try:
@@ -750,6 +769,16 @@ def _dispatch(args: argparse.Namespace, record=None) -> int:
         report = run_recovery(args.root, dry_run=args.dry_run)
         out.write(report.render_text())
         return 0 if report.clean else 1
+    if args.command == "migrate-state":
+        # Handles its own load/save cycle (the save must use the target
+        # layout, not whatever save_state would sniff).
+        import json as _json
+
+        from repro.pagestore.store import migrate_state
+
+        result = migrate_state(args.root, to=args.to, dry_run=args.dry_run)
+        out.write(_json.dumps(result, indent=2, sort_keys=True) + "\n")
+        return 0
     orpheus = load_state(args.root)
     #: The heat fold in _locked_invocation resolves models/partitions
     #: against the same state this command ran on.

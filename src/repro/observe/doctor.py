@@ -37,6 +37,11 @@ and machine-readable data. The probes:
   workload → see the ``orpheus heat`` advisor.
 * **I/O amplification** — observed checkout rows-scanned over
   rows-requested per data model against ``ORPHEUS_AMP_BUDGET``.
+* **page store health** — paged-layout invariants: every referenced
+  page file present, checksum spot-check, no orphans/stray temps, a
+  readable page directory.
+* **buffer pool** — budget pressure on the page cache: thrash (eviction
+  rate rivaling fault rate) and leaked dirty pages.
 * **perf baselines** — inside a source checkout, the benchmark
   regression baseline must exist, match the runner's schema version,
   and cover the registered quick tier.
@@ -1280,6 +1285,187 @@ def probe_io_amplification(orpheus, root: str | None = None) -> ProbeResult:
 
 
 # ----------------------------------------------------------------------
+# Page store health (paged ORPHSTA2 layout)
+# ----------------------------------------------------------------------
+#: How many page files the doctor checksum-verifies per run.
+PAGE_SPOT_CHECK = 8
+
+
+def probe_page_store(root: str | None = None) -> ProbeResult:
+    """Verify the paged layout's on-disk invariants: every referenced
+    page present, a readable page directory, no orphans or stray temps,
+    and a checksum spot-check over the page files."""
+    from repro.pagestore import pages as pagefiles
+    from repro.pagestore.store import (
+        orphan_pages,
+        read_directory,
+        referenced_pages,
+    )
+    from repro.resilience.statestore import StateStore
+
+    layout = StateStore(root).integrity().get("layout")
+    directory = pagefiles.pages_dir(root)
+    if layout != "paged" and not directory.is_dir():
+        return ProbeResult(
+            probe="page_store_health",
+            severity=OK,
+            summary="pickle layout; page store not in use",
+            data={"layout": layout or "missing"},
+        )
+
+    files = pagefiles.list_page_files(directory)
+    on_disk = {path.name[: -len(pagefiles.PAGE_SUFFIX)] for path in files}
+    referenced = referenced_pages(root)
+    data: dict = {
+        "layout": layout,
+        "pages_on_disk": len(files),
+        "pages_referenced": len(referenced),
+        "bytes_on_disk": sum(
+            path.stat().st_size for path in files if path.exists()
+        ),
+    }
+
+    missing = sorted(referenced - on_disk)
+    if missing:
+        data["missing_pages"] = missing[:8]
+        return ProbeResult(
+            probe="page_store_health",
+            severity=FAIL,
+            summary=(
+                f"{len(missing)} referenced page file(s) missing from "
+                f"{directory}"
+            ),
+            remediation=(
+                "the live state references pages that are gone; load will "
+                "fall back to a backup generation — run `orpheus recover` "
+                "and check `orpheus log --ops` for lost operations"
+            ),
+            data=data,
+        )
+
+    corrupt = []
+    for path in files[:PAGE_SPOT_CHECK]:
+        try:
+            pagefiles.read_page(directory, path.name[: -len(pagefiles.PAGE_SUFFIX)])
+        except Exception as error:
+            corrupt.append(f"{path.name}: {error}")
+    data["pages_checked"] = min(len(files), PAGE_SPOT_CHECK)
+    if corrupt:
+        data["corrupt_pages"] = corrupt
+        return ProbeResult(
+            probe="page_store_health",
+            severity=FAIL,
+            summary=f"{len(corrupt)} corrupt page file(s) detected",
+            remediation=(
+                "page checksums do not verify; run `orpheus recover` to "
+                "fall back to an intact backup generation, then "
+                "`orpheus migrate-state --to paged` to rewrite pages"
+            ),
+            data=data,
+        )
+
+    orphans = orphan_pages(root)
+    temps = pagefiles.stray_page_temps(directory)
+    if orphans or temps:
+        data["orphan_pages"] = len(orphans)
+        data["stray_temps"] = len(temps)
+        return ProbeResult(
+            probe="page_store_health",
+            severity=WARN,
+            summary=(
+                f"{len(orphans)} orphaned page(s) and {len(temps)} stray "
+                f"temp file(s) — debris from an interrupted write-back"
+            ),
+            remediation="run `orpheus recover` to clean the page store",
+            data=data,
+        )
+
+    if layout == "paged" and read_directory(root) is None:
+        return ProbeResult(
+            probe="page_store_health",
+            severity=WARN,
+            summary="page directory missing or torn",
+            remediation=(
+                "loads do not depend on it, but GC and tooling do; run "
+                "`orpheus recover` to rebuild directory.json"
+            ),
+            data=data,
+        )
+
+    return ProbeResult(
+        probe="page_store_health",
+        severity=OK,
+        summary=(
+            f"{len(files)} page file(s), all referenced pages present, "
+            f"{data['pages_checked']} checksum-verified"
+        ),
+        data=data,
+    )
+
+
+def probe_buffer_pool(root: str | None = None) -> ProbeResult:
+    """Buffer-pool budget pressure: a pool that evicts almost as often
+    as it faults is thrashing — the budget is too small for the working
+    set the workload actually touches."""
+    from repro.pagestore.bufferpool import BUFFER_BYTES_ENV, get_pool
+
+    stats = get_pool().stats()
+    data = dict(stats)
+    traffic = stats["faults"] + stats["hits"]
+    if traffic == 0:
+        return ProbeResult(
+            probe="buffer_pool",
+            severity=OK,
+            summary=(
+                f"pool idle (budget "
+                f"{stats['budget_bytes'] // (1024 * 1024)} MiB)"
+            ),
+            data=data,
+        )
+    if stats["dirty_bytes"] > 0:
+        return ProbeResult(
+            probe="buffer_pool",
+            severity=WARN,
+            summary=(
+                f"{stats['dirty_bytes']} dirty byte(s) resident outside "
+                f"a save — a write-back did not complete"
+            ),
+            remediation="run `orpheus recover`; dirty pages never evict "
+            "and will pin the budget down until cleared",
+            data=data,
+        )
+    if (
+        stats["evictions"] > 0
+        and stats["faults"] > 0
+        and stats["evictions"] >= 0.5 * stats["faults"]
+    ):
+        return ProbeResult(
+            probe="buffer_pool",
+            severity=WARN,
+            summary=(
+                f"pool thrashing: {stats['evictions']} evictions against "
+                f"{stats['faults']} faults "
+                f"(hit rate {stats['hit_rate']:.0%})"
+            ),
+            remediation=(
+                f"the working set exceeds the budget; raise "
+                f"{BUFFER_BYTES_ENV} (currently "
+                f"{stats['budget_bytes']} bytes) or pin fewer keys"
+            ),
+            data=data,
+        )
+    return ProbeResult(
+        probe="buffer_pool",
+        severity=OK,
+        summary=(
+            f"hit rate {stats['hit_rate']:.0%} over {traffic} access(es), "
+            f"{stats['resident_pages']} page(s) resident"
+        ),
+        data=data,
+    )
+
+
+# ----------------------------------------------------------------------
 def run_doctor(orpheus, root: str | None = None) -> DoctorReport:
     """Run every probe against one repository."""
     with telemetry.span("observe.doctor"):
@@ -1301,6 +1487,8 @@ def run_doctor(orpheus, root: str | None = None) -> DoctorReport:
         report.results.append(probe_flight_recorder(root))
         report.results.append(probe_heat_skew(orpheus, root))
         report.results.append(probe_io_amplification(orpheus, root))
+        report.results.append(probe_page_store(root))
+        report.results.append(probe_buffer_pool(root))
         report.results.append(probe_perf_baselines(root))
         telemetry.count("observe.doctor.runs")
         telemetry.count(

@@ -80,6 +80,7 @@ def render_frame(
     cache = stats.get("cache", {})
     sessions = stats.get("sessions", {})
     slow = stats.get("slow", {})
+    pool = stats.get("buffer_pool", {})
 
     lines = [
         (
@@ -115,6 +116,17 @@ def render_frame(
             f"hit {cache.get('hit_rate', 0.0):.0%} · "
             f"evictions {cache.get('evictions', 0)}"
         ),
+        (
+            f"pages   {pool.get('resident_pages', 0)} resident · "
+            f"{_fmt_bytes(pool.get('resident_bytes', 0))} of "
+            f"{_fmt_bytes(pool.get('budget_bytes', 0))} · "
+            f"hit {pool.get('hit_rate', 0.0):.0%} · "
+            f"faults {pool.get('faults', 0)} · "
+            f"wb {pool.get('writebacks', 0)} · "
+            f"pins {len(pool.get('pinned_keys', []))}"
+        )
+        if pool
+        else "pages   (pool idle)",
         "",
         (
             f"{'op':<12} {'count':>7} {'rate':>8} {'p50':>8} {'p95':>8}"

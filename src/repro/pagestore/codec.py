@@ -1,0 +1,321 @@
+"""Segment encodings for the paged store.
+
+A *segment* is one logical unit of repository state — a physical
+table's rows, a CVD's payload map, a membership (vlist) map — encoded
+to bytes, sliced into pages, and decoded back on fault. Four codecs:
+
+``rows.v1``
+    Columnar table slices: a tombstone bitmap over heap slots, then one
+    block per column. Integer columns are zigzag-delta varint encoded;
+    rlist-shaped columns (sorted integer arrays, plain or
+    :class:`~repro.relational.arrays.RangeEncodedArray`) are range
+    encoded; everything else is a pickled column vector — still
+    column-major, so a wide table compresses per attribute.
+``records.v1``
+    A ``rid → payload`` map: delta-varint rid array plus a pickled
+    payload vector in rid order.
+``rlistmap.v1``
+    A ``vid → frozenset(rid)`` map (version membership / vlists):
+    zigzag keys, range-encoded rid sets.
+``pickle.v1``
+    Fallback for irregular shapes (e.g. rows of mixed arity mid
+    schema-evolution).
+
+All codecs are exact round-trips: value types are preserved
+(``RangeEncodedArray`` stays range-encoded, tombstones stay ``None``).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Iterable
+
+from repro.relational.arrays import RangeEncodedArray
+
+PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+ROWS_V1 = "rows.v1"
+RECORDS_V1 = "records.v1"
+RLISTMAP_V1 = "rlistmap.v1"
+PICKLE_V1 = "pickle.v1"
+
+_COL_PICKLE = 0
+_COL_INT = 1
+_COL_INT_ARRAY = 2
+
+_VAL_LIST = 0
+_VAL_RANGE_ARRAY = 1
+
+
+# ----------------------------------------------------------------------
+# Varint primitives
+# ----------------------------------------------------------------------
+def write_uvarint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise ValueError(f"uvarint cannot encode negative {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(buf: bytes, pos: int) -> tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        byte = buf[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+def write_svarint(out: bytearray, value: int) -> None:
+    # Python ints are unbounded; emulate zigzag without a fixed width.
+    write_uvarint(out, (-value << 1) - 1 if value < 0 else value << 1)
+
+
+def read_svarint(buf: bytes, pos: int) -> tuple[int, int]:
+    raw, pos = read_uvarint(buf, pos)
+    return (-(raw + 1) >> 1) if raw & 1 else raw >> 1, pos
+
+
+# ----------------------------------------------------------------------
+# Range encoding for sorted integer arrays (rlists, rid sets)
+# ----------------------------------------------------------------------
+def _write_ranges(out: bytearray, values: Iterable[int]) -> None:
+    """Encode a strictly-increasing integer sequence as
+    (gap, run-length) pairs — the Section 4.2 range encoding."""
+    ranges: list[tuple[int, int]] = []
+    start = previous = None
+    for value in values:
+        if start is None:
+            start = previous = value
+        elif value == previous + 1:
+            previous = value
+        else:
+            ranges.append((start, previous))
+            start = previous = value
+    if start is not None:
+        ranges.append((start, previous))
+    write_uvarint(out, len(ranges))
+    cursor = 0
+    for lo, hi in ranges:
+        write_svarint(out, lo - cursor)
+        write_uvarint(out, hi - lo)
+        cursor = hi
+
+
+def _read_range_values(buf: bytes, pos: int) -> tuple[list[int], int]:
+    count, pos = read_uvarint(buf, pos)
+    values: list[int] = []
+    cursor = 0
+    for _ in range(count):
+        gap, pos = read_svarint(buf, pos)
+        run, pos = read_uvarint(buf, pos)
+        lo = cursor + gap
+        values.extend(range(lo, lo + run + 1))
+        cursor = lo + run
+    return values, pos
+
+
+def _is_sorted_ints(value: object) -> bool:
+    if not isinstance(value, list):
+        return False
+    previous = None
+    for item in value:
+        if type(item) is not int:
+            return False
+        if previous is not None and item <= previous:
+            return False
+        previous = item
+    return True
+
+
+# ----------------------------------------------------------------------
+# rows.v1 — columnar table slices
+# ----------------------------------------------------------------------
+def encode_table_rows(
+    rows: list[tuple | None], n_cols: int
+) -> tuple[str, bytes]:
+    """Encode a heap's slot list (``None`` = tombstone). Falls back to
+    ``pickle.v1`` when live rows do not all match the schema arity."""
+    live = [row for row in rows if row is not None]
+    if any(len(row) != n_cols for row in live):
+        return PICKLE_V1, pickle.dumps(rows, PICKLE_PROTOCOL)
+    out = bytearray()
+    write_uvarint(out, len(rows))
+    write_uvarint(out, n_cols)
+    bitmap = bytearray((len(rows) + 7) // 8)
+    for slot, row in enumerate(rows):
+        if row is not None:
+            bitmap[slot >> 3] |= 1 << (slot & 7)
+    out += bytes(bitmap)
+    for position in range(n_cols):
+        column = [row[position] for row in live]
+        out += _encode_column(column)
+    return ROWS_V1, bytes(out)
+
+
+def _encode_column(column: list[object]) -> bytes:
+    out = bytearray()
+    if column and all(type(v) is int for v in column):
+        out.append(_COL_INT)
+        cursor = 0
+        for value in column:
+            write_svarint(out, value - cursor)
+            cursor = value
+        return bytes(out)
+    if column and all(
+        isinstance(v, RangeEncodedArray) or _is_sorted_ints(v)
+        for v in column
+    ):
+        out.append(_COL_INT_ARRAY)
+        for value in column:
+            if isinstance(value, RangeEncodedArray):
+                out.append(_VAL_RANGE_ARRAY)
+                _write_ranges(out, value)
+            else:
+                out.append(_VAL_LIST)
+                _write_ranges(out, value)
+        return bytes(out)
+    out.append(_COL_PICKLE)
+    out += pickle.dumps(column, PICKLE_PROTOCOL)
+    return bytes(out)
+
+
+def decode_table_rows(blob: bytes) -> list[tuple | None]:
+    pos = 0
+    n_slots, pos = read_uvarint(blob, pos)
+    n_cols, pos = read_uvarint(blob, pos)
+    bitmap_len = (n_slots + 7) // 8
+    bitmap = blob[pos : pos + bitmap_len]
+    pos += bitmap_len
+    live_slots = [
+        slot for slot in range(n_slots) if bitmap[slot >> 3] & (1 << (slot & 7))
+    ]
+    columns: list[list[object]] = []
+    for _ in range(n_cols):
+        column, pos = _decode_column(blob, pos, len(live_slots))
+        columns.append(column)
+    rows: list[tuple | None] = [None] * n_slots
+    for index, slot in enumerate(live_slots):
+        rows[slot] = tuple(column[index] for column in columns)
+    return rows
+
+
+def _decode_column(
+    blob: bytes, pos: int, count: int
+) -> tuple[list[object], int]:
+    tag = blob[pos]
+    pos += 1
+    if tag == _COL_INT:
+        values: list[object] = []
+        cursor = 0
+        for _ in range(count):
+            delta, pos = read_svarint(blob, pos)
+            cursor += delta
+            values.append(cursor)
+        return values, pos
+    if tag == _COL_INT_ARRAY:
+        values = []
+        for _ in range(count):
+            flag = blob[pos]
+            pos += 1
+            decoded, pos = _read_range_values(blob, pos)
+            if flag == _VAL_RANGE_ARRAY:
+                values.append(RangeEncodedArray(decoded))
+            else:
+                values.append(decoded)
+        return values, pos
+    if tag == _COL_PICKLE:
+        # Pickle reports how many bytes it consumed via Unpickler.
+        import io
+
+        stream = io.BytesIO(blob)
+        stream.seek(pos)
+        unpickler = pickle.Unpickler(stream)
+        values = unpickler.load()
+        return values, stream.tell()
+    raise ValueError(f"unknown rows.v1 column tag {tag}")
+
+
+# ----------------------------------------------------------------------
+# records.v1 — rid → payload maps
+# ----------------------------------------------------------------------
+def encode_records(payloads: dict) -> bytes:
+    rids = sorted(payloads)
+    out = bytearray()
+    write_uvarint(out, len(rids))
+    cursor = 0
+    for rid in rids:
+        write_svarint(out, rid - cursor)
+        cursor = rid
+    out += pickle.dumps([payloads[rid] for rid in rids], PICKLE_PROTOCOL)
+    return bytes(out)
+
+
+def decode_records(blob: bytes) -> dict:
+    pos = 0
+    count, pos = read_uvarint(blob, pos)
+    rids: list[int] = []
+    cursor = 0
+    for _ in range(count):
+        delta, pos = read_svarint(blob, pos)
+        cursor += delta
+        rids.append(cursor)
+    values = pickle.loads(blob[pos:])
+    return dict(zip(rids, values))
+
+
+# ----------------------------------------------------------------------
+# rlistmap.v1 — vid → frozenset(rid) maps (version membership)
+# ----------------------------------------------------------------------
+def encode_rlist_map(membership: dict) -> bytes:
+    out = bytearray()
+    write_uvarint(out, len(membership))
+    for key in sorted(membership):
+        write_svarint(out, key)
+        _write_ranges(out, sorted(membership[key]))
+    return bytes(out)
+
+
+def decode_rlist_map(blob: bytes) -> dict:
+    pos = 0
+    count, pos = read_uvarint(blob, pos)
+    decoded: dict = {}
+    for _ in range(count):
+        key, pos = read_svarint(blob, pos)
+        values, pos = _read_range_values(blob, pos)
+        decoded[key] = frozenset(values)
+    return decoded
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def encode_segment(codec: str, obj: object) -> bytes:
+    if codec == RECORDS_V1:
+        return encode_records(obj)  # type: ignore[arg-type]
+    if codec == RLISTMAP_V1:
+        return encode_rlist_map(obj)  # type: ignore[arg-type]
+    if codec == PICKLE_V1:
+        return pickle.dumps(obj, PICKLE_PROTOCOL)
+    raise ValueError(f"unknown segment codec {codec!r}")
+
+
+def decode_segment(codec: str, blob: bytes) -> object:
+    if codec == ROWS_V1:
+        return decode_table_rows(blob)
+    if codec == RECORDS_V1:
+        return decode_records(blob)
+    if codec == RLISTMAP_V1:
+        return decode_rlist_map(blob)
+    if codec == PICKLE_V1:
+        return pickle.loads(blob)
+    raise ValueError(f"unknown segment codec {codec!r}")

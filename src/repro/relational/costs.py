@@ -32,6 +32,8 @@ class CostSnapshot:
     index_probes: int
     bytes_read: int
     bytes_written: int
+    page_reads: int = 0
+    page_writes: int = 0
 
     def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
         return CostSnapshot(
@@ -41,6 +43,8 @@ class CostSnapshot:
             self.index_probes - other.index_probes,
             self.bytes_read - other.bytes_read,
             self.bytes_written - other.bytes_written,
+            self.page_reads - other.page_reads,
+            self.page_writes - other.page_writes,
         )
 
     def total_rows_read(self) -> int:
@@ -63,6 +67,8 @@ class CostAccountant:
         self.index_probes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.page_reads = 0
+        self.page_writes = 0
 
     def charge_seq_scan(self, rows: int, row_bytes: int = 0) -> None:
         self.seq_rows += rows
@@ -89,6 +95,25 @@ class CostAccountant:
         self.index_probes += probes
         telemetry.count("storage.io.index_probes", probes)
 
+    def charge_page_read(self, pages: int, page_bytes: int = 0) -> None:
+        """A buffer-pool fault: whole pages read from disk. Folds into
+        ``bytes_read`` so the amplification report sees real page I/O."""
+        self.page_reads += pages
+        self.bytes_read += page_bytes
+        telemetry.count("storage.io.page_reads", pages)
+        if page_bytes:
+            telemetry.count("storage.io.page_bytes_read", page_bytes)
+            telemetry.count("storage.io.bytes_read", page_bytes)
+
+    def charge_page_write(self, pages: int, page_bytes: int = 0) -> None:
+        """Dirty-page write-back during a paged save."""
+        self.page_writes += pages
+        self.bytes_written += page_bytes
+        telemetry.count("storage.io.page_writes", pages)
+        if page_bytes:
+            telemetry.count("storage.io.page_bytes_written", page_bytes)
+            telemetry.count("storage.io.bytes_written", page_bytes)
+
     def snapshot(self) -> CostSnapshot:
         return CostSnapshot(
             self.seq_rows,
@@ -97,6 +122,8 @@ class CostAccountant:
             self.index_probes,
             self.bytes_read,
             self.bytes_written,
+            self.page_reads,
+            self.page_writes,
         )
 
     def reset(self) -> None:
@@ -106,3 +133,5 @@ class CostAccountant:
         self.index_probes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.page_reads = 0
+        self.page_writes = 0

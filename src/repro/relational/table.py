@@ -55,6 +55,53 @@ class Table:
         )
         self._secondary: dict[str, HashIndex] = {}
         self._ordered: dict[str, OrderedIndex] = {}
+        # Paged-layout plumbing: a write-version stamp (bumped by every
+        # mutator; lets a save skip re-encoding untouched tables), and a
+        # pager set by the paged loader in place of _rows/_indexes.
+        self._stamp = 0
+        self._pager = None
+        self._saved_ref = None
+        self._saved_stamp = -1
+
+    # ------------------------------------------------------------------
+    # Paged loading
+    # ------------------------------------------------------------------
+    def _ensure_page_load(self) -> None:
+        """Fault in this table's row segment if it is still paged out.
+
+        Every row-touching entry point gates through here; metadata
+        reads (``len``, ``row_count``, ``has_index``, ``schema``) answer
+        from the skeleton without any I/O.
+        """
+        pager = self._pager
+        if pager is None:
+            return
+        self._pager = None  # block re-entry from index rebuild below
+        try:
+            rows = pager.load(self.accountant)
+            self._rows = rows
+            if pager.index_spec.get("pk") and self.enforce_primary_key:
+                pk_index = HashIndex()
+                for slot, row in enumerate(rows):
+                    if row is not None:
+                        pk_index.add(self.schema.key_of(row), slot)
+                self._pk_index = pk_index
+            else:
+                self._pk_index = None
+            self._secondary = {}
+            self._ordered = {}
+            for column in pager.index_spec.get("secondary", ()):
+                self.create_index(column, ordered=False)
+            for column in pager.index_spec.get("ordered", ()):
+                self.create_index(column, ordered=True)
+        except BaseException:
+            self._pager = pager  # stay paged-out; retry can succeed
+            raise
+
+    @property
+    def paged_out(self) -> bool:
+        """True while the row segment has not been faulted in."""
+        return self._pager is not None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -69,6 +116,10 @@ class Table:
     def storage_bytes(self, include_indexes: bool = True) -> int:
         """Approximate total storage including index structures."""
         total = self._bytes
+        if self._pager is not None:
+            # Paged out: answer from the skeleton's byte counter alone
+            # rather than faulting in rows just to size their indexes.
+            return total
         if include_indexes:
             if self._pk_index is not None:
                 total += self._pk_index.approximate_bytes()
@@ -83,6 +134,7 @@ class Table:
     # ------------------------------------------------------------------
     def create_index(self, column: str, ordered: bool = False) -> None:
         """Create a secondary index on ``column`` over existing rows."""
+        self._ensure_page_load()
         position = self.schema.position(column)
         if ordered:
             index = OrderedIndex()
@@ -98,6 +150,11 @@ class Table:
             self._secondary[column] = hash_index
 
     def has_index(self, column: str) -> bool:
+        if self._pager is not None:
+            spec = self._pager.index_spec
+            return column in spec.get("secondary", ()) or column in spec.get(
+                "ordered", ()
+            )
         return column in self._secondary or column in self._ordered
 
     # ------------------------------------------------------------------
@@ -105,6 +162,8 @@ class Table:
     # ------------------------------------------------------------------
     def insert(self, row: Sequence[object]) -> int:
         """Insert one row; returns its slot position."""
+        self._ensure_page_load()
+        self._stamp += 1
         self.schema.validate_row(row)
         stored: Row = tuple(row)
         if self._pk_index is not None:
@@ -140,7 +199,10 @@ class Table:
 
     def delete_at(self, slot: int) -> None:
         """Tombstone the row in ``slot``."""
+        self._ensure_page_load()
         row = self._rows[slot]
+        if row is not None:
+            self._stamp += 1
         if row is None:
             return
         self._rows[slot] = None
@@ -197,6 +259,7 @@ class Table:
         return updated
 
     def _replace_at(self, slot: int, new_row: Row) -> None:
+        self._stamp += 1
         old_row = self._rows[slot]
         assert old_row is not None
         self.schema.validate_row(new_row)
@@ -231,6 +294,8 @@ class Table:
     # ------------------------------------------------------------------
     def add_column(self, column) -> None:
         """ALTER TABLE ADD COLUMN: existing rows read NULL for it."""
+        self._ensure_page_load()
+        self._stamp += 1
         from repro.relational.schema import Schema
 
         self.schema = Schema(
@@ -245,6 +310,8 @@ class Table:
     def widen_column(self, name: str, dtype) -> None:
         """ALTER TABLE ALTER COLUMN TYPE to a more general type; existing
         values are coerced in place."""
+        self._ensure_page_load()
+        self._stamp += 1
         from repro.relational.schema import ColumnDef, Schema
         from repro.relational.types import generalize_types
 
@@ -267,6 +334,8 @@ class Table:
 
     def vacuum(self) -> None:
         """Compact tombstones and rebuild indexes."""
+        self._ensure_page_load()
+        self._stamp += 1
         live = [row for row in self._rows if row is not None]
         self._rows = list(live)
         if self._pk_index is not None:
@@ -284,6 +353,7 @@ class Table:
     # Access paths
     # ------------------------------------------------------------------
     def _iter_slots(self) -> Iterator[tuple[int, Row]]:
+        self._ensure_page_load()
         for slot, row in enumerate(self._rows):
             if row is not None:
                 yield slot, row
@@ -303,6 +373,7 @@ class Table:
 
     def fetch_slot(self, slot: int) -> Row | None:
         """Random access by heap position (charged as random I/O)."""
+        self._ensure_page_load()
         row = self._rows[slot]
         if row is not None:
             self.accountant.charge_random_read(1, self.schema.row_bytes(row))
@@ -315,6 +386,7 @@ class Table:
         sequential depends on the clustering: probing ``rid`` on a table
         clustered by ``rid`` touches adjacent pages.
         """
+        self._ensure_page_load()
         index = self._index_for(column)
         if index is None:
             position = self.schema.position(column)
@@ -374,6 +446,25 @@ class Table:
     ) -> Callable[[Row], Row]:
         positions = self.schema.project_positions(names)
         return lambda row: tuple(row[i] for i in positions)
+
+    # ------------------------------------------------------------------
+    # Pickling (legacy/plain layout; the paged layout bypasses these
+    # via its reducer_override)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        self._ensure_page_load()  # a plain pickle must carry the rows
+        state = dict(self.__dict__)
+        for transient in ("_pager", "_saved_ref", "_saved_stamp"):
+            state.pop(transient, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Pickles from before the paged layout lack these attributes.
+        self.__dict__.setdefault("_stamp", 0)
+        self.__dict__.setdefault("_pager", None)
+        self.__dict__.setdefault("_saved_ref", None)
+        self.__dict__.setdefault("_saved_stamp", -1)
 
 
 class _PkAdapter:

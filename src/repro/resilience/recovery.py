@@ -117,6 +117,17 @@ def _run_recovery(root: str | None, dry_run: bool) -> RecoveryReport:
             except OSError:
                 pass
 
+    # Paged layout: a save that died between page write-back and the
+    # state swap leaves orphaned page files (and possibly a torn page
+    # directory). Clean them with the same dry-run discipline.
+    try:
+        from repro.pagestore.store import clean_pagestore
+
+        for kind, detail in clean_pagestore(root, dry_run=dry_run):
+            report.actions.append(RecoveryAction(kind, detail))
+    except Exception as error:
+        report.problems.append(f"page store cleanup failed: {error}")
+
     orpheus = None
     corrupt = False
     try:

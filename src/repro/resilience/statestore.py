@@ -39,8 +39,15 @@ from repro import telemetry
 from repro.resilience import failpoints
 
 MAGIC = b"ORPHSTA1"
+#: Paged-layout container: same header, but the payload is a pagestore
+#: outer document (skeleton + segment refs) instead of the full pickle.
+MAGIC2 = b"ORPHSTA2"
 _LEN_STRUCT = struct.Struct(">Q")
 HEADER_SIZE = len(MAGIC) + _LEN_STRUCT.size + hashlib.sha256().digest_size
+
+#: Force the layout ``save`` writes: ``paged`` or ``pickle``. Unset =
+#: keep whatever layout the repository already uses.
+LAYOUT_ENV = "ORPHEUS_STATE_LAYOUT"
 
 STATE_DIR = ".orpheus"
 STATE_FILE = "state.pkl"
@@ -59,6 +66,7 @@ class LoadInfo:
     source: str | None = None  # filename that served the load, None = fresh
     legacy: bool = False  # loaded from a pre-container bare pickle
     fallback: bool = False  # a backup served instead of the live file
+    paged: bool = False  # loaded from the ORPHSTA2 paged layout
     warnings: list[str] = field(default_factory=list)
 
 
@@ -102,10 +110,30 @@ class StateStore:
     # ------------------------------------------------------------------
     # Save
     # ------------------------------------------------------------------
-    def save(self, obj: object) -> None:
-        self.save_bytes(pickle.dumps(obj))
+    def save_layout(self) -> str:
+        """Layout the next ``save`` writes: the ``ORPHEUS_STATE_LAYOUT``
+        override if set, else whatever the live file already uses
+        (fresh repositories default to pickle)."""
+        env = os.environ.get(LAYOUT_ENV, "").strip().lower()
+        if env in ("paged", "pickle"):
+            return env
+        try:
+            with open(self.path, "rb") as handle:
+                if handle.read(len(MAGIC2)) == MAGIC2:
+                    return "paged"
+        except OSError:
+            pass
+        return "pickle"
 
-    def save_bytes(self, payload: bytes) -> None:
+    def save(self, obj: object) -> None:
+        if self.save_layout() == "paged":
+            from repro.pagestore.store import paged_save
+
+            paged_save(self, obj)
+        else:
+            self.save_bytes(pickle.dumps(obj))
+
+    def save_bytes(self, payload: bytes, magic: bytes = MAGIC) -> None:
         """Durably replace the state file with ``payload``.
 
         Sequence: temp write + fsync → backup rotation (hard links, so
@@ -115,7 +143,7 @@ class StateStore:
         """
         self.dir.mkdir(parents=True, exist_ok=True)
         blob = (
-            MAGIC
+            magic
             + _LEN_STRUCT.pack(len(payload))
             + hashlib.sha256(payload).digest()
             + payload
@@ -191,9 +219,17 @@ class StateStore:
             if not candidate.exists():
                 continue
             existed = True
+            paged = False
             try:
-                payload, legacy = self.verify_blob(candidate.read_bytes())
-                obj = pickle.loads(payload)
+                blob = candidate.read_bytes()
+                payload, legacy = self.verify_blob(blob)
+                paged = blob.startswith(MAGIC2)
+                if paged:
+                    from repro.pagestore.store import paged_load
+
+                    obj = paged_load(self, payload)
+                else:
+                    obj = pickle.loads(payload)
             except StateCorruptionError as error:
                 telemetry.count("resilience.state.corruption_detected")
                 info.warnings.append(f"{candidate.name}: {error}")
@@ -215,6 +251,14 @@ class StateStore:
             info.source = candidate.name
             info.legacy = legacy
             info.fallback = candidate is not self.path
+            info.paged = paged
+            # Physical read footprint of serving this load: the whole
+            # container for the pickle layout, just the skeleton for
+            # the paged one (segments charge storage.io.page_* as they
+            # fault). The gap is the layouts' read amplification.
+            telemetry.count("storage.io.state_bytes_read", len(blob))
+            if paged:
+                telemetry.count("resilience.state.paged_loads")
             if legacy:
                 telemetry.count("resilience.state.legacy_loads")
             if info.fallback:
@@ -245,8 +289,10 @@ class StateStore:
         """
         if not blob:
             raise StateCorruptionError("empty file")
-        if not blob.startswith(MAGIC):
-            if MAGIC.startswith(blob[: len(MAGIC)]):
+        if not (blob.startswith(MAGIC) or blob.startswith(MAGIC2)):
+            if len(blob) < len(MAGIC) and (
+                MAGIC.startswith(blob) or MAGIC2.startswith(blob)
+            ):
                 # Shorter than the magic and a strict prefix of it: a
                 # truncated container, not a legacy pickle.
                 raise StateCorruptionError("truncated header")
@@ -278,6 +324,7 @@ class StateStore:
             "status": "missing",
             "detail": "",
             "bytes": 0,
+            "layout": None,
             "backups": [],
             "stray_temps": [str(p.name) for p in self.stray_temps()],
         }
@@ -287,6 +334,11 @@ class StateStore:
             try:
                 _payload, legacy = self.verify_blob(blob)
                 report["status"] = "legacy" if legacy else "ok"
+                report["layout"] = (
+                    "legacy"
+                    if legacy
+                    else "paged" if blob.startswith(MAGIC2) else "pickle"
+                )
                 if legacy:
                     report["detail"] = (
                         "pre-checksum format; next save upgrades it"

@@ -1207,6 +1207,14 @@ class ServiceDaemon:
             telemetry.count(
                 "service.heat.partition_touches", len(event.partitions)
             )
+            # Re-aim the buffer pool's pins at whatever just got hot, so
+            # the hottest partitions stay resident across cold churn.
+            from repro.pagestore.bufferpool import (
+                get_pool,
+                refresh_pins_from_heat,
+            )
+
+            refresh_pins_from_heat(get_pool(), self.heat, rtrace.started_ts)
         except Exception:
             telemetry.count("service.heat.fold_errors")
 
@@ -1230,7 +1238,18 @@ class ServiceDaemon:
         payload["faults"] = faults.stats()
         payload["failures"] = self.failure_counters()
         payload["heat"] = self.heat_summary()
+        payload["buffer_pool"] = self.buffer_pool_stats()
         return payload
+
+    def buffer_pool_stats(self) -> dict:
+        """The shared page-cache stats for ``stats``/``top``/metrics
+        ({} when the pagestore has never been touched)."""
+        try:
+            from repro.pagestore.bufferpool import get_pool
+
+            return get_pool().stats()
+        except Exception:
+            return {}
 
     def heat_summary(self, top: int = 5) -> dict:
         """The inline heat rollup for ``stats``: hottest datasets and
@@ -1279,6 +1298,7 @@ class ServiceDaemon:
         scheduler = self.scheduler.status()
         cache = self.cache.stats().to_dict()
         sessions = self.sessions.status()
+        pool = self.buffer_pool_stats()
         return self.metrics.render_prometheus(
             extra_counters={
                 "cache_hits_total": cache.get("hits", 0),
@@ -1302,6 +1322,9 @@ class ServiceDaemon:
                 ),
                 "scanned_rows_total": self.metrics.rows_scanned_total,
                 "scanned_bytes_total": self.metrics.bytes_scanned_total,
+                "page_faults_total": pool.get("faults", 0),
+                "page_evictions_total": pool.get("evictions", 0),
+                "page_writebacks_total": pool.get("writebacks", 0),
             },
             extra_gauges={
                 "read_queue_depth": scheduler.get("read_queue_depth", 0),
@@ -1314,6 +1337,11 @@ class ServiceDaemon:
                 "quarantined_digests": self.quarantine.status()[
                     "quarantined"
                 ],
+                "buffer_pool_resident_bytes": pool.get("resident_bytes", 0),
+                "buffer_pool_resident_pages": pool.get("resident_pages", 0),
+                "buffer_pool_dirty_bytes": pool.get("dirty_bytes", 0),
+                "buffer_pool_budget_bytes": pool.get("budget_bytes", 0),
+                "buffer_pool_pinned_bytes": pool.get("pinned_bytes", 0),
             },
         )
 

@@ -1,0 +1,220 @@
+"""Buffer-pool unit tests: LRU eviction order, pin semantics, budget
+enforcement, and dirty-page accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observe.heat import HeatAccountant
+from repro.pagestore import pages as pagefiles
+from repro.pagestore.bufferpool import (
+    BufferPool,
+    get_pool,
+    refresh_pins_from_heat,
+    reset_pool,
+)
+
+PAGE = 1024  # payload bytes per test page
+
+
+@pytest.fixture
+def pages_dir(tmp_path):
+    return tmp_path / ".orpheus" / "pages"
+
+
+def put_page(directory, seed: int, size: int = PAGE) -> str:
+    """Write one real page file and return its id."""
+    payload = bytes([seed % 256]) * size
+    page_id = pagefiles.page_id_for(payload)
+    pagefiles.write_page(directory, page_id, payload)
+    return page_id
+
+
+# ----------------------------------------------------------------------
+# Faults, hits, and LRU order
+# ----------------------------------------------------------------------
+def test_fault_then_hit(pages_dir):
+    pool = BufferPool(budget_bytes=10 * PAGE)
+    page = put_page(pages_dir, 1)
+    first = pool.read(pages_dir, page)
+    second = pool.read(pages_dir, page)
+    assert first == second == bytes([1]) * PAGE
+    assert pool.faults == 1
+    assert pool.hits == 1
+    assert pool.resident_bytes == PAGE
+
+
+def test_eviction_is_lru_and_touch_refreshes(pages_dir):
+    pool = BufferPool(budget_bytes=3 * PAGE)
+    p1, p2, p3, p4 = (put_page(pages_dir, seed) for seed in (1, 2, 3, 4))
+    pool.read(pages_dir, p1)
+    pool.read(pages_dir, p2)
+    pool.read(pages_dir, p3)
+    pool.read(pages_dir, p1)  # hit: p1 becomes most-recent, p2 is LRU
+    pool.read(pages_dir, p4)  # over budget: evicts exactly p2
+    assert pool.evictions == 1
+    faults_before = pool.faults
+    pool.read(pages_dir, p1)
+    pool.read(pages_dir, p3)
+    pool.read(pages_dir, p4)
+    assert pool.faults == faults_before  # all still resident
+    pool.read(pages_dir, p2)  # the evicted one faults again
+    assert pool.faults == faults_before + 1
+
+
+def test_budget_is_enforced(pages_dir):
+    pool = BufferPool(budget_bytes=4 * PAGE)
+    for seed in range(10):
+        pool.read(pages_dir, put_page(pages_dir, seed))
+        assert pool.resident_bytes <= pool.budget_bytes
+    assert pool.resident_pages() == 4
+    assert pool.evictions == 6
+
+
+def test_oversize_clean_page_served_but_not_cached(pages_dir):
+    pool = BufferPool(budget_bytes=PAGE)
+    big = put_page(pages_dir, 9, size=4 * PAGE)
+    data = pool.read(pages_dir, big)
+    assert len(data) == 4 * PAGE
+    assert pool.resident_pages() == 0
+    assert pool.resident_bytes == 0
+
+
+# ----------------------------------------------------------------------
+# Pinning
+# ----------------------------------------------------------------------
+def test_pinned_pages_survive_eviction_pressure(pages_dir):
+    pool = BufferPool(budget_bytes=2 * PAGE)
+    hot = put_page(pages_dir, 1)
+    pool.set_pins({"ds:p0"})
+    pool.read(pages_dir, hot, heat_key="ds:p0")
+    cold_ids = [put_page(pages_dir, seed) for seed in range(2, 8)]
+    for page_id in cold_ids:
+        pool.read(pages_dir, page_id, heat_key="other")
+    # The pinned page outlived six colder arrivals.
+    faults_before = pool.faults
+    pool.read(pages_dir, hot, heat_key="ds:p0")
+    assert pool.faults == faults_before
+    assert pool.pinned_bytes() == PAGE
+
+
+def test_pins_yield_when_budget_cannot_be_met_otherwise(pages_dir):
+    """The budget is a hard cap: when everything resident is pinned,
+    pass 2 evicts pinned pages rather than blowing the budget."""
+    pool = BufferPool(budget_bytes=2 * PAGE)
+    pool.set_pins({"hot"})
+    for seed in range(1, 5):
+        pool.read(pages_dir, put_page(pages_dir, seed), heat_key="hot")
+    assert pool.resident_bytes <= pool.budget_bytes
+    assert pool.evictions == 2
+
+
+def test_refresh_pins_from_heat_selects_hot_keys_only():
+    pool = BufferPool(budget_bytes=10 * PAGE)
+    heat = HeatAccountant()
+    now = 1000.0
+    heat.partitions["ds:p0"] = {"heat": 5.0, "last_ts": now}
+    heat.partitions["ds:p1"] = {"heat": 0.0001, "last_ts": now}  # cold
+    heat.datasets["ds"] = {"heat": 3.0, "last_ts": now}
+    pins = refresh_pins_from_heat(pool, heat, now=now)
+    assert pins == frozenset({"ds:p0", "ds"})
+    assert pool.pins == pins
+
+
+def test_refresh_pins_respects_limit():
+    pool = BufferPool(budget_bytes=10 * PAGE)
+    heat = HeatAccountant()
+    now = 1000.0
+    for index in range(10):
+        heat.partitions[f"ds:p{index}"] = {
+            "heat": 10.0 - index,
+            "last_ts": now,
+        }
+    pins = refresh_pins_from_heat(pool, heat, now=now, limit=3)
+    assert pins == frozenset({"ds:p0", "ds:p1", "ds:p2"})
+
+
+# ----------------------------------------------------------------------
+# Dirty pages
+# ----------------------------------------------------------------------
+def test_dirty_accounting_and_writeback(pages_dir):
+    pool = BufferPool(budget_bytes=10 * PAGE)
+    payload = b"d" * PAGE
+    page_id = pagefiles.page_id_for(payload)
+    pool.put_dirty(pages_dir, page_id, payload)
+    assert pool.dirty_bytes == PAGE
+    assert pool.writebacks == 0
+    pool.mark_clean(pages_dir, page_id)
+    assert pool.dirty_bytes == 0
+    assert pool.writebacks == 1
+    # Still resident as a clean page afterwards.
+    assert pool.resident_pages() == 1
+
+
+def test_dirty_pages_never_evicted(pages_dir):
+    pool = BufferPool(budget_bytes=2 * PAGE)
+    dirty_ids = []
+    for seed in range(4):
+        payload = bytes([seed]) * PAGE
+        page_id = pagefiles.page_id_for(payload)
+        pool.put_dirty(pages_dir, page_id, payload)
+        dirty_ids.append(page_id)
+    # Four dirty pages against a two-page budget: none may leave.
+    assert pool.resident_pages() == 4
+    assert pool.dirty_bytes == 4 * PAGE
+    assert pool.evictions == 0
+    for page_id in dirty_ids:
+        pool.mark_clean(pages_dir, page_id)
+    # Once clean they become evictable and the budget re-applies.
+    assert pool.resident_bytes <= pool.budget_bytes
+
+
+def test_discard_dirty_drops_without_writeback(pages_dir):
+    pool = BufferPool(budget_bytes=10 * PAGE)
+    payload = b"x" * PAGE
+    page_id = pagefiles.page_id_for(payload)
+    pool.put_dirty(pages_dir, page_id, payload)
+    pool.discard_dirty(pages_dir, page_id)
+    assert pool.dirty_bytes == 0
+    assert pool.resident_bytes == 0
+    assert pool.writebacks == 0
+
+
+# ----------------------------------------------------------------------
+# Introspection
+# ----------------------------------------------------------------------
+def test_faults_by_key_tracks_heat_keys(pages_dir):
+    pool = BufferPool(budget_bytes=10 * PAGE)
+    pool.read(pages_dir, put_page(pages_dir, 1), heat_key="ds:p0")
+    pool.read(pages_dir, put_page(pages_dir, 2), heat_key="ds:p0")
+    pool.read(pages_dir, put_page(pages_dir, 3), heat_key="other")
+    pool.read(pages_dir, put_page(pages_dir, 4))  # no key
+    assert pool.faults_by_key == {"ds:p0": 2, "other": 1}
+
+
+def test_stats_shape(pages_dir):
+    pool = BufferPool(budget_bytes=10 * PAGE)
+    pool.read(pages_dir, put_page(pages_dir, 1))
+    pool.read(pages_dir, put_page(pages_dir, 1))
+    stats = pool.stats()
+    assert stats["resident_pages"] == 1
+    assert stats["faults"] == 1
+    assert stats["hits"] == 1
+    assert stats["hit_rate"] == 0.5
+    assert stats["budget_bytes"] == 10 * PAGE
+    assert stats["dirty_bytes"] == 0
+
+
+def test_missing_page_raises_corruption(pages_dir):
+    pool = BufferPool(budget_bytes=10 * PAGE)
+    with pytest.raises(pagefiles.PageCorruptionError):
+        pool.read(pages_dir, "0" * pagefiles.PAGE_ID_HEX)
+
+
+def test_reset_pool_replaces_global(pages_dir):
+    first = reset_pool(budget_bytes=123)
+    assert get_pool() is first
+    assert get_pool().budget_bytes == 123
+    second = reset_pool()
+    assert get_pool() is second
+    assert second is not first

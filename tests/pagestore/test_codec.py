@@ -1,0 +1,206 @@
+"""Segment codec round-trips: varints, range encoding, and the four
+segment codecs must reproduce their inputs exactly (types included)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pagestore import codec
+from repro.relational.arrays import RangeEncodedArray
+
+
+# ----------------------------------------------------------------------
+# Varint primitives
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "value", [0, 1, 127, 128, 300, 2**20, 2**40, 2**70]
+)
+def test_uvarint_round_trip(value):
+    out = bytearray()
+    codec.write_uvarint(out, value)
+    decoded, pos = codec.read_uvarint(bytes(out), 0)
+    assert decoded == value
+    assert pos == len(out)
+
+
+def test_uvarint_rejects_negative():
+    with pytest.raises(ValueError):
+        codec.write_uvarint(bytearray(), -1)
+
+
+@pytest.mark.parametrize(
+    "value", [0, 1, -1, 63, -64, 2**33, -(2**33), 2**70, -(2**70)]
+)
+def test_svarint_round_trip(value):
+    out = bytearray()
+    codec.write_svarint(out, value)
+    decoded, pos = codec.read_svarint(bytes(out), 0)
+    assert decoded == value
+    assert pos == len(out)
+
+
+def test_varint_sequences_pack_back_to_back():
+    out = bytearray()
+    values = [0, 5, 1000, -3, 2**40]
+    for value in values:
+        codec.write_svarint(out, value)
+    pos = 0
+    decoded = []
+    for _ in values:
+        value, pos = codec.read_svarint(bytes(out), pos)
+        decoded.append(value)
+    assert decoded == values
+    assert pos == len(out)
+
+
+# ----------------------------------------------------------------------
+# Range encoding
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "values",
+    [
+        [],
+        [7],
+        [0, 1, 2, 3],
+        [1, 2, 3, 10, 11, 50],
+        list(range(1000)),
+        [2**33, 2**33 + 1, 2**40],
+    ],
+)
+def test_range_encoding_round_trip(values):
+    out = bytearray()
+    codec._write_ranges(out, values)
+    decoded, pos = codec._read_range_values(bytes(out), 0)
+    assert decoded == values
+    assert pos == len(out)
+
+
+def test_range_encoding_is_compact_for_dense_runs():
+    """A dense run is the whole point of range encoding: 10k contiguous
+    rids must collapse to a handful of bytes, not a varint each."""
+    out = bytearray()
+    codec._write_ranges(out, list(range(10_000)))
+    assert len(out) < 16
+
+
+# ----------------------------------------------------------------------
+# rows.v1 — columnar table slices
+# ----------------------------------------------------------------------
+def test_rows_int_and_text_columns_round_trip():
+    rows = [("a", 1), ("b", 2), ("c", 300)]
+    name, blob = codec.encode_table_rows(rows, 2)
+    assert name == codec.ROWS_V1
+    assert codec.decode_table_rows(blob) == rows
+
+
+def test_rows_tombstones_survive():
+    rows = [("a", 1), None, ("c", 3), None]
+    name, blob = codec.encode_table_rows(rows, 2)
+    assert name == codec.ROWS_V1
+    assert codec.decode_table_rows(blob) == rows
+
+
+def test_rows_empty_heap():
+    name, blob = codec.encode_table_rows([], 3)
+    assert codec.decode_table_rows(blob) == []
+
+
+def test_rows_preserve_range_encoded_arrays():
+    """rlist columns must come back as the same type they went in —
+    a RangeEncodedArray decaying to a list would change the versioning
+    table's storage accounting."""
+    rows = [
+        (1, RangeEncodedArray([1, 2, 3, 10])),
+        (2, [5, 6, 9]),
+        (3, RangeEncodedArray([100])),
+    ]
+    name, blob = codec.encode_table_rows(rows, 2)
+    assert name == codec.ROWS_V1
+    decoded = codec.decode_table_rows(blob)
+    for original, restored in zip(rows, decoded):
+        assert type(restored[1]) is type(original[1])
+        assert list(restored[1]) == list(original[1])
+
+
+def test_rows_mixed_types_fall_back_to_pickled_column():
+    rows = [(1, {"x": 1}), (2, None), (3, "text")]
+    name, blob = codec.encode_table_rows(rows, 2)
+    assert name == codec.ROWS_V1  # column-level pickle, still rows.v1
+    assert codec.decode_table_rows(blob) == rows
+
+
+def test_rows_arity_mismatch_falls_back_to_pickle_v1():
+    """Mid-schema-evolution heaps can hold rows of different widths;
+    the columnar codec must punt rather than mis-slice them."""
+    rows = [("a", 1), ("b", 2, "extra")]
+    name, blob = codec.encode_table_rows(rows, 2)
+    assert name == codec.PICKLE_V1
+    assert codec.decode_segment(name, blob) == rows
+
+
+# ----------------------------------------------------------------------
+# records.v1 / rlistmap.v1
+# ----------------------------------------------------------------------
+def test_records_round_trip_sparse_rids():
+    payloads = {0: ("a", 1), 7: ("b", 2), 10_000: ("c", 3)}
+    blob = codec.encode_records(payloads)
+    assert codec.decode_records(blob) == payloads
+
+
+def test_records_empty():
+    assert codec.decode_records(codec.encode_records({})) == {}
+
+
+def test_rlist_map_round_trip_returns_frozensets():
+    membership = {
+        1: frozenset({0, 1, 2, 3}),
+        2: frozenset({1, 3, 7}),
+        5: frozenset(),
+    }
+    blob = codec.encode_rlist_map(membership)
+    decoded = codec.decode_rlist_map(blob)
+    assert decoded == membership
+    assert all(type(v) is frozenset for v in decoded.values())
+
+
+def test_rlist_map_accepts_plain_sets_and_lists():
+    blob = codec.encode_rlist_map({1: {3, 1, 2}, 2: [5, 9]})
+    assert codec.decode_rlist_map(blob) == {
+        1: frozenset({1, 2, 3}),
+        2: frozenset({5, 9}),
+    }
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+def test_segment_dispatch_round_trips():
+    payloads = {3: "x"}
+    membership = {1: frozenset({3})}
+    assert (
+        codec.decode_segment(
+            codec.RECORDS_V1, codec.encode_segment(codec.RECORDS_V1, payloads)
+        )
+        == payloads
+    )
+    assert (
+        codec.decode_segment(
+            codec.RLISTMAP_V1,
+            codec.encode_segment(codec.RLISTMAP_V1, membership),
+        )
+        == membership
+    )
+    obj = {"arbitrary": [1, 2, 3]}
+    assert (
+        codec.decode_segment(
+            codec.PICKLE_V1, codec.encode_segment(codec.PICKLE_V1, obj)
+        )
+        == obj
+    )
+
+
+def test_unknown_codec_raises():
+    with pytest.raises(ValueError):
+        codec.encode_segment("nope.v9", {})
+    with pytest.raises(ValueError):
+        codec.decode_segment("nope.v9", b"")

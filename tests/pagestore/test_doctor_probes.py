@@ -1,0 +1,128 @@
+"""Doctor probes for the paged layout: ``page_store_health`` and
+``buffer_pool`` must grade missing/corrupt/orphaned pages and pool
+pressure, each with an actionable remediation."""
+
+from __future__ import annotations
+
+from repro.observe.doctor import (
+    FAIL,
+    OK,
+    WARN,
+    probe_buffer_pool,
+    probe_page_store,
+)
+from repro.pagestore import pages as pagefiles
+from repro.pagestore.bufferpool import reset_pool
+from repro.pagestore.store import paged_save, referenced_pages
+from repro.resilience.statestore import StateStore
+
+from tests.pagestore.test_paged_store import build_orpheus
+
+
+def make_paged_repo(root):
+    orpheus = build_orpheus()
+    paged_save(StateStore(root), orpheus)
+    return orpheus
+
+
+# ----------------------------------------------------------------------
+# page_store_health
+# ----------------------------------------------------------------------
+def test_pickle_repo_reports_not_in_use(tmp_path):
+    result = probe_page_store(str(tmp_path))
+    assert result.severity == OK
+    assert "not in use" in result.summary
+
+
+def test_healthy_paged_repo_is_ok(tmp_path):
+    make_paged_repo(tmp_path)
+    result = probe_page_store(str(tmp_path))
+    assert result.severity == OK, result.summary
+    assert result.data["pages_on_disk"] == result.data["pages_referenced"]
+    assert result.data["pages_checked"] > 0
+
+
+def test_missing_referenced_page_fails(tmp_path):
+    make_paged_repo(tmp_path)
+    directory = pagefiles.pages_dir(tmp_path)
+    victim = sorted(referenced_pages(tmp_path))[0]
+    pagefiles.page_path(directory, victim).unlink()
+    result = probe_page_store(str(tmp_path))
+    assert result.severity == FAIL
+    assert "missing" in result.summary
+    assert "recover" in result.remediation
+    assert victim in result.data["missing_pages"]
+
+
+def test_corrupt_page_fails_spot_check(tmp_path):
+    make_paged_repo(tmp_path)
+    directory = pagefiles.pages_dir(tmp_path)
+    victim = pagefiles.list_page_files(directory)[0]
+    blob = bytearray(victim.read_bytes())
+    blob[-1] ^= 0xFF
+    victim.write_bytes(bytes(blob))
+    result = probe_page_store(str(tmp_path))
+    assert result.severity == FAIL
+    assert "corrupt" in result.summary
+    assert result.data["corrupt_pages"]
+
+
+def test_orphan_pages_warn(tmp_path):
+    make_paged_repo(tmp_path)
+    directory = pagefiles.pages_dir(tmp_path)
+    payload = b"orphaned-by-a-crashed-save"
+    pagefiles.write_page(directory, pagefiles.page_id_for(payload), payload)
+    result = probe_page_store(str(tmp_path))
+    assert result.severity == WARN
+    assert result.data["orphan_pages"] == 1
+
+
+# ----------------------------------------------------------------------
+# buffer_pool
+# ----------------------------------------------------------------------
+def test_idle_pool_is_ok(tmp_path):
+    reset_pool()
+    result = probe_buffer_pool(str(tmp_path))
+    assert result.severity == OK
+    assert "idle" in result.summary
+
+
+def test_leaked_dirty_bytes_warn(tmp_path):
+    pool = reset_pool()
+    directory = pagefiles.pages_dir(tmp_path)
+    payload = b"d" * 512
+    page_id = pagefiles.page_id_for(payload)
+    pagefiles.write_page(directory, page_id, payload)
+    pool.read(directory, page_id)  # some traffic
+    pool.put_dirty(directory, "f" * pagefiles.PAGE_ID_HEX, b"z" * 256)
+    result = probe_buffer_pool(str(tmp_path))
+    assert result.severity == WARN
+    assert "dirty" in result.summary
+    assert "recover" in result.remediation
+
+
+def test_thrashing_pool_warns_with_budget_hint(tmp_path):
+    pool = reset_pool(budget_bytes=2 * 4096)
+    directory = pagefiles.pages_dir(tmp_path)
+    for seed in range(12):
+        payload = bytes([seed]) * 4096
+        page_id = pagefiles.page_id_for(payload)
+        pagefiles.write_page(directory, page_id, payload)
+        pool.read(directory, page_id)
+    result = probe_buffer_pool(str(tmp_path))
+    assert result.severity == WARN
+    assert "thrash" in result.summary
+    assert "ORPHEUS_BUFFER_BYTES" in result.remediation
+
+
+def test_healthy_pool_traffic_is_ok(tmp_path):
+    pool = reset_pool()
+    directory = pagefiles.pages_dir(tmp_path)
+    payload = b"h" * 512
+    page_id = pagefiles.page_id_for(payload)
+    pagefiles.write_page(directory, page_id, payload)
+    for _ in range(10):
+        pool.read(directory, page_id)
+    result = probe_buffer_pool(str(tmp_path))
+    assert result.severity == OK
+    assert result.data["hits"] == 9
